@@ -1,0 +1,141 @@
+// E7 — ACCL collectives on the FPGA cluster (tutorial Use Case IV).
+//
+// Shape to verify: ring all-reduce approaches the bandwidth-optimal
+// 2(p-1)/p * n/B time and stays nearly flat in p; tree algorithms win on
+// latency for small payloads; linear broadcast degrades linearly with p.
+
+#include <iostream>
+
+#include "src/accl/collectives.h"
+#include "src/common/random.h"
+#include "src/common/table_printer.h"
+
+using namespace fpgadp;
+using namespace fpgadp::accl;
+
+namespace {
+
+std::vector<std::vector<float>> Buffers(uint32_t p, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> b(p, std::vector<float>(n));
+  for (auto& v : b) {
+    for (auto& x : v) x = float(rng.NextDouble());
+  }
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E7: collectives latency/throughput vs cluster size ===\n";
+  std::cout << "100 Gbps per port, 1 us wire+switch, 4 MiB all-reduce / "
+               "1 MiB broadcast payloads\n\n";
+
+  TablePrinter ar({"ranks", "ring all-reduce (ms)", "tree all-reduce (ms)",
+                   "ring/optimal", "barrier (us)"});
+  const size_t n = 1 << 20;  // 4 MiB
+  const double line_rate = 100e9 / 8;
+  for (uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
+    Communicator comm(p);
+    auto b1 = Buffers(p, n, p);
+    auto b2 = b1;
+    auto ring = comm.AllReduce(b1, Algo::kRing);
+    auto tree = comm.AllReduce(b2, Algo::kTree);
+    auto barrier = comm.Barrier();
+    if (!ring.ok() || !tree.ok() || !barrier.ok()) {
+      std::cerr << "collective failed\n";
+      return 1;
+    }
+    // Bandwidth-optimal all-reduce moves 2(p-1)/p * n bytes per NIC.
+    const double optimal =
+        2.0 * double(p - 1) / double(p) * double(n * sizeof(float)) /
+        line_rate;
+    ar.AddRow({std::to_string(p), TablePrinter::Fmt(ring->seconds * 1e3, 2),
+               TablePrinter::Fmt(tree->seconds * 1e3, 2),
+               TablePrinter::Fmt(ring->seconds / optimal, 2) + "x",
+               TablePrinter::Fmt(barrier->seconds * 1e6, 1)});
+  }
+  ar.Print(std::cout);
+
+  std::cout << "\n--- broadcast: linear vs binomial tree (1 MiB) ---\n";
+  TablePrinter bc({"ranks", "linear (ms)", "tree (ms)", "tree advantage"});
+  const size_t bn = 1 << 18;
+  for (uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
+    Communicator comm(p);
+    auto b1 = Buffers(p, bn, p + 100);
+    auto b2 = b1;
+    auto lin = comm.Broadcast(0, b1, Algo::kLinear);
+    auto tree = comm.Broadcast(0, b2, Algo::kTree);
+    if (!lin.ok() || !tree.ok()) {
+      std::cerr << "broadcast failed\n";
+      return 1;
+    }
+    bc.AddRow({std::to_string(p), TablePrinter::Fmt(lin->seconds * 1e3, 2),
+               TablePrinter::Fmt(tree->seconds * 1e3, 2),
+               TablePrinter::Fmt(lin->seconds / tree->seconds, 2) + "x"});
+  }
+  bc.Print(std::cout);
+
+  std::cout << "\n--- pipelined chain broadcast (1 MiB, 16 ranks) ---\n";
+  TablePrinter pb({"segment", "time (ms)", "vs binomial tree"});
+  {
+    Communicator comm(16);
+    auto base = Buffers(16, bn, 200);
+    auto tree_buffers = base;
+    auto tree = comm.Broadcast(0, tree_buffers, Algo::kTree);
+    if (tree.ok()) {
+      const uint64_t seg_choices[] = {8ull << 10, 32ull << 10, 128ull << 10,
+                                      uint64_t(bn) * 4};
+      for (uint64_t seg : seg_choices) {
+        auto b = base;
+        auto seg_stats = comm.BroadcastSegmented(0, b, seg);
+        if (!seg_stats.ok()) continue;
+        pb.AddRow({TablePrinter::FmtCount(seg) + " B",
+                   TablePrinter::Fmt(seg_stats->seconds * 1e3, 2),
+                   TablePrinter::Fmt(tree->seconds / seg_stats->seconds, 2) +
+                       "x"});
+      }
+    }
+  }
+  pb.Print(std::cout);
+
+  std::cout << "\n--- building blocks & transports (8 ranks, 4 MiB) ---\n";
+  TablePrinter tp({"operation", "RDMA (ms)", "TCP (ms)", "TCP overhead"});
+  {
+    Communicator rdma(8);
+    Communicator tcp(8, {}, 200e6, Transport::kTcp);
+    auto in = Buffers(8, n, 300);
+    auto run_pair = [&](const char* name, auto&& fn) {
+      auto r = fn(rdma);
+      auto t = fn(tcp);
+      if (r.ok() && t.ok()) {
+        tp.AddRow({name, TablePrinter::Fmt(r->seconds * 1e3, 2),
+                   TablePrinter::Fmt(t->seconds * 1e3, 2),
+                   TablePrinter::Fmt(t->seconds / r->seconds, 2) + "x"});
+      }
+    };
+    run_pair("ring all-reduce", [&](Communicator& c) {
+      auto b = in;
+      return c.AllReduce(b, Algo::kRing);
+    });
+    run_pair("reduce-scatter", [&](Communicator& c) {
+      std::vector<std::vector<float>> out;
+      return c.ReduceScatter(in, &out);
+    });
+    run_pair("all-gather", [&](Communicator& c) {
+      std::vector<std::vector<float>> out;
+      std::vector<std::vector<float>> chunks(8,
+                                             std::vector<float>(n / 8, 1.0f));
+      return c.AllGather(chunks, &out);
+    });
+  }
+  tp.Print(std::cout);
+
+  std::cout << "\npaper expectation: ring all-reduce time stays ~flat with "
+               "p (bandwidth-optimal);\ntree broadcast beats linear by "
+               "~p/log2(p); barrier costs ~2 log2(p) hops;\npipelined chain "
+               "broadcast removes the tree root's log2(p) copy cost; the\n"
+               "TCP transport (ACCL's wire protocol) adds bounded "
+               "session/segmentation overhead.\n";
+  return 0;
+}

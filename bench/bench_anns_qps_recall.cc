@@ -1,0 +1,132 @@
+// E3 — FANNS recall/QPS trade-off (tutorial Use Case II, Figure 3).
+//
+// Shape to verify: sweeping nprobe trades throughput for recall; the FPGA
+// accelerator holds a multiple-x advantage over the CPU baseline at every
+// operating point (FANNS reports up to ~20x vs CPU on SIFT-class data),
+// and its advantage comes from parallel PQ-distance lanes + systolic top-K.
+
+#include <iostream>
+
+#include "src/anns/accel.h"
+#include "src/anns/cpu_cost.h"
+#include "src/anns/dataset.h"
+#include "src/anns/ivf.h"
+#include "src/common/table_printer.h"
+
+using namespace fpgadp;
+using namespace fpgadp::anns;
+
+int main() {
+  std::cout << "=== E3: IVF-PQ recall vs QPS, FPGA accelerator vs CPU ===\n";
+  DatasetSpec spec;
+  spec.num_base = 40000;
+  spec.num_queries = 64;
+  spec.dim = 64;
+  spec.num_clusters = 512;
+  spec.cluster_stddev = 0.35f;
+  spec.seed = 2023;
+  std::cout << "corpus: " << spec.num_base << " x dim" << spec.dim
+            << ", queries: " << spec.num_queries << ", k=10, seed "
+            << spec.seed << "\n";
+  Dataset data = MakeDataset(spec);
+
+  IvfPqIndex::Options opts;
+  opts.nlist = 256;
+  opts.pq.m = 16;
+  opts.pq.ksub = 256;
+  opts.pq.train_iters = 5;
+  auto index = IvfPqIndex::Build(data.base, data.dim, opts);
+  if (!index.ok()) {
+    std::cerr << "build failed: " << index.status() << "\n";
+    return 1;
+  }
+  std::cout << "index: IVF" << opts.nlist << ",PQ" << opts.pq.m << " ("
+            << index->index_bytes() / 1024 << " KiB), avg list "
+            << TablePrinter::Fmt(index->avg_list_len(), 1) << "\n\n";
+
+  FannsAccelerator accel(&*index, AccelConfig{});
+  CpuSearchModel cpu;
+
+  TablePrinter t({"nprobe", "recall@10", "codes/query", "FPGA QPS",
+                  "FPGA latency", "CPU QPS", "speedup", "bottleneck"});
+  for (size_t nprobe = 1; nprobe <= 64; nprobe *= 2) {
+    IvfPqIndex::SearchParams params;
+    params.nprobe = nprobe;
+    params.k = 10;
+    auto stats = accel.SearchBatch(data.queries, params);
+    if (!stats.ok()) {
+      std::cerr << "search failed: " << stats.status() << "\n";
+      return 1;
+    }
+    double recall = 0;
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      std::vector<uint32_t> ids;
+      for (const auto& nb : stats->results[q]) ids.push_back(nb.id);
+      recall += RecallAtK(ids, data.ground_truth[q], 10);
+    }
+    recall /= double(data.num_queries());
+    const double avg_codes =
+        double(stats->codes_scanned) / double(data.num_queries());
+    const auto costs = accel.CostModel(params, avg_codes);
+    const char* bottleneck =
+        costs.scan >= costs.coarse && costs.scan >= costs.lut ? "scan"
+        : costs.lut >= costs.coarse                            ? "lut"
+                                                               : "coarse";
+    const double cpu_qps =
+        1.0 / cpu.SecondsPerQuery(*index, params, avg_codes);
+    t.AddRow({std::to_string(nprobe), TablePrinter::Fmt(recall, 3),
+              TablePrinter::FmtCount(uint64_t(avg_codes)),
+              TablePrinter::FmtCount(uint64_t(stats->qps)),
+              TablePrinter::Fmt(stats->latency_us_per_query, 1) + " us",
+              TablePrinter::FmtCount(uint64_t(cpu_qps)),
+              TablePrinter::Fmt(stats->qps / cpu_qps, 1) + "x", bottleneck});
+  }
+  t.Print(std::cout);
+
+  // Refinement ablation: exact re-ranking over the ADC candidate pool
+  // lifts the PQ recall ceiling for extra memory traffic.
+  std::cout << "\n--- exact re-ranking ablation (nprobe=16) ---\n";
+  IvfPqIndex::Options ropts = opts;
+  ropts.store_vectors = true;
+  auto rindex = IvfPqIndex::Build(data.base, data.dim, ropts);
+  if (!rindex.ok()) {
+    std::cerr << "build failed: " << rindex.status() << "\n";
+    return 1;
+  }
+  FannsAccelerator raccel(&*rindex, AccelConfig{});
+  TablePrinter rt({"rerank", "recall@10", "FPGA QPS", "CPU QPS",
+                   "index bytes"});
+  for (size_t rr : {0u, 2u, 5u, 10u}) {
+    IvfPqIndex::SearchParams params;
+    params.nprobe = 16;
+    params.k = 10;
+    params.rerank = rr;
+    auto stats = raccel.SearchBatch(data.queries, params);
+    if (!stats.ok()) {
+      std::cerr << "search failed: " << stats.status() << "\n";
+      return 1;
+    }
+    double recall = 0;
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      std::vector<uint32_t> ids;
+      for (const auto& nb : stats->results[q]) ids.push_back(nb.id);
+      recall += RecallAtK(ids, data.ground_truth[q], 10);
+    }
+    recall /= double(data.num_queries());
+    const double avg_codes =
+        double(stats->codes_scanned) / double(data.num_queries());
+    const double cpu_qps =
+        1.0 / cpu.SecondsPerQuery(*rindex, params, avg_codes);
+    rt.AddRow({std::to_string(rr), TablePrinter::Fmt(recall, 3),
+               TablePrinter::FmtCount(uint64_t(stats->qps)),
+               TablePrinter::FmtCount(uint64_t(cpu_qps)),
+               TablePrinter::FmtCount(rindex->index_bytes())});
+  }
+  rt.Print(std::cout);
+  std::cout << "\npaper expectation: recall climbs with nprobe while QPS "
+               "falls ~linearly in scanned\ncodes; the accelerator stays "
+               "several-x ahead of the CPU across the curve, and\n"
+               "re-ranking buys recall beyond the PQ ceiling for a modest "
+               "QPS cost.\n";
+  return 0;
+}

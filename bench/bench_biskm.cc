@@ -1,0 +1,56 @@
+// E14 — BiS-KM any-precision K-means (tutorial §2 ref [14], FPGA'20).
+//
+// Shape to verify BiS-KM's headline: because the training kernel is
+// memory-bound, running on B-bit data multiplies throughput by 32/B while
+// clustering quality (inertia on the full-precision data) degrades only
+// gradually — the precision/speed dial that a bit-serial memory layout
+// exposes.
+
+#include <iostream>
+
+#include "src/anns/biskm.h"
+#include "src/common/random.h"
+#include "src/common/table_printer.h"
+
+using namespace fpgadp;
+using namespace fpgadp::anns;
+
+int main() {
+  std::cout << "=== E14: any-precision K-means (BiS-KM) ===\n";
+  const size_t n = 20000, dim = 16, k = 16;
+  std::cout << "dataset: " << n << " x dim" << dim << ", k=" << k
+            << ", 12 Lloyd iterations, seed 71\n\n";
+  const auto points = GenerateClusteredVectors(n, dim, 24, 71);
+
+  BisKmOptions opts;
+  opts.k = k;
+  opts.max_iters = 12;
+  opts.bits = 32;
+  auto exact = KMeansAnyPrecision(points, dim, opts);
+  if (!exact.ok()) {
+    std::cerr << "kmeans failed: " << exact.status() << "\n";
+    return 1;
+  }
+
+  TablePrinter t({"bits", "inertia vs fp32", "modeled Mpoints/s",
+                  "speedup vs fp32", "iterations run"});
+  for (uint32_t bits : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    opts.bits = bits;
+    auto r = KMeansAnyPrecision(points, dim, opts);
+    if (!r.ok()) continue;
+    const double thrpt = BisKmPointsPerSecond(dim, bits);
+    const double base = BisKmPointsPerSecond(dim, 32);
+    t.AddRow({std::to_string(bits),
+              TablePrinter::Fmt(r->full_inertia / exact->full_inertia, 3) +
+                  "x",
+              TablePrinter::Fmt(thrpt / 1e6, 0),
+              TablePrinter::Fmt(thrpt / base, 0) + "x",
+              std::to_string(r->clustering.iters_run)});
+  }
+  t.Print(std::cout);
+  std::cout << "\npaper expectation: near-1.0x quality down to ~4-8 bits "
+               "with linear 32/B speedup —\nlow precision is almost free "
+               "for K-means, which is why BiS-KM stores data\nbit-serially "
+               "and lets the user pick the precision per run.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E10 — compression + encryption offload (tutorial §2 ref [6], the SAP
+// HANA hardware-acceleration case).
+//
+// Shape to verify: a decompress->decrypt (or compress->encrypt) chain runs
+// as a streaming pipeline at line rate on the accelerator — its time is set
+// by the byte stream, not by the two operators — while the CPU pays each
+// stage's per-byte cost serially. Compression also shrinks what Farview-
+// style systems move over the network.
+
+#include <iostream>
+
+#include "src/common/random.h"
+#include "src/common/table_printer.h"
+#include "src/common/units.h"
+#include "src/device/device.h"
+#include "src/relational/cipher.h"
+#include "src/relational/compression.h"
+#include "src/common/check.h"
+
+using namespace fpgadp;
+using namespace fpgadp::rel;
+
+namespace {
+
+std::vector<uint8_t> ColumnLikeBytes(size_t n, uint64_t seed) {
+  // Dictionary-coded column bytes: small alphabet, runs — compressible.
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  uint8_t current = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBounded(8) == 0) current = uint8_t(rng.NextBounded(16));
+    out[i] = current;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E10: compression + encryption offload chain ===\n";
+  const size_t n = 8 << 20;  // 8 MiB column segment
+  std::cout << "segment: 8 MiB dictionary-coded column bytes, seed 10\n\n";
+  const auto plain = ColumnLikeBytes(n, 10);
+
+  // Functional chain: compress then encrypt; decrypt then decompress.
+  const auto compressed = LzCompress(plain);
+  std::array<uint8_t, 32> key{};
+  for (int i = 0; i < 32; ++i) key[i] = uint8_t(i * 7);
+  const std::array<uint8_t, 12> nonce{1, 2, 3};
+  ChaCha20 enc(key, nonce);
+  auto wire = enc.Transform(compressed);
+  ChaCha20 dec(key, nonce);
+  auto back = dec.Transform(wire);
+  auto restored = LzDecompress(back);
+  FPGADP_CHECK(restored.ok());
+  FPGADP_CHECK(*restored == plain);
+  std::cout << "functional round-trip: compress -> encrypt -> decrypt -> "
+               "decompress OK\n";
+  std::cout << "compression ratio: "
+            << TablePrinter::Fmt(double(n) / double(compressed.size()), 2)
+            << "x (" << TablePrinter::FmtCount(compressed.size())
+            << " bytes on the wire)\n\n";
+
+  // Timing: the FPGA chain is a dataflow pipeline — both stages stream at
+  // the 512-bit bus rate, so chain time == stream time. The CPU executes
+  // the stages serially at per-byte software costs.
+  const double clock = 200e6;
+  const double fpga_bytes_per_cycle = 64;  // 512-bit datapath
+  device::CpuModel cpu;
+  const double cpu_lz_ns_per_byte = 4.0;      // software LZ inflate
+  const double cpu_cipher_ns_per_byte = 1.0;  // software ChaCha20
+
+  TablePrinter t({"path", "bytes processed", "time (ms)", "GB/s"});
+  const double fpga_seconds =
+      double(n) / fpga_bytes_per_cycle / clock;  // line-rate chain
+  t.AddRow({"FPGA decrypt+decompress (pipeline)", TablePrinter::FmtCount(n),
+            TablePrinter::Fmt(fpga_seconds * 1e3, 2),
+            TablePrinter::Fmt(double(n) / fpga_seconds / 1e9, 1)});
+  const double cpu_seconds =
+      double(wire.size()) * cpu_cipher_ns_per_byte * 1e-9 +
+      double(n) * cpu_lz_ns_per_byte * 1e-9;
+  t.AddRow({"CPU decrypt then decompress (serial)", TablePrinter::FmtCount(n),
+            TablePrinter::Fmt(cpu_seconds * 1e3, 2),
+            TablePrinter::Fmt(double(n) / cpu_seconds / 1e9, 1)});
+  t.Print(std::cout);
+
+  std::cout << "\n--- effect on data movement (Farview-style fetch) ---\n";
+  TablePrinter m({"transfer", "bytes", "time @ 100 Gbps (ms)"});
+  const double line = 100e9 / 8;
+  m.AddRow({"uncompressed", TablePrinter::FmtCount(n),
+            TablePrinter::Fmt(double(n) / line * 1e3, 2)});
+  m.AddRow({"compressed+encrypted", TablePrinter::FmtCount(wire.size()),
+            TablePrinter::Fmt(double(wire.size()) / line * 1e3, 2)});
+  m.Print(std::cout);
+  std::cout << "\npaper expectation: the offloaded chain runs at line rate "
+               "(>10 GB/s), several-x\nover serial CPU codecs, and the "
+               "compressed wire image cuts network time by the\ncompression "
+               "ratio — the HANA accelerator result.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E6 — HBM pseudo-channel scaling (tutorial Use Case III: "The accelerator
+// takes advantage of High Bandwidth Memory ... allocate the tables to many
+// banks").
+//
+// Shape to verify: embedding-lookup throughput scales with the number of
+// HBM pseudo-channels serving the tables (until another stage dominates),
+// and SRAM placement removes lookups from HBM entirely.
+
+#include <iostream>
+
+#include "src/common/table_printer.h"
+#include "src/microrec/cartesian.h"
+#include "src/microrec/engine.h"
+#include "src/microrec/model.h"
+
+using namespace fpgadp;
+using namespace fpgadp::microrec;
+
+int main() {
+  std::cout << "=== E6: lookup throughput vs # HBM pseudo-channels ===\n";
+  // Lookup-only workload: trivial MLP, no SRAM, so memory is the bottleneck.
+  RecModel model = MakeTypicalModel(/*num_tables=*/64, /*seed=*/11, 10000,
+                                    500000, 16);
+  model.hidden_layers = {};
+  std::cout << "model: 64 HBM-resident tables, no SRAM, output-only MLP, "
+               "batch 256\n\n";
+
+  TablePrinter t({"channels", "inferences/s", "scaling vs 1ch",
+                  "latency (us)"});
+  double base_ips = 0;
+  for (uint32_t ch : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    MicroRecConfig cfg;
+    cfg.sram_budget_bytes = 0;
+    cfg.override_hbm_channels = ch;
+    cfg.jobs_in_flight = 32;
+    auto engine = MicroRecEngine::Create(&model, PlanWithoutCartesian(model),
+                                         device::AlveoU280(), cfg);
+    if (!engine.ok()) {
+      std::cerr << "create failed: " << engine.status() << "\n";
+      return 1;
+    }
+    auto stats = engine->RunBatch(256, 123);
+    if (!stats.ok()) {
+      std::cerr << "run failed: " << stats.status() << "\n";
+      return 1;
+    }
+    if (ch == 1) base_ips = stats->inferences_per_sec;
+    t.AddRow({std::to_string(ch),
+              TablePrinter::FmtCount(uint64_t(stats->inferences_per_sec)),
+              TablePrinter::Fmt(stats->inferences_per_sec / base_ips, 2) + "x",
+              TablePrinter::Fmt(stats->latency_us, 2)});
+  }
+  t.Print(std::cout);
+
+  // SRAM ablation at a fixed channel count.
+  std::cout << "\n--- SRAM placement ablation (8 channels) ---\n";
+  TablePrinter s({"SRAM budget", "SRAM lookups/inf", "HBM lookups/inf",
+                  "inferences/s"});
+  for (uint64_t budget : {0ull, 256ull << 10, 1ull << 20, 8ull << 20}) {
+    RecModel mixed = MakeTypicalModel(64, 13, 50, 500000, 16);
+    mixed.hidden_layers = {};
+    MicroRecConfig cfg;
+    cfg.sram_budget_bytes = budget;
+    cfg.override_hbm_channels = 8;
+    cfg.jobs_in_flight = 32;
+    auto engine = MicroRecEngine::Create(&mixed, PlanWithoutCartesian(mixed),
+                                         device::AlveoU280(), cfg);
+    if (!engine.ok()) continue;
+    const size_t batch = 256;
+    auto stats = engine->RunBatch(batch, 127);
+    if (!stats.ok()) continue;
+    s.AddRow({TablePrinter::FmtCount(budget) + " B",
+              TablePrinter::Fmt(double(stats->sram_lookups) / batch, 1),
+              TablePrinter::Fmt(double(stats->hbm_lookups) / batch, 1),
+              TablePrinter::FmtCount(uint64_t(stats->inferences_per_sec))});
+  }
+  s.Print(std::cout);
+  std::cout << "\npaper expectation: near-linear scaling while the channels "
+               "are the bottleneck,\nflattening once lookup latency / other "
+               "stages dominate; SRAM absorbs the small\ntables' lookups "
+               "(single-cycle) and lifts throughput at a fixed channel "
+               "count.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E8 — line-rate stream processing (tutorial §1: "line rate processing,
+// enabling processing streams of data out of the network, disks, or memory
+// without performance loss").
+//
+// Shape to verify: pipelined operators (filter, HyperLogLog, Count-Min,
+// group-by) consume one tuple per lane per cycle regardless of content, so
+// a two-tuple-per-cycle datapath at 200 MHz sustains ~128 Gbps; and throughput
+// is *independent of selectivity*, which no CPU implementation achieves.
+
+#include <iostream>
+
+#include "src/common/table_printer.h"
+#include "src/device/device.h"
+#include "src/relational/cpu_executor.h"
+#include "src/relational/fpga_executor.h"
+#include "src/relational/sketches.h"
+#include "src/relational/table.h"
+
+using namespace fpgadp;
+using namespace fpgadp::rel;
+
+int main() {
+  std::cout << "=== E8: line-rate operators on the streaming datapath ===\n";
+  SyntheticTableSpec spec;
+  spec.num_rows = 200000;
+  spec.seed = 8;
+  Table table = MakeSyntheticTable(spec);
+  const double bits = double(table.total_bytes()) * 8;
+  std::cout << "stream: " << table.num_rows()
+            << " tuples x 40 B, 2 tuples/cycle (640-bit datapath) @ 200 MHz\n\n";
+
+  FpgaOptions options;
+  options.lanes = 2;
+  options.stream_depth = 32;
+
+  TablePrinter t({"operator", "cycles", "tuples/cycle", "Gbps", ">= 100G?"});
+  auto add_row = [&](const std::string& name, const FpgaRunStats& stats) {
+    const double tuples_per_cycle =
+        double(table.num_rows()) / double(stats.cycles);
+    const double gbps = bits / stats.seconds / 1e9;
+    t.AddRow({name, TablePrinter::FmtCount(stats.cycles),
+              TablePrinter::Fmt(tuples_per_cycle, 2),
+              TablePrinter::Fmt(gbps, 1), gbps >= 100 ? "yes" : "NO"});
+  };
+
+  // Filters at three selectivities: cycles must not depend on survival.
+  for (int64_t qty : {0, 25, 49}) {
+    Program p;
+    FilterOp f;
+    f.conjuncts.push_back(Predicate{4, CmpOp::kGe, qty});
+    p.ops.push_back(f);
+    auto stats = ExecuteFpga(p, table, options);
+    if (!stats.ok()) {
+      std::cerr << "failed: " << stats.status() << "\n";
+      return 1;
+    }
+    const double sel =
+        double(stats->output.num_rows()) / double(table.num_rows());
+    add_row("filter (sel " + TablePrinter::Fmt(sel, 2) + ")", *stats);
+  }
+  {
+    Program p;
+    p.ops.push_back(AggregateOp{AggKind::kSum, 4, false});
+    auto stats = ExecuteFpga(p, table, options);
+    if (stats.ok()) add_row("sum aggregate", *stats);
+  }
+  {
+    Program p;
+    GroupByOp g;
+    g.group_column = 2;
+    g.agg = AggregateOp{AggKind::kCount, 0, false};
+    p.ops.push_back(g);
+    auto stats = ExecuteFpga(p, table, options);
+    if (stats.ok()) add_row("group-by count", *stats);
+  }
+  // Sketches: 1 update/cycle/lane by construction; model as a pass-through
+  // pipeline feeding the sketch functionally.
+  {
+    auto hll = HyperLogLog::Create(14);
+    Program p;  // identity pipeline carries the stream at line rate
+    auto stats = ExecuteFpga(p, table, options);
+    if (stats.ok() && hll.ok()) {
+      for (const Row& r : table.rows()) hll->Add(uint64_t(r.Get(1)));
+      add_row("HyperLogLog sketch", *stats);
+      std::cout << "  (HLL distinct-key estimate: "
+                << TablePrinter::FmtCount(uint64_t(hll->Estimate()))
+                << ", stream carried at line rate)\n";
+    }
+  }
+  t.Print(std::cout);
+
+  std::cout << "\n--- CPU contrast: filter throughput depends on "
+               "selectivity ---\n";
+  TablePrinter c({"selectivity", "CPU time (model, ms)", "CPU Gbps"});
+  device::CpuModel cpu;
+  for (int64_t qty : {0, 25, 49}) {
+    Program p;
+    FilterOp f;
+    f.conjuncts.push_back(Predicate{4, CmpOp::kGe, qty});
+    p.ops.push_back(f);
+    auto out = ExecuteCpu(p, table);
+    if (!out.ok()) continue;
+    // CPU cost: stream the input + write the surviving tuples back.
+    const double seconds = cpu.StreamSeconds(table.total_bytes()) +
+                           cpu.StreamSeconds(out->total_bytes()) +
+                           double(table.num_rows()) * 2e-9;  // ~2 ns/tuple predicate+branch
+    c.AddRow({TablePrinter::Fmt(double(out->num_rows()) / table.num_rows(), 2),
+              TablePrinter::Fmt(seconds * 1e3, 2),
+              TablePrinter::Fmt(bits / seconds / 1e9, 1)});
+  }
+  c.Print(std::cout);
+  std::cout << "\npaper expectation: every streaming operator sustains "
+               ">= 100 Gbps with cycles\nindependent of data content; the "
+               "CPU both falls short of line rate and slows\nfurther as "
+               "more tuples survive.\n";
+  return 0;
+}

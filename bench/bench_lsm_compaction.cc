@@ -1,0 +1,79 @@
+// E16 — LSM compaction offload (tutorial §1 refs [15, 36]: X-Engine and
+// "FPGA-Accelerated Compactions for LSM-based Key-Value Store", FAST'20).
+//
+// Shape to verify: compaction is the background tax of an LSM store —
+// with CPU compaction it competes with serving and caps sustained ingest;
+// offloading the k-way merge to an FPGA merge network (which streams
+// 16-byte entries at data-path rate, ~10-50x a software merge) restores
+// ingest to the memtable-insert rate.
+
+#include <iostream>
+
+#include "src/common/random.h"
+#include "src/common/table_printer.h"
+#include "src/lsm/lsm_tree.h"
+
+using namespace fpgadp;
+using namespace fpgadp::lsm;
+
+namespace {
+
+LsmStats RunWorkload(CompactionEngine engine, size_t memtable_limit,
+                     int puts) {
+  LsmOptions opts;
+  opts.memtable_limit = memtable_limit;
+  opts.engine = engine;
+  LsmTree tree(opts);
+  Rng rng(2026);
+  for (int i = 0; i < puts; ++i) tree.Put(rng.Next(), uint64_t(i));
+  return tree.stats();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E16: LSM compaction on CPU vs FPGA merge network ===\n";
+  const int kPuts = 200000;
+  std::cout << "workload: " << kPuts
+            << " random puts, tiered compaction (4 tables/level), seed "
+               "2026\n\n";
+
+  CompactionCostModel cost;
+  TablePrinter t({"memtable", "write amp", "compaction s (CPU)",
+                  "compaction s (FPGA)", "sustained Mops (CPU)",
+                  "sustained Mops (FPGA)", "offload gain"});
+  for (size_t memtable : {256u, 1024u, 4096u}) {
+    const LsmStats cpu = RunWorkload(CompactionEngine::kCpu, memtable, kPuts);
+    const LsmStats fpga =
+        RunWorkload(CompactionEngine::kFpga, memtable, kPuts);
+    const double cpu_rate =
+        cpu.SustainedPutsPerSec(CompactionEngine::kCpu, cost, 100);
+    const double fpga_rate =
+        fpga.SustainedPutsPerSec(CompactionEngine::kFpga, cost, 100);
+    t.AddRow({std::to_string(memtable),
+              TablePrinter::Fmt(cpu.WriteAmplification(), 1) + "x",
+              TablePrinter::Fmt(cpu.compaction_seconds, 3),
+              TablePrinter::Fmt(fpga.compaction_seconds, 4),
+              TablePrinter::Fmt(cpu_rate / 1e6, 2),
+              TablePrinter::Fmt(fpga_rate / 1e6, 2),
+              TablePrinter::Fmt(fpga_rate / cpu_rate, 1) + "x"});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\n--- merge bandwidth (the FAST'20 kernel claim) ---\n";
+  TablePrinter m({"engine", "entries/s", "GB/s"});
+  const double cpu_eps = 1e9 / cost.cpu_ns_per_entry;
+  const double fpga_eps =
+      cost.fpga_bytes_per_cycle * cost.fpga_clock_hz / sizeof(KvEntry);
+  m.AddRow({"CPU k-way merge", TablePrinter::FmtCount(uint64_t(cpu_eps)),
+            TablePrinter::Fmt(cpu_eps * sizeof(KvEntry) / 1e9, 2)});
+  m.AddRow({"FPGA merge network", TablePrinter::FmtCount(uint64_t(fpga_eps)),
+            TablePrinter::Fmt(fpga_eps * sizeof(KvEntry) / 1e9, 2)});
+  m.Print(std::cout);
+  std::cout << "\npaper expectation: FAST'20 reports ~10x compaction "
+               "bandwidth from the FPGA\nmerge pipeline and X-Engine uses it "
+               "to keep ingest latency flat during\ncompaction storms; here "
+               "the offload returns sustained ingest to the memtable\n"
+               "insert bound across write-amplification regimes.\n";
+  return 0;
+}

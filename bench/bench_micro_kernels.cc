@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) of the real CPU implementations
+// behind the simulator: PRNG, hashing, sketches, codecs, cipher, PQ
+// distance math, and the simulator's own stepping overhead. These are the
+// measured-wall-clock complement to the modeled numbers in E1-E12.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/anns/dataset.h"
+#include "src/anns/topk.h"
+#include "src/common/random.h"
+#include "src/relational/cipher.h"
+#include "src/relational/compression.h"
+#include "src/relational/sketches.h"
+#include "src/sim/engine.h"
+#include "src/sim/kernels.h"
+
+namespace fpgadp {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_Hash64(benchmark::State& state) {
+  uint64_t x = 12345;
+  for (auto _ : state) {
+    x = rel::Hash64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Hash64);
+
+void BM_HllAdd(benchmark::State& state) {
+  auto hll = rel::HyperLogLog::Create(14);
+  Rng rng(2);
+  for (auto _ : state) {
+    hll->Add(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HllAdd);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  auto cm = rel::CountMinSketch::Create(4096, 4);
+  Rng rng(3);
+  for (auto _ : state) {
+    cm->Add(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd);
+
+void BM_ChaCha20(benchmark::State& state) {
+  std::array<uint8_t, 32> key{};
+  std::array<uint8_t, 12> nonce{};
+  std::vector<uint8_t> buf(size_t(state.range(0)), 0xAA);
+  for (auto _ : state) {
+    rel::ChaCha20 c(key, nonce);
+    c.Apply(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(4096)->Arg(1 << 20);
+
+void BM_LzCompress(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<uint8_t> data(size_t(state.range(0)));
+  uint8_t cur = 0;
+  for (auto& b : data) {
+    if (rng.NextBounded(8) == 0) cur = uint8_t(rng.NextBounded(16));
+    b = cur;
+  }
+  for (auto _ : state) {
+    auto out = rel::LzCompress(data);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LzCompress)->Arg(1 << 16);
+
+void BM_PqAdcDistance(benchmark::State& state) {
+  // 16 sub-quantizers, 256 centroids: one code-vector distance per iter.
+  std::vector<float> lut(16 * 256);
+  Rng rng(5);
+  for (auto& v : lut) v = float(rng.NextDouble());
+  std::vector<uint8_t> codes(16);
+  for (auto& c : codes) c = uint8_t(rng.NextBounded(256));
+  for (auto _ : state) {
+    float d = 0;
+    for (size_t j = 0; j < 16; ++j) d += lut[j * 256 + codes[j]];
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PqAdcDistance);
+
+void BM_SystolicTopK(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<float> stream(10000);
+  for (auto& d : stream) d = float(rng.NextDouble());
+  for (auto _ : state) {
+    anns::SystolicTopK topk(size_t(state.range(0)));
+    for (uint32_t i = 0; i < stream.size(); ++i) topk.Insert(stream[i], i);
+    benchmark::DoNotOptimize(topk.Results().data());
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_SystolicTopK)->Arg(10)->Arg(100);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  // Cost of one engine cycle for a 3-module pipeline — the simulator's
+  // own overhead per simulated cycle.
+  std::vector<int> data(1 << 20, 1);
+  sim::Stream<int> in("in", 8), out("out", 8);
+  sim::VectorSource<int> src("src", data, &in);
+  sim::TransformKernel<int, int> k(
+      "k", &in, &out, [](const int& v) { return std::optional<int>(v); });
+  sim::VectorSink<int> sink("sink", &out);
+  sim::Engine e;
+  e.AddModule(&src);
+  e.AddModule(&k);
+  e.AddModule(&sink);
+  e.AddStream(&in);
+  e.AddStream(&out);
+  for (auto _ : state) {
+    e.Step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorStep);
+
+}  // namespace
+}  // namespace fpgadp
+
+BENCHMARK_MAIN();

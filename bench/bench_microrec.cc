@@ -1,0 +1,92 @@
+// E5 — MicroRec inference speedup (tutorial Use Case III, Figures 4/5).
+//
+// Shape to verify: the accelerator's parallel HBM lookups + SRAM-resident
+// small tables + pipelined FC engine deliver an order-of-magnitude
+// end-to-end speedup over the CPU baseline; Cartesian products cut the
+// number of memory accesses per inference.
+
+#include <iostream>
+
+#include "src/common/table_printer.h"
+#include "src/microrec/cartesian.h"
+#include "src/microrec/engine.h"
+#include "src/microrec/model.h"
+
+using namespace fpgadp;
+using namespace fpgadp::microrec;
+
+namespace {
+
+void RunModel(const char* label, const RecModel& model, TablePrinter& t) {
+  CpuRecBaseline cpu;
+  const double cpu_ips =
+      1.0 / cpu.SecondsPerInference(model, model.LookupsPerInference());
+
+  CartesianOptions copts;
+  copts.max_product_rows = 1ull << 21;
+  const uint64_t sram_budget = 256ull << 10;
+
+  struct Variant {
+    const char* name;
+    CartesianPlan plan;
+  };
+  Variant variants[] = {
+      {"baseline plan", PlanWithoutCartesian(model)},
+      {"+ cartesian", PlanCartesianHbmAware(model, sram_budget, copts)},
+  };
+  t.AddRow({label, "CPU", std::to_string(model.LookupsPerInference()), "-",
+            TablePrinter::Fmt(1e6 / cpu_ips, 1),
+            TablePrinter::FmtCount(uint64_t(cpu_ips)), "1.0x"});
+  for (auto& v : variants) {
+    MicroRecConfig cfg;
+    cfg.sram_budget_bytes = sram_budget;
+    auto engine =
+        MicroRecEngine::Create(&model, v.plan, device::AlveoU280(), cfg);
+    if (!engine.ok()) {
+      std::cerr << "create failed: " << engine.status() << "\n";
+      return;
+    }
+    const size_t batch = 512;
+    auto stats = engine->RunBatch(batch, 99);
+    if (!stats.ok()) {
+      std::cerr << "run failed: " << stats.status() << "\n";
+      return;
+    }
+    t.AddRow({label, v.name, std::to_string(v.plan.LookupsPerInference()),
+              TablePrinter::Fmt(double(stats->hbm_lookups) / batch, 1),
+              TablePrinter::Fmt(stats->latency_us, 1),
+              TablePrinter::FmtCount(uint64_t(stats->inferences_per_sec)),
+              TablePrinter::Fmt(stats->inferences_per_sec / cpu_ips, 1) +
+                  "x"});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E5: MicroRec inference, FPGA vs CPU ===\n";
+  std::cout << "U280 (32 HBM pseudo-channels), batch 512, seed 99\n\n";
+
+  // Embedding-dominated model: many tables, small MLP — the production
+  // CTR shape MicroRec targets, where the bottleneck is memory access.
+  RecModel lookup_heavy =
+      MakeTypicalModel(/*num_tables=*/96, /*seed=*/5, 50, 1'000'000, 16);
+  lookup_heavy.hidden_layers = {128, 64};
+
+  // Compute-heavier model: fewer tables, bigger MLP.
+  RecModel compute_heavy =
+      MakeTypicalModel(/*num_tables=*/32, /*seed=*/6, 50, 1'000'000, 16);
+  compute_heavy.hidden_layers = {1024, 512, 256};
+
+  TablePrinter t({"model", "engine", "lookups/inf", "HBM look/inf",
+                  "latency (us)", "inferences/s", "vs CPU"});
+  RunModel("lookup-heavy (96 tables)", lookup_heavy, t);
+  RunModel("compute-heavy (32 tables)", compute_heavy, t);
+  t.Print(std::cout);
+  std::cout << "\npaper expectation: order-of-magnitude speedup on the "
+               "memory-bound production\nshape (MicroRec reports 13-15x for "
+               "embedding-dominated models), smaller but\nstill multiple-x "
+               "when the MLP dominates; Cartesian products reduce memory\n"
+               "accesses per inference.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// E17 — pipeline micro-architecture ablations (tutorial §2 Programming:
+// stream depth, pipeline depth, and memory-level parallelism are the
+// knobs HLS exposes beyond unroll/II).
+//
+// Three lessons, each as a sweep:
+//  (a) FIFO depth decouples bursty stages: deeper streams absorb phase-
+//      shifted stalls, pushing throughput toward the average-rate bound;
+//  (b) outstanding memory requests hide DRAM latency until the data bus
+//      saturates (the memory-level-parallelism curve);
+//  (c) pipeline (kernel) depth costs only fill latency, never throughput.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "src/common/table_printer.h"
+#include "src/memory/channel.h"
+#include "src/sim/engine.h"
+#include "src/sim/kernels.h"
+#include "src/sim/var_stage.h"
+
+using namespace fpgadp;
+using namespace fpgadp::sim;
+
+namespace {
+
+/// Two bursty stages with phase-shifted expensive items, separated by a
+/// FIFO of the given depth. Returns total cycles for `n` items.
+uint64_t RunBurstyPipeline(size_t depth, int n) {
+  std::vector<int> data(n);
+  for (int i = 0; i < n; ++i) data[size_t(i)] = i;
+  Stream<int> a("a", depth), b("b", depth), c("c", depth);
+  VectorSource<int> src("src", data, &a);
+  VarStage<int, int> s1(
+      "s1", &a, &b, [](const int& v) { return v; },
+      [](const int& v) { return v % 8 == 0 ? 9u : 1u; });
+  VarStage<int, int> s2(
+      "s2", &b, &c, [](const int& v) { return v; },
+      [](const int& v) { return v % 8 == 4 ? 9u : 1u; });
+  VectorSink<int> sink("sink", &c);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&s1);
+  e.AddModule(&s2);
+  e.AddModule(&sink);
+  e.AddStream(&a);
+  e.AddStream(&b);
+  e.AddStream(&c);
+  auto cycles = e.Run(1ull << 30);
+  return cycles.ok() ? cycles.value() : 0;
+}
+
+/// Issues `n` 64 B random reads keeping at most `outstanding` in flight.
+uint64_t RunMemoryMlp(uint32_t outstanding, int n) {
+  Stream<mem::MemRequest> req("req", outstanding + 1);
+  Stream<mem::MemResponse> resp("resp", outstanding + 1);
+  mem::MemoryChannel::Config cfg;
+  cfg.clock_hz = 200e6;
+  cfg.max_outstanding = outstanding;
+  mem::MemoryChannel ch("ch", &req, &resp, cfg);
+  Engine e;
+  e.AddModule(&ch);
+  e.AddStream(&req);
+  e.AddStream(&resp);
+  int issued = 0, done = 0;
+  int in_flight = 0;
+  uint64_t guard = 0;
+  while (done < n && guard++ < (1ull << 26)) {
+    while (issued < n && in_flight < int(outstanding) && req.CanWrite()) {
+      req.Write({uint64_t(issued), uint64_t(issued) * 4096, 64, false});
+      ++issued;
+      ++in_flight;
+    }
+    e.Step();
+    while (resp.CanRead()) {
+      (void)resp.Read();
+      ++done;
+      --in_flight;
+    }
+  }
+  return e.now();
+}
+
+/// n items through a kernel of the given pipeline depth (II=1).
+uint64_t RunDeepKernel(uint32_t latency, int n) {
+  std::vector<int> data(n, 1);
+  Stream<int> a("a", 8), b("b", 8);
+  VectorSource<int> src("src", data, &a);
+  TransformKernel<int, int> k(
+      "k", &a, &b, [](const int& v) { return std::optional<int>(v); },
+      KernelTiming{1, 1, latency});
+  VectorSink<int> sink("sink", &b);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&k);
+  e.AddModule(&sink);
+  e.AddStream(&a);
+  e.AddStream(&b);
+  auto cycles = e.Run(1ull << 30);
+  return cycles.ok() ? cycles.value() : 0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E17: pipeline micro-architecture ablations ===\n\n";
+
+  std::cout << "--- (a) FIFO depth vs bursty-stage coupling (4096 items, "
+               "avg 2 cycles/item/stage) ---\n";
+  TablePrinter a({"stream depth", "cycles", "items/cycle"});
+  const int n = 4096;
+  for (size_t depth : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    const uint64_t cycles = RunBurstyPipeline(depth, n);
+    a.AddRow({std::to_string(depth), TablePrinter::FmtCount(cycles),
+              TablePrinter::Fmt(double(n) / double(cycles), 3)});
+  }
+  a.Print(std::cout);
+
+  std::cout << "\n--- (b) memory-level parallelism: outstanding reads vs "
+               "achieved bandwidth ---\n";
+  TablePrinter b({"outstanding", "cycles for 2048 reads", "GB/s"});
+  for (uint32_t out : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    const uint64_t cycles = RunMemoryMlp(out, 2048);
+    const double gbps = 2048.0 * 64 / (double(cycles) / 200e6) / 1e9;
+    b.AddRow({std::to_string(out), TablePrinter::FmtCount(cycles),
+              TablePrinter::Fmt(gbps, 2)});
+  }
+  b.Print(std::cout);
+
+  std::cout << "\n--- (c) kernel pipeline depth: fill latency, not "
+               "throughput ---\n";
+  TablePrinter c({"pipeline depth", "cycles for 10k items",
+                  "cycles for 1 item"});
+  for (uint32_t depth : {1u, 4u, 16u, 64u}) {
+    c.AddRow({std::to_string(depth),
+              TablePrinter::FmtCount(RunDeepKernel(depth, 10000)),
+              TablePrinter::FmtCount(RunDeepKernel(depth, 1))});
+  }
+  c.Print(std::cout);
+
+  std::cout << "\npaper expectation: (a) deeper FIFOs recover the average-"
+               "rate bound (~2 cycles/item);\n(b) bandwidth grows with "
+               "outstanding requests until the bus saturates;\n(c) 10k-item "
+               "time is flat in pipeline depth while 1-item latency grows "
+               "with it.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E15 — smart-NIC key-value store (tutorial §1 ref [26], KV-Direct,
+// SOSP'17: "an FPGA based smart NIC to accelerate access to Key-Value
+// Stores through RDMA").
+//
+// Shape to verify: the NIC-resident KVS answers GET/PUT at the rate of its
+// pipelined DRAM accesses — an order of magnitude above a software server's
+// per-op cost — and multiple clients aggregate until the NIC or the line
+// rate saturates.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/table_printer.h"
+#include "src/kvs/smart_kvs.h"
+#include "src/sim/engine.h"
+
+using namespace fpgadp;
+using namespace fpgadp::kvs;
+
+namespace {
+
+/// Runs `ops_per_client` closed-loop GETs from `num_clients` clients.
+double MeasureOpsPerSec(uint32_t num_clients, int ops_per_client,
+                        uint32_t value_bytes) {
+  net::Fabric::Config fc;
+  fc.clock_hz = 200e6;
+  net::Fabric fabric("fab", num_clients + 1, fc);
+  SmartNicKvs::Config cfg;
+  cfg.value_bytes = value_bytes;
+  SmartNicKvs server("kvs", num_clients, &fabric, cfg);
+  std::vector<std::unique_ptr<KvClient>> clients;
+  sim::Engine engine;
+  fabric.RegisterWith(engine);
+  server.RegisterWith(engine);
+  for (uint32_t c = 0; c < num_clients; ++c) {
+    clients.push_back(std::make_unique<KvClient>(
+        "client" + std::to_string(c), c, num_clients, &fabric));
+    engine.AddModule(clients.back().get());
+  }
+  // Preload: 2000 keys via PUTs from client 0 (excluded from timing).
+  const uint64_t kKeys = 2000;
+  for (uint64_t k = 0; k < kKeys; ++k) clients[0]->Put(k, k * 3, k);
+  uint64_t guard = 0;
+  while (clients[0]->responses_received() < kKeys && guard++ < (1ull << 26)) {
+    engine.Step();
+  }
+  net::Packet drain;
+  while (clients[0]->PollResponse(&drain)) {
+  }
+
+  // Measured phase: closed-loop GETs over the loaded keys (all hits).
+  Rng rng(17);
+  for (uint32_t c = 0; c < num_clients; ++c) {
+    for (int i = 0; i < ops_per_client; ++i) {
+      clients[c]->Get(rng.NextBounded(kKeys), uint64_t(i));
+    }
+  }
+  const uint64_t base = kKeys;  // client 0 already has the preload acks
+  const uint64_t want = uint64_t(num_clients) * ops_per_client;
+  const sim::Cycle start = engine.now();
+  uint64_t got = 0;
+  guard = 0;
+  while (got < want && guard++ < (1ull << 26)) {
+    engine.Step();
+    got = 0;
+    for (const auto& c : clients) got += c->responses_received();
+    got -= base;
+  }
+  const double seconds = double(engine.now() - start) / 200e6;
+  return double(want) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E15: smart-NIC KVS vs software server ===\n";
+  std::cout << "closed-loop GET workload, 10k keys, seed 17\n\n";
+  CpuKvsModel cpu;
+
+  TablePrinter t({"clients", "value bytes", "FPGA Mops/s", "CPU Mops/s",
+                  "speedup", "regime"});
+  for (uint32_t clients : {1u, 2u, 4u}) {
+    for (uint32_t vb : {16u, 64u, 256u, 1024u}) {
+      const double fpga = MeasureOpsPerSec(clients, 3000, vb);
+      // The software server sits behind the same 100 Gbps wire: its
+      // effective rate is min(per-op software cost, line rate).
+      const double line_ops = 100e9 / 8.0 / double(vb + 64);
+      const double cpu_eff = std::min(cpu.OpsPerSec(), line_ops);
+      const bool wire_bound = line_ops < cpu.OpsPerSec();
+      t.AddRow({std::to_string(clients), std::to_string(vb),
+                TablePrinter::Fmt(fpga / 1e6, 1),
+                TablePrinter::Fmt(cpu_eff / 1e6, 1),
+                TablePrinter::Fmt(fpga / cpu_eff, 1) + "x",
+                wire_bound ? "wire-bound" : "op-bound"});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\npaper expectation: for the small values KV-Direct targets "
+               "the server is\nop-bound and the NIC wins ~3x (more with "
+               "weaker software stacks); as values\ngrow both sides converge "
+               "on the line rate and the advantage disappears —\nexactly why "
+               "smart-NIC KV stores are pitched at small-object "
+               "workloads.\n";
+  return 0;
+}

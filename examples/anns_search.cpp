@@ -1,0 +1,80 @@
+// FANNS walkthrough (tutorial Use Case II): IVF-PQ vector search on the
+// simulated accelerator. Builds an index over a clustered corpus, sweeps
+// nprobe to show the recall/QPS trade-off, and prints the accelerator's
+// per-stage bottleneck analysis.
+
+#include <iostream>
+
+#include "src/anns/accel.h"
+#include "src/anns/cpu_cost.h"
+#include "src/anns/dataset.h"
+#include "src/anns/ivf.h"
+#include "src/common/table_printer.h"
+
+using namespace fpgadp;
+using namespace fpgadp::anns;
+
+int main() {
+  DatasetSpec spec;
+  spec.num_base = 20000;
+  spec.num_queries = 50;
+  spec.dim = 64;
+  spec.num_clusters = 512;  // blurred cluster structure: recall climbs
+                            // gradually with nprobe, as on real corpora
+  spec.cluster_stddev = 0.35f;
+  spec.seed = 2023;
+  std::cout << "generating " << spec.num_base << " vectors (dim " << spec.dim
+            << ") + exact ground truth...\n";
+  Dataset data = MakeDataset(spec);
+
+  IvfPqIndex::Options opts;
+  opts.nlist = 128;
+  opts.pq.m = 16;
+  opts.pq.ksub = 256;
+  opts.pq.train_iters = 5;
+  std::cout << "building IVF" << opts.nlist << ",PQ" << opts.pq.m
+            << " index...\n";
+  auto index = IvfPqIndex::Build(data.base, data.dim, opts);
+  if (!index.ok()) {
+    std::cerr << "build failed: " << index.status() << "\n";
+    return 1;
+  }
+  std::cout << "index: " << index->total_codes() << " codes, "
+            << index->index_bytes() / 1024 << " KiB\n\n";
+
+  FannsAccelerator accel(&*index, AccelConfig{});
+  CpuSearchModel cpu;
+
+  TablePrinter t({"nprobe", "recall@10", "FPGA QPS", "CPU QPS", "speedup",
+                  "codes/query"});
+  for (size_t nprobe : {1, 2, 4, 8, 16, 32}) {
+    IvfPqIndex::SearchParams params;
+    params.nprobe = nprobe;
+    params.k = 10;
+    auto stats = accel.SearchBatch(data.queries, params);
+    if (!stats.ok()) {
+      std::cerr << "search failed: " << stats.status() << "\n";
+      return 1;
+    }
+    double recall = 0;
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      std::vector<uint32_t> ids;
+      for (const auto& nb : stats->results[q]) ids.push_back(nb.id);
+      recall += RecallAtK(ids, data.ground_truth[q], 10);
+    }
+    recall /= double(data.num_queries());
+    const double avg_codes =
+        double(stats->codes_scanned) / double(data.num_queries());
+    const double cpu_qps = 1.0 / cpu.SecondsPerQuery(*index, params, avg_codes);
+    t.AddRow({std::to_string(nprobe), TablePrinter::Fmt(recall, 3),
+              TablePrinter::FmtCount(uint64_t(stats->qps)),
+              TablePrinter::FmtCount(uint64_t(cpu_qps)),
+              TablePrinter::Fmt(stats->qps / cpu_qps, 1) + "x",
+              TablePrinter::FmtCount(uint64_t(avg_codes))});
+  }
+  t.Print(std::cout);
+  std::cout << "\nRaising nprobe buys recall with more scanned codes; the "
+               "accelerator's parallel\nPQ lanes and systolic top-K keep its "
+               "QPS ahead of the CPU at every operating point.\n";
+  return 0;
+}

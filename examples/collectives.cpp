@@ -1,0 +1,55 @@
+// ACCL walkthrough (tutorial Use Case IV): MPI-like collectives over a
+// cluster of FPGAs on a 100 Gbps switch. Runs a 4 MiB all-reduce at
+// several cluster sizes and compares the ring schedule against
+// reduce+broadcast trees.
+
+#include <iostream>
+
+#include "src/accl/collectives.h"
+#include "src/common/random.h"
+#include "src/common/table_printer.h"
+
+using namespace fpgadp;
+using namespace fpgadp::accl;
+
+int main() {
+  const size_t n = 1 << 20;  // 4 MiB of floats per rank
+  std::cout << "all-reduce of " << n * sizeof(float) / (1 << 20)
+            << " MiB per rank\n\n";
+
+  TablePrinter t({"ranks", "ring (ms)", "tree (ms)", "ring bus BW",
+                  "barrier (us)"});
+  for (uint32_t p : {2u, 4u, 8u, 16u}) {
+    Communicator comm(p);
+    Rng rng(p);
+    std::vector<std::vector<float>> ring_buffers(p, std::vector<float>(n));
+    for (auto& b : ring_buffers) {
+      for (auto& v : b) v = float(rng.NextDouble());
+    }
+    auto tree_buffers = ring_buffers;
+
+    auto ring = comm.AllReduce(ring_buffers, Algo::kRing);
+    auto tree = comm.AllReduce(tree_buffers, Algo::kTree);
+    auto barrier = comm.Barrier();
+    if (!ring.ok() || !tree.ok() || !barrier.ok()) {
+      std::cerr << "collective failed\n";
+      return 1;
+    }
+    // Verify both algorithms computed the same sums.
+    for (size_t i = 0; i < 8; ++i) {
+      if (ring_buffers[0][i] != tree_buffers[0][i]) {
+        std::cerr << "MISMATCH between ring and tree results\n";
+        return 1;
+      }
+    }
+    t.AddRow({std::to_string(p), TablePrinter::Fmt(ring->seconds * 1e3, 2),
+              TablePrinter::Fmt(tree->seconds * 1e3, 2),
+              TablePrinter::Fmt(ring->bus_bw / 1e9, 2) + " GB/s",
+              TablePrinter::Fmt(barrier->seconds * 1e6, 1)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nRing all-reduce keeps every NIC busy with 2(p-1)/p of the "
+               "buffer, so its time\nstays nearly flat as the cluster grows; "
+               "the tree pays full-buffer hops log(p) deep.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Farview walkthrough (tutorial Use Case I): disaggregated memory with
+// operator offloading. Loads a table into the smart-memory node, then runs
+// the same selective query two ways:
+//
+//   1. offloaded — the operator pipeline runs on the memory node, only
+//      surviving tuples cross the 100 Gbps network;
+//   2. fetch-all — the classic architecture: RDMA-read every page to the
+//      compute node and filter there.
+//
+// Prints the data-movement and latency gap at several selectivities.
+
+#include <iostream>
+
+#include "src/common/table_printer.h"
+#include "src/farview/farview.h"
+#include "src/relational/table.h"
+
+using namespace fpgadp;
+
+int main() {
+  farview::FarviewSystem system;
+
+  rel::SyntheticTableSpec spec;
+  spec.num_rows = 200000;  // 8 MB
+  spec.seed = 7;
+  rel::Table table = rel::MakeSyntheticTable(spec);
+  const uint64_t tid = system.LoadTable(table);
+  std::cout << "loaded " << table.num_rows() << " rows ("
+            << table.total_bytes() / 1024 << " KiB) into the memory node\n\n";
+
+  TablePrinter t({"predicate", "selectivity", "offload wire", "fetch wire",
+                  "offload time", "fetch time", "speedup"});
+  for (int64_t qty_ge : {0, 25, 45, 49}) {
+    rel::Program program;
+    rel::FilterOp f;
+    f.conjuncts.push_back(rel::Predicate{4, rel::CmpOp::kGe, qty_ge});
+    program.ops.push_back(f);
+    const uint64_t pid = system.RegisterProgram(program);
+
+    auto off = system.RunOffloaded(tid, pid);
+    auto fetch = system.RunFetchAll(tid, pid);
+    if (!off.ok() || !fetch.ok()) {
+      std::cerr << "query failed: " << off.status() << " / " << fetch.status()
+                << "\n";
+      return 1;
+    }
+    const double sel =
+        double(off->result.num_rows()) / double(table.num_rows());
+    t.AddRow({"qty >= " + std::to_string(qty_ge),
+              TablePrinter::Fmt(100 * sel, 1) + "%",
+              TablePrinter::FmtCount(off->wire_bytes) + " B",
+              TablePrinter::FmtCount(fetch->wire_bytes) + " B",
+              TablePrinter::Fmt(off->seconds * 1e6, 0) + " us",
+              TablePrinter::Fmt(fetch->seconds * 1e6, 0) + " us",
+              TablePrinter::Fmt(fetch->seconds / off->seconds, 1) + "x"});
+  }
+  t.Print(std::cout);
+  std::cout << "\nThe lower the selectivity, the more the offloaded path "
+               "wins: the memory node\nscans at local DRAM bandwidth and "
+               "ships only results, while fetch-all pays the\nfull table "
+               "over the network plus compute-node CPU time.\n";
+  return 0;
+}

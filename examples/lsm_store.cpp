@@ -1,0 +1,59 @@
+// LSM walkthrough (tutorial §1, the X-Engine motivation): a tiered LSM
+// key-value store whose compactions can run on the host CPU or be
+// offloaded to an FPGA merge network. Shows functional equivalence and
+// the sustained-ingest difference.
+
+#include <iostream>
+
+#include "src/common/random.h"
+#include "src/common/table_printer.h"
+#include "src/lsm/lsm_tree.h"
+
+using namespace fpgadp;
+using namespace fpgadp::lsm;
+
+int main() {
+  std::cout << "LSM store demo: 100k random puts + deletes, memtable 512\n\n";
+
+  LsmOptions opts;
+  opts.memtable_limit = 512;
+  TablePrinter t({"engine", "flushes", "compactions", "write amp",
+                  "compaction time", "sustained Mops"});
+  for (CompactionEngine engine :
+       {CompactionEngine::kCpu, CompactionEngine::kFpga}) {
+    opts.engine = engine;
+    LsmTree tree(opts);
+    Rng rng(5);
+    for (int i = 0; i < 100000; ++i) {
+      const uint64_t key = rng.NextBounded(20000);
+      if (i % 10 == 9) {
+        tree.Delete(key);
+      } else {
+        tree.Put(key, uint64_t(i));
+      }
+    }
+    // Point lookups still work through all the levels.
+    int present = 0;
+    for (uint64_t k = 0; k < 1000; ++k) {
+      if (tree.Get(k).has_value()) ++present;
+    }
+    const LsmStats& s = tree.stats();
+    t.AddRow({engine == CompactionEngine::kCpu ? "CPU compaction"
+                                               : "FPGA merge network",
+              std::to_string(s.flushes), std::to_string(s.compactions),
+              TablePrinter::Fmt(s.WriteAmplification(), 1) + "x",
+              TablePrinter::Fmt(s.compaction_seconds * 1e3, 1) + " ms",
+              TablePrinter::Fmt(
+                  s.SustainedPutsPerSec(engine, opts.cost, opts.put_ns) / 1e6,
+                  2)});
+    std::cout << "lookups answered (engine "
+              << (engine == CompactionEngine::kCpu ? "cpu" : "fpga")
+              << "): " << present << "/1000 keys present\n";
+  }
+  std::cout << "\n";
+  t.Print(std::cout);
+  std::cout << "\nSame data structure, same results — but with the merge on "
+               "the FPGA, compaction\nno longer competes with serving, which "
+               "is the X-Engine production story.\n";
+  return 0;
+}

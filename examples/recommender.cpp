@@ -1,0 +1,86 @@
+// MicroRec walkthrough (tutorial Use Case III): recommendation inference on
+// HBM. Builds a production-shaped CTR model, applies the Cartesian-product
+// table combining, places tables across SRAM + 32 HBM channels, and
+// compares simulated accelerator throughput against the CPU baseline.
+
+#include <iostream>
+
+#include "src/common/table_printer.h"
+#include "src/microrec/cartesian.h"
+#include "src/microrec/engine.h"
+#include "src/microrec/model.h"
+
+using namespace fpgadp;
+using namespace fpgadp::microrec;
+
+int main() {
+  RecModel model = MakeTypicalModel(/*num_tables=*/96, /*seed=*/2023,
+                                    /*min_rows=*/50,
+                                    /*max_rows=*/1'000'000, /*dim=*/16);
+  model.hidden_layers = {512, 256, 128};
+  std::cout << "model: " << model.tables.size() << " embedding tables, "
+            << model.EmbeddingBytes() / (1 << 20) << " MiB embeddings, "
+            << model.MlpMacs() << " MACs/inference\n\n";
+
+  const auto device = device::AlveoU280();
+  CpuRecBaseline cpu;
+  const double cpu_ips =
+      1.0 / cpu.SecondsPerInference(model, model.LookupsPerInference());
+
+  TablePrinter t({"engine", "lookups/inf", "HBM look/inf", "SRAM", "latency",
+                  "inferences/s", "vs CPU"});
+  t.AddRow({"CPU baseline", std::to_string(model.LookupsPerInference()), "-",
+            "-",
+            TablePrinter::Fmt(
+                cpu.SecondsPerInference(model, model.LookupsPerInference()) *
+                    1e6,
+                1) + " us",
+            TablePrinter::FmtCount(uint64_t(cpu_ips)), "1.0x"});
+
+  struct Variant {
+    const char* name;
+    CartesianPlan plan;
+    uint32_t channels;  // 0 = all 32
+  };
+  // Cartesian products target the HBM-resident tables (SRAM lookups are
+  // already free); HBM has room for larger product tables.
+  CartesianOptions copts;
+  copts.max_product_rows = 1ull << 21;
+  const uint64_t sram_budget = 256ull << 10;
+  CartesianPlan combined = PlanCartesianHbmAware(model, sram_budget, copts);
+  Variant variants[] = {
+      {"FPGA, no cartesian", PlanWithoutCartesian(model), 0},
+      {"FPGA + cartesian", combined, 0},
+      {"FPGA, no cartesian, 4ch", PlanWithoutCartesian(model), 4},
+      {"FPGA + cartesian, 4ch", combined, 4},
+  };
+  for (auto& v : variants) {
+    MicroRecConfig cfg;
+    cfg.sram_budget_bytes = sram_budget;  // small SRAM: HBM lookups dominate
+    cfg.override_hbm_channels = v.channels;
+    auto engine = MicroRecEngine::Create(&model, v.plan, device, cfg);
+    if (!engine.ok()) {
+      std::cerr << "create failed: " << engine.status() << "\n";
+      return 1;
+    }
+    const size_t batch = 512;
+    auto stats = engine->RunBatch(batch, /*seed=*/99);
+    if (!stats.ok()) {
+      std::cerr << "run failed: " << stats.status() << "\n";
+      return 1;
+    }
+    t.AddRow({v.name, std::to_string(v.plan.LookupsPerInference()),
+              TablePrinter::Fmt(double(stats->hbm_lookups) / batch, 1),
+              std::to_string(engine->layout().sram_groups),
+              TablePrinter::Fmt(stats->latency_us, 1) + " us",
+              TablePrinter::FmtCount(uint64_t(stats->inferences_per_sec)),
+              TablePrinter::Fmt(stats->inferences_per_sec / cpu_ips, 1) +
+                  "x"});
+  }
+  t.Print(std::cout);
+  std::cout << "\nThe accelerator wins on memory-access parallelism: one "
+               "inference's lookups hit\nmany HBM pseudo-channels at once, "
+               "small tables answer from SRAM in a cycle, and\nCartesian "
+               "products cut the number of lookups per inference outright.\n";
+  return 0;
+}

@@ -1,0 +1,221 @@
+#include "src/anns/accel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+#include "src/sim/engine.h"
+#include "src/sim/kernels.h"
+#include "src/sim/var_stage.h"
+
+namespace fpgadp::anns {
+
+namespace {
+
+/// Tokens flowing between the accelerator's pipeline stages.
+struct QueryTok {
+  uint32_t qid = 0;
+};
+struct ProbeTok {
+  uint32_t qid = 0;
+  uint64_t codes = 0;
+};
+struct LutTok {
+  uint32_t qid = 0;
+  uint64_t codes = 0;
+};
+struct ResultTok {
+  uint32_t qid = 0;
+  uint64_t codes = 0;
+};
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+FannsAccelerator::FannsAccelerator(const IvfPqIndex* index,
+                                   const AccelConfig& config)
+    : index_(index), config_(config) {
+  FPGADP_CHECK(index_ != nullptr);
+  FPGADP_CHECK(config_.coarse_lanes > 0 && config_.lut_lanes > 0 &&
+               config_.scan_lanes > 0);
+}
+
+uint64_t FannsAccelerator::StageCosts::Bottleneck() const {
+  return std::max({coarse, lut, scan, topk, rerank});
+}
+
+FannsAccelerator::StageCosts FannsAccelerator::CostModel(
+    const IvfPqIndex::SearchParams& params, double avg_codes) const {
+  const size_t dim = index_->dim();
+  const size_t nlist = index_->nlist();
+  const size_t ksub = index_->pq().ksub();
+  StageCosts c;
+  // Stage 1: nlist x dim MACs across `coarse_lanes`, plus the selection
+  // network drain (~nprobe).
+  c.coarse = CeilDiv(uint64_t(nlist) * dim, config_.coarse_lanes) + params.nprobe;
+  // Stage 2: per probed list, an m x ksub x dsub = ksub x dim MAC LUT.
+  c.lut = CeilDiv(uint64_t(params.nprobe) * ksub * dim, config_.lut_lanes);
+  // Stage 3: one code per cycle per scan lane, capped by the HBM stream.
+  const auto codes = static_cast<uint64_t>(avg_codes);
+  const uint64_t compute = CeilDiv(codes, config_.scan_lanes);
+  const uint64_t memory = static_cast<uint64_t>(
+      std::ceil(double(codes) * double(index_->pq().m()) /
+                config_.hbm_bytes_per_cycle));
+  c.scan = std::max<uint64_t>(1, std::max(compute, memory));
+  // Stage 4: systolic queue ingests at line rate; only the drain shows up.
+  c.topk = params.k + config_.scan_lanes;
+  // Stage 5 (optional): exact refinement fetches rerank*k raw vectors and
+  // re-scores them — memory-bound fetch vs MAC-bound rescoring, whichever
+  // is slower.
+  if (params.rerank > 0) {
+    const uint64_t candidates = uint64_t(params.rerank) * params.k;
+    const uint64_t fetch = static_cast<uint64_t>(
+        std::ceil(double(candidates) * double(dim) * sizeof(float) /
+                  config_.hbm_bytes_per_cycle));
+    const uint64_t compute = CeilDiv(candidates * dim, config_.lut_lanes);
+    c.rerank = std::max(fetch, compute);
+  }
+  return c;
+}
+
+Result<AccelStats> FannsAccelerator::SearchBatch(
+    const std::vector<float>& queries,
+    const IvfPqIndex::SearchParams& params) const {
+  const size_t dim = index_->dim();
+  if (dim == 0 || queries.size() % dim != 0) {
+    return Status::InvalidArgument("queries size not a multiple of dim");
+  }
+  if (params.k == 0) return Status::InvalidArgument("k must be > 0");
+  if (params.rerank > 0 && !index_->has_stored_vectors()) {
+    return Status::FailedPrecondition(
+        "re-ranking requires an index built with store_vectors");
+  }
+  const size_t nq = queries.size() / dim;
+  if (nq == 0) return Status::InvalidArgument("no queries");
+
+  AccelStats stats;
+  stats.results.resize(nq);
+
+  // Pre-compute functional results and per-query work (the simulation
+  // charges the cycles; the math is identical to the CPU path).
+  std::vector<uint64_t> codes_per_query(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    const float* query = queries.data() + q * dim;
+    stats.results[q] = index_->Search(query, params);
+    codes_per_query[q] = index_->CodesScanned(query, params.nprobe);
+    stats.codes_scanned += codes_per_query[q];
+  }
+
+  // Assemble the four-stage pipeline.
+  std::vector<QueryTok> toks(nq);
+  for (size_t q = 0; q < nq; ++q) toks[q].qid = static_cast<uint32_t>(q);
+
+  sim::Stream<QueryTok> s0("q", 4);
+  sim::Stream<ProbeTok> s1("probe", 4);
+  sim::Stream<LutTok> s2("lut", 4);
+  sim::Stream<ResultTok> s3("res", 4);
+
+  const StageCosts unit = CostModel(params, /*avg_codes=*/0);
+  sim::VectorSource<QueryTok> source("queries", toks, &s0);
+  sim::VarStage<QueryTok, ProbeTok> coarse(
+      "coarse", &s0, &s1,
+      [&](const QueryTok& t) {
+        return ProbeTok{t.qid, codes_per_query[t.qid]};
+      },
+      [&](const QueryTok&) { return unit.coarse; });
+  sim::VarStage<ProbeTok, LutTok> lut(
+      "lut", &s1, &s2,
+      [](const ProbeTok& t) { return LutTok{t.qid, t.codes}; },
+      [&](const ProbeTok&) { return unit.lut; });
+  sim::VarStage<LutTok, ResultTok> scan(
+      "scan", &s2, &s3,
+      [](const LutTok& t) { return ResultTok{t.qid, t.codes}; },
+      [&](const LutTok& t) {
+        StageCosts c = CostModel(params, double(t.codes));
+        // The systolic queue and the optional refinement drain in-line.
+        return c.scan + c.topk + c.rerank;
+      });
+  sim::VectorSink<ResultTok> sink("sink", &s3);
+
+  sim::Engine engine(config_.clock_hz);
+  engine.AddModule(&source);
+  engine.AddModule(&coarse);
+  engine.AddModule(&lut);
+  engine.AddModule(&scan);
+  engine.AddModule(&sink);
+  engine.AddStream(&s0);
+  engine.AddStream(&s1);
+  engine.AddStream(&s2);
+  engine.AddStream(&s3);
+
+  auto run = engine.Run(1ull << 40);
+  if (!run.ok()) return run.status();
+  FPGADP_CHECK(sink.collected().size() == nq);
+
+  stats.cycles = run.value();
+  stats.seconds = CyclesToSeconds(stats.cycles, config_.clock_hz);
+  stats.qps = double(nq) / stats.seconds;
+  const double avg_codes = double(stats.codes_scanned) / double(nq);
+  stats.latency_us_per_query =
+      CyclesToSeconds(CostModel(params, avg_codes).Latency(),
+                      config_.clock_hz) * 1e6;
+  stats.coarse_cycles = coarse.busy_cycles();
+  stats.lut_cycles = lut.busy_cycles();
+  stats.scan_cycles = scan.busy_cycles();
+  return stats;
+}
+
+Result<device::Resources> FannsAccelerator::EstimateResources(
+    const device::DeviceSpec& device) const {
+  using hls::KernelProfile;
+  using hls::Pragmas;
+  device::Resources total;
+
+  // Stage 1 & 2: fused multiply-add distance lanes.
+  KernelProfile mac;
+  mac.name = "distance_mac";
+  mac.fp_adds = 2;  // subtract + accumulate
+  mac.fp_mults = 1;
+  {
+    Pragmas p;
+    p.unroll = config_.coarse_lanes;
+    FPGADP_ASSIGN_OR_RETURN(auto rep, hls::Synthesize(mac, p, device));
+    total = total + rep.resources;
+  }
+  {
+    Pragmas p;
+    p.unroll = config_.lut_lanes;
+    FPGADP_ASSIGN_OR_RETURN(auto rep, hls::Synthesize(mac, p, device));
+    total = total + rep.resources;
+  }
+  // Stage 3: per scan lane, m LUT lookups + adds against an on-chip LUT
+  // partitioned for single-cycle access.
+  KernelProfile scan;
+  scan.name = "pq_scan";
+  scan.fp_adds = static_cast<uint32_t>(index_->pq().m());
+  scan.local_bytes = index_->pq().lut_bytes();
+  scan.local_mem_accesses = static_cast<uint32_t>(index_->pq().m());
+  {
+    Pragmas p;
+    p.unroll = config_.scan_lanes;
+    p.array_partition =
+        static_cast<uint32_t>(index_->pq().m()) * config_.scan_lanes;
+    FPGADP_ASSIGN_OR_RETURN(auto rep, hls::Synthesize(scan, p, device));
+    total = total + rep.resources;
+  }
+  // Stage 4: systolic compare-swap cells (sized for k=100 worst case).
+  KernelProfile topk;
+  topk.name = "systolic_topk";
+  topk.comparisons = 100;
+  {
+    Pragmas p;
+    p.unroll = config_.scan_lanes;
+    FPGADP_ASSIGN_OR_RETURN(auto rep, hls::Synthesize(topk, p, device));
+    total = total + rep.resources;
+  }
+  return total;
+}
+
+}  // namespace fpgadp::anns

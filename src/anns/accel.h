@@ -1,0 +1,85 @@
+#ifndef FPGADP_ANNS_ACCEL_H_
+#define FPGADP_ANNS_ACCEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/anns/dataset.h"
+#include "src/anns/ivf.h"
+#include "src/common/result.h"
+#include "src/device/device.h"
+#include "src/hls/estimator.h"
+
+namespace fpgadp::anns {
+
+/// Hardware shape of the FANNS accelerator (Figure 3): how many parallel
+/// units each pipeline stage instantiates. These are the co-design knobs
+/// the tuner explores together with the index parameters.
+struct AccelConfig {
+  double clock_hz = 200e6;
+  uint32_t coarse_lanes = 64;   ///< MACs in the cluster-distance stage.
+  uint32_t lut_lanes = 128;     ///< MACs in the LUT-construction stage
+                                ///< (FANNS replicates this stage heavily —
+                                ///< it would otherwise dominate at high
+                                ///< nprobe).
+  uint32_t scan_lanes = 8;      ///< PQ codes evaluated per cycle.
+  double hbm_bytes_per_cycle = 64;  ///< Code-stream bandwidth cap.
+};
+
+/// Timing breakdown of a batch search on the accelerator.
+struct AccelStats {
+  std::vector<std::vector<Neighbor>> results;  ///< Per query.
+  uint64_t cycles = 0;
+  double seconds = 0;
+  double qps = 0;
+  double latency_us_per_query = 0;  ///< Single-query latency (unpipelined).
+  uint64_t codes_scanned = 0;
+  // Per-stage busy cycles (bottleneck analysis).
+  uint64_t coarse_cycles = 0;
+  uint64_t lut_cycles = 0;
+  uint64_t scan_cycles = 0;
+};
+
+/// Cycle-level model of the FANNS IVF-PQ accelerator. Queries stream
+/// through four stages — cluster select, LUT construction, PQ code scan,
+/// systolic top-K — each a simulated module; different queries occupy
+/// different stages simultaneously, so batch throughput is set by the
+/// slowest stage, exactly as in the real spatial design. Results are
+/// bit-identical to IvfPqIndex::Search.
+class FannsAccelerator {
+ public:
+  /// `index` must outlive the accelerator.
+  FannsAccelerator(const IvfPqIndex* index, const AccelConfig& config);
+
+  /// Runs all queries in `queries` (num_queries x dim, row-major).
+  Result<AccelStats> SearchBatch(const std::vector<float>& queries,
+                                 const IvfPqIndex::SearchParams& params) const;
+
+  /// Analytic per-query stage costs in cycles — the tuner's inner model.
+  struct StageCosts {
+    uint64_t coarse = 0;
+    uint64_t lut = 0;
+    uint64_t scan = 0;
+    uint64_t topk = 0;
+    uint64_t rerank = 0;  ///< Exact-refinement stage (0 when disabled).
+    uint64_t Bottleneck() const;
+    uint64_t Latency() const { return coarse + lut + scan + topk + rerank; }
+  };
+  StageCosts CostModel(const IvfPqIndex::SearchParams& params,
+                       double avg_codes_per_query) const;
+
+  /// Fabric resources the configured design would consume (for the tuner's
+  /// feasibility check), via the HLS estimator.
+  Result<device::Resources> EstimateResources(
+      const device::DeviceSpec& device) const;
+
+  const AccelConfig& config() const { return config_; }
+
+ private:
+  const IvfPqIndex* index_;
+  AccelConfig config_;
+};
+
+}  // namespace fpgadp::anns
+
+#endif  // FPGADP_ANNS_ACCEL_H_

@@ -1,0 +1,52 @@
+#ifndef FPGADP_ANNS_BISKM_H_
+#define FPGADP_ANNS_BISKM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/anns/kmeans.h"
+#include "src/common/result.h"
+
+namespace fpgadp::anns {
+
+/// BiS-KM (FPGA'20, tutorial ref [14]): any-precision K-means. The data is
+/// stored bit-serially so the accelerator can train on the first `bits`
+/// bits of every value — throughput scales with 1/bits because the kernel
+/// is memory-bound, while clustering quality degrades only gradually.
+struct BisKmOptions {
+  size_t k = 16;
+  size_t max_iters = 10;
+  uint32_t bits = 8;  ///< Precision per dimension, in [1, 32].
+  uint64_t seed = 1;
+};
+
+struct BisKmResult {
+  KMeansResult clustering;   ///< Trained on the quantized data.
+  double full_inertia = 0;   ///< The quantized centroids scored on the
+                             ///< original full-precision points.
+  uint32_t bits = 0;
+};
+
+/// Quantizes `points` to a `bits`-bit per-dimension uniform grid
+/// (min/max scaled) and returns the dequantized values — exactly what the
+/// bit-serial memory layout presents to the compute units.
+std::vector<float> QuantizeToBits(const std::vector<float>& points,
+                                  size_t dim, uint32_t bits);
+
+/// Runs Lloyd's on the `bits`-bit view of the data, then scores the
+/// resulting centroids against the original full-precision points (the
+/// quality metric BiS-KM reports). bits == 32 is exact full precision.
+Result<BisKmResult> KMeansAnyPrecision(const std::vector<float>& points,
+                                       size_t dim,
+                                       const BisKmOptions& options);
+
+/// Modeled accelerator throughput in points/second: the distance pipeline
+/// streams `memory_bits_per_cycle` of bit-serial data per cycle, and each
+/// point costs dim x bits bits — BiS-KM's core speed/precision trade.
+double BisKmPointsPerSecond(size_t dim, uint32_t bits,
+                            double memory_bits_per_cycle = 512,
+                            double clock_hz = 200e6);
+
+}  // namespace fpgadp::anns
+
+#endif  // FPGADP_ANNS_BISKM_H_

@@ -1,0 +1,45 @@
+#ifndef FPGADP_ANNS_CPU_COST_H_
+#define FPGADP_ANNS_CPU_COST_H_
+
+#include "src/anns/ivf.h"
+#include "src/device/device.h"
+
+namespace fpgadp::anns {
+
+/// Calibrated analytic model of single-core CPU IVF-PQ search time per
+/// query, so CPU-vs-FPGA comparisons are deterministic on any host:
+///
+///  * coarse scan + LUT build: dense FMA work at `flops_per_ns`
+///    (8 ≈ one AVX2 FMA port sustained),
+///  * code scan: m dependent table lookups per code from an L1/L2-resident
+///    LUT plus heap maintenance, at `ns_per_code_byte`.
+struct CpuSearchModel {
+  double flops_per_ns = 8.0;
+  double ns_per_code_byte = 0.25;  ///< Per byte of PQ code scanned.
+  double heap_ns_per_candidate = 0.5;
+  double vector_fetch_ns = 80;     ///< DRAM miss per re-ranked raw vector.
+
+  /// Seconds per query for the given index/search shape.
+  double SecondsPerQuery(const IvfPqIndex& index,
+                         const IvfPqIndex::SearchParams& params,
+                         double avg_codes_per_query) const {
+    const double dim = static_cast<double>(index.dim());
+    const double coarse_flops = 2.0 * double(index.nlist()) * dim;
+    const double lut_flops =
+        2.0 * double(params.nprobe) * double(index.pq().ksub()) * dim;
+    const double compute_ns = (coarse_flops + lut_flops) / flops_per_ns;
+    const double scan_ns =
+        avg_codes_per_query * double(index.pq().m()) * ns_per_code_byte +
+        avg_codes_per_query * heap_ns_per_candidate;
+    double rerank_ns = 0;
+    if (params.rerank > 0) {
+      const double candidates = double(params.rerank) * double(params.k);
+      rerank_ns = candidates * (vector_fetch_ns + 2.0 * dim / flops_per_ns);
+    }
+    return (compute_ns + scan_ns + rerank_ns) * 1e-9;
+  }
+};
+
+}  // namespace fpgadp::anns
+
+#endif  // FPGADP_ANNS_CPU_COST_H_

@@ -1,0 +1,82 @@
+#include "src/anns/dataset.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace fpgadp::anns {
+
+float SquaredL2(const float* a, const float* b, size_t dim) {
+  float sum = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+std::vector<uint32_t> BruteForceKnn(const Dataset& data, const float* query,
+                                    size_t k) {
+  using Entry = std::pair<float, uint32_t>;  // (distance, id)
+  std::priority_queue<Entry> heap;           // max-heap keeps k smallest
+  const size_t n = data.num_base();
+  for (size_t i = 0; i < n; ++i) {
+    const float d = SquaredL2(data.BaseVector(i), query, data.dim);
+    if (heap.size() < k) {
+      heap.emplace(d, static_cast<uint32_t>(i));
+    } else if (d < heap.top().first) {
+      heap.pop();
+      heap.emplace(d, static_cast<uint32_t>(i));
+    }
+  }
+  std::vector<Entry> sorted;
+  while (!heap.empty()) {
+    sorted.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<uint32_t> ids;
+  ids.reserve(sorted.size());
+  for (const Entry& e : sorted) ids.push_back(e.second);
+  return ids;
+}
+
+Dataset MakeDataset(const DatasetSpec& spec) {
+  FPGADP_CHECK(spec.dim > 0 && spec.num_base > 0);
+  Dataset data;
+  data.dim = spec.dim;
+  // One pool split into base and queries: identical distribution (same
+  // latent clusters) but disjoint vectors.
+  std::vector<float> pool = GenerateClusteredVectors(
+      spec.num_base + spec.num_queries, spec.dim, spec.num_clusters, spec.seed,
+      spec.cluster_stddev);
+  data.base.assign(pool.begin(), pool.begin() + spec.num_base * spec.dim);
+  data.queries.assign(pool.begin() + spec.num_base * spec.dim, pool.end());
+  data.ground_truth.reserve(spec.num_queries);
+  for (size_t q = 0; q < spec.num_queries; ++q) {
+    data.ground_truth.push_back(
+        BruteForceKnn(data, data.QueryVector(q), spec.ground_truth_k));
+  }
+  return data;
+}
+
+double RecallAtK(const std::vector<uint32_t>& result,
+                 const std::vector<uint32_t>& truth, size_t k) {
+  FPGADP_CHECK(k > 0);
+  const size_t kk = std::min(k, truth.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < kk; ++i) {
+    const uint32_t want = truth[i];
+    for (size_t j = 0; j < std::min(k, result.size()); ++j) {
+      if (result[j] == want) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return kk == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(kk);
+}
+
+}  // namespace fpgadp::anns

@@ -1,0 +1,57 @@
+#ifndef FPGADP_ANNS_DATASET_H_
+#define FPGADP_ANNS_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fpgadp::anns {
+
+/// A dense-vector workload: base corpus, query set, and exact ground truth
+/// (computed by brute force) — the synthetic stand-in for SIFT/Deep-style
+/// ANN benchmarks.
+struct Dataset {
+  size_t dim = 0;
+  std::vector<float> base;       ///< num_base x dim, row-major.
+  std::vector<float> queries;    ///< num_queries x dim, row-major.
+  std::vector<std::vector<uint32_t>> ground_truth;  ///< Per query, ids by distance.
+
+  size_t num_base() const { return dim == 0 ? 0 : base.size() / dim; }
+  size_t num_queries() const { return dim == 0 ? 0 : queries.size() / dim; }
+  const float* BaseVector(size_t i) const { return base.data() + i * dim; }
+  const float* QueryVector(size_t i) const { return queries.data() + i * dim; }
+};
+
+/// Squared L2 distance between two `dim`-vectors.
+float SquaredL2(const float* a, const float* b, size_t dim);
+
+/// Exact K nearest base ids for `query` by brute force, closest first.
+std::vector<uint32_t> BruteForceKnn(const Dataset& data, const float* query,
+                                    size_t k);
+
+struct DatasetSpec {
+  size_t num_base = 10000;
+  size_t num_queries = 100;
+  size_t dim = 64;
+  size_t num_clusters = 64;  ///< Latent clusters in the generator.
+  /// Spread of each latent cluster. Small values give well-separated
+  /// clusters (easy for IVF: one probe finds everything); values around
+  /// 0.3 blur neighborhoods across coarse cells, the regime where the
+  /// recall-vs-nprobe trade-off of real corpora appears.
+  float cluster_stddev = 0.15f;
+  size_t ground_truth_k = 10;
+  uint64_t seed = 123;
+};
+
+/// Generates a clustered dataset and its exact ground truth. Deterministic
+/// in `spec.seed`. Queries are drawn from the same distribution as the base.
+Dataset MakeDataset(const DatasetSpec& spec);
+
+/// Recall@K: fraction of the true K nearest that appear in `result`
+/// (averaged over queries by the caller).
+double RecallAtK(const std::vector<uint32_t>& result,
+                 const std::vector<uint32_t>& truth, size_t k);
+
+}  // namespace fpgadp::anns
+
+#endif  // FPGADP_ANNS_DATASET_H_

@@ -1,0 +1,38 @@
+#ifndef FPGADP_ANNS_KMEANS_H_
+#define FPGADP_ANNS_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace fpgadp::anns {
+
+struct KMeansOptions {
+  size_t k = 16;
+  size_t max_iters = 10;
+  uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  std::vector<float> centroids;     ///< k x dim, row-major.
+  std::vector<uint32_t> assignment; ///< Per input point, centroid index.
+  size_t iters_run = 0;
+  double inertia = 0;               ///< Sum of squared distances to centroids.
+};
+
+/// Lloyd's k-means with random-point initialization and empty-cluster
+/// re-seeding (to the farthest point). Deterministic in `options.seed`.
+/// Used for IVF coarse quantizer and PQ sub-quantizer training.
+/// Returns InvalidArgument if there are fewer points than clusters.
+Result<KMeansResult> KMeans(const std::vector<float>& points, size_t dim,
+                            const KMeansOptions& options);
+
+/// Index of the centroid nearest to `v` (squared L2).
+uint32_t NearestCentroid(const std::vector<float>& centroids, size_t dim,
+                         const float* v);
+
+}  // namespace fpgadp::anns
+
+#endif  // FPGADP_ANNS_KMEANS_H_

@@ -1,0 +1,89 @@
+#include "src/anns/pq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/anns/dataset.h"
+#include "src/anns/kmeans.h"
+#include "src/common/check.h"
+
+namespace fpgadp::anns {
+
+Result<ProductQuantizer> ProductQuantizer::Train(
+    const std::vector<float>& vectors, size_t dim, const Options& options) {
+  if (options.m == 0 || dim % options.m != 0) {
+    return Status::InvalidArgument("dim must be divisible by m");
+  }
+  if (options.ksub == 0 || options.ksub > 256) {
+    return Status::InvalidArgument("ksub must be in [1, 256]");
+  }
+  const size_t n = dim == 0 ? 0 : vectors.size() / dim;
+  if (n < options.ksub) {
+    return Status::InvalidArgument("need at least ksub training vectors");
+  }
+
+  ProductQuantizer pq(dim, options.m, options.ksub);
+  const size_t dsub = pq.dsub();
+  pq.centroids_.resize(options.m * options.ksub * dsub);
+
+  std::vector<float> sub(n * dsub);
+  for (size_t j = 0; j < options.m; ++j) {
+    // Slice out the j-th sub-vector of every training point.
+    for (size_t i = 0; i < n; ++i) {
+      const float* src = vectors.data() + i * dim + j * dsub;
+      std::copy_n(src, dsub, sub.data() + i * dsub);
+    }
+    KMeansOptions km;
+    km.k = options.ksub;
+    km.max_iters = options.train_iters;
+    km.seed = options.seed + j;
+    auto res = KMeans(sub, dsub, km);
+    if (!res.ok()) return res.status();
+    std::copy(res->centroids.begin(), res->centroids.end(),
+              pq.centroids_.begin() + j * options.ksub * dsub);
+  }
+  return pq;
+}
+
+std::vector<uint8_t> ProductQuantizer::Encode(const float* v) const {
+  std::vector<uint8_t> codes(m_);
+  const size_t dsub = this->dsub();
+  for (size_t j = 0; j < m_; ++j) {
+    const float* subspace = centroids_.data() + j * ksub_ * dsub;
+    uint32_t best = 0;
+    float best_d = std::numeric_limits<float>::infinity();
+    for (size_t c = 0; c < ksub_; ++c) {
+      const float d = SquaredL2(subspace + c * dsub, v + j * dsub, dsub);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<uint32_t>(c);
+      }
+    }
+    codes[j] = static_cast<uint8_t>(best);
+  }
+  return codes;
+}
+
+std::vector<float> ProductQuantizer::Decode(const uint8_t* codes) const {
+  std::vector<float> v(dim_);
+  const size_t dsub = this->dsub();
+  for (size_t j = 0; j < m_; ++j) {
+    const float* c = centroids_.data() + (j * ksub_ + codes[j]) * dsub;
+    std::copy_n(c, dsub, v.data() + j * dsub);
+  }
+  return v;
+}
+
+std::vector<float> ProductQuantizer::BuildLut(const float* query) const {
+  std::vector<float> lut(m_ * ksub_);
+  const size_t dsub = this->dsub();
+  for (size_t j = 0; j < m_; ++j) {
+    const float* subspace = centroids_.data() + j * ksub_ * dsub;
+    for (size_t c = 0; c < ksub_; ++c) {
+      lut[j * ksub_ + c] = SquaredL2(subspace + c * dsub, query + j * dsub, dsub);
+    }
+  }
+  return lut;
+}
+
+}  // namespace fpgadp::anns

@@ -1,0 +1,115 @@
+#ifndef FPGADP_ANNS_TOPK_H_
+#define FPGADP_ANNS_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/anns/ivf.h"
+#include "src/common/check.h"
+
+namespace fpgadp::anns {
+
+/// Systolic priority queue: K compare-swap cells in a line, one candidate
+/// accepted per cycle regardless of K — the K-selection design FANNS uses
+/// so top-K never becomes the pipeline bottleneck. Functionally it keeps
+/// the K smallest distances seen; in hardware every Insert is one cycle
+/// (II=1), so `inserts()` is also the cycle count of the selection stage.
+class SystolicTopK {
+ public:
+  explicit SystolicTopK(size_t k) : k_(k) {
+    FPGADP_CHECK(k > 0);
+    cells_.reserve(k);
+  }
+
+  /// Offers a candidate; the array keeps it iff it beats the current max.
+  /// Models one systolic step (II=1 in hardware; the shift itself pipelines
+  /// through the cell line).
+  void Insert(float distance, uint32_t id) {
+    ++inserts_;
+    if (cells_.size() < k_) {
+      cells_.push_back({id, distance});
+      // Bubble the new entry into place (the hardware shift).
+      for (size_t i = cells_.size() - 1; i > 0; --i) {
+        if (cells_[i - 1].distance <= cells_[i].distance) break;
+        std::swap(cells_[i - 1], cells_[i]);
+      }
+      return;
+    }
+    if (distance >= cells_.back().distance) return;
+    cells_.back() = {id, distance};
+    for (size_t i = cells_.size() - 1; i > 0; --i) {
+      if (cells_[i - 1].distance <= cells_[i].distance) break;
+      std::swap(cells_[i - 1], cells_[i]);
+    }
+  }
+
+  /// Contents, closest first.
+  const std::vector<Neighbor>& Results() const { return cells_; }
+
+  /// Candidates offered so far == hardware cycles spent.
+  uint64_t inserts() const { return inserts_; }
+  size_t k() const { return k_; }
+
+  /// Hardware drain latency: results exit the cell line in k cycles.
+  uint64_t DrainCycles() const { return k_; }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> cells_;  // sorted ascending by distance
+  uint64_t inserts_ = 0;
+};
+
+/// Software binary-heap top-K baseline with an operation counter that
+/// models the CPU cost: every candidate costs one compare; candidates that
+/// displace the current max additionally pay a log2(K) sift.
+class HeapTopK {
+ public:
+  explicit HeapTopK(size_t k) : k_(k) { FPGADP_CHECK(k > 0); }
+
+  void Insert(float distance, uint32_t id) {
+    ++compares_;
+    if (heap_.size() < k_) {
+      heap_.emplace(distance, id);
+      compares_ += Log2K();
+      return;
+    }
+    if (distance < heap_.top().first) {
+      heap_.pop();
+      heap_.emplace(distance, id);
+      compares_ += 2 * Log2K();
+    }
+  }
+
+  /// Contents, closest first.
+  std::vector<Neighbor> Results() const {
+    auto copy = heap_;
+    std::vector<Neighbor> out;
+    while (!copy.empty()) {
+      out.push_back({copy.top().second, copy.top().first});
+      copy.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  /// Comparison operations executed (the CPU cost measure).
+  uint64_t compares() const { return compares_; }
+
+ private:
+  uint64_t Log2K() const {
+    uint64_t l = 0;
+    for (size_t v = k_; v > 1; v >>= 1) ++l;
+    return l;
+  }
+
+  size_t k_;
+  std::priority_queue<std::pair<float, uint32_t>> heap_;
+  uint64_t compares_ = 0;
+};
+
+}  // namespace fpgadp::anns
+
+#endif  // FPGADP_ANNS_TOPK_H_

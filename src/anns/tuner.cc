@@ -1,0 +1,93 @@
+#include "src/anns/tuner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace fpgadp::anns {
+
+std::string DesignPoint::ToString() const {
+  std::ostringstream os;
+  os << "nlist=" << nlist << " m=" << m << " nprobe=" << nprobe
+     << " lanes=" << scan_lanes << " recall=" << recall << " qps=" << qps
+     << (fits ? "" : " (infeasible)");
+  return os.str();
+}
+
+Result<TunerResult> ExploreDesignSpace(const TunerRequest& request) {
+  if (request.data == nullptr) {
+    return Status::InvalidArgument("tuner needs a dataset");
+  }
+  const Dataset& data = *request.data;
+  if (data.num_queries() == 0 || data.ground_truth.empty()) {
+    return Status::InvalidArgument("dataset must carry queries+ground truth");
+  }
+
+  TunerResult result;
+  for (size_t nlist : request.nlist_choices) {
+    for (size_t m : request.m_choices) {
+      if (data.dim % m != 0) continue;
+      IvfPqIndex::Options opts;
+      opts.nlist = nlist;
+      opts.pq.m = m;
+      opts.pq.ksub = request.ksub;
+      opts.pq.train_iters = request.pq_train_iters;
+      opts.seed = request.seed;
+      auto index_r = IvfPqIndex::Build(data.base, data.dim, opts);
+      if (!index_r.ok()) continue;  // e.g. nlist > corpus
+      const IvfPqIndex& index = index_r.value();
+
+      // Sweep nprobe (doubling) and record recall + work for each.
+      for (size_t nprobe = 1; nprobe <= nlist; nprobe *= 2) {
+        IvfPqIndex::SearchParams params;
+        params.nprobe = nprobe;
+        params.k = request.k;
+        double recall_sum = 0;
+        uint64_t codes_sum = 0;
+        for (size_t q = 0; q < data.num_queries(); ++q) {
+          const float* query = data.QueryVector(q);
+          const auto found = index.Search(query, params);
+          std::vector<uint32_t> ids;
+          ids.reserve(found.size());
+          for (const Neighbor& nb : found) ids.push_back(nb.id);
+          recall_sum += RecallAtK(ids, data.ground_truth[q], request.k);
+          codes_sum += index.CodesScanned(query, nprobe);
+        }
+        const double recall = recall_sum / double(data.num_queries());
+        const double avg_codes = double(codes_sum) / double(data.num_queries());
+
+        for (uint32_t lanes : request.scan_lane_choices) {
+          AccelConfig accel = request.base_accel;
+          accel.scan_lanes = lanes;
+          FannsAccelerator hw(&index, accel);
+          const auto costs = hw.CostModel(params, avg_codes);
+          auto res = hw.EstimateResources(request.device);
+          if (!res.ok()) return res.status();
+
+          DesignPoint p;
+          p.nlist = nlist;
+          p.m = m;
+          p.nprobe = nprobe;
+          p.scan_lanes = lanes;
+          p.recall = recall;
+          p.avg_codes = avg_codes;
+          p.fits = request.device.resources.Fits(res.value());
+          p.qps = accel.clock_hz / double(costs.Bottleneck());
+          p.latency_us = double(costs.Latency()) / accel.clock_hz * 1e6;
+          result.explored.push_back(p);
+
+          if (p.fits && p.recall >= request.recall_target &&
+              (!result.found || p.qps > result.best.qps)) {
+            result.best = p;
+            result.found = true;
+          }
+        }
+        if (recall >= 0.999) break;  // more probes cannot help
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fpgadp::anns

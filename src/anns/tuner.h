@@ -1,0 +1,65 @@
+#ifndef FPGADP_ANNS_TUNER_H_
+#define FPGADP_ANNS_TUNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/anns/accel.h"
+#include "src/anns/dataset.h"
+#include "src/anns/ivf.h"
+#include "src/common/result.h"
+#include "src/device/device.h"
+
+namespace fpgadp::anns {
+
+/// One explored design point: index parameters + hardware shape, with its
+/// measured recall and modeled throughput.
+struct DesignPoint {
+  size_t nlist = 0;
+  size_t m = 0;
+  size_t nprobe = 0;
+  uint32_t scan_lanes = 0;
+  double recall = 0;
+  double qps = 0;
+  double latency_us = 0;
+  bool fits = false;
+  double avg_codes = 0;
+
+  std::string ToString() const;
+};
+
+/// The hardware/algorithm co-design search of FANNS: because the optimal
+/// (nlist, nprobe, m, #lanes) combination shifts with the recall target,
+/// no single accelerator design wins everywhere — the tuner finds the best
+/// feasible point per target.
+struct TunerRequest {
+  const Dataset* data = nullptr;
+  size_t k = 10;
+  double recall_target = 0.9;
+  std::vector<size_t> nlist_choices = {16, 64, 256};
+  std::vector<size_t> m_choices = {4, 8};
+  std::vector<uint32_t> scan_lane_choices = {4, 8, 16, 32};
+  size_t ksub = 256;
+  size_t pq_train_iters = 6;
+  uint64_t seed = 9;
+  device::DeviceSpec device;
+  AccelConfig base_accel;  ///< scan_lanes overwritten per candidate.
+};
+
+struct TunerResult {
+  std::vector<DesignPoint> explored;  ///< All points (feasible or not).
+  DesignPoint best;                   ///< Highest-QPS feasible point.
+  bool found = false;
+};
+
+/// Explores the cross-product of index and hardware parameters. For each
+/// (nlist, m): builds the index, measures recall@k per nprobe (doubling
+/// sweep), then for each hardware shape computes modeled QPS and checks
+/// the design fits the device. O(#nlist x #m) index builds — size the
+/// dataset accordingly.
+Result<TunerResult> ExploreDesignSpace(const TunerRequest& request);
+
+}  // namespace fpgadp::anns
+
+#endif  // FPGADP_ANNS_TUNER_H_

@@ -1,0 +1,32 @@
+#ifndef FPGADP_COMMON_CHECK_H_
+#define FPGADP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fpgadp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "FPGADP_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fpgadp::internal
+
+/// Aborts on programmer error. Use for invariants that indicate a bug in the
+/// library or its caller, never for recoverable conditions (those return
+/// Status). Enabled in all build types.
+#define FPGADP_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::fpgadp::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (false)
+
+#define FPGADP_CHECK_OK(expr)                                                \
+  do {                                                                       \
+    ::fpgadp::Status _st = (expr);                                           \
+    if (!_st.ok())                                                           \
+      ::fpgadp::internal::CheckFailed(__FILE__, __LINE__, _st.ToString().c_str()); \
+  } while (false)
+
+#endif  // FPGADP_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#ifndef FPGADP_COMMON_LOGGING_H_
+#define FPGADP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fpgadp {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum severity; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Use via FPGADP_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fpgadp
+
+/// Usage: FPGADP_LOG(kInfo) << "built index with " << n << " vectors";
+#define FPGADP_LOG(severity)                              \
+  ::fpgadp::internal::LogMessage(                         \
+      ::fpgadp::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // FPGADP_COMMON_LOGGING_H_

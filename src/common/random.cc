@@ -1,0 +1,114 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace fpgadp {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  FPGADP_CHECK(bound > 0);
+  // Lemire's multiply-shift rejection-free approximation is fine for
+  // simulation workloads; bias is < 2^-32 for bounds below 2^32.
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  have_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  FPGADP_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  FPGADP_CHECK(n > 0);
+  FPGADP_CHECK(theta >= 0.0 && theta < 1.0);
+  zetan_ = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) zetan_ += 1.0 / std::pow(double(i), theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  double zeta2 = 1.0 + std::pow(0.5, theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+std::vector<float> GenerateClusteredVectors(size_t count, size_t dim,
+                                            size_t num_clusters, uint64_t seed,
+                                            float cluster_stddev) {
+  FPGADP_CHECK(num_clusters > 0);
+  Rng rng(seed);
+  // Cluster centers uniform in [0, 1)^dim.
+  std::vector<float> centers(num_clusters * dim);
+  for (auto& c : centers) c = static_cast<float>(rng.NextDouble());
+  std::vector<float> data(count * dim);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t c = rng.NextBounded(num_clusters);
+    for (size_t d = 0; d < dim; ++d) {
+      data[i * dim + d] =
+          centers[c * dim + d] +
+          cluster_stddev * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return data;
+}
+
+}  // namespace fpgadp

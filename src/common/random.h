@@ -1,0 +1,69 @@
+#ifndef FPGADP_COMMON_RANDOM_H_
+#define FPGADP_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fpgadp {
+
+/// Deterministic, fast PRNG (xoshiro256**). All workload generators in the
+/// library take an explicit seed so every experiment is reproducible.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal sequences on all platforms.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t s_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Samples from a Zipf(n, theta) distribution over {0, ..., n-1} using the
+/// standard rejection-inversion-free incremental method (Gray et al.).
+/// theta = 0 is uniform; theta ~ 0.99 matches typical cache/embedding skew.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// Next sample in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+/// Generates `count` vectors of dimension `dim` drawn from a mixture of
+/// `num_clusters` Gaussians — the standard stand-in for SIFT-like ANN corpora.
+/// Returns row-major data of size count*dim.
+std::vector<float> GenerateClusteredVectors(size_t count, size_t dim,
+                                            size_t num_clusters, uint64_t seed,
+                                            float cluster_stddev = 0.15f);
+
+}  // namespace fpgadp
+
+#endif  // FPGADP_COMMON_RANDOM_H_

@@ -1,0 +1,80 @@
+#ifndef FPGADP_COMMON_RESULT_H_
+#define FPGADP_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/status.h"
+
+namespace fpgadp {
+
+/// Either a value of type T or an error Status. Modeled after arrow::Result.
+///
+/// Usage:
+///   Result<Index> r = Index::Build(params);
+///   if (!r.ok()) return r.status();
+///   Index index = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FPGADP_CHECK(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (OK if a value is present).
+  const Status& status() const { return status_; }
+
+  /// The held value; the Result must be ok().
+  const T& value() const& {
+    FPGADP_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    FPGADP_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    FPGADP_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating errors; on success assigns the
+/// value to `lhs`. Mirrors ARROW_ASSIGN_OR_RAISE.
+#define FPGADP_ASSIGN_OR_RETURN(lhs, expr)            \
+  FPGADP_ASSIGN_OR_RETURN_IMPL(                       \
+      FPGADP_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define FPGADP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define FPGADP_CONCAT_(a, b) FPGADP_CONCAT_IMPL_(a, b)
+#define FPGADP_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace fpgadp
+
+#endif  // FPGADP_COMMON_RESULT_H_

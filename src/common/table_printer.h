@@ -1,0 +1,45 @@
+#ifndef FPGADP_COMMON_TABLE_PRINTER_H_
+#define FPGADP_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpgadp {
+
+/// Prints aligned plain-text result tables, the output format of every bench
+/// binary (mirrors the rows a paper table would report).
+///
+///   TablePrinter t({"selectivity", "CPU (ms)", "FPGA (ms)", "speedup"});
+///   t.AddRow({"0.01", "12.3", "0.9", "13.7x"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table as CSV (for downstream plotting).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant decimal places.
+  static std::string Fmt(double v, int digits = 2);
+  /// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+  static std::string FmtCount(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fpgadp
+
+#endif  // FPGADP_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,43 @@
+#ifndef FPGADP_COMMON_UNITS_H_
+#define FPGADP_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace fpgadp {
+
+/// Byte-size literals.
+constexpr uint64_t kKiB = 1024ull;
+constexpr uint64_t kMiB = 1024ull * kKiB;
+constexpr uint64_t kGiB = 1024ull * kMiB;
+
+/// Decimal rate units (networking and memory vendors quote decimal).
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+constexpr double kMHz = 1e6;
+constexpr double kGHz = 1e9;
+
+constexpr double kGbps = 1e9;  // bits per second
+
+/// Converts a link rate in bits/s and a clock in Hz into the whole number of
+/// bytes the link can move per clock cycle (floor).
+constexpr uint32_t BytesPerCycle(double bits_per_second, double clock_hz) {
+  return static_cast<uint32_t>(bits_per_second / 8.0 / clock_hz);
+}
+
+/// Converts a cycle count at `clock_hz` into seconds.
+constexpr double CyclesToSeconds(uint64_t cycles, double clock_hz) {
+  return static_cast<double>(cycles) / clock_hz;
+}
+
+/// Converts nanoseconds into (rounded-up) cycles at `clock_hz`.
+constexpr uint64_t NanosToCycles(double nanos, double clock_hz) {
+  const double cycles = nanos * 1e-9 * clock_hz;
+  const auto floor = static_cast<uint64_t>(cycles);
+  return (cycles > static_cast<double>(floor)) ? floor + 1 : floor;
+}
+
+}  // namespace fpgadp
+
+#endif  // FPGADP_COMMON_UNITS_H_

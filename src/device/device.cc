@@ -1,0 +1,60 @@
+#include "src/device/device.h"
+
+#include <algorithm>
+
+namespace fpgadp::device {
+
+double Resources::UtilizationOf(const Resources& need) const {
+  auto ratio = [](uint64_t n, uint64_t have) {
+    if (have == 0) return n == 0 ? 0.0 : 1e9;
+    return static_cast<double>(n) / static_cast<double>(have);
+  };
+  double u = ratio(need.luts, luts);
+  u = std::max(u, ratio(need.ffs, ffs));
+  u = std::max(u, ratio(need.bram36, bram36));
+  u = std::max(u, ratio(need.uram, uram));
+  u = std::max(u, ratio(need.dsps, dsps));
+  return u;
+}
+
+DeviceSpec AlveoU250() {
+  DeviceSpec d;
+  d.name = "Alveo U250";
+  d.resources = {/*luts=*/1728000, /*ffs=*/3456000, /*bram36=*/2688,
+                 /*uram=*/1280, /*dsps=*/12288};
+  d.memory.ddr_channels = 4;
+  d.memory.ddr_bytes_per_sec = 19.2e9;
+  d.memory.ddr_latency_ns = 90;
+  d.memory.ddr_capacity_bytes = 64ull * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceSpec AlveoU280() {
+  DeviceSpec d;
+  d.name = "Alveo U280";
+  d.resources = {/*luts=*/1304000, /*ffs=*/2607000, /*bram36=*/2016,
+                 /*uram=*/960, /*dsps=*/9024};
+  d.memory.ddr_channels = 2;
+  d.memory.ddr_bytes_per_sec = 19.2e9;
+  d.memory.ddr_latency_ns = 90;
+  d.memory.ddr_capacity_bytes = 32ull * 1024 * 1024 * 1024;
+  d.memory.hbm_channels = 32;
+  d.memory.hbm_bytes_per_sec = 14.4e9;
+  d.memory.hbm_latency_ns = 110;
+  d.memory.hbm_capacity_bytes = 8ull * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceSpec AlveoU55C() {
+  DeviceSpec d;
+  d.name = "Alveo U55C";
+  d.resources = {/*luts=*/1304000, /*ffs=*/2607000, /*bram36=*/2016,
+                 /*uram=*/960, /*dsps=*/9024};
+  d.memory.hbm_channels = 32;
+  d.memory.hbm_bytes_per_sec = 14.4e9;
+  d.memory.hbm_latency_ns = 110;
+  d.memory.hbm_capacity_bytes = 16ull * 1024 * 1024 * 1024;
+  return d;
+}
+
+}  // namespace fpgadp::device

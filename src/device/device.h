@@ -1,0 +1,97 @@
+#ifndef FPGADP_DEVICE_DEVICE_H_
+#define FPGADP_DEVICE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fpgadp::device {
+
+/// Programmable-fabric resource vector. Counts follow AMD/Xilinx UltraScale+
+/// datasheet conventions (BRAM = 36 Kb blocks, URAM = 288 Kb blocks).
+struct Resources {
+  uint64_t luts = 0;
+  uint64_t ffs = 0;
+  uint64_t bram36 = 0;
+  uint64_t uram = 0;
+  uint64_t dsps = 0;
+
+  /// Component-wise sum.
+  Resources operator+(const Resources& o) const {
+    return {luts + o.luts, ffs + o.ffs, bram36 + o.bram36, uram + o.uram,
+            dsps + o.dsps};
+  }
+
+  /// True iff every component of `need` fits within this budget.
+  bool Fits(const Resources& need) const {
+    return need.luts <= luts && need.ffs <= ffs && need.bram36 <= bram36 &&
+           need.uram <= uram && need.dsps <= dsps;
+  }
+
+  /// Largest single-component utilization of `need` against this budget,
+  /// in [0, inf); > 1 means over-subscribed.
+  double UtilizationOf(const Resources& need) const;
+};
+
+/// Off-chip memory system attached to a device.
+struct MemorySystem {
+  uint32_t ddr_channels = 0;
+  double ddr_bytes_per_sec = 0;      // per channel
+  double ddr_latency_ns = 0;
+  uint32_t hbm_channels = 0;         // HBM2 pseudo-channels
+  double hbm_bytes_per_sec = 0;      // per pseudo-channel
+  double hbm_latency_ns = 0;
+  uint64_t hbm_capacity_bytes = 0;
+  uint64_t ddr_capacity_bytes = 0;
+};
+
+/// A board in the catalog: the Alveo cards the tutorial's use cases target,
+/// with published datasheet characteristics.
+struct DeviceSpec {
+  std::string name;
+  Resources resources;
+  MemorySystem memory;
+  double default_clock_hz = 200e6;  // typical Vitis HLS timing closure
+  double max_clock_hz = 300e6;
+  double network_bits_per_sec = 100e9;  // QSFP28 cage(s)
+  double pcie_bytes_per_sec = 16e9;     // Gen3 x16 effective
+  uint64_t sram_bytes() const {
+    // On-chip storage: BRAM (36 Kb) + URAM (288 Kb), in bytes.
+    return resources.bram36 * (36ull * 1024 / 8) +
+           resources.uram * (288ull * 1024 / 8);
+  }
+};
+
+/// Alveo U250: big fabric, 4x DDR4 channels, no HBM.
+DeviceSpec AlveoU250();
+
+/// Alveo U280: 2x DDR4 + 8 GB HBM2 in 32 pseudo-channels.
+DeviceSpec AlveoU280();
+
+/// Alveo U55C: HBM-only board (16 GB HBM2, 32 pseudo-channels), the HACC
+/// cluster workhorse.
+DeviceSpec AlveoU55C();
+
+/// Calibrated analytic model of the host CPU used for deterministic
+/// baselines: a server-class x86 socket.
+struct CpuModel {
+  std::string name = "cpu-server";
+  uint32_t cores = 16;
+  double clock_hz = 2.6e9;
+  double mem_stream_bytes_per_sec = 25e9;  // single-core streaming
+  double mem_random_latency_ns = 80;       // DRAM random access
+  double l2_hit_latency_ns = 4;
+  uint64_t llc_bytes = 32ull * 1024 * 1024;
+
+  /// Seconds to stream `bytes` through one core.
+  double StreamSeconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / mem_stream_bytes_per_sec;
+  }
+  /// Seconds for `count` dependent random accesses (pointer-chase model).
+  double RandomAccessSeconds(uint64_t count) const {
+    return static_cast<double>(count) * mem_random_latency_ns * 1e-9;
+  }
+};
+
+}  // namespace fpgadp::device
+
+#endif  // FPGADP_DEVICE_DEVICE_H_

@@ -1,0 +1,398 @@
+#include "src/farview/farview.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+#include "src/relational/compression.h"
+
+namespace fpgadp::farview {
+
+namespace {
+mem::MemoryChannel::Config DdrConfig(const FarviewConfig& c) {
+  mem::MemoryChannel::Config cfg;
+  cfg.latency_ns = c.ddr_latency_ns;
+  cfg.bytes_per_sec = c.ddr_bytes_per_sec;
+  cfg.clock_hz = c.clock_hz;
+  cfg.access_granularity = 64;
+  return cfg;
+}
+
+/// Calibrated per-tuple CPU cost of predicate/aggregate evaluation on the
+/// compute node (branchy scalar code), on top of the streaming bandwidth.
+constexpr double kCpuPerTupleNs = 1.0;
+}  // namespace
+
+MemoryNode::MemoryNode(std::string name, uint32_t node_id, net::Fabric* fabric,
+                       const FarviewConfig& config)
+    : sim::Module(std::move(name)), config_(config),
+      endpoint_(this->name() + ".ep", node_id, fabric),
+      dram_(this->name() + ".dram", config.ddr_channels, DdrConfig(config)) {}
+
+uint64_t MemoryNode::StoreTable(rel::Table table, uint64_t stored_bytes,
+                                bool compressed) {
+  const uint64_t id = tables_.size();
+  table_addr_[id] = next_addr_;
+  next_addr_ += (stored_bytes + config_.page_bytes - 1) / config_.page_bytes *
+                config_.page_bytes;
+  tables_.emplace(id, StoredTable{std::move(table), stored_bytes, compressed});
+  return id;
+}
+
+uint64_t MemoryNode::LoadTable(rel::Table table) {
+  const uint64_t bytes = table.total_bytes();
+  return StoreTable(std::move(table), bytes, /*compressed=*/false);
+}
+
+uint64_t MemoryNode::LoadTableCompressed(rel::Table table) {
+  const std::vector<uint8_t> raw = rel::SerializeRows(table);
+  const uint64_t compressed_bytes = rel::LzCompress(raw).size();
+  return StoreTable(std::move(table), compressed_bytes, /*compressed=*/true);
+}
+
+void MemoryNode::RegisterProgram(uint64_t program_id, rel::Program program) {
+  programs_[program_id] = std::move(program);
+}
+
+void MemoryNode::RegisterWith(sim::Engine& engine) {
+  engine.AddModule(this);
+  engine.AddModule(&endpoint_);
+  dram_.RegisterWith(engine);
+}
+
+void MemoryNode::StartJob(const Job& job) {
+  current_ = job;
+  job_active_ = true;
+  const StoredTable& st = tables_.at(job.table_id);
+  const rel::Table& t = st.table;
+  row_bytes_ = t.schema().row_bytes();
+  tuples_total_ = t.num_rows();
+  tuples_arrived_ = 0;
+  tuples_processed_ = 0;
+  // The scan touches the *stored* image: compressed tables read fewer
+  // pages and the line-rate decompressor re-inflates the tuple stream.
+  scan_bytes_ = st.stored_bytes;
+  pages_total_ = (scan_bytes_ + config_.page_bytes - 1) / config_.page_bytes;
+  pages_issued_ = 0;
+  pages_arrived_ = 0;
+  // Materialize the surviving tuples up front (functional); the simulation
+  // streams their bytes out in proportion to scan progress, which is what
+  // the line-rate pipeline does on hardware.
+  const rel::Program& prog = programs_.at(job.program_id);
+  auto result = rel::ExecuteCpu(prog, t);
+  FPGADP_CHECK(result.ok());
+  pending_result_ = std::move(result).value();
+  result_bytes_ = pending_result_.total_bytes();
+  result_sent_ = 0;
+}
+
+void MemoryNode::Tick(sim::Cycle) {
+  bool progressed = false;
+  // Accept offload requests.
+  net::Packet req;
+  while (endpoint_.PollRecv(&req)) {
+    if (req.kind == net::OpKind::kOffloadReq) {
+      jobs_.push_back(Job{req.src, req.tag, req.addr, req.user});
+      progressed = true;
+    }
+  }
+  if (!job_active_ && !jobs_.empty()) {
+    StartJob(jobs_.front());
+    jobs_.pop_front();
+    progressed = true;
+  }
+  if (!job_active_) return;
+
+  // Issue page scans round-robin over the DRAM channels.
+  const uint64_t base = table_addr_.at(current_.table_id);
+  while (pages_issued_ < pages_total_) {
+    const uint32_t ch =
+        static_cast<uint32_t>(pages_issued_ % dram_.num_channels());
+    if (!dram_.request(ch).CanWrite()) break;
+    dram_.request(ch).Write(
+        {pages_issued_, base + pages_issued_ * config_.page_bytes,
+         config_.page_bytes, false});
+    ++pages_issued_;
+    progressed = true;
+  }
+  // Collect arrived pages.
+  for (uint32_t ch = 0; ch < dram_.num_channels(); ++ch) {
+    while (dram_.response(ch).CanRead()) {
+      (void)dram_.response(ch).Read();
+      ++pages_arrived_;
+      progressed = true;
+    }
+  }
+  // Tuples become available in proportion to the scanned fraction of the
+  // stored image (exact for raw storage, amortized for compressed).
+  const uint64_t arrived_bytes = pages_arrived_ * config_.page_bytes;
+  tuples_arrived_ = std::min<uint64_t>(
+      tuples_total_,
+      scan_bytes_ == 0
+          ? tuples_total_
+          : static_cast<uint64_t>(double(tuples_total_) *
+                                  double(arrived_bytes) / double(scan_bytes_)));
+
+  // Stream arrived tuples through the operator pipeline at line rate.
+  if (tuples_processed_ < tuples_arrived_) {
+    tuples_processed_ = std::min<uint64_t>(
+        tuples_arrived_, tuples_processed_ + config_.pipeline_lanes);
+    progressed = true;
+  }
+
+  // Stream surviving bytes back in chunks proportional to scan progress —
+  // the pipeline's output port runs concurrently with the scan, so network
+  // serialization overlaps DRAM time. (Aggregates produce ~all of their
+  // tiny output at end-of-stream; proportionality handles both shapes.)
+  const bool done =
+      tuples_processed_ == tuples_total_ && pages_arrived_ == pages_total_;
+  const uint64_t target =
+      done ? result_bytes_
+           : (tuples_total_ == 0
+                  ? result_bytes_
+                  : result_bytes_ * tuples_processed_ / tuples_total_);
+  while (result_sent_ < target ||
+         (done && result_sent_ == result_bytes_ && job_active_)) {
+    net::Packet resp;
+    resp.dst = current_.requester;
+    resp.kind = net::OpKind::kOffloadResp;
+    resp.tag = current_.tag;
+    resp.bytes = std::min<uint64_t>(config_.result_chunk_bytes,
+                                    target - result_sent_);
+    result_sent_ += resp.bytes;
+    const bool last = done && result_sent_ == result_bytes_;
+    resp.user = last ? 1 : 0;
+    endpoint_.PostPacket(resp);
+    progressed = true;
+    if (last) {
+      results_.emplace(current_.tag, std::move(pending_result_));
+      pending_result_ = rel::Table();
+      job_active_ = false;
+      break;
+    }
+  }
+  if (progressed) MarkBusy();
+}
+
+namespace {
+std::vector<std::unique_ptr<net::RdmaEndpoint>> MakeClients(
+    uint32_t num_clients, net::Fabric* fabric) {
+  FPGADP_CHECK(num_clients >= 1);
+  std::vector<std::unique_ptr<net::RdmaEndpoint>> clients;
+  for (uint32_t c = 0; c < num_clients; ++c) {
+    clients.push_back(std::make_unique<net::RdmaEndpoint>(
+        "client" + std::to_string(c) + ".ep", c, fabric));
+  }
+  return clients;
+}
+}  // namespace
+
+FarviewSystem::FarviewSystem(const FarviewConfig& config, uint32_t num_clients)
+    : config_(config), engine_(config.clock_hz),
+      fabric_("fabric", num_clients + 1,
+              [&] {
+                net::Fabric::Config f = config.fabric;
+                f.clock_hz = config.clock_hz;
+                return f;
+              }()),
+      clients_(MakeClients(num_clients, &fabric_)), client_(*clients_[0]) {
+  node_ = std::make_unique<MemoryNode>("memnode", num_clients, &fabric_,
+                                       config_);
+  fabric_.RegisterWith(engine_);
+  for (auto& c : clients_) engine_.AddModule(c.get());
+  node_->RegisterWith(engine_);
+}
+
+Result<std::vector<QueryStats>> FarviewSystem::RunOffloadedConcurrently(
+    const std::vector<ConcurrentRequest>& requests, double* makespan_seconds) {
+  if (requests.empty()) {
+    return Status::InvalidArgument("no requests");
+  }
+  struct InFlight {
+    uint64_t tag;
+    uint32_t client;
+    uint64_t payload = 0;
+    bool done = false;
+    sim::Cycle done_at = 0;
+  };
+  std::vector<InFlight> flight;
+  const sim::Cycle start = engine_.now();
+  const uint32_t server = static_cast<uint32_t>(clients_.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ConcurrentRequest& r = requests[i];
+    if (programs_.find(r.program_id) == programs_.end()) {
+      return Status::NotFound("unknown program id");
+    }
+    const uint64_t tag = next_tag_++;
+    const auto client = static_cast<uint32_t>(i % clients_.size());
+    net::Packet req;
+    req.dst = server;
+    req.kind = net::OpKind::kOffloadReq;
+    req.tag = tag;
+    req.addr = r.table_id;
+    req.user = r.program_id;
+    clients_[client]->PostPacket(req);
+    flight.push_back({tag, client});
+  }
+  size_t remaining = flight.size();
+  const uint64_t kMaxCycles = 1ull << 30;
+  net::Packet resp;
+  for (uint64_t i = 0; i < kMaxCycles && remaining > 0; ++i) {
+    engine_.Step();
+    for (auto& f : flight) {
+      if (f.done) continue;
+      while (clients_[f.client]->PollRecv(&resp)) {
+        // Responses on one client endpoint may interleave across tags.
+        for (auto& g : flight) {
+          if (!g.done && g.client == f.client && resp.tag == g.tag) {
+            g.payload += resp.bytes;
+            if (resp.user == 1) {
+              g.done = true;
+              g.done_at = engine_.now();
+              --remaining;
+            }
+            break;
+          }
+        }
+        if (f.done) break;
+      }
+    }
+  }
+  if (remaining > 0) {
+    return Status::Timeout("concurrent offload batch did not complete");
+  }
+  std::vector<QueryStats> out;
+  out.reserve(flight.size());
+  for (const InFlight& f : flight) {
+    QueryStats s;
+    s.result = node_->TakeResult(f.tag);
+    s.cycles = f.done_at - start;
+    s.seconds = CyclesToSeconds(s.cycles, config_.clock_hz);
+    s.wire_bytes = f.payload;
+    out.push_back(std::move(s));
+  }
+  if (makespan_seconds != nullptr) {
+    *makespan_seconds = CyclesToSeconds(engine_.now() - start,
+                                        config_.clock_hz);
+  }
+  return out;
+}
+
+uint64_t FarviewSystem::LoadTable(rel::Table table) {
+  return node_->LoadTable(std::move(table));
+}
+
+uint64_t FarviewSystem::LoadTableCompressed(rel::Table table) {
+  return node_->LoadTableCompressed(std::move(table));
+}
+
+uint64_t FarviewSystem::RegisterProgram(rel::Program program) {
+  const uint64_t id = next_program_id_++;
+  programs_[id] = program;
+  node_->RegisterProgram(id, std::move(program));
+  return id;
+}
+
+Result<QueryStats> FarviewSystem::RunOffloaded(uint64_t table_id,
+                                               uint64_t program_id) {
+  if (programs_.find(program_id) == programs_.end()) {
+    return Status::NotFound("unknown program id");
+  }
+  const uint64_t tag = next_tag_++;
+  const sim::Cycle start = engine_.now();
+  const uint64_t dram_before = node_->dram_bytes_read();
+
+  net::Packet req;
+  req.dst = static_cast<uint32_t>(clients_.size());  // the memory node
+  req.kind = net::OpKind::kOffloadReq;
+  req.tag = tag;
+  req.addr = table_id;
+  req.user = program_id;
+  client_.PostPacket(req);
+
+  net::Packet resp;
+  bool got = false;
+  uint64_t payload = 0;
+  const uint64_t kMaxCycles = 1ull << 28;
+  for (uint64_t i = 0; i < kMaxCycles && !got; ++i) {
+    engine_.Step();
+    while (client_.PollRecv(&resp)) {
+      if (resp.kind != net::OpKind::kOffloadResp || resp.tag != tag) continue;
+      payload += resp.bytes;
+      if (resp.user == 1) {  // final chunk
+        got = true;
+        break;
+      }
+    }
+  }
+  if (!got) return Status::Timeout("offloaded query did not complete");
+
+  QueryStats stats;
+  stats.result = node_->TakeResult(tag);
+  stats.cycles = engine_.now() - start;
+  stats.seconds = CyclesToSeconds(stats.cycles, config_.clock_hz);
+  stats.wire_bytes = payload;  // request is header-only
+  stats.dram_bytes = node_->dram_bytes_read() - dram_before;
+  return stats;
+}
+
+Result<QueryStats> FarviewSystem::RunFetchAll(uint64_t table_id,
+                                              uint64_t program_id) {
+  auto prog_it = programs_.find(program_id);
+  if (prog_it == programs_.end()) {
+    return Status::NotFound("unknown program id");
+  }
+  const rel::Table& table = node_->table(table_id);
+  // The compute node fetches the stored image (compressed tables travel
+  // compressed and are inflated in software on arrival).
+  const uint64_t total = node_->table_stored_bytes(table_id);
+  const bool compressed = node_->table_is_compressed(table_id);
+  const sim::Cycle start = engine_.now();
+
+  // RDMA-read the table in 1 MiB chunks; reads pipeline, so the transfer is
+  // bandwidth-bound. (The memory node's NIC DMAs from DRAM at memory
+  // bandwidth, which exceeds line rate, so the network is the bottleneck.)
+  const uint64_t kChunk = 1ull << 20;
+  const auto server = static_cast<uint32_t>(clients_.size());
+  uint64_t issued_tags = 0;
+  for (uint64_t off = 0; off < total; off += kChunk) {
+    client_.PostRead(server, off, std::min(kChunk, total - off),
+                     issued_tags++);
+  }
+  if (total == 0) issued_tags = 0;
+  uint64_t completed = 0;
+  const uint64_t kMaxCycles = 1ull << 30;
+  net::Completion c;
+  for (uint64_t i = 0; i < kMaxCycles && completed < issued_tags; ++i) {
+    engine_.Step();
+    while (client_.PollCompletion(&c)) {
+      if (c.kind == net::OpKind::kReadResp) ++completed;
+    }
+  }
+  if (completed < issued_tags) {
+    return Status::Timeout("fetch-all transfer did not complete");
+  }
+
+  QueryStats stats;
+  auto result = rel::ExecuteCpu(prog_it->second, table);
+  if (!result.ok()) return result.status();
+  stats.result = std::move(result).value();
+  stats.cycles = engine_.now() - start;
+  stats.wire_bytes = total;
+  stats.dram_bytes = total;
+  // Compute-node CPU processes the fetched pages: streaming bandwidth plus
+  // a per-tuple evaluation cost, plus software decompression when the
+  // table traveled compressed.
+  stats.cpu_seconds = config_.cpu.StreamSeconds(total) +
+                      double(table.num_rows()) * kCpuPerTupleNs * 1e-9;
+  if (compressed) {
+    constexpr double kCpuLzNsPerByte = 4.0;  // software LZ inflate
+    stats.cpu_seconds += double(table.total_bytes()) * kCpuLzNsPerByte * 1e-9;
+  }
+  stats.seconds =
+      CyclesToSeconds(stats.cycles, config_.clock_hz) + stats.cpu_seconds;
+  return stats;
+}
+
+}  // namespace fpgadp::farview

@@ -1,0 +1,108 @@
+#include "src/fleetrec/fleetrec.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace fpgadp::fleetrec {
+
+std::string FleetStats::BottleneckName() const {
+  switch (bottleneck) {
+    case Stage::kFpgaLookup:
+      return "fpga-lookup";
+    case Stage::kNetwork:
+      return "network";
+    case Stage::kGpuMlp:
+      return "gpu-mlp";
+  }
+  return "?";
+}
+
+Result<FleetRecCluster> FleetRecCluster::Create(
+    const microrec::RecModel* model, const FleetRecConfig& config) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  if (config.num_fpga_nodes == 0 || config.num_gpu_nodes == 0) {
+    return Status::InvalidArgument("need at least one FPGA and one GPU node");
+  }
+  if (config.batch == 0) return Status::InvalidArgument("batch must be > 0");
+
+  // Shard tables across FPGA nodes: biggest table to the least-loaded
+  // shard, balancing bytes (and thus lookup traffic).
+  microrec::CartesianPlan all = microrec::PlanWithoutCartesian(*model);
+  std::vector<size_t> order(all.groups.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return all.groups[a].bytes() > all.groups[b].bytes();
+  });
+  std::vector<microrec::CartesianPlan> shards(config.num_fpga_nodes);
+  std::vector<uint64_t> shard_bytes(config.num_fpga_nodes, 0);
+  for (size_t g : order) {
+    uint32_t best = 0;
+    for (uint32_t s = 1; s < config.num_fpga_nodes; ++s) {
+      if (shard_bytes[s] < shard_bytes[best]) best = s;
+    }
+    shards[best].groups.push_back(all.groups[g]);
+    shards[best].total_bytes += all.groups[g].bytes();
+    shard_bytes[best] += all.groups[g].bytes();
+  }
+  return FleetRecCluster(model, config, std::move(shards));
+}
+
+Result<FleetStats> FleetRecCluster::Evaluate(uint64_t seed) const {
+  FleetStats stats;
+
+  // --- FPGA stage: cycle-simulate each node's lookup engine over its
+  // shard (nodes run in parallel; the slowest gates the stage).
+  double worst_node_seconds = 0;
+  uint64_t total_dim = 0;
+  for (uint32_t n = 0; n < config_.num_fpga_nodes; ++n) {
+    const microrec::CartesianPlan& shard = shards_[n];
+    if (shard.groups.empty()) continue;
+    microrec::RecModel node_model;
+    for (const auto& g : shard.groups) {
+      node_model.tables.push_back({g.rows, g.dim});
+      total_dim += g.dim;
+    }
+    node_model.hidden_layers = {};  // lookups only; the MLP lives on GPUs
+    FPGADP_ASSIGN_OR_RETURN(
+        auto engine,
+        microrec::MicroRecEngine::Create(&node_model,
+                                         microrec::PlanWithoutCartesian(
+                                             node_model),
+                                         config_.fpga_device, config_.fpga));
+    FPGADP_ASSIGN_OR_RETURN(auto node_stats,
+                            engine.RunBatch(config_.batch, seed + n));
+    worst_node_seconds = std::max(worst_node_seconds, node_stats.seconds);
+  }
+  stats.fpga_batch_seconds = worst_node_seconds;
+
+  // --- Network stage: every inference's concatenated embedding vector
+  // crosses to a GPU node (fp16). GPU-side ingest is the choke point.
+  stats.bytes_per_batch = uint64_t(config_.batch) * total_dim * 2;
+  const double ingest_bytes_per_sec =
+      double(config_.num_gpu_nodes) * config_.network_bits_per_sec / 8.0;
+  stats.net_batch_seconds =
+      double(stats.bytes_per_batch) / ingest_bytes_per_sec;
+
+  // --- GPU stage: batched GEMM across the GPU pool.
+  const double batch_flops =
+      2.0 * double(model_->MlpMacs()) * double(config_.batch);
+  stats.gpu_batch_seconds =
+      batch_flops / (double(config_.num_gpu_nodes) * config_.gpu_flops);
+
+  const double slowest = std::max(
+      {stats.fpga_batch_seconds, stats.net_batch_seconds,
+       stats.gpu_batch_seconds});
+  stats.bottleneck = slowest == stats.fpga_batch_seconds ? Stage::kFpgaLookup
+                     : slowest == stats.net_batch_seconds ? Stage::kNetwork
+                                                          : Stage::kGpuMlp;
+  stats.inferences_per_sec = double(config_.batch) / slowest;
+  stats.batch_latency_us = (stats.fpga_batch_seconds +
+                            stats.net_batch_seconds +
+                            stats.gpu_batch_seconds) *
+                           1e6;
+  return stats;
+}
+
+}  // namespace fpgadp::fleetrec

@@ -1,0 +1,82 @@
+#ifndef FPGADP_FLEETREC_FLEETREC_H_
+#define FPGADP_FLEETREC_FLEETREC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/device/device.h"
+#include "src/microrec/cartesian.h"
+#include "src/microrec/engine.h"
+#include "src/microrec/model.h"
+
+namespace fpgadp::fleetrec {
+
+/// FleetRec (KDD'21), the tutorial's large-scale recommendation system: a
+/// heterogeneous cluster where FPGA nodes hold the embedding tables (HBM
+/// lookups) and GPU nodes run the dense layers, chained over the 100 Gbps
+/// network. Batches pipeline through
+///
+///   FPGA shard lookups  ->  network (concat vectors)  ->  GPU MLP
+///
+/// so steady-state throughput is the slowest of the three stages — the
+/// composition argument FleetRec makes when sizing FPGA:GPU ratios per
+/// model.
+struct FleetRecConfig {
+  uint32_t num_fpga_nodes = 2;
+  uint32_t num_gpu_nodes = 1;
+  size_t batch = 256;
+  /// Effective dense-layer rate of one GPU node (post-efficiency).
+  double gpu_flops = 20e12;
+  double network_bits_per_sec = 100e9;
+  double clock_hz = 200e6;
+  microrec::MicroRecConfig fpga;  ///< Per-lookup-node configuration.
+  device::DeviceSpec fpga_device = device::AlveoU280();
+};
+
+/// Where the steady-state bottleneck sits.
+enum class Stage { kFpgaLookup, kNetwork, kGpuMlp };
+
+struct FleetStats {
+  double inferences_per_sec = 0;
+  double batch_latency_us = 0;  ///< One batch end-to-end (fill latency).
+  double fpga_batch_seconds = 0;
+  double net_batch_seconds = 0;
+  double gpu_batch_seconds = 0;
+  Stage bottleneck = Stage::kFpgaLookup;
+  uint64_t bytes_per_batch = 0;
+
+  std::string BottleneckName() const;
+};
+
+/// Batch-level model of the cluster: the embedding stage is timed with the
+/// cycle simulator (one MicroRec lookup engine per FPGA node over its table
+/// shard), the network and GPU stages analytically; the pipeline composes
+/// them. Tables are sharded round-robin by size across the FPGA nodes.
+class FleetRecCluster {
+ public:
+  /// `model` must outlive the cluster.
+  static Result<FleetRecCluster> Create(const microrec::RecModel* model,
+                                        const FleetRecConfig& config);
+
+  /// Steady-state throughput + single-batch latency (deterministic).
+  Result<FleetStats> Evaluate(uint64_t seed) const;
+
+  const FleetRecConfig& config() const { return config_; }
+  /// Groups assigned to FPGA node `i`.
+  const microrec::CartesianPlan& shard(uint32_t i) const { return shards_[i]; }
+
+ private:
+  FleetRecCluster(const microrec::RecModel* model, FleetRecConfig config,
+                  std::vector<microrec::CartesianPlan> shards)
+      : model_(model), config_(std::move(config)), shards_(std::move(shards)) {}
+
+  const microrec::RecModel* model_;
+  FleetRecConfig config_;
+  std::vector<microrec::CartesianPlan> shards_;
+};
+
+}  // namespace fpgadp::fleetrec
+
+#endif  // FPGADP_FLEETREC_FLEETREC_H_

@@ -1,0 +1,57 @@
+#include "src/hls/dataflow.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fpgadp::hls {
+
+Result<DataflowRegion::RegionReport> DataflowRegion::Synthesize(
+    const device::DeviceSpec& device) const {
+  if (stages_.empty()) {
+    return Status::InvalidArgument("dataflow region has no stages");
+  }
+  RegionReport report;
+  report.clock_hz = device.max_clock_hz;
+  for (const Stage& stage : stages_) {
+    FPGADP_ASSIGN_OR_RETURN(SynthesisReport sr,
+                            hls::Synthesize(stage.profile, stage.pragmas,
+                                            device));
+    report.total = report.total + sr.resources;
+    report.clock_hz = std::min(report.clock_hz, sr.fmax_hz);
+    report.stages.push_back({stage.profile.name, sr});
+  }
+  // The whole region must place together; re-check the summed footprint.
+  report.utilization = device.resources.UtilizationOf(report.total);
+  report.fits = report.utilization <= 1.0;
+
+  // Steady state: every stage runs concurrently at the common clock; the
+  // slowest items/cycle rate (unroll / II) gates the region.
+  double worst_rate = 1e300;
+  for (size_t i = 0; i < report.stages.size(); ++i) {
+    const SynthesisReport& sr = report.stages[i].synthesis;
+    const double rate =
+        double(stages_[i].pragmas.unroll) / double(sr.achieved_ii);
+    if (rate < worst_rate) {
+      worst_rate = rate;
+      report.bottleneck_stage = i;
+    }
+  }
+  report.throughput_items_per_sec =
+      report.fits ? worst_rate * report.clock_hz : 0.0;
+  return report;
+}
+
+std::string DataflowRegion::RegionReport::ToString() const {
+  std::ostringstream os;
+  os << "dataflow region: " << stages.size() << " stages, clock "
+     << clock_hz / 1e6 << " MHz, throughput "
+     << throughput_items_per_sec / 1e6 << " Mitems/s (bottleneck: "
+     << stages[bottleneck_stage].name << "), util "
+     << int(utilization * 100) << "%" << (fits ? "" : " DOES NOT FIT");
+  for (const auto& s : stages) {
+    os << "\n  " << s.name << ": " << s.synthesis.ToString();
+  }
+  return os.str();
+}
+
+}  // namespace fpgadp::hls

@@ -1,0 +1,64 @@
+#ifndef FPGADP_HLS_DATAFLOW_H_
+#define FPGADP_HLS_DATAFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/device/device.h"
+#include "src/hls/estimator.h"
+
+namespace fpgadp::hls {
+
+/// A `#pragma HLS dataflow` region: a chain of concurrently running
+/// kernels connected by streams. The composer synthesizes each stage,
+/// sums resources, and derives the region's steady-state throughput —
+/// the slowest stage — plus the common clock (the slowest stage's fmax),
+/// which is how a multi-kernel Vitis design actually closes timing.
+class DataflowRegion {
+ public:
+  explicit DataflowRegion(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a pipeline stage.
+  void AddStage(const KernelProfile& profile, const Pragmas& pragmas) {
+    stages_.push_back({profile, pragmas});
+  }
+
+  struct StageReport {
+    std::string name;
+    SynthesisReport synthesis;
+  };
+
+  struct RegionReport {
+    std::vector<StageReport> stages;
+    device::Resources total;
+    double clock_hz = 0;   ///< min over stages' fmax.
+    double throughput_items_per_sec = 0;  ///< Bottleneck stage at the
+                                          ///< common clock.
+    size_t bottleneck_stage = 0;
+    double utilization = 0;
+    bool fits = false;
+
+    std::string ToString() const;
+  };
+
+  /// Synthesizes every stage onto `device` and composes the region.
+  /// Returns InvalidArgument for an empty region.
+  Result<RegionReport> Synthesize(const device::DeviceSpec& device) const;
+
+  const std::string& name() const { return name_; }
+  size_t num_stages() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    KernelProfile profile;
+    Pragmas pragmas;
+  };
+
+  std::string name_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace fpgadp::hls
+
+#endif  // FPGADP_HLS_DATAFLOW_H_

@@ -1,0 +1,106 @@
+#include "src/hls/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fpgadp::hls {
+
+namespace {
+
+// Per-operator resource costs, loosely following UltraScale+ mapping:
+// a 32-bit integer adder packs into carry chains (LUTs), an integer
+// multiplier uses DSP48 slices, floating point cores use DSPs plus control
+// logic, and comparators are LUT trees.
+constexpr uint64_t kLutsPerIntAdd = 32;
+constexpr uint64_t kDspsPerIntMult = 2;
+constexpr uint64_t kLutsPerFpAdd = 200;
+constexpr uint64_t kDspsPerFpAdd = 2;
+constexpr uint64_t kLutsPerFpMult = 150;
+constexpr uint64_t kDspsPerFpMult = 3;
+constexpr uint64_t kLutsPerCompare = 16;
+// Fixed control overhead per kernel instance (FSM, stream handshakes).
+constexpr uint64_t kControlLuts = 500;
+// BRAM36 stores 4.5 KiB.
+constexpr uint64_t kBytesPerBram = 4608;
+
+}  // namespace
+
+Result<SynthesisReport> Synthesize(const KernelProfile& profile,
+                                   const Pragmas& pragmas,
+                                   const device::DeviceSpec& device) {
+  if (pragmas.unroll == 0) {
+    return Status::InvalidArgument("unroll factor must be >= 1");
+  }
+  if (pragmas.pipeline_ii == 0) {
+    return Status::InvalidArgument("pipeline II must be >= 1");
+  }
+  if (pragmas.array_partition == 0) {
+    return Status::InvalidArgument("array_partition factor must be >= 1");
+  }
+
+  SynthesisReport rep;
+
+  // --- Resource mapping. Compute resources replicate with the unroll
+  // factor: that is the essence of spatial parallelism.
+  const uint64_t u = pragmas.unroll;
+  rep.resources.luts = kControlLuts +
+                       u * (profile.int_adds * kLutsPerIntAdd +
+                            profile.fp_adds * kLutsPerFpAdd +
+                            profile.fp_mults * kLutsPerFpMult +
+                            profile.comparisons * kLutsPerCompare);
+  rep.resources.dsps = u * (profile.int_mults * kDspsPerIntMult +
+                            profile.fp_adds * kDspsPerFpAdd +
+                            profile.fp_mults * kDspsPerFpMult);
+  // Flip-flops track LUTs in pipelined designs (every stage registers).
+  rep.resources.ffs = rep.resources.luts + rep.resources.luts / 2;
+  // Partitioning an array into P banks replicates BRAM address/control, and
+  // rounds each bank up to a whole block — the BRAM cost of bandwidth.
+  const uint64_t banks = pragmas.array_partition;
+  const uint64_t bytes_per_bank =
+      (profile.local_bytes + banks - 1) / std::max<uint64_t>(banks, 1);
+  rep.resources.bram36 =
+      banks * std::max<uint64_t>(
+                  1, (bytes_per_bank + kBytesPerBram - 1) / kBytesPerBram);
+  if (profile.local_bytes == 0) rep.resources.bram36 = 0;
+
+  // --- II scheduling. A true dual-port BRAM bank serves 2 accesses/cycle;
+  // with `banks` partitions the body's local accesses (replicated by unroll)
+  // need ceil(accesses*unroll / (2*banks)) cycles, which floors the II.
+  // A loop-carried dependency of distance d also floors the II at d.
+  uint32_t mem_ii = 1;
+  if (profile.local_mem_accesses > 0) {
+    const uint64_t accesses =
+        static_cast<uint64_t>(profile.local_mem_accesses) * u;
+    mem_ii = static_cast<uint32_t>((accesses + 2 * banks - 1) / (2 * banks));
+  }
+  rep.achieved_ii = std::max({pragmas.pipeline_ii, mem_ii,
+                              std::max<uint32_t>(profile.dependency_distance, 1)});
+
+  // --- Timing closure. Designs that fill the device route slower; model a
+  // linear derate from the max clock down to 55% of it at full utilization.
+  rep.utilization = device.resources.UtilizationOf(rep.resources);
+  rep.fits = rep.utilization <= 1.0;
+  const double derate = 1.0 - 0.45 * std::min(rep.utilization, 1.0);
+  rep.fmax_hz =
+      std::clamp(device.max_clock_hz * derate, 100e6, device.max_clock_hz);
+
+  // Steady-state throughput: `unroll` items retire every `achieved_ii`
+  // cycles at fmax.
+  rep.throughput_items_per_sec =
+      rep.fits ? rep.fmax_hz * static_cast<double>(u) / rep.achieved_ii : 0.0;
+  return rep;
+}
+
+std::string SynthesisReport::ToString() const {
+  std::ostringstream os;
+  os << "II=" << achieved_ii << " fmax=" << fmax_hz / 1e6 << "MHz"
+     << " thrpt=" << throughput_items_per_sec / 1e6 << "M items/s"
+     << " LUT=" << resources.luts << " FF=" << resources.ffs
+     << " BRAM=" << resources.bram36 << " DSP=" << resources.dsps
+     << " util=" << static_cast<int>(utilization * 100) << "%"
+     << (fits ? "" : " (DOES NOT FIT)");
+  return os.str();
+}
+
+}  // namespace fpgadp::hls

@@ -1,0 +1,61 @@
+#ifndef FPGADP_HLS_ESTIMATOR_H_
+#define FPGADP_HLS_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/device/device.h"
+#include "src/hls/pragma.h"
+
+namespace fpgadp::hls {
+
+/// Static description of one loop iteration of a kernel body — what an HLS
+/// front-end extracts before scheduling. Counts are per (pre-unroll) item.
+struct KernelProfile {
+  std::string name;
+  uint32_t int_adds = 0;
+  uint32_t int_mults = 0;
+  uint32_t fp_adds = 0;
+  uint32_t fp_mults = 0;
+  uint32_t comparisons = 0;
+  /// On-chip array bytes the body indexes (BRAM/URAM candidates).
+  uint64_t local_bytes = 0;
+  /// Loads+stores to those local arrays per iteration.
+  uint32_t local_mem_accesses = 0;
+  /// Cycles of unavoidable loop-carried dependency (e.g. an accumulation
+  /// chain); lower-bounds the achievable II.
+  uint32_t dependency_distance = 0;
+};
+
+/// What "synthesis" of a profile under a set of pragmas yields.
+struct SynthesisReport {
+  device::Resources resources;
+  /// II actually achievable (>= requested when memory ports are the wall).
+  uint32_t achieved_ii = 1;
+  /// Post-route clock estimate; degrades as the design fills the device.
+  double fmax_hz = 0;
+  /// Steady-state items/second = fmax * unroll / achieved_ii.
+  double throughput_items_per_sec = 0;
+  /// Device utilization in [0, inf); > 1 would not place-and-route.
+  double utilization = 0;
+  bool fits = false;
+
+  /// Human-readable multi-line report, in the spirit of a Vitis HLS log.
+  std::string ToString() const;
+};
+
+/// A deliberately simple analytic model of HLS scheduling + resource
+/// mapping. It exists to reproduce the *lessons* of the tutorial's
+/// Programming section — how II, unroll, and array partitioning trade
+/// resources for throughput on a spatial architecture — not to replace a
+/// real scheduler. Formulas are documented inline in the implementation.
+///
+/// Returns InvalidArgument for zero unroll/II.
+Result<SynthesisReport> Synthesize(const KernelProfile& profile,
+                                   const Pragmas& pragmas,
+                                   const device::DeviceSpec& device);
+
+}  // namespace fpgadp::hls
+
+#endif  // FPGADP_HLS_ESTIMATOR_H_

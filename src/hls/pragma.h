@@ -1,0 +1,26 @@
+#ifndef FPGADP_HLS_PRAGMA_H_
+#define FPGADP_HLS_PRAGMA_H_
+
+#include <cstdint>
+
+namespace fpgadp::hls {
+
+/// The optimization directives of an HLS kernel, mirroring the pragmas the
+/// tutorial's Programming section teaches:
+///
+///   #pragma HLS pipeline II=<pipeline_ii>
+///   #pragma HLS unroll factor=<unroll>
+///   #pragma HLS array_partition factor=<array_partition>
+///   #pragma HLS stream depth=<stream_depth>
+///   #pragma HLS dataflow            (when `dataflow` is true)
+struct Pragmas {
+  uint32_t pipeline_ii = 1;
+  uint32_t unroll = 1;
+  uint32_t array_partition = 1;
+  uint32_t stream_depth = 2;
+  bool dataflow = true;
+};
+
+}  // namespace fpgadp::hls
+
+#endif  // FPGADP_HLS_PRAGMA_H_

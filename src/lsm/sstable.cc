@@ -1,0 +1,65 @@
+#include "src/lsm/sstable.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace fpgadp::lsm {
+
+SsTable SsTable::FromSorted(std::vector<KvEntry> entries) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    FPGADP_CHECK(entries[i - 1].key < entries[i].key);
+  }
+  SsTable t;
+  t.entries_ = std::move(entries);
+  return t;
+}
+
+std::optional<KvEntry> SsTable::Find(uint64_t key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const KvEntry& e, uint64_t k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) return std::nullopt;
+  return *it;
+}
+
+SsTable MergeTables(const std::vector<const SsTable*>& newest_first,
+                    bool drop_tombstones) {
+  // Heap of (key, priority, cursor); lower priority index = fresher table.
+  struct Cursor {
+    uint64_t key;
+    size_t priority;
+    size_t index;
+    bool operator>(const Cursor& o) const {
+      return key != o.key ? key > o.key : priority > o.priority;
+    }
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<Cursor>> heap;
+  for (size_t t = 0; t < newest_first.size(); ++t) {
+    if (!newest_first[t]->empty()) {
+      heap.push({newest_first[t]->entries()[0].key, t, 0});
+    }
+  }
+  std::vector<KvEntry> out;
+  bool have_current = false;
+  uint64_t current_key = 0;
+  while (!heap.empty()) {
+    const Cursor c = heap.top();
+    heap.pop();
+    const KvEntry& e = newest_first[c.priority]->entries()[c.index];
+    // The freshest record for each key pops first (priority tiebreak);
+    // later records for the same key are shadowed.
+    if (!have_current || e.key != current_key) {
+      have_current = true;
+      current_key = e.key;
+      if (!(e.tombstone && drop_tombstones)) out.push_back(e);
+    }
+    const size_t next = c.index + 1;
+    if (next < newest_first[c.priority]->num_entries()) {
+      heap.push({newest_first[c.priority]->entries()[next].key, c.priority,
+                 next});
+    }
+  }
+  return SsTable::FromSorted(std::move(out));
+}
+
+}  // namespace fpgadp::lsm

@@ -1,0 +1,52 @@
+#ifndef FPGADP_LSM_SSTABLE_H_
+#define FPGADP_LSM_SSTABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fpgadp::lsm {
+
+/// One record of a sorted run. Tombstones mark deletions until compaction
+/// into the bottom level discards them.
+struct KvEntry {
+  uint64_t key = 0;
+  uint64_t value = 0;
+  bool tombstone = false;
+};
+
+/// An immutable sorted run (SSTable), the unit LSM compaction merges. The
+/// 16-byte entry layout is what streams through the FPGA merge network.
+class SsTable {
+ public:
+  SsTable() = default;
+
+  /// Takes entries that must already be sorted by key, unique keys.
+  static SsTable FromSorted(std::vector<KvEntry> entries);
+
+  /// Binary-searches for `key`. A tombstone hit returns an engaged optional
+  /// holding the tombstone (callers distinguish deletion from absence).
+  std::optional<KvEntry> Find(uint64_t key) const;
+
+  size_t num_entries() const { return entries_.size(); }
+  uint64_t bytes() const { return entries_.size() * sizeof(KvEntry); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<KvEntry>& entries() const { return entries_; }
+  uint64_t min_key() const { return entries_.front().key; }
+  uint64_t max_key() const { return entries_.back().key; }
+
+ private:
+  std::vector<KvEntry> entries_;
+};
+
+/// K-way merge of sorted runs, `newest_first[0]` having the highest
+/// priority for duplicate keys (the LSM freshness rule). Tombstones are
+/// retained unless `drop_tombstones` (bottom-level compaction).
+SsTable MergeTables(const std::vector<const SsTable*>& newest_first,
+                    bool drop_tombstones);
+
+}  // namespace fpgadp::lsm
+
+#endif  // FPGADP_LSM_SSTABLE_H_

@@ -1,0 +1,60 @@
+#ifndef FPGADP_MEMORY_CHANNEL_H_
+#define FPGADP_MEMORY_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/sim/module.h"
+#include "src/sim/stream.h"
+#include "src/memory/mem_types.h"
+
+namespace fpgadp::mem {
+
+/// Timing model of one memory channel (a DDR4 channel or one HBM2
+/// pseudo-channel): fixed access latency plus a serialized data bus with a
+/// finite bytes/cycle budget. Requests smaller than the access granularity
+/// still occupy a full granule on the bus (the HBM 32-byte-granule effect
+/// that MicroRec exploits).
+class MemoryChannel : public sim::Module {
+ public:
+  struct Config {
+    double latency_ns = 90;
+    double bytes_per_sec = 19.2e9;
+    double clock_hz = 200e6;          ///< Kernel clock the channel is viewed at.
+    uint32_t access_granularity = 64; ///< Minimum burst on the bus, bytes.
+    uint32_t max_outstanding = 64;    ///< Controller queue depth.
+  };
+
+  MemoryChannel(std::string name, sim::Stream<MemRequest>* req,
+                sim::Stream<MemResponse>* resp, const Config& config);
+
+  void Tick(sim::Cycle cycle) override;
+  bool Idle() const override { return pending_.empty(); }
+
+  /// Total bytes moved over the bus (after granularity rounding).
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+  /// Requests completed.
+  uint64_t completed() const { return completed_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Pending {
+    sim::Cycle done;
+    MemResponse resp;
+  };
+
+  sim::Stream<MemRequest>* req_;
+  sim::Stream<MemResponse>* resp_;
+  Config config_;
+  uint64_t latency_cycles_;
+  double bytes_per_cycle_;
+  sim::Cycle bus_free_ = 0;
+  std::deque<Pending> pending_;  // completion times are monotone
+  uint64_t bytes_transferred_ = 0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace fpgadp::mem
+
+#endif  // FPGADP_MEMORY_CHANNEL_H_

@@ -1,0 +1,28 @@
+#ifndef FPGADP_MEMORY_MEM_TYPES_H_
+#define FPGADP_MEMORY_MEM_TYPES_H_
+
+#include <cstdint>
+
+namespace fpgadp::mem {
+
+/// A memory transaction presented to a channel. Channels model *timing*
+/// only; data contents live in a BackingStore and are accessed functionally
+/// by the requester (the standard split in architecture simulators).
+struct MemRequest {
+  uint64_t id = 0;      ///< Requester-chosen tag, echoed in the response.
+  uint64_t addr = 0;    ///< Byte address within the channel/stack.
+  uint32_t bytes = 0;   ///< Transfer size.
+  bool is_write = false;
+};
+
+/// Completion of a MemRequest, delivered after modeled latency + transfer.
+struct MemResponse {
+  uint64_t id = 0;
+  uint64_t addr = 0;
+  uint32_t bytes = 0;
+  bool is_write = false;
+};
+
+}  // namespace fpgadp::mem
+
+#endif  // FPGADP_MEMORY_MEM_TYPES_H_

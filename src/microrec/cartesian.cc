@@ -1,0 +1,109 @@
+#include "src/microrec/cartesian.h"
+
+#include <algorithm>
+
+namespace fpgadp::microrec {
+
+CartesianPlan PlanWithoutCartesian(const RecModel& model) {
+  CartesianPlan plan;
+  plan.groups.reserve(model.tables.size());
+  for (size_t i = 0; i < model.tables.size(); ++i) {
+    const EmbeddingTable& t = model.tables[i];
+    plan.groups.push_back({{i}, t.rows, t.dim});
+    plan.total_bytes += t.bytes();
+  }
+  return plan;
+}
+
+namespace {
+
+/// Greedily merges the two smallest *eligible* groups of `plan` while the
+/// product respects `options`. `eligible(i)` gates which groups may merge.
+template <typename Eligible>
+void GreedyMerge(CartesianPlan& plan, const CartesianOptions& options,
+                 uint64_t base_bytes, Eligible eligible) {
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Find the two eligible groups with the fewest rows.
+    size_t a = SIZE_MAX, b = SIZE_MAX;
+    for (size_t i = 0; i < plan.groups.size(); ++i) {
+      if (!eligible(plan.groups[i])) continue;
+      if (a == SIZE_MAX || plan.groups[i].rows < plan.groups[a].rows) {
+        b = a;
+        a = i;
+      } else if (b == SIZE_MAX || plan.groups[i].rows < plan.groups[b].rows) {
+        b = i;
+      }
+    }
+    if (b == SIZE_MAX) break;  // fewer than two eligible groups
+
+    const TableGroup& ga = plan.groups[a];
+    const TableGroup& gb = plan.groups[b];
+    if (ga.members.size() + gb.members.size() > options.max_group_size) break;
+    // Overflow-safe product check.
+    if (gb.rows != 0 &&
+        ga.rows > options.max_product_rows / std::max<uint64_t>(gb.rows, 1)) {
+      break;
+    }
+    const uint64_t prod_rows = ga.rows * gb.rows;
+    if (prod_rows > options.max_product_rows) break;
+
+    TableGroup combined;
+    combined.members = ga.members;
+    combined.members.insert(combined.members.end(), gb.members.begin(),
+                            gb.members.end());
+    std::sort(combined.members.begin(), combined.members.end());
+    combined.rows = prod_rows;
+    combined.dim = ga.dim + gb.dim;
+
+    const uint64_t new_total =
+        plan.total_bytes - ga.bytes() - gb.bytes() + combined.bytes();
+    if (new_total > base_bytes + options.max_extra_bytes) break;
+
+    // Replace a and b with the combined group.
+    if (a > b) std::swap(a, b);
+    plan.groups[a] = combined;
+    plan.groups.erase(plan.groups.begin() + b);
+    plan.total_bytes = new_total;
+    merged = true;
+  }
+}
+
+}  // namespace
+
+CartesianPlan PlanCartesian(const RecModel& model,
+                            const CartesianOptions& options) {
+  CartesianPlan plan = PlanWithoutCartesian(model);
+  GreedyMerge(plan, options, plan.total_bytes,
+              [](const TableGroup&) { return true; });
+  return plan;
+}
+
+CartesianPlan PlanCartesianHbmAware(const RecModel& model,
+                                    uint64_t sram_budget_bytes,
+                                    const CartesianOptions& options) {
+  CartesianPlan plan = PlanWithoutCartesian(model);
+  // Predict which groups SRAM will absorb (same smallest-first rule as
+  // PlaceTables) and exempt them from merging.
+  std::vector<size_t> order(plan.groups.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return plan.groups[a].bytes() < plan.groups[b].bytes();
+  });
+  uint64_t sram_used = 0;
+  uint64_t sram_cutoff_bytes = 0;  // groups at or below this size are SRAM
+  for (size_t g : order) {
+    const uint64_t b = plan.groups[g].bytes();
+    if (sram_used + b > sram_budget_bytes) break;
+    sram_used += b;
+    sram_cutoff_bytes = b;
+  }
+  GreedyMerge(plan, options, plan.total_bytes,
+              [sram_cutoff_bytes](const TableGroup& g) {
+                return g.bytes() > sram_cutoff_bytes;
+              });
+  return plan;
+}
+
+}  // namespace fpgadp::microrec

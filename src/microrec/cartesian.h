@@ -1,0 +1,60 @@
+#ifndef FPGADP_MICROREC_CARTESIAN_H_
+#define FPGADP_MICROREC_CARTESIAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/microrec/model.h"
+
+namespace fpgadp::microrec {
+
+/// A (possibly combined) table the engine actually looks up: either one
+/// original table, or the Cartesian product of several small ones.
+struct TableGroup {
+  std::vector<size_t> members;  ///< Indices into RecModel::tables.
+  uint64_t rows = 0;
+  uint32_t dim = 0;             ///< Sum of member dims.
+
+  uint64_t bytes() const { return rows * dim * 2ull; }
+};
+
+/// The data-structure side of MicroRec: combining tables A and B into the
+/// product table A x B replaces two memory accesses with one, at the cost
+/// of |A|x|B|x(dimA+dimB) storage — profitable only for small tables.
+struct CartesianPlan {
+  std::vector<TableGroup> groups;
+  uint64_t total_bytes = 0;
+
+  size_t LookupsPerInference() const { return groups.size(); }
+};
+
+struct CartesianOptions {
+  /// A product is only formed if its row count stays below this.
+  uint64_t max_product_rows = 1ull << 20;
+  /// Total extra storage allowed over the uncombined layout.
+  uint64_t max_extra_bytes = 2ull << 30;
+  /// Combine at most this many original tables into one group.
+  size_t max_group_size = 3;
+};
+
+/// Identity plan: one group per table, no combining (the ablation baseline).
+CartesianPlan PlanWithoutCartesian(const RecModel& model);
+
+/// Greedy combining: repeatedly merge the two smallest-by-rows groups while
+/// the product respects `options`. Reduces lookups/inference monotonically.
+CartesianPlan PlanCartesian(const RecModel& model,
+                            const CartesianOptions& options = {});
+
+/// SRAM-aware variant — the co-design MicroRec actually ships: tables that
+/// on-chip SRAM will absorb anyway are left alone (their lookups are free),
+/// and combining is applied among the remaining HBM-resident tables, where
+/// each merge removes one real memory access per inference. `options`
+/// should allow larger products than the plain planner (HBM has room).
+CartesianPlan PlanCartesianHbmAware(const RecModel& model,
+                                    uint64_t sram_budget_bytes,
+                                    const CartesianOptions& options = {});
+
+}  // namespace fpgadp::microrec
+
+#endif  // FPGADP_MICROREC_CARTESIAN_H_

@@ -1,0 +1,119 @@
+#ifndef FPGADP_MICROREC_ENGINE_H_
+#define FPGADP_MICROREC_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/device/device.h"
+#include "src/microrec/cartesian.h"
+#include "src/microrec/model.h"
+
+namespace fpgadp::microrec {
+
+/// Where a table group lives on the accelerator.
+enum class Loc { kSram, kHbm };
+
+struct Placement {
+  Loc loc = Loc::kHbm;
+  uint32_t channel = 0;  ///< HBM pseudo-channel (kHbm only).
+  uint64_t addr = 0;     ///< Byte offset within the channel.
+};
+
+/// The result of placing all table groups onto the board's memory system.
+struct MemoryLayout {
+  std::vector<Placement> placements;       ///< Per group.
+  uint64_t sram_bytes_used = 0;
+  std::vector<uint64_t> channel_bytes;     ///< Per HBM channel.
+  size_t sram_groups = 0;
+  size_t hbm_groups = 0;
+};
+
+/// MicroRec's hardware-side trick #1: small tables go to on-chip SRAM
+/// (single-cycle access), the rest are spread over the HBM pseudo-channels
+/// so one inference's lookups proceed in parallel. Greedy: ascending by
+/// size into SRAM until `sram_budget` is spent, remainder largest-first
+/// onto the least-loaded channel. Fails with ResourceExhausted if a
+/// channel would overflow its capacity share.
+Result<MemoryLayout> PlaceTables(const CartesianPlan& plan,
+                                 uint32_t hbm_channels,
+                                 uint64_t sram_budget_bytes,
+                                 uint64_t hbm_capacity_bytes);
+
+struct MicroRecConfig {
+  double clock_hz = 200e6;
+  uint32_t mlp_macs_per_cycle = 2048;  ///< DSP array width of the FC engine.
+  uint32_t jobs_in_flight = 8;         ///< Inferences overlapped in lookup.
+  uint64_t sram_budget_bytes = 24ull << 20;  ///< BRAM+URAM given to tables.
+  uint32_t override_hbm_channels = 0;  ///< 0 = use the device's count (E6 knob).
+};
+
+/// Timing of a simulated inference batch.
+struct InferenceStats {
+  uint64_t cycles = 0;
+  double seconds = 0;
+  double inferences_per_sec = 0;
+  double latency_us = 0;        ///< Single-inference latency (own sim run).
+  uint64_t hbm_lookups = 0;
+  uint64_t sram_lookups = 0;
+  uint64_t hbm_bytes = 0;
+  uint64_t mlp_cycles_per_inference = 0;
+};
+
+/// Cycle-level model of the MicroRec accelerator (Figure 5): a lookup
+/// engine that fires one inference's group-lookups at the HBM channels and
+/// SRAM in parallel (several inferences in flight), feeding a pipelined
+/// fully-connected engine.
+class MicroRecEngine {
+ public:
+  /// `model` must outlive the engine. `plan` decides the lookups; the
+  /// engine places it onto `device` at construction.
+  static Result<MicroRecEngine> Create(const RecModel* model,
+                                       CartesianPlan plan,
+                                       const device::DeviceSpec& device,
+                                       const MicroRecConfig& config = {});
+
+  /// Simulates `num_inferences` with uniformly random ids (seeded).
+  Result<InferenceStats> RunBatch(size_t num_inferences, uint64_t seed) const;
+
+  const MemoryLayout& layout() const { return layout_; }
+  const CartesianPlan& plan() const { return plan_; }
+  const MicroRecConfig& config() const { return config_; }
+  uint32_t hbm_channels() const { return hbm_channels_; }
+
+ private:
+  MicroRecEngine(const RecModel* model, CartesianPlan plan,
+                 MemoryLayout layout, device::DeviceSpec device,
+                 MicroRecConfig config, uint32_t hbm_channels)
+      : model_(model), plan_(std::move(plan)), layout_(std::move(layout)),
+        device_(std::move(device)), config_(config),
+        hbm_channels_(hbm_channels) {}
+
+  const RecModel* model_;
+  CartesianPlan plan_;
+  MemoryLayout layout_;
+  device::DeviceSpec device_;
+  MicroRecConfig config_;
+  uint32_t hbm_channels_;
+};
+
+/// Deterministic analytic model of the CPU baseline: embedding gathers are
+/// dependent cache-miss chains (partially overlapped by the OoO window),
+/// the MLP runs as batched GEMM near peak.
+struct CpuRecBaseline {
+  double gemm_flops_per_sec = 200e9;
+  double lookup_ns = 250;      ///< Effective per-gather cost.
+  double lookup_overlap = 4;   ///< Concurrent misses the core sustains.
+
+  double SecondsPerInference(const RecModel& model,
+                             size_t lookups_per_inference) const {
+    const double gather =
+        double(lookups_per_inference) * lookup_ns * 1e-9 / lookup_overlap;
+    const double mlp = 2.0 * double(model.MlpMacs()) / gemm_flops_per_sec;
+    return gather + mlp;
+  }
+};
+
+}  // namespace fpgadp::microrec
+
+#endif  // FPGADP_MICROREC_ENGINE_H_

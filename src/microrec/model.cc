@@ -1,0 +1,23 @@
+#include "src/microrec/model.h"
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace fpgadp::microrec {
+
+RecModel MakeTypicalModel(size_t num_tables, uint64_t seed, uint64_t min_rows,
+                          uint64_t max_rows, uint32_t dim) {
+  RecModel model;
+  Rng rng(seed);
+  const double lo = std::log(double(min_rows));
+  const double hi = std::log(double(max_rows));
+  model.tables.reserve(num_tables);
+  for (size_t i = 0; i < num_tables; ++i) {
+    const double r = std::exp(lo + (hi - lo) * rng.NextDouble());
+    model.tables.push_back({uint64_t(r), dim});
+  }
+  return model;
+}
+
+}  // namespace fpgadp::microrec

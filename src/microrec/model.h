@@ -1,0 +1,64 @@
+#ifndef FPGADP_MICROREC_MODEL_H_
+#define FPGADP_MICROREC_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fpgadp::microrec {
+
+/// One embedding table of a deep recommender model.
+struct EmbeddingTable {
+  uint64_t rows = 0;
+  uint32_t dim = 0;  ///< Embedding width, fp16 entries (2 bytes).
+
+  uint64_t bytes() const { return rows * dim * 2ull; }
+};
+
+/// A CTR-prediction model shaped like Figure 4: many embedding tables whose
+/// fetched vectors are concatenated and fed through fully-connected layers.
+struct RecModel {
+  std::vector<EmbeddingTable> tables;
+  /// Hidden layer widths of the MLP; the input width is the concatenation
+  /// of all embedding dims, and a final scalar output is implied.
+  std::vector<uint32_t> hidden_layers = {1024, 512, 256};
+
+  /// Concatenated embedding width (MLP input).
+  uint64_t ConcatDim() const {
+    uint64_t d = 0;
+    for (const auto& t : tables) d += t.dim;
+    return d;
+  }
+  /// Lookups per inference (one per table, before Cartesian combining).
+  size_t LookupsPerInference() const { return tables.size(); }
+  /// Total embedding storage.
+  uint64_t EmbeddingBytes() const {
+    uint64_t b = 0;
+    for (const auto& t : tables) b += t.bytes();
+    return b;
+  }
+  /// Multiply-accumulates per inference through the MLP (including the
+  /// final scalar output layer).
+  uint64_t MlpMacs() const {
+    uint64_t macs = 0;
+    uint64_t in = ConcatDim();
+    for (uint32_t h : hidden_layers) {
+      macs += in * h;
+      in = h;
+    }
+    macs += in;  // output neuron
+    return macs;
+  }
+};
+
+/// Builds a production-shaped model: `num_tables` tables with log-uniform
+/// cardinalities in [min_rows, max_rows] (a few huge, many small — the
+/// skew that makes SRAM caching and Cartesian products effective) and a
+/// common embedding dim. Deterministic in `seed`.
+RecModel MakeTypicalModel(size_t num_tables, uint64_t seed,
+                          uint64_t min_rows = 100,
+                          uint64_t max_rows = 2'000'000, uint32_t dim = 16);
+
+}  // namespace fpgadp::microrec
+
+#endif  // FPGADP_MICROREC_MODEL_H_

@@ -1,0 +1,104 @@
+#ifndef FPGADP_NET_FABRIC_H_
+#define FPGADP_NET_FABRIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/module.h"
+#include "src/sim/stream.h"
+
+namespace fpgadp::net {
+
+/// RDMA-style operation kinds carried on the wire.
+enum class OpKind : uint8_t {
+  kSend = 0,      ///< Two-sided send (consumed by a matching receive).
+  kReadReq = 1,   ///< One-sided read request (header-only).
+  kReadResp = 2,  ///< Read response carrying the requested payload.
+  kWrite = 3,     ///< One-sided write carrying payload.
+  kWriteAck = 4,  ///< Hardware ACK completing a write.
+  kOffloadReq = 5,  ///< Farview: read-with-offloaded-operator request.
+  kOffloadResp = 6, ///< Farview: filtered/aggregated result payload.
+  kTcpSyn = 7,      ///< TCP session layer: connection request.
+  kTcpSynAck = 8,   ///< TCP session layer: connection accept.
+  kTcpData = 9,     ///< TCP session layer: data segment.
+  kTcpAck = 10,     ///< TCP session layer: cumulative ACK (header-only).
+};
+
+/// A message on the fabric. `bytes` is payload size; the fabric adds the
+/// configured header overhead when computing serialization time. Payload
+/// contents travel functionally (the endpoint that created the packet and
+/// the one consuming it share process memory), the fabric models time.
+struct Packet {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  OpKind kind = OpKind::kSend;
+  uint64_t tag = 0;
+  uint64_t addr = 0;   ///< Remote address for READ/WRITE.
+  uint64_t bytes = 0;  ///< Payload bytes.
+  uint64_t user = 0;   ///< Opaque field for upper layers (e.g. descriptor id).
+  uint64_t user2 = 0;  ///< Second opaque field (e.g. a KV value).
+};
+
+/// A single-switch 100 Gbps fabric connecting `num_nodes` endpoints — the
+/// shape of the HACC cluster the tutorial describes. Models, per packet:
+/// sender NIC serialization, propagation + switching latency, and receiver
+/// NIC serialization; each NIC port is a serialized resource, so incasts
+/// queue at the receiver exactly as they would on real hardware.
+class Fabric : public sim::Module {
+ public:
+  struct Config {
+    double bits_per_sec = 100e9;   ///< Port line rate.
+    double clock_hz = 200e6;       ///< Kernel clock domain of the simulation.
+    double wire_latency_ns = 1000; ///< One-way wire + switch latency.
+    uint32_t header_bytes = 64;    ///< Per-packet framing overhead.
+  };
+
+  Fabric(std::string name, uint32_t num_nodes, const Config& config);
+
+  /// Stream a node writes its outgoing packets to.
+  sim::Stream<Packet>& egress(uint32_t node) { return *egress_[node]; }
+  /// Stream a node reads its incoming packets from.
+  sim::Stream<Packet>& ingress(uint32_t node) { return *ingress_[node]; }
+
+  /// Registers the fabric module and all port streams with `engine`.
+  void RegisterWith(sim::Engine& engine);
+
+  void Tick(sim::Cycle cycle) override;
+  bool Idle() const override { return in_flight_ == 0; }
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(egress_.size()); }
+  uint64_t packets_delivered() const { return packets_delivered_; }
+  uint64_t payload_bytes_delivered() const { return payload_bytes_delivered_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct InFlight {
+    sim::Cycle deliver_at;
+    Packet packet;
+    bool operator>(const InFlight& o) const { return deliver_at > o.deliver_at; }
+  };
+
+  uint64_t SerializationCycles(uint64_t payload_bytes) const;
+
+  Config config_;
+  double bytes_per_cycle_;
+  uint64_t wire_latency_cycles_;
+  std::vector<std::unique_ptr<sim::Stream<Packet>>> egress_;
+  std::vector<std::unique_ptr<sim::Stream<Packet>>> ingress_;
+  std::vector<sim::Cycle> tx_free_;
+  std::vector<sim::Cycle> rx_free_;
+  std::vector<std::priority_queue<InFlight, std::vector<InFlight>,
+                                  std::greater<InFlight>>>
+      arriving_;  // per destination
+  uint64_t in_flight_ = 0;
+  uint64_t packets_delivered_ = 0;
+  uint64_t payload_bytes_delivered_ = 0;
+};
+
+}  // namespace fpgadp::net
+
+#endif  // FPGADP_NET_FABRIC_H_

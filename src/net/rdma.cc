@@ -1,0 +1,133 @@
+#include "src/net/rdma.h"
+
+#include "src/common/check.h"
+
+namespace fpgadp::net {
+
+RdmaEndpoint::RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric)
+    : sim::Module(std::move(name)), node_id_(node_id), fabric_(fabric) {
+  FPGADP_CHECK(fabric_ != nullptr);
+  FPGADP_CHECK(node_id_ < fabric_->num_nodes());
+}
+
+void RdmaEndpoint::PostSend(uint32_t dst, uint64_t bytes, uint64_t tag,
+                            uint64_t user) {
+  Packet p;
+  p.src = node_id_;
+  p.dst = dst;
+  p.kind = OpKind::kSend;
+  p.bytes = bytes;
+  p.tag = tag;
+  p.user = user;
+  outbox_.push_back(p);
+}
+
+void RdmaEndpoint::PostRead(uint32_t dst, uint64_t addr, uint64_t bytes,
+                            uint64_t tag) {
+  Packet p;
+  p.src = node_id_;
+  p.dst = dst;
+  p.kind = OpKind::kReadReq;
+  p.addr = addr;
+  p.bytes = 0;  // header-only on the wire; `user` remembers requested size
+  p.user = bytes;
+  p.tag = tag;
+  outbox_.push_back(p);
+}
+
+void RdmaEndpoint::PostWrite(uint32_t dst, uint64_t addr, uint64_t bytes,
+                             uint64_t tag) {
+  Packet p;
+  p.src = node_id_;
+  p.dst = dst;
+  p.kind = OpKind::kWrite;
+  p.addr = addr;
+  p.bytes = bytes;
+  p.tag = tag;
+  outbox_.push_back(p);
+}
+
+void RdmaEndpoint::PostPacket(Packet p) {
+  p.src = node_id_;
+  outbox_.push_back(p);
+}
+
+bool RdmaEndpoint::PollCompletion(Completion* out) {
+  if (cq_.empty()) return false;
+  *out = cq_.front();
+  cq_.pop_front();
+  return true;
+}
+
+bool RdmaEndpoint::PollRecv(Packet* out) {
+  if (rq_.empty()) return false;
+  *out = rq_.front();
+  rq_.pop_front();
+  return true;
+}
+
+void RdmaEndpoint::Tick(sim::Cycle cycle) {
+  bool progressed = false;
+  auto& eg = fabric_->egress(node_id_);
+  // Ship posted work requests to the NIC.
+  while (!outbox_.empty() && eg.CanWrite()) {
+    Packet p = outbox_.front();
+    outbox_.pop_front();
+    eg.Write(p);
+    if (p.kind == OpKind::kSend) {
+      // Local send completion: the message left the NIC.
+      cq_.push_back({p.tag, OpKind::kSend, p.dst, p.bytes, cycle});
+    }
+    progressed = true;
+  }
+  // Service arrivals.
+  auto& ig = fabric_->ingress(node_id_);
+  while (ig.CanRead()) {
+    Packet p = ig.Read();
+    progressed = true;
+    switch (p.kind) {
+      case OpKind::kReadReq: {
+        // NIC answers autonomously with the payload.
+        Packet resp;
+        resp.src = node_id_;
+        resp.dst = p.src;
+        resp.kind = OpKind::kReadResp;
+        resp.addr = p.addr;
+        resp.bytes = p.user;  // requested size
+        resp.tag = p.tag;
+        outbox_.push_back(resp);
+        break;
+      }
+      case OpKind::kReadResp:
+        cq_.push_back({p.tag, OpKind::kReadResp, p.src, p.bytes, cycle});
+        break;
+      case OpKind::kWrite: {
+        Packet ack;
+        ack.src = node_id_;
+        ack.dst = p.src;
+        ack.kind = OpKind::kWriteAck;
+        ack.bytes = 0;
+        ack.tag = p.tag;
+        outbox_.push_back(ack);
+        break;
+      }
+      case OpKind::kWriteAck:
+        cq_.push_back({p.tag, OpKind::kWriteAck, p.src, p.bytes, cycle});
+        break;
+      case OpKind::kSend:
+      case OpKind::kOffloadReq:
+      case OpKind::kOffloadResp:
+      case OpKind::kTcpSyn:
+      case OpKind::kTcpSynAck:
+      case OpKind::kTcpData:
+      case OpKind::kTcpAck:
+        // TCP kinds only appear when a TcpStack owns the port; surfacing
+        // them in the receive queue keeps misconfigurations observable.
+        rq_.push_back(p);
+        break;
+    }
+  }
+  if (progressed) MarkBusy();
+}
+
+}  // namespace fpgadp::net

@@ -1,0 +1,68 @@
+#ifndef FPGADP_NET_RDMA_H_
+#define FPGADP_NET_RDMA_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/net/fabric.h"
+#include "src/sim/module.h"
+
+namespace fpgadp::net {
+
+/// A completed verb, polled from the endpoint's completion queue.
+struct Completion {
+  uint64_t tag = 0;
+  OpKind kind = OpKind::kSend;
+  uint32_t peer = 0;
+  uint64_t bytes = 0;
+  sim::Cycle at = 0;  ///< Cycle at which the completion was generated.
+};
+
+/// Verbs-style RDMA endpoint ("one queue pair per peer" collapsed into a
+/// single QP, which is what the open-source FPGA RDMA stacks the tutorial
+/// cites expose to HLS kernels). Reliable-connection semantics:
+///
+///  * PostSend   — two-sided; remote side receives a Packet, local side
+///                 completes when the NIC serializes the message.
+///  * PostRead   — one-sided; header-only request travels to the target,
+///                 whose NIC answers with the payload autonomously (no
+///                 remote CPU/kernel involvement); completes on data arrival.
+///  * PostWrite  — one-sided; payload travels out, hardware ACK completes it.
+///
+/// Packets of kind kOffloadReq/kOffloadResp are *not* auto-answered; they
+/// surface in the receive queue for an upper layer (Farview) to serve.
+class RdmaEndpoint : public sim::Module {
+ public:
+  RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric);
+
+  /// Posts verbs; safe to call before Run() or from another module's Tick().
+  void PostSend(uint32_t dst, uint64_t bytes, uint64_t tag, uint64_t user = 0);
+  void PostRead(uint32_t dst, uint64_t addr, uint64_t bytes, uint64_t tag);
+  void PostWrite(uint32_t dst, uint64_t addr, uint64_t bytes, uint64_t tag);
+  /// Posts a raw packet (used by upper layers for offload protocols).
+  void PostPacket(Packet p);
+
+  /// Pops one completion if available.
+  bool PollCompletion(Completion* out);
+  /// Pops one received message (kSend / kOffloadReq / kOffloadResp).
+  bool PollRecv(Packet* out);
+
+  size_t completions_available() const { return cq_.size(); }
+  size_t recv_available() const { return rq_.size(); }
+  uint32_t node_id() const { return node_id_; }
+
+  void Tick(sim::Cycle cycle) override;
+  bool Idle() const override { return outbox_.empty(); }
+
+ private:
+  uint32_t node_id_;
+  Fabric* fabric_;
+  std::deque<Packet> outbox_;
+  std::deque<Completion> cq_;
+  std::deque<Packet> rq_;
+};
+
+}  // namespace fpgadp::net
+
+#endif  // FPGADP_NET_RDMA_H_

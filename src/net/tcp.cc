@@ -1,0 +1,155 @@
+#include "src/net/tcp.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fpgadp::net {
+
+TcpStack::TcpStack(std::string name, uint32_t node_id, Fabric* fabric,
+                   const Config& config)
+    : sim::Module(std::move(name)), node_id_(node_id), fabric_(fabric),
+      config_(config) {
+  FPGADP_CHECK(fabric_ != nullptr);
+  FPGADP_CHECK(node_id_ < fabric_->num_nodes());
+  FPGADP_CHECK(config_.mss_bytes > 0 && config_.window_bytes > 0);
+}
+
+TcpStack::TcpStack(std::string name, uint32_t node_id, Fabric* fabric)
+    : TcpStack(std::move(name), node_id, fabric, Config()) {}
+
+void TcpStack::Connect(uint32_t peer) {
+  Connection& c = Conn(peer);
+  if (c.established || c.syn_sent) return;
+  c.syn_sent = true;  // SYN goes out on the next Tick
+}
+
+bool TcpStack::Connected(uint32_t peer) const {
+  auto it = conns_.find(peer);
+  return it != conns_.end() && it->second.established;
+}
+
+void TcpStack::Send(uint32_t peer, uint64_t bytes) {
+  Connect(peer);
+  Conn(peer).tx_pending += bytes;
+}
+
+uint64_t TcpStack::Readable(uint32_t peer) const {
+  auto it = conns_.find(peer);
+  return it == conns_.end() ? 0 : it->second.rx_available;
+}
+
+uint64_t TcpStack::Read(uint32_t peer, uint64_t max_bytes) {
+  Connection& c = Conn(peer);
+  const uint64_t take = std::min(max_bytes, c.rx_available);
+  c.rx_available -= take;
+  return take;
+}
+
+void TcpStack::Tick(sim::Cycle) {
+  bool progressed = false;
+  auto& eg = fabric_->egress(node_id_);
+  auto& ig = fabric_->ingress(node_id_);
+
+  // Service arrivals.
+  while (ig.CanRead()) {
+    Packet p = ig.Read();
+    progressed = true;
+    Connection& c = Conn(p.src);
+    switch (p.kind) {
+      case OpKind::kTcpSyn: {
+        // Passive open: accept and reply (deferred if the port is busy).
+        Packet ack;
+        ack.src = node_id_;
+        ack.dst = p.src;
+        ack.kind = OpKind::kTcpSynAck;
+        c.established = true;
+        if (eg.CanWrite()) {
+          eg.Write(ack);
+        } else {
+          pending_acks_.push_back(ack);
+        }
+        break;
+      }
+      case OpKind::kTcpSynAck:
+        c.established = true;
+        c.syn_sent = false;
+        break;
+      case OpKind::kTcpData: {
+        c.established = true;  // data implies the peer saw our SYN-ACK
+        c.rx_available += p.bytes;
+        Packet ack;
+        ack.src = node_id_;
+        ack.dst = p.src;
+        ack.kind = OpKind::kTcpAck;
+        ack.user = p.bytes;  // bytes being acknowledged
+        if (eg.CanWrite()) {
+          eg.Write(ack);
+        } else {
+          // Defer the ACK by crediting it back next cycle.
+          pending_acks_.push_back(ack);
+        }
+        break;
+      }
+      case OpKind::kTcpAck:
+        FPGADP_CHECK(c.in_flight >= p.user);
+        c.in_flight -= p.user;
+        bytes_acked_ += p.user;
+        break;
+      default:
+        // Non-TCP traffic on a TCP-owned port is a wiring bug.
+        FPGADP_CHECK(false);
+    }
+  }
+
+  // Flush deferred ACKs.
+  while (!pending_acks_.empty() && eg.CanWrite()) {
+    eg.Write(pending_acks_.front());
+    pending_acks_.pop_front();
+    progressed = true;
+  }
+
+  // Transmit: handshakes first, then window-limited data segments.
+  for (auto& [peer, c] : conns_) {
+    if (c.syn_sent && !c.established) {
+      if (!syn_emitted_.count(peer) && eg.CanWrite()) {
+        Packet syn;
+        syn.src = node_id_;
+        syn.dst = peer;
+        syn.kind = OpKind::kTcpSyn;
+        eg.Write(syn);
+        syn_emitted_.insert(peer);
+        progressed = true;
+      }
+      continue;
+    }
+    while (c.established && c.tx_pending > 0 &&
+           c.in_flight + config_.mss_bytes <= config_.window_bytes &&
+           eg.CanWrite()) {
+      const uint64_t seg =
+          std::min<uint64_t>(config_.mss_bytes, c.tx_pending);
+      Packet data;
+      data.src = node_id_;
+      data.dst = peer;
+      data.kind = OpKind::kTcpData;
+      data.bytes = seg;
+      eg.Write(data);
+      c.tx_pending -= seg;
+      c.in_flight += seg;
+      ++segments_sent_;
+      progressed = true;
+    }
+  }
+  if (progressed) MarkBusy();
+}
+
+bool TcpStack::Idle() const {
+  if (!pending_acks_.empty()) return false;
+  for (const auto& [peer, c] : conns_) {
+    if (c.tx_pending > 0 || c.in_flight > 0) return false;
+    if (c.syn_sent && !c.established) return false;
+  }
+  return true;
+}
+
+}  // namespace fpgadp::net

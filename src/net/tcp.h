@@ -1,0 +1,90 @@
+#ifndef FPGADP_NET_TCP_H_
+#define FPGADP_NET_TCP_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/net/fabric.h"
+#include "src/sim/module.h"
+
+namespace fpgadp::net {
+
+/// An EasyNet/Limago-style hardware TCP session layer (the 100 Gbps
+/// TCP/IP stacks the tutorial cites, over which ACCL runs its
+/// collectives). One stack per node; one connection per peer. Provides
+/// reliable, in-order byte streams with:
+///
+///  * a 3-way-ish handshake (SYN / SYN-ACK) paying one RTT,
+///  * MSS-sized segments, each with per-packet header overhead,
+///  * a fixed receive window limiting unacknowledged bytes in flight
+///    (throughput = min(line rate, window/RTT) — why the FPGA stacks ship
+///    large on-chip buffers),
+///  * per-segment cumulative ACKs (header-only packets).
+///
+/// The loss-free fabric never reorders within a (src,dst) pair, so
+/// retransmission logic is not modeled.
+class TcpStack : public sim::Module {
+ public:
+  struct Config {
+    uint32_t mss_bytes = 4096;        ///< Segment payload size.
+    uint64_t window_bytes = 256 * 1024;  ///< Receive window / in-flight cap.
+  };
+
+  TcpStack(std::string name, uint32_t node_id, Fabric* fabric,
+           const Config& config);
+
+  /// Convenience overload with default session parameters.
+  TcpStack(std::string name, uint32_t node_id, Fabric* fabric);
+
+  /// Opens (or returns) the connection to `peer`. Actively sends SYN; the
+  /// peer's stack accepts passively. Data queued before establishment is
+  /// held until the handshake completes.
+  void Connect(uint32_t peer);
+
+  /// True once the handshake with `peer` finished.
+  bool Connected(uint32_t peer) const;
+
+  /// Queues `bytes` for transmission to `peer` (auto-connects).
+  void Send(uint32_t peer, uint64_t bytes);
+
+  /// Bytes received in order from `peer` and not yet consumed.
+  uint64_t Readable(uint32_t peer) const;
+
+  /// Consumes up to `max_bytes` from `peer`'s stream; returns the amount.
+  uint64_t Read(uint32_t peer, uint64_t max_bytes);
+
+  void Tick(sim::Cycle cycle) override;
+  bool Idle() const override;
+
+  uint32_t node_id() const { return node_id_; }
+  uint64_t segments_sent() const { return segments_sent_; }
+  uint64_t bytes_acked() const { return bytes_acked_; }
+
+ private:
+  struct Connection {
+    bool established = false;
+    bool syn_sent = false;
+    uint64_t tx_pending = 0;   ///< Bytes queued, not yet segmented.
+    uint64_t in_flight = 0;    ///< Sent but unacked bytes.
+    uint64_t rx_available = 0; ///< In-order bytes awaiting Read().
+  };
+
+  Connection& Conn(uint32_t peer) { return conns_[peer]; }
+
+  uint32_t node_id_;
+  Fabric* fabric_;
+  Config config_;
+  std::map<uint32_t, Connection> conns_;
+  std::deque<Packet> pending_acks_;  ///< ACK/SYN-ACK deferred by port pressure.
+  std::set<uint32_t> syn_emitted_;   ///< Peers whose SYN already left.
+  uint64_t segments_sent_ = 0;
+  uint64_t bytes_acked_ = 0;
+};
+
+}  // namespace fpgadp::net
+
+#endif  // FPGADP_NET_TCP_H_

@@ -1,0 +1,69 @@
+#ifndef FPGADP_RELATIONAL_AGG_STATE_H_
+#define FPGADP_RELATIONAL_AGG_STATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "src/relational/program.h"
+
+namespace fpgadp::rel {
+
+/// Running aggregate state shared by the CPU executor and the FPGA
+/// aggregation kernels (identical math guarantees bit-identical results,
+/// which the integration tests assert).
+struct AggState {
+  int64_t isum = 0;
+  double dsum = 0;
+  int64_t imin = std::numeric_limits<int64_t>::max();
+  int64_t imax = std::numeric_limits<int64_t>::min();
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = -std::numeric_limits<double>::infinity();
+  uint64_t count = 0;
+
+  void Add(const Row& row, const AggregateOp& op) {
+    ++count;
+    if (op.kind == AggKind::kCount) return;
+    if (op.is_double) {
+      const double v = row.GetDouble(op.column);
+      dsum += v;
+      dmin = std::min(dmin, v);
+      dmax = std::max(dmax, v);
+    } else {
+      const int64_t v = row.Get(op.column);
+      isum += v;
+      imin = std::min(imin, v);
+      imax = std::max(imax, v);
+    }
+  }
+
+  /// Writes the final aggregate into slot `slot` of `out`.
+  void Finish(const AggregateOp& op, Row& out, size_t slot) const {
+    switch (op.kind) {
+      case AggKind::kSum:
+        if (op.is_double) out.SetDouble(slot, dsum);
+        else out.Set(slot, isum);
+        break;
+      case AggKind::kMin:
+        if (op.is_double) out.SetDouble(slot, dmin);
+        else out.Set(slot, imin);
+        break;
+      case AggKind::kMax:
+        if (op.is_double) out.SetDouble(slot, dmax);
+        else out.Set(slot, imax);
+        break;
+      case AggKind::kCount:
+        out.Set(slot, static_cast<int64_t>(count));
+        break;
+      case AggKind::kAvg: {
+        const double total = op.is_double ? dsum : static_cast<double>(isum);
+        out.SetDouble(slot, count == 0 ? 0.0 : total / double(count));
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace fpgadp::rel
+
+#endif  // FPGADP_RELATIONAL_AGG_STATE_H_

@@ -1,0 +1,72 @@
+#include "src/relational/cipher.h"
+
+#include <bit>
+#include <cstring>
+
+namespace fpgadp::rel {
+
+namespace {
+void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+uint32_t Load32Le(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;  // x86 is little-endian; fine for this codebase's targets
+}
+}  // namespace
+
+ChaCha20::ChaCha20(const std::array<uint8_t, 32>& key,
+                   const std::array<uint8_t, 12>& nonce,
+                   uint32_t initial_counter)
+    : initial_counter_(initial_counter) {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = Load32Le(key.data() + 4 * i);
+  state_[12] = 0;  // counter, set per block
+  for (int i = 0; i < 3; ++i) state_[13 + i] = Load32Le(nonce.data() + 4 * i);
+}
+
+std::array<uint8_t, 64> ChaCha20::KeystreamBlock(uint32_t counter) const {
+  std::array<uint32_t, 16> x = state_;
+  x[12] = counter;
+  std::array<uint32_t, 16> w = x;
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(w[0], w[4], w[8], w[12]);
+    QuarterRound(w[1], w[5], w[9], w[13]);
+    QuarterRound(w[2], w[6], w[10], w[14]);
+    QuarterRound(w[3], w[7], w[11], w[15]);
+    QuarterRound(w[0], w[5], w[10], w[15]);
+    QuarterRound(w[1], w[6], w[11], w[12]);
+    QuarterRound(w[2], w[7], w[8], w[13]);
+    QuarterRound(w[3], w[4], w[9], w[14]);
+  }
+  std::array<uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t v = w[i] + x[i];
+    std::memcpy(out.data() + 4 * i, &v, 4);
+  }
+  return out;
+}
+
+void ChaCha20::Apply(std::vector<uint8_t>& data) {
+  size_t pos = 0;
+  while (pos < data.size()) {
+    const uint32_t block =
+        initial_counter_ + static_cast<uint32_t>(stream_pos_ / 64);
+    const size_t in_block = stream_pos_ % 64;
+    const std::array<uint8_t, 64> ks = KeystreamBlock(block);
+    const size_t chunk = std::min<size_t>(64 - in_block, data.size() - pos);
+    for (size_t i = 0; i < chunk; ++i) data[pos + i] ^= ks[in_block + i];
+    pos += chunk;
+    stream_pos_ += chunk;
+  }
+}
+
+}  // namespace fpgadp::rel

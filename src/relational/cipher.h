@@ -1,0 +1,44 @@
+#ifndef FPGADP_RELATIONAL_CIPHER_H_
+#define FPGADP_RELATIONAL_CIPHER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace fpgadp::rel {
+
+/// ChaCha20 stream cipher (RFC 8439 block function), the stand-in for the
+/// AES-CTR engines database accelerators ship [6]: a keystream generator
+/// XORed over the data, trivially pipelined on an FPGA because consecutive
+/// blocks are independent. Encryption and decryption are the same
+/// operation.
+class ChaCha20 {
+ public:
+  /// 256-bit key, 96-bit nonce.
+  ChaCha20(const std::array<uint8_t, 32>& key,
+           const std::array<uint8_t, 12>& nonce, uint32_t initial_counter = 0);
+
+  /// XORs the keystream over `data` in place, continuing from the current
+  /// stream position (byte-exact: chunked calls produce the same stream as
+  /// one call over the concatenation).
+  void Apply(std::vector<uint8_t>& data);
+
+  /// Convenience: returns the transformed copy.
+  std::vector<uint8_t> Transform(std::vector<uint8_t> data) {
+    Apply(data);
+    return data;
+  }
+
+  /// Raw 64-byte keystream block for `counter` (exposed for tests against
+  /// the RFC 8439 vectors).
+  std::array<uint8_t, 64> KeystreamBlock(uint32_t counter) const;
+
+ private:
+  std::array<uint32_t, 16> state_;
+  uint32_t initial_counter_;
+  uint64_t stream_pos_ = 0;  ///< Bytes of keystream consumed so far.
+};
+
+}  // namespace fpgadp::rel
+
+#endif  // FPGADP_RELATIONAL_CIPHER_H_

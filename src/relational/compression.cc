@@ -1,0 +1,173 @@
+#include "src/relational/compression.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fpgadp::rel {
+
+std::vector<uint8_t> RleEncode(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    const uint8_t v = input[i];
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == v && run < 255) ++run;
+    out.push_back(static_cast<uint8_t>(run));
+    out.push_back(v);
+    i += run;
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> RleDecode(const std::vector<uint8_t>& encoded) {
+  if (encoded.size() % 2 != 0) {
+    return Status::InvalidArgument("RLE stream truncated");
+  }
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i < encoded.size(); i += 2) {
+    const uint8_t run = encoded[i];
+    if (run == 0) return Status::InvalidArgument("RLE run of length 0");
+    out.insert(out.end(), run, encoded[i + 1]);
+  }
+  return out;
+}
+
+DictEncoded DictEncode(const std::vector<int64_t>& column) {
+  DictEncoded out;
+  std::unordered_map<int64_t, uint32_t> index;
+  out.codes.reserve(column.size());
+  for (int64_t v : column) {
+    auto [it, inserted] =
+        index.emplace(v, static_cast<uint32_t>(out.dictionary.size()));
+    if (inserted) out.dictionary.push_back(v);
+    out.codes.push_back(it->second);
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> DictDecode(const DictEncoded& encoded) {
+  std::vector<int64_t> out;
+  out.reserve(encoded.codes.size());
+  for (uint32_t code : encoded.codes) {
+    if (code >= encoded.dictionary.size()) {
+      return Status::InvalidArgument("dictionary code out of range");
+    }
+    out.push_back(encoded.dictionary[code]);
+  }
+  return out;
+}
+
+namespace {
+constexpr size_t kWindow = 4096;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;
+constexpr int kMaxChainProbes = 32;
+
+uint32_t Prefix3(const uint8_t* p) {
+  return (uint32_t(p[0]) << 16) | (uint32_t(p[1]) << 8) | p[2];
+}
+}  // namespace
+
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  const size_t n = input.size();
+  // Hash-chain match finder over 3-byte prefixes.
+  std::unordered_map<uint32_t, int64_t> head;
+  std::vector<int64_t> prev(n, -1);
+
+  size_t pos = 0;
+  std::vector<uint8_t> tokens;  // staged token bytes for the current flag
+  uint8_t flags = 0;
+  int flag_bits = 0;
+
+  auto flush = [&]() {
+    if (flag_bits == 0) return;
+    out.push_back(flags);
+    out.insert(out.end(), tokens.begin(), tokens.end());
+    tokens.clear();
+    flags = 0;
+    flag_bits = 0;
+  };
+
+  auto insert_pos = [&](size_t p) {
+    if (p + kMinMatch > n) return;
+    const uint32_t h = Prefix3(input.data() + p);
+    auto it = head.find(h);
+    prev[p] = (it == head.end()) ? -1 : it->second;
+    head[h] = static_cast<int64_t>(p);
+  };
+
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (pos + kMinMatch <= n) {
+      const uint32_t h = Prefix3(input.data() + pos);
+      auto it = head.find(h);
+      int64_t cand = (it == head.end()) ? -1 : it->second;
+      int probes = 0;
+      while (cand >= 0 && probes < kMaxChainProbes) {
+        const size_t dist = pos - static_cast<size_t>(cand);
+        if (dist >= kWindow) break;  // chain is ordered by position
+        const size_t limit = std::min(kMaxMatch, n - pos);
+        size_t len = 0;
+        while (len < limit && input[cand + len] == input[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == kMaxMatch) break;
+        }
+        cand = prev[cand];
+        ++probes;
+      }
+    }
+    if (best_len >= kMinMatch) {
+      // Match token: bit 0.
+      tokens.push_back(static_cast<uint8_t>(best_dist & 0xFF));
+      tokens.push_back(static_cast<uint8_t>(((best_dist >> 8) & 0x0F) << 4 |
+                                            (best_len - kMinMatch)));
+      ++flag_bits;
+      for (size_t k = 0; k < best_len; ++k) insert_pos(pos + k);
+      pos += best_len;
+    } else {
+      // Literal token: bit 1.
+      flags |= uint8_t(1u << flag_bits);
+      tokens.push_back(input[pos]);
+      ++flag_bits;
+      insert_pos(pos);
+      ++pos;
+    }
+    if (flag_bits == 8) flush();
+  }
+  flush();
+  return out;
+}
+
+Result<std::vector<uint8_t>> LzDecompress(const std::vector<uint8_t>& encoded) {
+  std::vector<uint8_t> out;
+  size_t pos = 0;
+  while (pos < encoded.size()) {
+    const uint8_t flags = encoded[pos++];
+    for (int bit = 0; bit < 8 && pos < encoded.size(); ++bit) {
+      if (flags & (1u << bit)) {
+        out.push_back(encoded[pos++]);
+      } else {
+        if (pos + 2 > encoded.size()) {
+          return Status::InvalidArgument("LZ match token truncated");
+        }
+        const uint8_t b0 = encoded[pos++];
+        const uint8_t b1 = encoded[pos++];
+        const size_t dist = (size_t(b1 >> 4) << 8) | b0;
+        const size_t len = (b1 & 0x0F) + kMinMatch;
+        if (dist == 0 || dist > out.size()) {
+          return Status::InvalidArgument("LZ match distance out of range");
+        }
+        for (size_t k = 0; k < len; ++k) {
+          out.push_back(out[out.size() - dist]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fpgadp::rel

@@ -1,0 +1,42 @@
+#ifndef FPGADP_RELATIONAL_COMPRESSION_H_
+#define FPGADP_RELATIONAL_COMPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace fpgadp::rel {
+
+/// Byte-level run-length encoding: (count, value) pairs with count in
+/// [1, 255]. The simplest line-rate codec — one byte in, amortized <1 byte
+/// out per cycle on hardware.
+std::vector<uint8_t> RleEncode(const std::vector<uint8_t>& input);
+
+/// Inverse of RleEncode. Returns InvalidArgument on truncated input.
+Result<std::vector<uint8_t>> RleDecode(const std::vector<uint8_t>& encoded);
+
+/// Dictionary encoding of an int64 column: distinct values (in first-seen
+/// order) plus per-row codes. The layout HANA-style column stores ship to
+/// the accelerator [6].
+struct DictEncoded {
+  std::vector<int64_t> dictionary;
+  std::vector<uint32_t> codes;
+};
+DictEncoded DictEncode(const std::vector<int64_t>& column);
+
+/// Inverse of DictEncode. Returns InvalidArgument on out-of-range codes.
+Result<std::vector<int64_t>> DictDecode(const DictEncoded& encoded);
+
+/// LZ-style (LZSS) byte compressor with a 4 KiB sliding window and 3..18
+/// byte matches — the shape of the FPGA-friendly LZ77 variants used in
+/// database compression offload. Format: a flag byte announcing 8 tokens
+/// (bit=1: literal byte; bit=0: 2-byte match of (offset:12, len-3:4)).
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input);
+
+/// Inverse of LzCompress. Returns InvalidArgument on malformed input.
+Result<std::vector<uint8_t>> LzDecompress(const std::vector<uint8_t>& encoded);
+
+}  // namespace fpgadp::rel
+
+#endif  // FPGADP_RELATIONAL_COMPRESSION_H_

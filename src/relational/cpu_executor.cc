@@ -1,0 +1,146 @@
+#include "src/relational/cpu_executor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/relational/agg_state.h"
+
+namespace fpgadp::rel {
+
+Table FilterCpu(const FilterOp& op, const Table& input) {
+  Table out(input.schema());
+  for (const Row& r : input.rows()) {
+    bool keep = true;
+    for (const Predicate& p : op.conjuncts) {
+      if (!p.Eval(r)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.Append(r);
+  }
+  return out;
+}
+
+Table ProjectCpu(const ProjectOp& op, const Table& input) {
+  std::vector<Field> fields;
+  for (uint32_t c : op.columns) fields.push_back(input.schema().field(c));
+  Table out(Schema(std::move(fields)));
+  out.Reserve(input.num_rows());
+  for (const Row& r : input.rows()) {
+    Row projected;
+    for (size_t i = 0; i < op.columns.size(); ++i) {
+      projected.Set(i, r.Get(op.columns[i]));
+    }
+    out.Append(projected);
+  }
+  return out;
+}
+
+Table AggregateCpu(const AggregateOp& op, const Table& input) {
+  AggState state;
+  for (const Row& r : input.rows()) state.Add(r, op);
+  Program helper;
+  helper.ops.push_back(op);
+  Table out(helper.OutputSchema(input.schema()));
+  Row result;
+  state.Finish(op, result, 0);
+  out.Append(result);
+  return out;
+}
+
+Table GroupByCpu(const GroupByOp& op, const Table& input) {
+  std::map<int64_t, AggState> groups;  // ordered => canonical output
+  for (const Row& r : input.rows()) {
+    groups[r.Get(op.group_column)].Add(r, op.agg);
+  }
+  Program helper;
+  helper.ops.push_back(op);
+  Table out(helper.OutputSchema(input.schema()));
+  for (const auto& [key, state] : groups) {
+    Row r;
+    r.Set(0, key);
+    state.Finish(op.agg, r, 1);
+    out.Append(r);
+  }
+  return out;
+}
+
+Table TopNCpu(const TopNOp& op, const Table& input) {
+  // Stable sort keeps arrival order on ties, matching the systolic queue.
+  std::vector<size_t> order(input.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto key_less = [&](size_t a, size_t b) {
+    if (op.is_double) {
+      const double ka = input.row(a).GetDouble(op.order_column);
+      const double kb = input.row(b).GetDouble(op.order_column);
+      return op.ascending ? ka < kb : ka > kb;
+    }
+    const int64_t ka = input.row(a).Get(op.order_column);
+    const int64_t kb = input.row(b).Get(op.order_column);
+    return op.ascending ? ka < kb : ka > kb;
+  };
+  std::stable_sort(order.begin(), order.end(), key_less);
+  Table out(input.schema());
+  const size_t n = std::min<size_t>(op.n, order.size());
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) out.Append(input.row(order[i]));
+  return out;
+}
+
+Result<Table> ExecuteCpu(const Program& program, const Table& input) {
+  // Validate the program (OutputSchema checks column ranges).
+  program.OutputSchema(input.schema());
+  Table current = input;
+  for (const OpDesc& op : program.ops) {
+    if (const auto* f = std::get_if<FilterOp>(&op)) {
+      current = FilterCpu(*f, current);
+    } else if (const auto* p = std::get_if<ProjectOp>(&op)) {
+      current = ProjectCpu(*p, current);
+    } else if (const auto* a = std::get_if<AggregateOp>(&op)) {
+      current = AggregateCpu(*a, current);
+    } else if (const auto* g = std::get_if<GroupByOp>(&op)) {
+      current = GroupByCpu(*g, current);
+    } else if (const auto* t = std::get_if<TopNOp>(&op)) {
+      current = TopNCpu(*t, current);
+    }
+  }
+  return current;
+}
+
+Result<Table> HashJoinCpu(const Table& left, const Table& right,
+                          const JoinSpec& spec) {
+  if (spec.left_key >= left.schema().num_columns()) {
+    return Status::InvalidArgument("left join key out of range");
+  }
+  if (spec.right_key >= right.schema().num_columns()) {
+    return Status::InvalidArgument("right join key out of range");
+  }
+  std::vector<Field> fields = left.schema().fields();
+  for (const Field& f : right.schema().fields()) {
+    if (fields.size() == kMaxColumns) break;
+    fields.push_back(f);
+  }
+  Table out(Schema(std::move(fields)));
+
+  std::unordered_map<int64_t, Row> build;
+  build.reserve(left.num_rows());
+  for (const Row& r : left.rows()) build[r.Get(spec.left_key)] = r;
+
+  const size_t left_cols = left.schema().num_columns();
+  for (const Row& probe : right.rows()) {
+    auto it = build.find(probe.Get(spec.right_key));
+    if (it == build.end()) continue;
+    Row joined = it->second;
+    size_t slot = left_cols;
+    for (size_t c = 0; c < right.schema().num_columns() && slot < kMaxColumns;
+         ++c, ++slot) {
+      joined.Set(slot, probe.Get(c));
+    }
+    out.Append(joined);
+  }
+  return out;
+}
+
+}  // namespace fpgadp::rel

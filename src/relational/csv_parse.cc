@@ -1,0 +1,86 @@
+#include "src/relational/csv_parse.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fpgadp::rel {
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  char buf[64];
+  for (const Row& r : table.rows()) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c) out += ',';
+      if (schema.field(c).type == ColumnType::kDouble) {
+        std::snprintf(buf, sizeof(buf), "%.17g", r.GetDouble(c));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(r.Get(c)));
+      }
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Table> ParseCsv(const Schema& schema, const std::string& text) {
+  Table table(schema);
+  const size_t cols = schema.num_columns();
+  size_t pos = 0;
+  size_t line_no = 1;
+  while (pos < text.size()) {
+    // One record per line.
+    const size_t eol = text.find('\n', pos);
+    const size_t end = eol == std::string::npos ? text.size() : eol;
+    if (end == pos) {  // empty line: skip (trailing newline case)
+      pos = end + 1;
+      ++line_no;
+      continue;
+    }
+    Row row;
+    size_t field_start = pos;
+    size_t col = 0;
+    for (size_t i = pos; i <= end; ++i) {
+      if (i != end && text[i] != ',') continue;
+      if (col >= cols) {
+        return Status::InvalidArgument("too many fields on line " +
+                                       std::to_string(line_no));
+      }
+      const std::string field(text, field_start, i - field_start);
+      char* parse_end = nullptr;
+      errno = 0;
+      if (schema.field(col).type == ColumnType::kDouble) {
+        const double v = std::strtod(field.c_str(), &parse_end);
+        if (parse_end == field.c_str() || *parse_end != '\0' || errno != 0) {
+          return Status::InvalidArgument("bad double on line " +
+                                         std::to_string(line_no));
+        }
+        row.SetDouble(col, v);
+      } else {
+        const long long v = std::strtoll(field.c_str(), &parse_end, 10);
+        if (parse_end == field.c_str() || *parse_end != '\0' || errno != 0) {
+          return Status::InvalidArgument("bad integer on line " +
+                                         std::to_string(line_no));
+        }
+        row.Set(col, v);
+      }
+      ++col;
+      field_start = i + 1;
+    }
+    if (col != cols) {
+      return Status::InvalidArgument("expected " + std::to_string(cols) +
+                                     " fields on line " +
+                                     std::to_string(line_no));
+    }
+    table.Append(row);
+    pos = end + 1;
+    ++line_no;
+  }
+  return table;
+}
+
+}  // namespace fpgadp::rel

@@ -1,0 +1,47 @@
+#ifndef FPGADP_RELATIONAL_CSV_PARSE_H_
+#define FPGADP_RELATIONAL_CSV_PARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/relational/table.h"
+
+namespace fpgadp::rel {
+
+/// Raw-data analysis (ACCORDA, tutorial §1 ref [8]): loading text data is
+/// parse-bound on CPUs, while an FPGA front-end tokenizes and converts at
+/// stream rate before the query pipeline. This module provides the real
+/// parser (used functionally by both sides) plus the accelerator's
+/// throughput model.
+
+/// Renders `table` as CSV text (integers as decimal, doubles with '.'
+/// notation round-trippable via %.17g).
+std::string TableToCsv(const Table& table);
+
+/// Parses CSV text against `schema` (no header row, no quoting — the
+/// machine-generated logs ACCORDA targets). Returns InvalidArgument with
+/// the line number on malformed input.
+Result<Table> ParseCsv(const Schema& schema, const std::string& text);
+
+/// Parse throughput models for E8-style comparisons: the CPU walks bytes
+/// with branchy per-character logic (~0.6 GB/s for numeric CSV); the FPGA
+/// tokenizer processes a full bus word per cycle (64 B @ 200 MHz = 12.8
+/// GB/s) with field conversion pipelined behind it.
+struct ParseCostModel {
+  double cpu_bytes_per_sec = 0.6e9;
+  double fpga_bytes_per_cycle = 64;
+  double fpga_clock_hz = 200e6;
+
+  double CpuSeconds(uint64_t bytes) const {
+    return double(bytes) / cpu_bytes_per_sec;
+  }
+  double FpgaSeconds(uint64_t bytes) const {
+    return double(bytes) / (fpga_bytes_per_cycle * fpga_clock_hz);
+  }
+};
+
+}  // namespace fpgadp::rel
+
+#endif  // FPGADP_RELATIONAL_CSV_PARSE_H_

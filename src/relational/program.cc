@@ -1,0 +1,83 @@
+#include "src/relational/program.h"
+
+namespace fpgadp::rel {
+
+namespace {
+const char* AggName(AggKind k) {
+  switch (k) {
+    case AggKind::kSum: return "sum";
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+    case AggKind::kCount: return "count";
+    case AggKind::kAvg: return "avg";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const OpDesc& op : ops) {
+    if (!out.empty()) out += "|";
+    if (std::holds_alternative<FilterOp>(op)) {
+      out += "filter";
+    } else if (std::holds_alternative<ProjectOp>(op)) {
+      out += "project";
+    } else if (std::holds_alternative<AggregateOp>(op)) {
+      out += std::string("agg(") + AggName(std::get<AggregateOp>(op).kind) + ")";
+    } else if (std::holds_alternative<GroupByOp>(op)) {
+      out += std::string("groupby(") + AggName(std::get<GroupByOp>(op).agg.kind) + ")";
+    } else {
+      out += "topn(" + std::to_string(std::get<TopNOp>(op).n) + ")";
+    }
+  }
+  return out.empty() ? "identity" : out;
+}
+
+Schema Program::OutputSchema(const Schema& input) const {
+  Schema current = input;
+  for (const OpDesc& op : ops) {
+    if (const auto* f = std::get_if<FilterOp>(&op)) {
+      for (const Predicate& p : f->conjuncts) {
+        FPGADP_CHECK(p.column < current.num_columns());
+      }
+      // Filter preserves schema.
+    } else if (const auto* pr = std::get_if<ProjectOp>(&op)) {
+      std::vector<Field> fields;
+      for (uint32_t c : pr->columns) {
+        FPGADP_CHECK(c < current.num_columns());
+        fields.push_back(current.field(c));
+      }
+      current = Schema(std::move(fields));
+    } else if (const auto* a = std::get_if<AggregateOp>(&op)) {
+      FPGADP_CHECK(a->column < current.num_columns() ||
+                   a->kind == AggKind::kCount);
+      const ColumnType out_type =
+          (a->kind == AggKind::kCount)
+              ? ColumnType::kInt64
+              : (a->kind == AggKind::kAvg
+                     ? ColumnType::kDouble
+                     : current.field(a->column).type);
+      current = Schema({{std::string(AggName(a->kind)), out_type}});
+    } else if (const auto* g = std::get_if<GroupByOp>(&op)) {
+      FPGADP_CHECK(g->group_column < current.num_columns());
+      FPGADP_CHECK(g->agg.column < current.num_columns() ||
+                   g->agg.kind == AggKind::kCount);
+      const ColumnType agg_type =
+          (g->agg.kind == AggKind::kCount)
+              ? ColumnType::kInt64
+              : (g->agg.kind == AggKind::kAvg
+                     ? ColumnType::kDouble
+                     : current.field(g->agg.column).type);
+      current = Schema({current.field(g->group_column),
+                        {std::string(AggName(g->agg.kind)), agg_type}});
+    } else if (const auto* t = std::get_if<TopNOp>(&op)) {
+      FPGADP_CHECK(t->order_column < current.num_columns());
+      FPGADP_CHECK(t->n > 0);
+      // Top-N preserves the schema.
+    }
+  }
+  return current;
+}
+
+}  // namespace fpgadp::rel

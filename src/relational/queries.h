@@ -1,0 +1,28 @@
+#ifndef FPGADP_RELATIONAL_QUERIES_H_
+#define FPGADP_RELATIONAL_QUERIES_H_
+
+#include "src/relational/program.h"
+
+namespace fpgadp::rel {
+
+/// Canned operator programs over the synthetic table's schema
+/// (id, key, cat, price:double, qty) — TPC-H-flavoured shapes used across
+/// the Farview and line-rate experiments so the workloads are recognizable.
+
+/// Q1-lite: "pricing summary" — GROUP BY cat, SUM(qty). The classic
+/// full-scan aggregation query.
+Program MakeQ1Lite();
+
+/// Q6-lite: "forecasting revenue change" — a 3-predicate filter
+/// (price in [lo, hi] and qty < max_qty) feeding SUM(price). The classic
+/// selective scan-aggregate.
+Program MakeQ6Lite(double price_lo = 100.0, double price_hi = 500.0,
+                   int64_t max_qty = 24);
+
+/// Top-10 most expensive qualifying rows: filter qty >= min_qty, then
+/// ORDER BY price DESC LIMIT 10 — the Top-N pushdown shape.
+Program MakeTopExpensive(int64_t min_qty = 25, uint32_t n = 10);
+
+}  // namespace fpgadp::rel
+
+#endif  // FPGADP_RELATIONAL_QUERIES_H_

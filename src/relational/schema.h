@@ -1,0 +1,91 @@
+#ifndef FPGADP_RELATIONAL_SCHEMA_H_
+#define FPGADP_RELATIONAL_SCHEMA_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fpgadp::rel {
+
+/// Column value types. Doubles are stored bit-cast into the 64-bit slots of
+/// a Row, the way a 512-bit AXI beat carries a packed tuple on the wire.
+enum class ColumnType { kInt64, kDouble };
+
+/// One column of a schema.
+struct Field {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+};
+
+/// Maximum columns per tuple; a 512-bit bus beat carries 8x64-bit slots,
+/// which is the natural tuple width for the line-rate designs discussed in
+/// the tutorial.
+inline constexpr size_t kMaxColumns = 8;
+
+/// A fixed-width tuple as it travels through FPGA kernels: up to kMaxColumns
+/// 64-bit slots. Unused slots are zero.
+struct Row {
+  std::array<int64_t, kMaxColumns> slots{};
+
+  int64_t Get(size_t col) const { return slots[col]; }
+  void Set(size_t col, int64_t v) { slots[col] = v; }
+
+  double GetDouble(size_t col) const {
+    double d;
+    std::memcpy(&d, &slots[col], sizeof(d));
+    return d;
+  }
+  void SetDouble(size_t col, double v) {
+    std::memcpy(&slots[col], &v, sizeof(v));
+  }
+
+  friend bool operator==(const Row& a, const Row& b) {
+    return a.slots == b.slots;
+  }
+};
+
+/// An ordered list of fields describing a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+    FPGADP_CHECK(fields_.size() <= kMaxColumns);
+  }
+
+  size_t num_columns() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Bytes per tuple on the wire (8 bytes per column, packed).
+  uint64_t row_bytes() const { return fields_.size() * 8; }
+
+  /// Index of the column named `name`, or -1.
+  int FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    if (a.fields_.size() != b.fields_.size()) return false;
+    for (size_t i = 0; i < a.fields_.size(); ++i) {
+      if (a.fields_[i].name != b.fields_[i].name ||
+          a.fields_[i].type != b.fields_[i].type) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace fpgadp::rel
+
+#endif  // FPGADP_RELATIONAL_SCHEMA_H_

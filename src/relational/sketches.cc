@@ -1,0 +1,114 @@
+#include "src/relational/sketches.h"
+
+#include <bit>
+#include <cmath>
+
+namespace fpgadp::rel {
+
+uint64_t Hash64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+HyperLogLog::HyperLogLog(uint32_t precision_bits)
+    : precision_bits_(precision_bits),
+      registers_(1ull << precision_bits, 0) {}
+
+Result<HyperLogLog> HyperLogLog::Create(uint32_t precision_bits) {
+  if (precision_bits < 4 || precision_bits > 16) {
+    return Status::InvalidArgument("HLL precision must be in [4, 16]");
+  }
+  return HyperLogLog(precision_bits);
+}
+
+void HyperLogLog::Add(uint64_t value) {
+  const uint64_t h = Hash64(value);
+  const uint64_t idx = h >> (64 - precision_bits_);
+  const uint64_t rest = h << precision_bits_;
+  // Rank = position of leftmost 1 in the remaining bits, 1-based; all-zero
+  // remainder gets the maximum rank.
+  const int rank =
+      rest == 0 ? int(64 - precision_bits_ + 1) : std::countl_zero(rest) + 1;
+  if (registers_[idx] < rank) registers_[idx] = static_cast<uint8_t>(rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) alpha = 0.673;
+  else if (registers_.size() == 32) alpha = 0.697;
+  else if (registers_.size() == 64) alpha = 0.709;
+  else alpha = 0.7213 / (1.0 + 1.079 / m);
+
+  double sum = 0;
+  uint64_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -r);
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    // Small-range correction: linear counting.
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_bits_ != precision_bits_) {
+    return Status::InvalidArgument("HLL precision mismatch");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) registers_[i] = other.registers_[i];
+  }
+  return Status::OK();
+}
+
+CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed),
+      counters_(static_cast<size_t>(width) * depth, 0) {}
+
+Result<CountMinSketch> CountMinSketch::Create(uint32_t width, uint32_t depth,
+                                              uint64_t seed) {
+  if (width == 0 || depth == 0) {
+    return Status::InvalidArgument("count-min width and depth must be > 0");
+  }
+  return CountMinSketch(width, depth, seed);
+}
+
+uint64_t CountMinSketch::RowHash(uint32_t row, uint64_t key) const {
+  return Hash64(key ^ Hash64(seed_ + row)) % width_;
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  for (uint32_t r = 0; r < depth_; ++r) {
+    counters_[static_cast<size_t>(r) * width_ + RowHash(r, key)] += count;
+  }
+  total_added_ += count;
+}
+
+uint64_t CountMinSketch::EstimateCount(uint64_t key) const {
+  uint64_t best = ~0ull;
+  for (uint32_t r = 0; r < depth_; ++r) {
+    const uint64_t c =
+        counters_[static_cast<size_t>(r) * width_ + RowHash(r, key)];
+    if (c < best) best = c;
+  }
+  return best;
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_ ||
+      other.seed_ != seed_) {
+    return Status::InvalidArgument("count-min sketch shape/seed mismatch");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_added_ += other.total_added_;
+  return Status::OK();
+}
+
+}  // namespace fpgadp::rel

@@ -1,0 +1,78 @@
+#ifndef FPGADP_RELATIONAL_SKETCHES_H_
+#define FPGADP_RELATIONAL_SKETCHES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace fpgadp::rel {
+
+/// 64-bit finalizer-style hash (splitmix64 mixing), the hash the sketch
+/// kernels instantiate in LUTs — cheap, stateless, single-cycle.
+uint64_t Hash64(uint64_t x);
+
+/// HyperLogLog cardinality sketch (Flajolet et al.) — the FPL'20 "HLL on
+/// FPGA" example [24]: one register update per input item, trivially
+/// pipelined at line rate.
+class HyperLogLog {
+ public:
+  /// `precision_bits` in [4, 16]: 2^p registers, error ~ 1.04/sqrt(2^p).
+  static Result<HyperLogLog> Create(uint32_t precision_bits);
+
+  /// Adds one item.
+  void Add(uint64_t value);
+
+  /// Estimated distinct count, with the standard small/large range
+  /// corrections.
+  double Estimate() const;
+
+  /// Merges another sketch with identical precision (register-wise max).
+  Status Merge(const HyperLogLog& other);
+
+  uint32_t precision_bits() const { return precision_bits_; }
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+ private:
+  explicit HyperLogLog(uint32_t precision_bits);
+
+  uint32_t precision_bits_;
+  std::vector<uint8_t> registers_;
+};
+
+/// Count-Min sketch (Cormode & Muthukrishnan) for per-key frequency
+/// estimation at line rate — the Scotch-style sketching example [20].
+class CountMinSketch {
+ public:
+  /// `width` counters per row, `depth` independent rows.
+  static Result<CountMinSketch> Create(uint32_t width, uint32_t depth,
+                                       uint64_t seed = 7);
+
+  /// Adds `count` occurrences of `key`.
+  void Add(uint64_t key, uint64_t count = 1);
+
+  /// Point query: an overestimate of the true count (never an underestimate).
+  uint64_t EstimateCount(uint64_t key) const;
+
+  /// Merges a sketch with identical dimensions and seed.
+  Status Merge(const CountMinSketch& other);
+
+  uint32_t width() const { return width_; }
+  uint32_t depth() const { return depth_; }
+  uint64_t total_added() const { return total_added_; }
+
+ private:
+  CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed);
+
+  uint64_t RowHash(uint32_t row, uint64_t key) const;
+
+  uint32_t width_;
+  uint32_t depth_;
+  uint64_t seed_;
+  std::vector<uint64_t> counters_;  // depth x width, row-major
+  uint64_t total_added_ = 0;
+};
+
+}  // namespace fpgadp::rel
+
+#endif  // FPGADP_RELATIONAL_SKETCHES_H_

@@ -1,0 +1,64 @@
+#include "src/relational/table.h"
+
+#include <cstring>
+
+namespace fpgadp::rel {
+
+Table MakeSyntheticTable(const SyntheticTableSpec& spec) {
+  Schema schema({{"id", ColumnType::kInt64},
+                 {"key", ColumnType::kInt64},
+                 {"cat", ColumnType::kInt64},
+                 {"price", ColumnType::kDouble},
+                 {"qty", ColumnType::kInt64}});
+  Table t(schema);
+  t.Reserve(spec.num_rows);
+  Rng rng(spec.seed);
+  ZipfGenerator zipf(spec.num_categories, spec.zipf_theta, spec.seed ^ 0x5bd1);
+  for (uint64_t i = 0; i < spec.num_rows; ++i) {
+    Row r;
+    r.Set(0, static_cast<int64_t>(i));
+    r.Set(1, static_cast<int64_t>(rng.NextBounded(spec.key_cardinality)));
+    r.Set(2, static_cast<int64_t>(zipf.Next()));
+    r.SetDouble(3, 1.0 + rng.NextDouble() * 999.0);
+    r.Set(4, rng.NextInt(1, 50));
+    t.Append(r);
+  }
+  return t;
+}
+
+std::vector<uint8_t> SerializeRows(const Table& table) {
+  const size_t cols = table.schema().num_columns();
+  std::vector<uint8_t> out(table.num_rows() * cols * 8);
+  size_t pos = 0;
+  for (const Row& r : table.rows()) {
+    for (size_t c = 0; c < cols; ++c) {
+      const int64_t v = r.Get(c);
+      std::memcpy(out.data() + pos, &v, 8);
+      pos += 8;
+    }
+  }
+  return out;
+}
+
+Result<Table> DeserializeRows(const Schema& schema,
+                              const std::vector<uint8_t>& bytes) {
+  const size_t row_bytes = schema.row_bytes();
+  if (row_bytes == 0 || bytes.size() % row_bytes != 0) {
+    return Status::InvalidArgument("byte stream is not a whole row count");
+  }
+  Table t(schema);
+  t.Reserve(bytes.size() / row_bytes);
+  const size_t cols = schema.num_columns();
+  for (size_t pos = 0; pos < bytes.size(); pos += row_bytes) {
+    Row r;
+    for (size_t c = 0; c < cols; ++c) {
+      int64_t v;
+      std::memcpy(&v, bytes.data() + pos + c * 8, 8);
+      r.Set(c, v);
+    }
+    t.Append(r);
+  }
+  return t;
+}
+
+}  // namespace fpgadp::rel

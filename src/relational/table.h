@@ -1,0 +1,67 @@
+#ifndef FPGADP_RELATIONAL_TABLE_H_
+#define FPGADP_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/relational/schema.h"
+
+namespace fpgadp::rel {
+
+/// A materialized relation stored row-wise in fixed-width Rows — the layout
+/// in which tuples stream through the simulated kernels. Small and simple on
+/// purpose; this is the substrate the operator experiments run on, not a
+/// full storage engine.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  uint64_t total_bytes() const { return num_rows() * schema_.row_bytes(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row& row(size_t i) { return rows_[i]; }
+  void Append(Row r) { rows_.push_back(r); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& rows() { return rows_; }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// Parameters for the synthetic "lineitem-flavoured" relation used across
+/// the operator and Farview experiments: an id column, a uniformly random
+/// key, a skewed category, and numeric measure columns.
+struct SyntheticTableSpec {
+  uint64_t num_rows = 1 << 16;
+  uint64_t key_cardinality = 1 << 20;  ///< Range of the `key` column.
+  uint64_t num_categories = 64;        ///< Range of the `cat` column.
+  double zipf_theta = 0.0;             ///< Skew of the `cat` column.
+  uint64_t seed = 42;
+};
+
+/// Builds a table with schema (id:int64, key:int64, cat:int64, price:double,
+/// qty:int64). Deterministic in `spec.seed`.
+Table MakeSyntheticTable(const SyntheticTableSpec& spec);
+
+/// Serializes the rows to packed little-endian bytes (row-major, 8 bytes
+/// per column) — the wire/DRAM image of the relation.
+std::vector<uint8_t> SerializeRows(const Table& table);
+
+/// Inverse of SerializeRows for the given schema. Returns InvalidArgument
+/// if `bytes` is not a whole number of rows.
+Result<Table> DeserializeRows(const Schema& schema,
+                              const std::vector<uint8_t>& bytes);
+
+}  // namespace fpgadp::rel
+
+#endif  // FPGADP_RELATIONAL_TABLE_H_

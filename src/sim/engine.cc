@@ -1,0 +1,63 @@
+#include "src/sim/engine.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace fpgadp::sim {
+
+void Engine::AddModule(Module* module) {
+  FPGADP_CHECK(module != nullptr);
+  modules_.push_back(module);
+}
+
+void Engine::AddStream(StreamBase* stream) {
+  FPGADP_CHECK(stream != nullptr);
+  streams_.push_back(stream);
+}
+
+void Engine::Step() {
+  for (Module* m : modules_) m->Tick(now_);
+  for (StreamBase* s : streams_) s->Commit();
+  ++now_;
+}
+
+bool Engine::QuiescedNow() const {
+  for (const Module* m : modules_) {
+    if (!m->Idle()) return false;
+  }
+  for (const StreamBase* s : streams_) {
+    if (s->InFlight()) return false;
+  }
+  return true;
+}
+
+Result<Cycle> Engine::Run(uint64_t max_cycles) {
+  for (uint64_t i = 0; i < max_cycles; ++i) {
+    if (QuiescedNow()) return now_;
+    Step();
+  }
+  if (QuiescedNow()) return now_;
+  return Status::Timeout("engine did not quiesce within " +
+                         std::to_string(max_cycles) + " cycles");
+}
+
+double Engine::ElapsedSeconds() const {
+  return CyclesToSeconds(now_, clock_hz_);
+}
+
+std::string Engine::UtilizationReport() const {
+  std::ostringstream os;
+  for (const Module* m : modules_) {
+    const double util =
+        now_ == 0 ? 0.0
+                  : 100.0 * static_cast<double>(m->busy_cycles()) /
+                        static_cast<double>(now_);
+    os << m->name() << ": busy " << m->busy_cycles() << "/" << now_ << " ("
+       << static_cast<int>(util) << "%)\n";
+  }
+  return os.str();
+}
+
+}  // namespace fpgadp::sim

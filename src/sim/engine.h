@@ -1,0 +1,65 @@
+#ifndef FPGADP_SIM_ENGINE_H_
+#define FPGADP_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/sim/module.h"
+#include "src/sim/stream.h"
+
+namespace fpgadp::sim {
+
+/// Drives a set of modules and streams with a two-phase, cycle-stepped loop:
+/// each cycle every module Tick()s (reads are visible, writes staged), then
+/// every stream Commit()s staged writes. The engine neither owns modules nor
+/// streams; pipelines typically hold them as members and register pointers.
+///
+///   Engine e(/*clock_hz=*/200e6);
+///   e.AddModule(&source); e.AddModule(&kernel); e.AddModule(&sink);
+///   e.AddStream(&in); e.AddStream(&out);
+///   Result<Cycle> cycles = e.Run(/*max_cycles=*/1 << 24);
+class Engine {
+ public:
+  /// `clock_hz` is the modeled kernel clock, used only by reporting helpers.
+  explicit Engine(double clock_hz = 200e6) : clock_hz_(clock_hz) {}
+
+  /// Registers a module; ticked in registration order (order never affects
+  /// results thanks to two-phase streams).
+  void AddModule(Module* module);
+
+  /// Registers a stream so the engine commits it each cycle.
+  void AddStream(StreamBase* stream);
+
+  /// Advances exactly one cycle.
+  void Step();
+
+  /// Runs until every module is idle and every stream is drained, or until
+  /// `max_cycles` additional cycles have elapsed (then returns Timeout).
+  /// Returns the total elapsed cycle count on success.
+  Result<Cycle> Run(uint64_t max_cycles);
+
+  /// True iff all modules are idle and all streams drained.
+  bool QuiescedNow() const;
+
+  Cycle now() const { return now_; }
+  double clock_hz() const { return clock_hz_; }
+
+  /// Seconds of simulated time elapsed so far at the modeled clock.
+  double ElapsedSeconds() const;
+
+  /// One line per module: name, busy cycles, utilization %.
+  std::string UtilizationReport() const;
+
+ private:
+  double clock_hz_;
+  Cycle now_ = 0;
+  std::vector<Module*> modules_;
+  std::vector<StreamBase*> streams_;
+};
+
+}  // namespace fpgadp::sim
+
+#endif  // FPGADP_SIM_ENGINE_H_

@@ -1,0 +1,268 @@
+#ifndef FPGADP_SIM_KERNELS_H_
+#define FPGADP_SIM_KERNELS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/sim/module.h"
+#include "src/sim/stream.h"
+
+namespace fpgadp::sim {
+
+/// Timing contract of a pipelined HLS kernel: it can *issue* up to `lanes`
+/// items every `ii` cycles (initiation interval), and each item leaves the
+/// pipeline `latency` cycles after issue. An ideal `#pragma HLS pipeline
+/// II=1` kernel is {ii=1, lanes=1, latency=depth}.
+struct KernelTiming {
+  uint32_t ii = 1;
+  uint32_t lanes = 1;
+  uint32_t latency = 1;
+};
+
+/// Feeds the contents of a vector into an output stream at up to
+/// `lanes` items per cycle — the simulator analog of an AXI read burst from
+/// host memory feeding a kernel.
+template <typename T>
+class VectorSource : public Module {
+ public:
+  VectorSource(std::string name, std::vector<T> data, Stream<T>* out,
+               uint32_t lanes = 1)
+      : Module(std::move(name)), data_(std::move(data)), out_(out),
+        lanes_(lanes) {
+    FPGADP_CHECK(out_ != nullptr);
+    FPGADP_CHECK(lanes_ > 0);
+  }
+
+  void Tick(Cycle) override {
+    bool progressed = false;
+    for (uint32_t i = 0; i < lanes_ && pos_ < data_.size(); ++i) {
+      if (!out_->CanWrite()) break;
+      out_->Write(data_[pos_++]);
+      progressed = true;
+    }
+    if (progressed) MarkBusy();
+  }
+
+  bool Idle() const override { return pos_ >= data_.size(); }
+
+  /// Items emitted so far.
+  size_t emitted() const { return pos_; }
+
+ private:
+  std::vector<T> data_;
+  Stream<T>* out_;
+  uint32_t lanes_;
+  size_t pos_ = 0;
+};
+
+/// Drains a stream into a vector at up to `lanes` items per cycle.
+template <typename T>
+class VectorSink : public Module {
+ public:
+  VectorSink(std::string name, Stream<T>* in, uint32_t lanes = 1)
+      : Module(std::move(name)), in_(in), lanes_(lanes) {
+    FPGADP_CHECK(in_ != nullptr);
+    FPGADP_CHECK(lanes_ > 0);
+  }
+
+  void Tick(Cycle) override {
+    bool progressed = false;
+    for (uint32_t i = 0; i < lanes_ && in_->CanRead(); ++i) {
+      collected_.push_back(in_->Read());
+      progressed = true;
+    }
+    if (progressed) {
+      MarkBusy();
+      last_arrival_ = true;
+    }
+  }
+
+  bool Idle() const override { return true; }
+
+  const std::vector<T>& collected() const { return collected_; }
+  std::vector<T>& collected() { return collected_; }
+
+ private:
+  Stream<T>* in_;
+  uint32_t lanes_;
+  std::vector<T> collected_;
+  bool last_arrival_ = false;
+};
+
+/// A pipelined map/filter kernel: applies `fn` to each input item; emitting
+/// the returned value, or dropping the item when `fn` returns nullopt (the
+/// line-rate filter pattern — the kernel still consumes one item per lane per
+/// II, so throughput is input-bound, not selectivity-bound).
+template <typename In, typename Out>
+class TransformKernel : public Module {
+ public:
+  using Fn = std::function<std::optional<Out>(const In&)>;
+
+  TransformKernel(std::string name, Stream<In>* in, Stream<Out>* out, Fn fn,
+                  KernelTiming timing = {})
+      : Module(std::move(name)), in_(in), out_(out), fn_(std::move(fn)),
+        timing_(timing) {
+    FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
+    FPGADP_CHECK(timing_.ii > 0 && timing_.lanes > 0);
+  }
+
+  void Tick(Cycle cycle) override {
+    bool progressed = false;
+    // Retire phase: completed items leave the pipeline into the out stream.
+    uint32_t retired = 0;
+    while (retired < timing_.lanes && !pipe_.empty() &&
+           pipe_.front().ready <= cycle && out_->CanWrite()) {
+      out_->Write(std::move(pipe_.front().value));
+      pipe_.pop_front();
+      ++retired;
+      progressed = true;
+    }
+    // Issue phase: accept new inputs if the II gate is open and the pipeline
+    // register file has room (bounded by latency*lanes in-flight items).
+    const size_t max_in_flight =
+        static_cast<size_t>(timing_.latency) * timing_.lanes + timing_.lanes;
+    if (cycle >= next_issue_) {
+      uint32_t issued = 0;
+      while (issued < timing_.lanes && in_->CanRead() &&
+             pipe_.size() + drop_slots_ < max_in_flight) {
+        In item = in_->Read();
+        std::optional<Out> produced = fn_(item);
+        ++consumed_;
+        if (produced.has_value()) {
+          pipe_.push_back({cycle + timing_.latency, std::move(*produced)});
+        }
+        ++issued;
+        progressed = true;
+      }
+      if (issued > 0) next_issue_ = cycle + timing_.ii;
+    }
+    if (progressed) MarkBusy();
+  }
+
+  bool Idle() const override { return pipe_.empty(); }
+
+  /// Items consumed from the input stream.
+  uint64_t consumed() const { return consumed_; }
+
+ private:
+  struct InFlight {
+    Cycle ready;
+    Out value;
+  };
+
+  Stream<In>* in_;
+  Stream<Out>* out_;
+  Fn fn_;
+  KernelTiming timing_;
+  std::deque<InFlight> pipe_;
+  Cycle next_issue_ = 0;
+  uint64_t consumed_ = 0;
+  // Dropped (filtered) items occupy no pipeline slot in this model.
+  static constexpr size_t drop_slots_ = 0;
+};
+
+/// A pipelined reduction: folds `expected_count` input items into an
+/// accumulator with `fn`, then emits the single result. `expected_count`
+/// plays the role of the end-of-stream signal an RTL design would carry in a
+/// side channel.
+template <typename In, typename Acc>
+class ReduceKernel : public Module {
+ public:
+  using Fn = std::function<void(Acc&, const In&)>;
+
+  ReduceKernel(std::string name, Stream<In>* in, Stream<Acc>* out, Acc init,
+               Fn fn, uint64_t expected_count, KernelTiming timing = {})
+      : Module(std::move(name)), in_(in), out_(out), acc_(std::move(init)),
+        fn_(std::move(fn)), expected_(expected_count), timing_(timing) {
+    FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
+  }
+
+  void Tick(Cycle cycle) override {
+    bool progressed = false;
+    if (consumed_ < expected_ && cycle >= next_issue_) {
+      uint32_t issued = 0;
+      while (issued < timing_.lanes && consumed_ < expected_ &&
+             in_->CanRead()) {
+        In item = in_->Read();
+        fn_(acc_, item);
+        ++consumed_;
+        ++issued;
+        progressed = true;
+      }
+      if (issued > 0) next_issue_ = cycle + timing_.ii;
+    }
+    if (consumed_ == expected_ && !emitted_ && out_->CanWrite()) {
+      out_->Write(acc_);
+      emitted_ = true;
+      progressed = true;
+    }
+    if (progressed) MarkBusy();
+  }
+
+  bool Idle() const override { return emitted_ || consumed_ < expected_; }
+
+  uint64_t consumed() const { return consumed_; }
+
+ private:
+  Stream<In>* in_;
+  Stream<Acc>* out_;
+  Acc acc_;
+  Fn fn_;
+  uint64_t expected_;
+  KernelTiming timing_;
+  Cycle next_issue_ = 0;
+  uint64_t consumed_ = 0;
+  bool emitted_ = false;
+};
+
+/// Fixed-latency, full-rate pass-through — models a wire, a register slice,
+/// or a serialization stage (e.g. NIC MAC) between two stream endpoints.
+template <typename T>
+class DelayLine : public Module {
+ public:
+  DelayLine(std::string name, Stream<T>* in, Stream<T>* out, uint32_t latency,
+            uint32_t lanes = 1)
+      : Module(std::move(name)), in_(in), out_(out), latency_(latency),
+        lanes_(lanes) {
+    FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
+  }
+
+  void Tick(Cycle cycle) override {
+    bool progressed = false;
+    uint32_t moved = 0;
+    while (moved < lanes_ && !pending_.empty() &&
+           pending_.front().first <= cycle && out_->CanWrite()) {
+      out_->Write(std::move(pending_.front().second));
+      pending_.pop_front();
+      ++moved;
+      progressed = true;
+    }
+    uint32_t accepted = 0;
+    while (accepted < lanes_ && in_->CanRead() &&
+           pending_.size() < static_cast<size_t>(latency_ + 1) * lanes_) {
+      pending_.emplace_back(cycle + latency_, in_->Read());
+      ++accepted;
+      progressed = true;
+    }
+    if (progressed) MarkBusy();
+  }
+
+  bool Idle() const override { return pending_.empty(); }
+
+ private:
+  Stream<T>* in_;
+  Stream<T>* out_;
+  uint32_t latency_;
+  uint32_t lanes_;
+  std::deque<std::pair<Cycle, T>> pending_;
+};
+
+}  // namespace fpgadp::sim
+
+#endif  // FPGADP_SIM_KERNELS_H_

@@ -1,0 +1,55 @@
+#ifndef FPGADP_SIM_MODULE_H_
+#define FPGADP_SIM_MODULE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace fpgadp::sim {
+
+/// Simulated clock cycle index.
+using Cycle = uint64_t;
+
+/// A hardware block in the spatial dataflow simulator. Modules communicate
+/// exclusively through Stream<T> channels (see stream.h) so the composition
+/// mirrors an HLS `#pragma HLS dataflow` region: every module is "running"
+/// every cycle, consuming from input streams and producing to output streams
+/// under backpressure.
+///
+/// The engine calls Tick() on every module each cycle (compute phase), then
+/// commits all streams (update phase), so the order in which modules tick
+/// never changes simulation results.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Advances the module by one clock cycle. Reads from input streams are
+  /// visible immediately; writes become visible to consumers next cycle.
+  virtual void Tick(Cycle cycle) = 0;
+
+  /// True iff the module holds no in-flight state (nothing buffered, no
+  /// pending latencies). The engine stops when all modules are idle and all
+  /// streams are drained.
+  virtual bool Idle() const = 0;
+
+  const std::string& name() const { return name_; }
+
+  /// Cycles in which the module made forward progress; for utilization
+  /// reporting. Subclasses call MarkBusy() from Tick().
+  uint64_t busy_cycles() const { return busy_cycles_; }
+
+ protected:
+  void MarkBusy() { ++busy_cycles_; }
+
+ private:
+  std::string name_;
+  uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace fpgadp::sim
+
+#endif  // FPGADP_SIM_MODULE_H_

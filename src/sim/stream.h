@@ -1,0 +1,111 @@
+#ifndef FPGADP_SIM_STREAM_H_
+#define FPGADP_SIM_STREAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fpgadp::sim {
+
+/// Type-erased base so the engine can commit and inspect streams generically.
+class StreamBase {
+ public:
+  explicit StreamBase(std::string name) : name_(std::move(name)) {}
+  virtual ~StreamBase() = default;
+
+  StreamBase(const StreamBase&) = delete;
+  StreamBase& operator=(const StreamBase&) = delete;
+
+  /// Makes writes performed during the current cycle visible to readers.
+  /// Called by the engine after all modules have ticked.
+  virtual void Commit() = 0;
+
+  /// True iff any item is buffered (committed or staged).
+  virtual bool InFlight() const = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Bounded FIFO channel between two modules — the simulator analog of
+/// `hls::stream<T>` with a `#pragma HLS stream depth=N`. Writes performed in
+/// cycle c become readable in cycle c+1 (latch semantics), which makes the
+/// simulation independent of module tick order and models the one-cycle
+/// register between pipeline stages.
+///
+/// Capacity counts committed + staged items, so a full FIFO exerts
+/// backpressure on the producer within the same cycle it fills up.
+template <typename T>
+class Stream : public StreamBase {
+ public:
+  Stream(std::string name, size_t capacity)
+      : StreamBase(std::move(name)), capacity_(capacity) {
+    FPGADP_CHECK(capacity_ > 0);
+  }
+
+  /// True iff a Write() this cycle would not overflow the FIFO.
+  bool CanWrite() const { return buf_.size() + staged_.size() < capacity_; }
+
+  /// Enqueues `v`; caller must have checked CanWrite().
+  void Write(T v) {
+    FPGADP_CHECK(CanWrite());
+    staged_.push_back(std::move(v));
+    ++total_pushed_;
+  }
+
+  /// True iff an item is available to Read() this cycle.
+  bool CanRead() const { return !buf_.empty(); }
+
+  /// Dequeues the oldest committed item; caller must have checked CanRead().
+  T Read() {
+    FPGADP_CHECK(CanRead());
+    T v = std::move(buf_.front());
+    buf_.pop_front();
+    ++total_popped_;
+    return v;
+  }
+
+  /// The oldest committed item without consuming it.
+  const T& Peek() const {
+    FPGADP_CHECK(CanRead());
+    return buf_.front();
+  }
+
+  /// Number of committed (readable) items.
+  size_t Size() const { return buf_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  void Commit() override {
+    if (!staged_.empty()) {
+      for (auto& v : staged_) buf_.push_back(std::move(v));
+      staged_.clear();
+      high_watermark_ = std::max(high_watermark_, buf_.size());
+    }
+  }
+
+  bool InFlight() const override { return !buf_.empty() || !staged_.empty(); }
+
+  /// Lifetime statistics, for occupancy analysis.
+  uint64_t total_pushed() const { return total_pushed_; }
+  uint64_t total_popped() const { return total_popped_; }
+  size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  size_t capacity_;
+  std::deque<T> buf_;
+  std::vector<T> staged_;
+  uint64_t total_pushed_ = 0;
+  uint64_t total_popped_ = 0;
+  size_t high_watermark_ = 0;
+};
+
+}  // namespace fpgadp::sim
+
+#endif  // FPGADP_SIM_STREAM_H_

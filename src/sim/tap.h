@@ -1,0 +1,73 @@
+#ifndef FPGADP_SIM_TAP_H_
+#define FPGADP_SIM_TAP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/sim/module.h"
+#include "src/sim/stream.h"
+
+namespace fpgadp::sim {
+
+/// A pass-through probe between two streams: forwards every item with one
+/// cycle of latency and records (cycle, item) pairs — the simulator analog
+/// of dropping an ILA core onto a wire. Use it to inspect timing inside a
+/// pipeline (arrival times, burst shapes, inter-arrival gaps) without
+/// perturbing functional results.
+template <typename T>
+class StreamTap : public Module {
+ public:
+  struct Event {
+    Cycle cycle;
+    T value;
+  };
+
+  /// Records at most `max_events` (older events are kept; further traffic
+  /// still flows, uncaptured).
+  StreamTap(std::string name, Stream<T>* in, Stream<T>* out,
+            size_t max_events = 4096)
+      : Module(std::move(name)), in_(in), out_(out), max_events_(max_events) {
+    FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
+  }
+
+  void Tick(Cycle cycle) override {
+    bool progressed = false;
+    while (in_->CanRead() && out_->CanWrite()) {
+      T v = in_->Read();
+      if (events_.size() < max_events_) events_.push_back({cycle, v});
+      ++forwarded_;
+      out_->Write(std::move(v));
+      progressed = true;
+    }
+    if (progressed) MarkBusy();
+  }
+
+  bool Idle() const override { return true; }
+
+  const std::vector<Event>& events() const { return events_; }
+  uint64_t forwarded() const { return forwarded_; }
+
+  /// Largest gap (in cycles) between consecutive captured events — a stall
+  /// detector.
+  Cycle MaxInterArrivalGap() const {
+    Cycle worst = 0;
+    for (size_t i = 1; i < events_.size(); ++i) {
+      worst = std::max(worst, events_[i].cycle - events_[i - 1].cycle);
+    }
+    return worst;
+  }
+
+ private:
+  Stream<T>* in_;
+  Stream<T>* out_;
+  size_t max_events_;
+  std::vector<Event> events_;
+  uint64_t forwarded_ = 0;
+};
+
+}  // namespace fpgadp::sim
+
+#endif  // FPGADP_SIM_TAP_H_

@@ -1,0 +1,73 @@
+#ifndef FPGADP_SIM_VAR_STAGE_H_
+#define FPGADP_SIM_VAR_STAGE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/sim/module.h"
+#include "src/sim/stream.h"
+
+namespace fpgadp::sim {
+
+/// A pipeline stage whose occupancy varies per item: it accepts one item,
+/// works on it for `cost(item)` cycles (the stage is not available to the
+/// next item meanwhile — the hardware is a single shared engine, not
+/// replicated per item), then emits `fn(item)`. This models the coarse
+/// search / LUT build / list scan engines of accelerators like FANNS,
+/// where per-query work depends on data (e.g. how long the probed lists
+/// are).
+template <typename In, typename Out>
+class VarStage : public Module {
+ public:
+  using Fn = std::function<Out(const In&)>;
+  using CostFn = std::function<uint64_t(const In&)>;
+
+  VarStage(std::string name, Stream<In>* in, Stream<Out>* out, Fn fn,
+           CostFn cost)
+      : Module(std::move(name)), in_(in), out_(out), fn_(std::move(fn)),
+        cost_(std::move(cost)) {
+    FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
+  }
+
+  void Tick(Cycle cycle) override {
+    if (holding_) {
+      MarkBusy();
+      if (cycle >= ready_at_ && out_->CanWrite()) {
+        out_->Write(std::move(*pending_));
+        pending_.reset();
+        holding_ = false;
+      } else {
+        return;  // still working or blocked on downstream
+      }
+    }
+    if (!holding_ && in_->CanRead()) {
+      In item = in_->Read();
+      const uint64_t cost = cost_(item);
+      pending_ = fn_(item);
+      ready_at_ = cycle + (cost > 0 ? cost : 1);
+      holding_ = true;
+      MarkBusy();
+    }
+  }
+
+  bool Idle() const override { return !holding_; }
+
+  /// Items fully processed.
+  uint64_t processed() const { return out_ ? out_->total_pushed() : 0; }
+
+ private:
+  Stream<In>* in_;
+  Stream<Out>* out_;
+  Fn fn_;
+  CostFn cost_;
+  bool holding_ = false;
+  Cycle ready_at_ = 0;
+  std::optional<Out> pending_;
+};
+
+}  // namespace fpgadp::sim
+
+#endif  // FPGADP_SIM_VAR_STAGE_H_

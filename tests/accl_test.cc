@@ -1,0 +1,184 @@
+#include "src/accl/collectives.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace fpgadp::accl {
+namespace {
+
+std::vector<std::vector<float>> RandomBuffers(uint32_t ranks, size_t n,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> buffers(ranks, std::vector<float>(n));
+  for (auto& b : buffers) {
+    for (auto& v : b) v = float(rng.NextDouble());
+  }
+  return buffers;
+}
+
+std::vector<float> ElementwiseSum(const std::vector<std::vector<float>>& b) {
+  std::vector<float> sum = b[0];
+  for (size_t r = 1; r < b.size(); ++r) {
+    for (size_t i = 0; i < sum.size(); ++i) sum[i] += b[r][i];
+  }
+  return sum;
+}
+
+TEST(BroadcastTest, AllRanksGetRootData) {
+  for (Algo algo : {Algo::kLinear, Algo::kTree}) {
+    Communicator comm(5);
+    auto buffers = RandomBuffers(5, 256, 1);
+    const auto root_data = buffers[2];
+    auto stats = comm.Broadcast(2, buffers, algo);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    for (const auto& b : buffers) EXPECT_EQ(b, root_data);
+    EXPECT_GT(stats->cycles, 0u);
+  }
+}
+
+TEST(BroadcastTest, TreeBeatsLinearAtScale) {
+  const uint32_t p = 16;
+  const size_t n = 1 << 16;  // 256 KiB
+  Communicator comm(p);
+  auto b1 = RandomBuffers(p, n, 2);
+  auto b2 = b1;
+  auto lin = comm.Broadcast(0, b1, Algo::kLinear);
+  auto tree = comm.Broadcast(0, b2, Algo::kTree);
+  ASSERT_TRUE(lin.ok() && tree.ok());
+  // Linear: root serializes p-1 transfers. Tree: log2(p) rounds.
+  EXPECT_LT(tree->cycles, lin->cycles);
+}
+
+TEST(BroadcastTest, WireBytesMatchAlgorithm) {
+  const uint32_t p = 8;
+  const size_t n = 1024;
+  Communicator comm(p);
+  auto b = RandomBuffers(p, n, 3);
+  auto lin = comm.Broadcast(0, b, Algo::kLinear);
+  ASSERT_TRUE(lin.ok());
+  // Both algorithms move (p-1) copies in total; tree just parallelizes.
+  EXPECT_EQ(lin->wire_bytes, (p - 1) * n * sizeof(float));
+  auto tree = comm.Broadcast(0, b, Algo::kTree);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->wire_bytes, (p - 1) * n * sizeof(float));
+}
+
+TEST(ScatterGatherTest, RoundTripPreservesData) {
+  const uint32_t p = 4;
+  Communicator comm(p);
+  std::vector<float> input(p * 100);
+  for (size_t i = 0; i < input.size(); ++i) input[i] = float(i);
+  std::vector<std::vector<float>> chunks;
+  auto s = comm.Scatter(0, input, chunks);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(chunks.size(), p);
+  for (uint32_t r = 0; r < p; ++r) {
+    EXPECT_EQ(chunks[r][0], float(r * 100));
+  }
+  std::vector<float> gathered;
+  auto g = comm.Gather(0, chunks, &gathered);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(gathered, input);
+}
+
+TEST(ScatterTest, RejectsIndivisibleInput) {
+  Communicator comm(4);
+  std::vector<float> input(10);  // not divisible by 4
+  std::vector<std::vector<float>> out;
+  EXPECT_FALSE(comm.Scatter(0, input, out).ok());
+}
+
+TEST(ReduceTest, RootHoldsSum) {
+  for (Algo algo : {Algo::kLinear, Algo::kTree}) {
+    Communicator comm(6);
+    auto buffers = RandomBuffers(6, 128, 4);
+    const auto expect = ElementwiseSum(buffers);
+    auto stats = comm.Reduce(1, buffers, algo);
+    ASSERT_TRUE(stats.ok());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_FLOAT_EQ(buffers[1][i], expect[i]);
+    }
+  }
+}
+
+TEST(AllReduceTest, EveryRankHoldsSum) {
+  for (Algo algo : {Algo::kRing, Algo::kTree}) {
+    Communicator comm(7);
+    auto buffers = RandomBuffers(7, 128, 5);
+    const auto expect = ElementwiseSum(buffers);
+    auto stats = comm.AllReduce(buffers, algo);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    for (const auto& b : buffers) {
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_FLOAT_EQ(b[i], expect[i]);
+      }
+    }
+  }
+}
+
+TEST(AllReduceTest, RingBeatsTreeOnLargeBuffers) {
+  // Ring moves 2(p-1)/p of the buffer per NIC; tree moves whole buffers
+  // log(p) deep — for large n, ring wins on bandwidth.
+  const uint32_t p = 8;
+  const size_t n = 1 << 18;  // 1 MiB
+  Communicator comm(p);
+  auto b1 = RandomBuffers(p, n, 6);
+  auto b2 = b1;
+  auto ring = comm.AllReduce(b1, Algo::kRing);
+  auto tree = comm.AllReduce(b2, Algo::kTree);
+  ASSERT_TRUE(ring.ok() && tree.ok());
+  EXPECT_LT(ring->cycles, tree->cycles);
+}
+
+TEST(AllReduceTest, SingleRankIsIdentityAndFast) {
+  Communicator comm(1);
+  auto buffers = RandomBuffers(1, 64, 7);
+  const auto before = buffers[0];
+  auto stats = comm.AllReduce(buffers);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(buffers[0], before);
+}
+
+TEST(BarrierTest, CompletesInMicroseconds) {
+  Communicator comm(16);
+  auto stats = comm.Barrier();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->wire_bytes, 0u);
+  // 2*log2(16) = 8 wire hops at ~1 us each: well under 100 us.
+  EXPECT_LT(stats->seconds, 100e-6);
+  EXPECT_GT(stats->seconds, 1e-6);
+}
+
+TEST(CollectiveTest, LatencyGrowsWithWorldSizeLogarithmically) {
+  // Tree broadcast rounds = ceil(log2 p): doubling p adds ~one round.
+  const size_t n = 1024;
+  std::vector<uint64_t> cycles;
+  // Rounds go 2 -> 3 -> 4 over this sweep, so each doubling of p adds only
+  // ~one round (ratio well under 2x, unlike a linear schedule's 2x).
+  for (uint32_t p : {4u, 8u, 16u}) {
+    Communicator comm(p);
+    auto b = RandomBuffers(p, n, 8);
+    auto stats = comm.Broadcast(0, b, Algo::kTree);
+    ASSERT_TRUE(stats.ok());
+    cycles.push_back(stats->cycles);
+  }
+  for (size_t i = 1; i < cycles.size(); ++i) {
+    EXPECT_GT(cycles[i], cycles[i - 1]);
+    EXPECT_LT(double(cycles[i]), 1.8 * double(cycles[i - 1]));
+  }
+}
+
+TEST(CollectiveTest, ErrorsOnBadArguments) {
+  Communicator comm(4);
+  auto buffers = RandomBuffers(4, 16, 9);
+  EXPECT_FALSE(comm.Broadcast(9, buffers).ok());
+  auto short_buffers = RandomBuffers(3, 16, 9);
+  EXPECT_FALSE(comm.AllReduce(short_buffers).ok());
+  std::vector<std::vector<float>> ragged = buffers;
+  ragged[2].resize(8);
+  EXPECT_FALSE(comm.AllReduce(ragged).ok());
+}
+
+}  // namespace
+}  // namespace fpgadp::accl

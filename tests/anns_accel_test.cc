@@ -1,0 +1,239 @@
+#include "src/anns/accel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/anns/cpu_cost.h"
+#include "src/anns/dataset.h"
+#include "src/anns/topk.h"
+#include "src/anns/tuner.h"
+#include "src/common/random.h"
+
+namespace fpgadp::anns {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  IvfPqIndex index;
+
+  static Fixture Make() {
+    DatasetSpec spec;
+    spec.num_base = 3000;
+    spec.num_queries = 16;
+    spec.dim = 16;
+    spec.num_clusters = 12;
+    spec.seed = 61;
+    Dataset data = MakeDataset(spec);
+    IvfPqIndex::Options opts;
+    opts.nlist = 24;
+    opts.pq.m = 4;
+    opts.pq.ksub = 32;
+    opts.pq.train_iters = 5;
+    auto index = IvfPqIndex::Build(data.base, data.dim, opts);
+    FPGADP_CHECK(index.ok());
+    return Fixture{std::move(data), std::move(index).value()};
+  }
+};
+
+TEST(SystolicTopKTest, KeepsKSmallest) {
+  SystolicTopK topk(3);
+  const float dists[] = {5, 1, 9, 3, 7, 2, 8};
+  for (uint32_t i = 0; i < 7; ++i) topk.Insert(dists[i], i);
+  const auto& res = topk.Results();
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].distance, 1);
+  EXPECT_EQ(res[1].distance, 2);
+  EXPECT_EQ(res[2].distance, 3);
+  EXPECT_EQ(topk.inserts(), 7u);
+}
+
+TEST(SystolicTopKTest, MatchesHeapOnRandomStream) {
+  Rng rng(71);
+  SystolicTopK systolic(10);
+  HeapTopK heap(10);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    const float d = float(rng.NextDouble());
+    systolic.Insert(d, i);
+    heap.Insert(d, i);
+  }
+  const auto a = systolic.Results();
+  const auto b = heap.Results();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].distance, b[i].distance);
+  }
+}
+
+TEST(SystolicTopKTest, CyclesIndependentOfK) {
+  // The hardware claim behind E12: inserts (cycles) depend only on the
+  // stream length, never on K.
+  for (size_t k : {1u, 10u, 100u}) {
+    SystolicTopK topk(k);
+    for (uint32_t i = 0; i < 1000; ++i) topk.Insert(float(i % 97), i);
+    EXPECT_EQ(topk.inserts(), 1000u);
+  }
+}
+
+TEST(HeapTopKTest, ComparesGrowWithK) {
+  Rng rng(73);
+  std::vector<float> stream(20000);
+  for (auto& d : stream) d = float(rng.NextDouble());
+  HeapTopK small(2), large(128);
+  for (uint32_t i = 0; i < stream.size(); ++i) {
+    small.Insert(stream[i], i);
+    large.Insert(stream[i], i);
+  }
+  EXPECT_GT(large.compares(), small.compares());
+}
+
+TEST(FannsAcceleratorTest, ResultsMatchCpuSearch) {
+  auto fx = Fixture::Make();
+  FannsAccelerator accel(&fx.index, AccelConfig{});
+  IvfPqIndex::SearchParams params;
+  params.nprobe = 6;
+  params.k = 10;
+  auto stats = accel.SearchBatch(fx.data.queries, params);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_EQ(stats->results.size(), fx.data.num_queries());
+  for (size_t q = 0; q < fx.data.num_queries(); ++q) {
+    const auto cpu = fx.index.Search(fx.data.QueryVector(q), params);
+    ASSERT_EQ(stats->results[q].size(), cpu.size());
+    for (size_t i = 0; i < cpu.size(); ++i) {
+      EXPECT_EQ(stats->results[q][i].id, cpu[i].id);
+    }
+  }
+}
+
+TEST(FannsAcceleratorTest, RejectsBadInput) {
+  auto fx = Fixture::Make();
+  FannsAccelerator accel(&fx.index, AccelConfig{});
+  IvfPqIndex::SearchParams params;
+  std::vector<float> misaligned(fx.data.dim + 1);
+  EXPECT_FALSE(accel.SearchBatch(misaligned, params).ok());
+  params.k = 0;
+  EXPECT_FALSE(accel.SearchBatch(fx.data.queries, params).ok());
+}
+
+TEST(FannsAcceleratorTest, MoreScanLanesMoreQps) {
+  auto fx = Fixture::Make();
+  IvfPqIndex::SearchParams params;
+  params.nprobe = 16;
+  params.k = 10;
+  AccelConfig narrow;
+  narrow.scan_lanes = 1;
+  AccelConfig wide;
+  wide.scan_lanes = 16;
+  auto s_narrow = FannsAccelerator(&fx.index, narrow)
+                      .SearchBatch(fx.data.queries, params);
+  auto s_wide =
+      FannsAccelerator(&fx.index, wide).SearchBatch(fx.data.queries, params);
+  ASSERT_TRUE(s_narrow.ok() && s_wide.ok());
+  EXPECT_GT(s_wide->qps, s_narrow->qps);
+}
+
+TEST(FannsAcceleratorTest, ThroughputIsBottleneckBound) {
+  auto fx = Fixture::Make();
+  AccelConfig cfg;
+  FannsAccelerator accel(&fx.index, cfg);
+  IvfPqIndex::SearchParams params;
+  params.nprobe = 8;
+  params.k = 10;
+  auto stats = accel.SearchBatch(fx.data.queries, params);
+  ASSERT_TRUE(stats.ok());
+  const auto costs =
+      accel.CostModel(params, double(stats->codes_scanned) /
+                                  double(fx.data.num_queries()));
+  // Steady-state: cycles/query approaches the bottleneck stage cost.
+  const double per_query =
+      double(stats->cycles) / double(fx.data.num_queries());
+  EXPECT_GT(per_query, 0.8 * double(costs.Bottleneck()));
+  EXPECT_LT(per_query, 2.5 * double(costs.Bottleneck()));
+}
+
+TEST(FannsAcceleratorTest, ResourceEstimateScalesWithLanes) {
+  auto fx = Fixture::Make();
+  const auto dev = device::AlveoU55C();
+  AccelConfig a, b;
+  a.scan_lanes = 2;
+  b.scan_lanes = 32;
+  auto ra = FannsAccelerator(&fx.index, a).EstimateResources(dev);
+  auto rb = FannsAccelerator(&fx.index, b).EstimateResources(dev);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_GT(rb->luts, ra->luts);
+  EXPECT_GT(rb->bram36, ra->bram36);
+  EXPECT_TRUE(dev.resources.Fits(*ra));
+}
+
+TEST(CpuSearchModelTest, MoreWorkCostsMore) {
+  auto fx = Fixture::Make();
+  CpuSearchModel model;
+  IvfPqIndex::SearchParams low, high;
+  low.nprobe = 1;
+  high.nprobe = 16;
+  EXPECT_LT(model.SecondsPerQuery(fx.index, low, 100),
+            model.SecondsPerQuery(fx.index, high, 2000));
+}
+
+TEST(TunerTest, FindsFeasibleDesignAndRespectsTarget) {
+  DatasetSpec spec;
+  spec.num_base = 2000;
+  spec.num_queries = 10;
+  spec.dim = 16;
+  spec.num_clusters = 8;
+  spec.seed = 81;
+  Dataset data = MakeDataset(spec);
+  TunerRequest req;
+  req.data = &data;
+  req.recall_target = 0.5;
+  req.nlist_choices = {8, 16};
+  req.m_choices = {4};
+  req.scan_lane_choices = {4, 16};
+  req.ksub = 32;
+  req.device = device::AlveoU55C();
+  auto result = ExploreDesignSpace(req);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->explored.empty());
+  ASSERT_TRUE(result->found);
+  EXPECT_GE(result->best.recall, 0.5);
+  EXPECT_TRUE(result->best.fits);
+  // Best point must dominate every other feasible point meeting the target.
+  for (const auto& p : result->explored) {
+    if (p.fits && p.recall >= 0.5) {
+      EXPECT_LE(p.qps, result->best.qps + 1e-9);
+    }
+  }
+}
+
+TEST(TunerTest, HigherRecallTargetNeedsMoreWork) {
+  DatasetSpec spec;
+  spec.num_base = 2000;
+  spec.num_queries = 10;
+  spec.dim = 16;
+  spec.num_clusters = 8;
+  spec.seed = 83;
+  Dataset data = MakeDataset(spec);
+  TunerRequest low, high;
+  low.data = high.data = &data;
+  low.recall_target = 0.3;
+  high.recall_target = 0.9;
+  low.nlist_choices = high.nlist_choices = {16};
+  low.m_choices = high.m_choices = {4};
+  low.scan_lane_choices = high.scan_lane_choices = {8};
+  low.ksub = high.ksub = 32;
+  low.device = high.device = device::AlveoU55C();
+  auto rl = ExploreDesignSpace(low);
+  auto rh = ExploreDesignSpace(high);
+  ASSERT_TRUE(rl.ok() && rh.ok());
+  if (rl->found && rh->found) {
+    EXPECT_GE(rl->best.qps, rh->best.qps)
+        << "relaxing the recall target can only help QPS";
+  }
+}
+
+TEST(TunerTest, RejectsMissingDataset) {
+  TunerRequest req;
+  EXPECT_FALSE(ExploreDesignSpace(req).ok());
+}
+
+}  // namespace
+}  // namespace fpgadp::anns

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "src/anns/accel.h"
+#include "src/anns/cpu_cost.h"
+#include "src/anns/dataset.h"
+#include "src/anns/ivf.h"
+
+namespace fpgadp::anns {
+namespace {
+
+struct Fx {
+  Dataset data;
+  IvfPqIndex index;
+
+  static Fx Make(bool store_vectors) {
+    DatasetSpec spec;
+    spec.num_base = 3000;
+    spec.num_queries = 24;
+    spec.dim = 16;
+    spec.num_clusters = 32;
+    spec.cluster_stddev = 0.3f;
+    spec.seed = 91;
+    Dataset data = MakeDataset(spec);
+    IvfPqIndex::Options opts;
+    opts.nlist = 16;
+    opts.pq.m = 4;  // coarse PQ: a low recall ceiling for rerank to lift
+    opts.pq.ksub = 16;
+    opts.pq.train_iters = 5;
+    opts.store_vectors = store_vectors;
+    auto index = IvfPqIndex::Build(data.base, data.dim, opts);
+    FPGADP_CHECK(index.ok());
+    return Fx{std::move(data), std::move(index).value()};
+  }
+};
+
+double Recall(const Fx& fx, const IvfPqIndex::SearchParams& params) {
+  double recall = 0;
+  for (size_t q = 0; q < fx.data.num_queries(); ++q) {
+    const auto found = fx.index.Search(fx.data.QueryVector(q), params);
+    std::vector<uint32_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    recall += RecallAtK(ids, fx.data.ground_truth[q], params.k);
+  }
+  return recall / double(fx.data.num_queries());
+}
+
+TEST(RerankTest, LiftsRecallAbovePqCeiling) {
+  Fx fx = Fx::Make(/*store_vectors=*/true);
+  IvfPqIndex::SearchParams base;
+  base.nprobe = 16;  // exhaustive: only PQ error left
+  base.k = 10;
+  IvfPqIndex::SearchParams refined = base;
+  refined.rerank = 10;  // 100-candidate pool, exact re-scored
+  const double r0 = Recall(fx, base);
+  const double r1 = Recall(fx, refined);
+  EXPECT_GT(r1, r0 + 0.1) << "rerank must lift the PQ ceiling";
+  EXPECT_GT(r1, 0.85);
+}
+
+TEST(RerankTest, ResultsSortedByExactDistance) {
+  Fx fx = Fx::Make(true);
+  IvfPqIndex::SearchParams params;
+  params.nprobe = 8;
+  params.k = 10;
+  params.rerank = 4;
+  const float* q = fx.data.QueryVector(0);
+  const auto found = fx.index.Search(q, params);
+  ASSERT_EQ(found.size(), 10u);
+  for (size_t i = 0; i < found.size(); ++i) {
+    // Distances must be the exact ones.
+    EXPECT_FLOAT_EQ(found[i].distance,
+                    SquaredL2(fx.data.BaseVector(found[i].id), q, fx.data.dim));
+    if (i > 0) {
+      EXPECT_LE(found[i - 1].distance, found[i].distance);
+    }
+  }
+}
+
+TEST(RerankTest, MoreRefinementNeverHurts) {
+  Fx fx = Fx::Make(true);
+  IvfPqIndex::SearchParams params;
+  params.nprobe = 16;
+  params.k = 10;
+  double prev = 0;
+  for (size_t rr : {1u, 2u, 4u, 8u}) {
+    params.rerank = rr;
+    const double r = Recall(fx, params);
+    EXPECT_GE(r, prev - 0.02) << "rerank=" << rr;
+    prev = r;
+  }
+}
+
+TEST(RerankTest, IndexBytesIncludeStoredVectors) {
+  Fx without = Fx::Make(false);
+  Fx with = Fx::Make(true);
+  EXPECT_EQ(with.index.index_bytes(),
+            without.index.index_bytes() +
+                with.data.num_base() * with.data.dim * sizeof(float));
+  EXPECT_TRUE(with.index.has_stored_vectors());
+  EXPECT_FALSE(without.index.has_stored_vectors());
+}
+
+TEST(RerankTest, AcceleratorRejectsRerankWithoutVectors) {
+  Fx fx = Fx::Make(false);
+  FannsAccelerator accel(&fx.index, AccelConfig{});
+  IvfPqIndex::SearchParams params;
+  params.rerank = 4;
+  auto stats = accel.SearchBatch(fx.data.queries, params);
+  EXPECT_EQ(stats.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RerankTest, AcceleratorMatchesCpuWithRerank) {
+  Fx fx = Fx::Make(true);
+  FannsAccelerator accel(&fx.index, AccelConfig{});
+  IvfPqIndex::SearchParams params;
+  params.nprobe = 8;
+  params.k = 10;
+  params.rerank = 3;
+  auto stats = accel.SearchBatch(fx.data.queries, params);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  for (size_t q = 0; q < fx.data.num_queries(); ++q) {
+    const auto cpu = fx.index.Search(fx.data.QueryVector(q), params);
+    ASSERT_EQ(stats->results[q].size(), cpu.size());
+    for (size_t i = 0; i < cpu.size(); ++i) {
+      EXPECT_EQ(stats->results[q][i].id, cpu[i].id);
+    }
+  }
+}
+
+TEST(RerankTest, RefinementCostsCyclesAndCpuTime) {
+  Fx fx = Fx::Make(true);
+  FannsAccelerator accel(&fx.index, AccelConfig{});
+  IvfPqIndex::SearchParams base;
+  base.nprobe = 8;
+  base.k = 10;
+  IvfPqIndex::SearchParams refined = base;
+  refined.rerank = 10;
+  const auto c0 = accel.CostModel(base, 500);
+  const auto c1 = accel.CostModel(refined, 500);
+  EXPECT_EQ(c0.rerank, 0u);
+  EXPECT_GT(c1.rerank, 0u);
+  EXPECT_GT(c1.Latency(), c0.Latency());
+  CpuSearchModel cpu;
+  EXPECT_GT(cpu.SecondsPerQuery(fx.index, refined, 500),
+            cpu.SecondsPerQuery(fx.index, base, 500));
+}
+
+}  // namespace
+}  // namespace fpgadp::anns

@@ -1,0 +1,90 @@
+// Parameterized cross-configuration sweeps of the ANNS stack: for every
+// (nlist, m) index shape, the core invariants must hold — build coverage,
+// CPU/accelerator equivalence, and monotone cost accounting.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/anns/accel.h"
+#include "src/anns/dataset.h"
+#include "src/anns/ivf.h"
+
+namespace fpgadp::anns {
+namespace {
+
+const Dataset& SharedData() {
+  static const Dataset* data = [] {
+    DatasetSpec spec;
+    spec.num_base = 2500;
+    spec.num_queries = 8;
+    spec.dim = 16;
+    spec.num_clusters = 20;
+    spec.cluster_stddev = 0.3f;
+    spec.seed = 121;
+    return new Dataset(MakeDataset(spec));
+  }();
+  return *data;
+}
+
+class IndexShapeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(IndexShapeSweep, InvariantsHoldForEveryShape) {
+  const auto [nlist, m] = GetParam();
+  const Dataset& data = SharedData();
+  IvfPqIndex::Options opts;
+  opts.nlist = nlist;
+  opts.pq.m = m;
+  opts.pq.ksub = 16;
+  opts.pq.train_iters = 4;
+  auto index = IvfPqIndex::Build(data.base, data.dim, opts);
+  ASSERT_TRUE(index.ok()) << index.status();
+
+  // Coverage: every vector lives in exactly one list.
+  EXPECT_EQ(index->total_codes(), data.num_base());
+  EXPECT_EQ(index->nlist(), nlist);
+  EXPECT_EQ(index->pq().m(), m);
+
+  // CPU search returns k sorted results.
+  IvfPqIndex::SearchParams params;
+  params.nprobe = std::min<size_t>(4, nlist);
+  params.k = 5;
+  const auto found = index->Search(data.QueryVector(0), params);
+  ASSERT_LE(found.size(), 5u);
+  for (size_t i = 1; i < found.size(); ++i) {
+    EXPECT_LE(found[i - 1].distance, found[i].distance);
+  }
+
+  // Accelerator matches the CPU for every query.
+  FannsAccelerator accel(&*index, AccelConfig{});
+  auto stats = accel.SearchBatch(data.queries, params);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    const auto cpu = index->Search(data.QueryVector(q), params);
+    ASSERT_EQ(stats->results[q].size(), cpu.size()) << "query " << q;
+    for (size_t i = 0; i < cpu.size(); ++i) {
+      EXPECT_EQ(stats->results[q][i].id, cpu[i].id);
+    }
+  }
+
+  // Cost model: more probes can only add cycles.
+  IvfPqIndex::SearchParams more = params;
+  more.nprobe = std::min<size_t>(nlist, params.nprobe * 2);
+  const auto c1 = accel.CostModel(params, 500);
+  const auto c2 = accel.CostModel(more, 500);
+  EXPECT_GE(c2.Latency(), c1.Latency());
+
+  // Resource estimate fits a U55C for modest lane counts.
+  auto res = accel.EstimateResources(device::AlveoU55C());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(device::AlveoU55C().resources.Fits(*res));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IndexShapeSweep,
+    ::testing::Combine(::testing::Values(4u, 16u, 64u),
+                       ::testing::Values(2u, 4u, 8u)));
+
+}  // namespace
+}  // namespace fpgadp::anns

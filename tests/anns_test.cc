@@ -1,0 +1,280 @@
+#include "src/anns/ivf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/anns/dataset.h"
+#include "src/anns/kmeans.h"
+#include "src/anns/pq.h"
+
+namespace fpgadp::anns {
+namespace {
+
+DatasetSpec SmallSpec() {
+  DatasetSpec spec;
+  spec.num_base = 2000;
+  spec.num_queries = 20;
+  spec.dim = 16;
+  spec.num_clusters = 8;
+  spec.ground_truth_k = 10;
+  spec.seed = 51;
+  return spec;
+}
+
+IvfPqIndex::Options SmallIndexOptions() {
+  IvfPqIndex::Options opts;
+  opts.nlist = 16;
+  opts.pq.m = 4;
+  opts.pq.ksub = 32;
+  opts.pq.train_iters = 6;
+  return opts;
+}
+
+TEST(DatasetTest, GroundTruthIsSortedByDistance) {
+  Dataset data = MakeDataset(SmallSpec());
+  ASSERT_EQ(data.num_queries(), 20u);
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    const auto& gt = data.ground_truth[q];
+    ASSERT_EQ(gt.size(), 10u);
+    float prev = -1;
+    for (uint32_t id : gt) {
+      const float d = SquaredL2(data.BaseVector(id), data.QueryVector(q),
+                                data.dim);
+      EXPECT_GE(d, prev);
+      prev = d;
+    }
+  }
+}
+
+TEST(DatasetTest, QueriesAreNotBaseVectors) {
+  Dataset data = MakeDataset(SmallSpec());
+  // The pool split must not duplicate base vectors into the query set.
+  for (size_t q = 0; q < 5; ++q) {
+    const float d0 = SquaredL2(data.QueryVector(q),
+                               data.BaseVector(data.ground_truth[q][0]),
+                               data.dim);
+    EXPECT_GT(d0, 0.0f);
+  }
+}
+
+TEST(RecallTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2, 3}, {1, 2, 3}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({9, 8, 7}, {1, 2, 3}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 9, 8}, {1, 2, 3}, 3), 1.0 / 3.0);
+  // Order within top-k doesn't matter.
+  EXPECT_DOUBLE_EQ(RecallAtK({3, 1, 2}, {1, 2, 3}, 3), 1.0);
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  std::vector<float> pts(10 * 4);
+  EXPECT_FALSE(KMeans(pts, 3, {}).ok());  // size not multiple of dim
+  KMeansOptions opts;
+  opts.k = 100;
+  EXPECT_FALSE(KMeans(pts, 4, opts).ok());  // fewer points than k
+}
+
+TEST(KMeansTest, PartitionsWellSeparatedClusters) {
+  // Three tight clusters around distinct corners.
+  std::vector<float> pts;
+  Dataset dummy;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      pts.push_back(float(c * 10) + 0.01f * float(i % 5));
+      pts.push_back(float(c * 10));
+    }
+  }
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iters = 20;
+  auto res = KMeans(pts, 2, opts);
+  ASSERT_TRUE(res.ok());
+  // All points in the same tight cluster share an assignment.
+  for (int c = 0; c < 3; ++c) {
+    const uint32_t a0 = res->assignment[c * 50];
+    for (int i = 1; i < 50; ++i) {
+      EXPECT_EQ(res->assignment[c * 50 + i], a0);
+    }
+  }
+  EXPECT_LT(res->inertia, 1.0);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithIterations) {
+  Dataset data = MakeDataset(SmallSpec());
+  KMeansOptions one;
+  one.k = 8;
+  one.max_iters = 1;
+  KMeansOptions many = one;
+  many.max_iters = 15;
+  auto r1 = KMeans(data.base, data.dim, one);
+  auto r2 = KMeans(data.base, data.dim, many);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_LE(r2->inertia, r1->inertia);
+}
+
+TEST(PqTest, RejectsBadOptions) {
+  std::vector<float> pts(1000 * 16);
+  ProductQuantizer::Options bad_m;
+  bad_m.m = 3;  // 16 % 3 != 0
+  EXPECT_FALSE(ProductQuantizer::Train(pts, 16, bad_m).ok());
+  ProductQuantizer::Options big_ksub;
+  big_ksub.ksub = 300;
+  EXPECT_FALSE(ProductQuantizer::Train(pts, 16, big_ksub).ok());
+}
+
+TEST(PqTest, EncodeDecodeReducesError) {
+  Dataset data = MakeDataset(SmallSpec());
+  ProductQuantizer::Options opts;
+  opts.m = 4;
+  opts.ksub = 64;
+  auto pq = ProductQuantizer::Train(data.base, data.dim, opts);
+  ASSERT_TRUE(pq.ok());
+  // Quantization error must be far below the data scale for clustered data.
+  double err = 0, norm = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    const float* v = data.BaseVector(i);
+    const auto codes = pq->Encode(v);
+    ASSERT_EQ(codes.size(), 4u);
+    const auto rec = pq->Decode(codes.data());
+    err += SquaredL2(v, rec.data(), data.dim);
+    norm += SquaredL2(v, std::vector<float>(data.dim, 0.0f).data(), data.dim);
+  }
+  EXPECT_LT(err, 0.2 * norm);
+}
+
+TEST(PqTest, AdcMatchesDecodedDistance) {
+  // ADC(lut, codes) must equal the exact distance between the query and the
+  // decoded vector (that's the algebra of the lookup table).
+  Dataset data = MakeDataset(SmallSpec());
+  ProductQuantizer::Options opts;
+  opts.m = 4;
+  opts.ksub = 32;
+  auto pq = ProductQuantizer::Train(data.base, data.dim, opts);
+  ASSERT_TRUE(pq.ok());
+  const float* query = data.QueryVector(0);
+  const auto lut = pq->BuildLut(query);
+  for (size_t i = 0; i < 50; ++i) {
+    const auto codes = pq->Encode(data.BaseVector(i));
+    const auto decoded = pq->Decode(codes.data());
+    const float exact = SquaredL2(query, decoded.data(), data.dim);
+    const float adc = pq->AdcDistance(lut, codes.data());
+    EXPECT_NEAR(adc, exact, 1e-3f);
+  }
+}
+
+TEST(IvfTest, BuildPartitionsEverything) {
+  Dataset data = MakeDataset(SmallSpec());
+  auto index = IvfPqIndex::Build(data.base, data.dim, SmallIndexOptions());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->total_codes(), data.num_base());
+  uint64_t sum = 0;
+  std::vector<bool> seen(data.num_base(), false);
+  for (size_t l = 0; l < index->nlist(); ++l) {
+    const auto& list = index->list(l);
+    EXPECT_EQ(list.codes.size(), list.ids.size() * index->pq().m());
+    sum += list.ids.size();
+    for (uint32_t id : list.ids) {
+      EXPECT_FALSE(seen[id]) << "vector assigned twice";
+      seen[id] = true;
+    }
+  }
+  EXPECT_EQ(sum, data.num_base());
+}
+
+double MeasureRecall(const Dataset& data, const IvfPqIndex& index,
+                     size_t nprobe, size_t k = 10) {
+  IvfPqIndex::SearchParams params;
+  params.nprobe = nprobe;
+  params.k = k;
+  double recall = 0;
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    const auto found = index.Search(data.QueryVector(q), params);
+    std::vector<uint32_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    recall += RecallAtK(ids, data.ground_truth[q], k);
+  }
+  return recall / double(data.num_queries());
+}
+
+TEST(IvfTest, FullProbeRecallIsHighWithFinePq) {
+  Dataset data = MakeDataset(SmallSpec());
+  IvfPqIndex::Options opts = SmallIndexOptions();
+  opts.pq.m = 8;     // 8 bytes per 16-dim vector: fine quantization
+  opts.pq.ksub = 64;
+  auto index = IvfPqIndex::Build(data.base, data.dim, opts);
+  ASSERT_TRUE(index.ok());
+  // Exhaustive probing: only PQ error remains.
+  EXPECT_GT(MeasureRecall(data, *index, index->nlist()), 0.8);
+}
+
+TEST(IvfTest, LargerPqBudgetImprovesRecall) {
+  Dataset data = MakeDataset(SmallSpec());
+  IvfPqIndex::Options coarse = SmallIndexOptions();  // m=4, ksub=32
+  IvfPqIndex::Options fine = SmallIndexOptions();
+  fine.pq.m = 8;
+  fine.pq.ksub = 64;
+  auto ci = IvfPqIndex::Build(data.base, data.dim, coarse);
+  auto fi = IvfPqIndex::Build(data.base, data.dim, fine);
+  ASSERT_TRUE(ci.ok() && fi.ok());
+  EXPECT_GT(MeasureRecall(data, *fi, ci->nlist()),
+            MeasureRecall(data, *ci, ci->nlist()));
+}
+
+TEST(IvfTest, RecallGrowsWithNprobe) {
+  Dataset data = MakeDataset(SmallSpec());
+  auto index = IvfPqIndex::Build(data.base, data.dim, SmallIndexOptions());
+  ASSERT_TRUE(index.ok());
+  auto recall_at = [&](size_t nprobe) {
+    IvfPqIndex::SearchParams params;
+    params.nprobe = nprobe;
+    params.k = 10;
+    double recall = 0;
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      const auto found = index->Search(data.QueryVector(q), params);
+      std::vector<uint32_t> ids;
+      for (const auto& nb : found) ids.push_back(nb.id);
+      recall += RecallAtK(ids, data.ground_truth[q], 10);
+    }
+    return recall / double(data.num_queries());
+  };
+  const double r1 = recall_at(1);
+  const double r4 = recall_at(4);
+  const double r16 = recall_at(16);
+  EXPECT_LE(r1, r4 + 1e-9);
+  EXPECT_LE(r4, r16 + 1e-9);
+  EXPECT_GT(r16, r1);
+}
+
+TEST(IvfTest, ResultsSortedByDistance) {
+  Dataset data = MakeDataset(SmallSpec());
+  auto index = IvfPqIndex::Build(data.base, data.dim, SmallIndexOptions());
+  ASSERT_TRUE(index.ok());
+  IvfPqIndex::SearchParams params;
+  params.nprobe = 8;
+  params.k = 10;
+  const auto found = index->Search(data.QueryVector(0), params);
+  for (size_t i = 1; i < found.size(); ++i) {
+    EXPECT_LE(found[i - 1].distance, found[i].distance);
+  }
+}
+
+TEST(IvfTest, CodesScannedMatchesProbedListSizes) {
+  Dataset data = MakeDataset(SmallSpec());
+  auto index = IvfPqIndex::Build(data.base, data.dim, SmallIndexOptions());
+  ASSERT_TRUE(index.ok());
+  const float* query = data.QueryVector(3);
+  const auto probes = index->SelectProbes(query, 4);
+  uint64_t expect = 0;
+  for (uint32_t p : probes) expect += index->list(p).ids.size();
+  EXPECT_EQ(index->CodesScanned(query, 4), expect);
+}
+
+TEST(IvfTest, IndexBytesAccountsCodesAndIds) {
+  Dataset data = MakeDataset(SmallSpec());
+  auto index = IvfPqIndex::Build(data.base, data.dim, SmallIndexOptions());
+  ASSERT_TRUE(index.ok());
+  const uint64_t expected = data.num_base() * (4 + 4) /* m + id */ +
+                            index->nlist() * data.dim * sizeof(float);
+  EXPECT_EQ(index->index_bytes(), expected);
+}
+
+}  // namespace
+}  // namespace fpgadp::anns

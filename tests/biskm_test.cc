@@ -1,0 +1,123 @@
+#include "src/anns/biskm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/anns/dataset.h"
+#include "src/common/random.h"
+
+namespace fpgadp::anns {
+namespace {
+
+std::vector<float> TestPoints(size_t n = 2000, size_t dim = 8) {
+  return GenerateClusteredVectors(n, dim, 10, 61);
+}
+
+TEST(QuantizeTest, FullPrecisionIsIdentity) {
+  const auto pts = TestPoints(100);
+  EXPECT_EQ(QuantizeToBits(pts, 8, 32), pts);
+}
+
+TEST(QuantizeTest, OneBitCollapsesToTwoLevelsPerDim) {
+  const auto pts = TestPoints(200, 4);
+  const auto q = QuantizeToBits(pts, 4, 1);
+  for (size_t d = 0; d < 4; ++d) {
+    std::vector<float> values;
+    for (size_t i = 0; i < 200; ++i) values.push_back(q[i * 4 + d]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    EXPECT_LE(values.size(), 2u);
+  }
+}
+
+TEST(QuantizeTest, ErrorShrinksWithBits) {
+  const auto pts = TestPoints();
+  double prev_err = 1e300;
+  for (uint32_t bits : {1u, 2u, 4u, 8u, 16u}) {
+    const auto q = QuantizeToBits(pts, 8, bits);
+    double err = 0;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      err += double(pts[i] - q[i]) * double(pts[i] - q[i]);
+    }
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-3);
+}
+
+TEST(QuantizeTest, StaysWithinRange) {
+  const auto pts = TestPoints(500, 4);
+  const auto q = QuantizeToBits(pts, 4, 3);
+  float lo = 1e30f, hi = -1e30f;
+  for (float v : pts) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (float v : q) {
+    EXPECT_GE(v, lo - 1e-5f);
+    EXPECT_LE(v, hi + 1e-5f);
+  }
+}
+
+TEST(BisKmTest, RejectsBadBits) {
+  const auto pts = TestPoints();
+  BisKmOptions opts;
+  opts.bits = 0;
+  EXPECT_FALSE(KMeansAnyPrecision(pts, 8, opts).ok());
+  opts.bits = 33;
+  EXPECT_FALSE(KMeansAnyPrecision(pts, 8, opts).ok());
+}
+
+TEST(BisKmTest, QualityDegradesGracefully) {
+  // The BiS-KM result: 8-bit training is nearly as good as fp32, while
+  // 1-bit is measurably worse but still clusters.
+  const auto pts = TestPoints(3000);
+  BisKmOptions opts;
+  opts.k = 10;
+  opts.max_iters = 12;
+  auto full = KMeansAnyPrecision(pts, 8, opts);  // bits=8 default
+  opts.bits = 32;
+  auto exact = KMeansAnyPrecision(pts, 8, opts);
+  opts.bits = 1;
+  auto one_bit = KMeansAnyPrecision(pts, 8, opts);
+  ASSERT_TRUE(full.ok() && exact.ok() && one_bit.ok());
+  EXPECT_LT(full->full_inertia, 1.15 * exact->full_inertia)
+      << "8-bit within 15% of full precision";
+  EXPECT_GT(one_bit->full_inertia, exact->full_inertia);
+}
+
+TEST(BisKmTest, InertiaMonotoneInBitsOnAverage) {
+  const auto pts = TestPoints(2500);
+  BisKmOptions opts;
+  opts.k = 8;
+  opts.max_iters = 10;
+  std::vector<double> inertia;
+  for (uint32_t bits : {1u, 4u, 16u}) {
+    opts.bits = bits;
+    auto r = KMeansAnyPrecision(pts, 8, opts);
+    ASSERT_TRUE(r.ok());
+    inertia.push_back(r->full_inertia);
+  }
+  EXPECT_GT(inertia[0], inertia[2]);  // 1 bit worse than 16
+}
+
+TEST(BisKmTest, ThroughputScalesInverselyWithBits) {
+  const double t32 = BisKmPointsPerSecond(16, 32);
+  const double t8 = BisKmPointsPerSecond(16, 8);
+  const double t1 = BisKmPointsPerSecond(16, 1);
+  EXPECT_DOUBLE_EQ(t8, 4 * t32);
+  EXPECT_DOUBLE_EQ(t1, 32 * t32);
+}
+
+TEST(BisKmTest, DeterministicInSeed) {
+  const auto pts = TestPoints(1000);
+  BisKmOptions opts;
+  opts.bits = 4;
+  auto a = KMeansAnyPrecision(pts, 8, opts);
+  auto b = KMeansAnyPrecision(pts, 8, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->clustering.centroids, b->clustering.centroids);
+  EXPECT_DOUBLE_EQ(a->full_inertia, b->full_inertia);
+}
+
+}  // namespace
+}  // namespace fpgadp::anns

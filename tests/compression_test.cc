@@ -1,0 +1,150 @@
+#include "src/relational/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace fpgadp::rel {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) b = uint8_t(rng.Next());
+  return out;
+}
+
+std::vector<uint8_t> RepetitiveBytes(size_t n, uint64_t seed) {
+  // Text-like data: small alphabet with repeated phrases.
+  Rng rng(seed);
+  const std::string phrases[] = {"select ", "from lineitem ", "where qty ",
+                                 "group by ", "order_key "};
+  std::vector<uint8_t> out;
+  while (out.size() < n) {
+    const auto& p = phrases[rng.NextBounded(5)];
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  out.resize(n);
+  return out;
+}
+
+TEST(RleTest, EmptyInput) {
+  EXPECT_TRUE(RleEncode({}).empty());
+  auto d = RleDecode({});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->empty());
+}
+
+TEST(RleTest, RunsCompress) {
+  std::vector<uint8_t> input(1000, 7);
+  auto enc = RleEncode(input);
+  EXPECT_LE(enc.size(), 10u);  // 1000 = 4 runs of <=255
+  auto dec = RleDecode(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, input);
+}
+
+TEST(RleTest, RandomDataRoundTrips) {
+  const auto input = RandomBytes(4096, 1);
+  auto dec = RleDecode(RleEncode(input));
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, input);
+}
+
+TEST(RleTest, RejectsMalformed) {
+  EXPECT_FALSE(RleDecode({5}).ok());          // odd length
+  EXPECT_FALSE(RleDecode({0, 42}).ok());      // zero-length run
+}
+
+TEST(DictTest, RoundTripAndCompactness) {
+  std::vector<int64_t> column;
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    column.push_back(int64_t(rng.NextBounded(16)));  // 16 distinct values
+  }
+  DictEncoded enc = DictEncode(column);
+  EXPECT_EQ(enc.dictionary.size(), 16u);
+  auto dec = DictDecode(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, column);
+}
+
+TEST(DictTest, FirstSeenOrder) {
+  DictEncoded enc = DictEncode({30, 10, 30, 20});
+  EXPECT_EQ(enc.dictionary, (std::vector<int64_t>{30, 10, 20}));
+  EXPECT_EQ(enc.codes, (std::vector<uint32_t>{0, 1, 0, 2}));
+}
+
+TEST(DictTest, RejectsCorruptCodes) {
+  DictEncoded enc;
+  enc.dictionary = {1, 2};
+  enc.codes = {0, 5};
+  EXPECT_FALSE(DictDecode(enc).ok());
+}
+
+TEST(LzTest, EmptyInput) {
+  EXPECT_TRUE(LzCompress({}).empty());
+  auto d = LzDecompress({});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->empty());
+}
+
+TEST(LzTest, RepetitiveDataCompressesWell) {
+  const auto input = RepetitiveBytes(64 << 10, 3);
+  auto enc = LzCompress(input);
+  EXPECT_LT(enc.size(), input.size() / 2) << "text-like data should halve";
+  auto dec = LzDecompress(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, input);
+}
+
+TEST(LzTest, IncompressibleDataSurvives) {
+  const auto input = RandomBytes(32 << 10, 4);
+  auto enc = LzCompress(input);
+  // Random bytes expand slightly (flag overhead) but must round-trip.
+  EXPECT_LT(enc.size(), input.size() * 9 / 8 + 16);
+  auto dec = LzDecompress(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, input);
+}
+
+TEST(LzTest, OverlappingMatchesDecode) {
+  // "aaaa..." forces matches whose distance < length.
+  std::vector<uint8_t> input(500, 'a');
+  auto enc = LzCompress(input);
+  EXPECT_LT(enc.size(), 80u);
+  auto dec = LzDecompress(enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, input);
+}
+
+TEST(LzTest, RejectsTruncatedMatchToken) {
+  // Flag byte announcing a match, then only one byte of the pair.
+  EXPECT_FALSE(LzDecompress({0x00, 0x01}).ok());
+}
+
+TEST(LzTest, RejectsBadDistance) {
+  // A match referring before the start of output.
+  // flag=0 (match), offset=16, len=3 with empty history.
+  EXPECT_FALSE(LzDecompress({0x00, 0x10, 0x00}).ok());
+}
+
+class LzRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LzRoundTrip, MixedContent) {
+  const size_t n = GetParam();
+  // Half repetitive, half random: exercises literal/match transitions.
+  auto input = RepetitiveBytes(n / 2, n);
+  const auto noise = RandomBytes(n - n / 2, n + 1);
+  input.insert(input.end(), noise.begin(), noise.end());
+  auto dec = LzDecompress(LzCompress(input));
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LzRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 17u, 256u, 4095u,
+                                           4096u, 4097u, 65536u));
+
+}  // namespace
+}  // namespace fpgadp::rel

@@ -1,0 +1,73 @@
+#include "src/relational/csv_parse.h"
+
+#include <gtest/gtest.h>
+
+#include "src/relational/table.h"
+
+namespace fpgadp::rel {
+namespace {
+
+TEST(CsvTest, RoundTripsSyntheticTable) {
+  SyntheticTableSpec spec;
+  spec.num_rows = 500;
+  spec.seed = 101;
+  Table t = MakeSyntheticTable(spec);
+  const std::string csv = TableToCsv(t);
+  auto back = ParseCsv(t.schema(), csv);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(back->row(i).Get(0), t.row(i).Get(0));
+    EXPECT_DOUBLE_EQ(back->row(i).GetDouble(3), t.row(i).GetDouble(3));
+    EXPECT_EQ(back->row(i).Get(4), t.row(i).Get(4));
+  }
+}
+
+TEST(CsvTest, ParsesNegativeAndZero) {
+  Schema s({{"a", ColumnType::kInt64}, {"b", ColumnType::kDouble}});
+  auto t = ParseCsv(s, "-5,-2.5\n0,0\n");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->row(0).Get(0), -5);
+  EXPECT_DOUBLE_EQ(t->row(0).GetDouble(1), -2.5);
+  EXPECT_EQ(t->row(1).Get(0), 0);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  Schema s({{"a", ColumnType::kInt64}, {"b", ColumnType::kInt64}});
+  EXPECT_FALSE(ParseCsv(s, "1\n").ok());         // too few fields
+  EXPECT_FALSE(ParseCsv(s, "1,2,3\n").ok());     // too many
+  EXPECT_FALSE(ParseCsv(s, "1,abc\n").ok());     // non-numeric
+  EXPECT_FALSE(ParseCsv(s, "1.5x,2\n").ok());    // trailing junk
+  auto err = ParseCsv(s, "1,2\n3,zz\n");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, EmptyAndTrailingNewlines) {
+  Schema s({{"a", ColumnType::kInt64}});
+  auto empty = ParseCsv(s, "");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_rows(), 0u);
+  auto trailing = ParseCsv(s, "7\n\n");
+  ASSERT_TRUE(trailing.ok());
+  EXPECT_EQ(trailing->num_rows(), 1u);
+}
+
+TEST(CsvTest, NoFinalNewlineStillParses) {
+  Schema s({{"a", ColumnType::kInt64}});
+  auto t = ParseCsv(s, "1\n2");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->row(1).Get(0), 2);
+}
+
+TEST(ParseCostModelTest, FpgaParsesAtLineRate) {
+  ParseCostModel model;
+  const uint64_t gb = 1ull << 30;
+  EXPECT_GT(model.CpuSeconds(gb) / model.FpgaSeconds(gb), 10.0)
+      << "ACCORDA-style front-end should win >10x on parse";
+}
+
+}  // namespace
+}  // namespace fpgadp::rel

@@ -1,0 +1,215 @@
+#include "src/hls/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/tap.h"
+
+#include "src/sim/engine.h"
+#include "src/sim/kernels.h"
+
+namespace fpgadp::hls {
+namespace {
+
+KernelProfile Filter() {
+  KernelProfile p;
+  p.name = "filter";
+  p.int_adds = 1;
+  p.comparisons = 2;
+  return p;
+}
+
+KernelProfile Distance() {
+  KernelProfile p;
+  p.name = "distance";
+  p.fp_adds = 8;
+  p.local_bytes = 8192;
+  p.local_mem_accesses = 8;
+  return p;
+}
+
+TEST(DataflowTest, EmptyRegionIsError) {
+  DataflowRegion region("empty");
+  EXPECT_FALSE(region.Synthesize(device::AlveoU280()).ok());
+}
+
+TEST(DataflowTest, SingleStageMatchesKernelReport) {
+  DataflowRegion region("one");
+  Pragmas p;
+  region.AddStage(Filter(), p);
+  auto rr = region.Synthesize(device::AlveoU280());
+  ASSERT_TRUE(rr.ok());
+  auto kr = Synthesize(Filter(), p, device::AlveoU280());
+  ASSERT_TRUE(kr.ok());
+  EXPECT_EQ(rr->total.luts, kr->resources.luts);
+  EXPECT_DOUBLE_EQ(rr->clock_hz, kr->fmax_hz);
+  EXPECT_DOUBLE_EQ(rr->throughput_items_per_sec,
+                   kr->throughput_items_per_sec);
+}
+
+TEST(DataflowTest, BottleneckStageGatesThroughput) {
+  DataflowRegion region("two");
+  Pragmas fast;
+  fast.unroll = 8;
+  Pragmas slow;  // distance with 1 bank: II inflated by memory ports
+  slow.array_partition = 1;
+  region.AddStage(Filter(), fast);
+  region.AddStage(Distance(), slow);
+  auto rr = region.Synthesize(device::AlveoU280());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(rr->bottleneck_stage, 1u);
+  // Throughput = slowest stage's unroll/II at the common clock.
+  const auto& b = rr->stages[1].synthesis;
+  EXPECT_NEAR(rr->throughput_items_per_sec,
+              rr->clock_hz / double(b.achieved_ii), 1.0);
+}
+
+TEST(DataflowTest, ResourcesAreSummed) {
+  DataflowRegion region("sum");
+  Pragmas p;
+  region.AddStage(Filter(), p);
+  region.AddStage(Filter(), p);
+  region.AddStage(Filter(), p);
+  auto rr = region.Synthesize(device::AlveoU280());
+  ASSERT_TRUE(rr.ok());
+  auto one = Synthesize(Filter(), p, device::AlveoU280());
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(rr->total.luts, 3 * one->resources.luts);
+}
+
+TEST(DataflowTest, OversubscribedRegionDoesNotFit) {
+  DataflowRegion region("huge");
+  Pragmas p;
+  p.unroll = 512;
+  for (int i = 0; i < 8; ++i) region.AddStage(Distance(), p);
+  auto rr = region.Synthesize(device::AlveoU280());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_FALSE(rr->fits);
+  EXPECT_EQ(rr->throughput_items_per_sec, 0.0);
+  EXPECT_NE(rr->ToString().find("DOES NOT FIT"), std::string::npos);
+}
+
+TEST(DataflowTest, ClockIsSlowestStage) {
+  DataflowRegion region("clock");
+  Pragmas small;
+  Pragmas big;
+  big.unroll = 128;
+  big.array_partition = 128;
+  region.AddStage(Filter(), small);
+  region.AddStage(Distance(), big);
+  auto rr = region.Synthesize(device::AlveoU280());
+  ASSERT_TRUE(rr.ok());
+  double min_fmax = 1e18;
+  for (const auto& s : rr->stages) {
+    min_fmax = std::min(min_fmax, s.synthesis.fmax_hz);
+  }
+  EXPECT_DOUBLE_EQ(rr->clock_hz, min_fmax);
+}
+
+}  // namespace
+}  // namespace fpgadp::hls
+
+namespace fpgadp::sim {
+namespace {
+
+TEST(StreamTapTest, ForwardsEverythingAndRecords) {
+  std::vector<int> data{5, 6, 7, 8};
+  Stream<int> a("a", 4), b("b", 4);
+  VectorSource<int> src("src", data, &a);
+  StreamTap<int> tap("tap", &a, &b);
+  VectorSink<int> sink("sink", &b);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&tap);
+  e.AddModule(&sink);
+  e.AddStream(&a);
+  e.AddStream(&b);
+  ASSERT_TRUE(e.Run(1000).ok());
+  EXPECT_EQ(sink.collected(), data);
+  ASSERT_EQ(tap.events().size(), 4u);
+  EXPECT_EQ(tap.forwarded(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tap.events()[i].value, data[i]);
+    if (i > 0) {
+      EXPECT_GE(tap.events()[i].cycle, tap.events()[i - 1].cycle);
+    }
+  }
+}
+
+TEST(StreamTapTest, DetectsStalls) {
+  // A slow consumer (II=5) forces gaps on the wire before it.
+  std::vector<int> data(20, 1);
+  Stream<int> a("a", 2), b("b", 2), c("c", 2);
+  VectorSource<int> src("src", data, &a);
+  StreamTap<int> tap("tap", &a, &b);
+  TransformKernel<int, int> slow(
+      "slow", &b, &c, [](const int& v) { return std::optional<int>(v); },
+      KernelTiming{/*ii=*/5, 1, 1});
+  VectorSink<int> sink("sink", &c);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&tap);
+  e.AddModule(&slow);
+  e.AddModule(&sink);
+  e.AddStream(&a);
+  e.AddStream(&b);
+  e.AddStream(&c);
+  ASSERT_TRUE(e.Run(10000).ok());
+  EXPECT_GE(tap.MaxInterArrivalGap(), 4u);
+}
+
+TEST(StreamTapTest, CapsCapturedEvents) {
+  std::vector<int> data(100, 2);
+  Stream<int> a("a", 4), b("b", 4);
+  VectorSource<int> src("src", data, &a);
+  StreamTap<int> tap("tap", &a, &b, /*max_events=*/10);
+  VectorSink<int> sink("sink", &b);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&tap);
+  e.AddModule(&sink);
+  e.AddStream(&a);
+  e.AddStream(&b);
+  ASSERT_TRUE(e.Run(10000).ok());
+  EXPECT_EQ(tap.events().size(), 10u);
+  EXPECT_EQ(tap.forwarded(), 100u);
+  EXPECT_EQ(sink.collected().size(), 100u);
+}
+
+TEST(EngineDeterminismTest, ModuleOrderDoesNotChangeResults) {
+  // Two registration orders of the same 3-stage pipeline must produce
+  // identical outputs AND identical cycle counts (two-phase streams).
+  auto run = [](bool reversed) {
+    std::vector<int> data(500);
+    for (int i = 0; i < 500; ++i) data[size_t(i)] = i;
+    Stream<int> a("a", 4), b("b", 4);
+    VectorSource<int> src("src", data, &a);
+    TransformKernel<int, int> k(
+        "k", &a, &b,
+        [](const int& v) {
+          return v % 3 ? std::optional<int>(v * 2) : std::nullopt;
+        });
+    VectorSink<int> sink("sink", &b);
+    Engine e;
+    if (reversed) {
+      e.AddModule(&sink);
+      e.AddModule(&k);
+      e.AddModule(&src);
+    } else {
+      e.AddModule(&src);
+      e.AddModule(&k);
+      e.AddModule(&sink);
+    }
+    e.AddStream(&a);
+    e.AddStream(&b);
+    auto cycles = e.Run(100000);
+    FPGADP_CHECK(cycles.ok());
+    return std::make_pair(cycles.value(), sink.collected());
+  };
+  const auto [c1, r1] = run(false);
+  const auto [c2, r2] = run(true);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(c1, c2);
+}
+
+}  // namespace
+}  // namespace fpgadp::sim

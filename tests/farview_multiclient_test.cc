@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "src/farview/farview.h"
+#include "src/relational/cpu_executor.h"
+#include "src/relational/queries.h"
+#include "src/relational/table.h"
+
+namespace fpgadp::farview {
+namespace {
+
+rel::Table TestTable(uint64_t rows) {
+  rel::SyntheticTableSpec spec;
+  spec.num_rows = rows;
+  spec.seed = 91;
+  return rel::MakeSyntheticTable(spec);
+}
+
+TEST(FarviewMultiClientTest, SingleClientApiStillWorks) {
+  FarviewSystem sys(FarviewConfig(), /*num_clients=*/3);
+  const uint64_t tid = sys.LoadTable(TestTable(2000));
+  const uint64_t pid = sys.RegisterProgram(rel::MakeQ1Lite());
+  auto stats = sys.RunOffloaded(tid, pid);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->result.num_rows(), 0u);
+}
+
+TEST(FarviewMultiClientTest, ConcurrentQueriesAllCorrect) {
+  FarviewSystem sys(FarviewConfig(), /*num_clients=*/4);
+  rel::Table t = TestTable(4000);
+  const uint64_t tid = sys.LoadTable(t);
+  const uint64_t q1 = sys.RegisterProgram(rel::MakeQ1Lite());
+  const uint64_t q6 = sys.RegisterProgram(rel::MakeQ6Lite());
+  const uint64_t topn = sys.RegisterProgram(rel::MakeTopExpensive());
+  std::vector<FarviewSystem::ConcurrentRequest> reqs = {
+      {tid, q1}, {tid, q6}, {tid, topn}, {tid, q1}};
+  double makespan = 0;
+  auto stats = sys.RunOffloadedConcurrently(reqs, &makespan);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_EQ(stats->size(), 4u);
+  auto expect_q1 = rel::ExecuteCpu(rel::MakeQ1Lite(), t);
+  ASSERT_TRUE(expect_q1.ok());
+  EXPECT_EQ((*stats)[0].result.num_rows(), expect_q1->num_rows());
+  EXPECT_EQ((*stats)[3].result.num_rows(), expect_q1->num_rows());
+  auto expect_q6 = rel::ExecuteCpu(rel::MakeQ6Lite(), t);
+  ASSERT_TRUE(expect_q6.ok());
+  EXPECT_DOUBLE_EQ((*stats)[1].result.row(0).GetDouble(0),
+                   expect_q6->row(0).GetDouble(0));
+  EXPECT_GT(makespan, 0);
+}
+
+TEST(FarviewMultiClientTest, SharedNodeSerializesScans) {
+  // Four concurrent full-scan queries against one memory node take ~4x one
+  // query's time: the node is a serialized resource (multi-tenancy queue).
+  FarviewSystem sys(FarviewConfig(), /*num_clients=*/4);
+  const uint64_t tid = sys.LoadTable(TestTable(50000));
+  const uint64_t pid = sys.RegisterProgram(rel::MakeQ1Lite());
+  double one = 0;
+  {
+    auto s = sys.RunOffloadedConcurrently({{tid, pid}}, &one);
+    ASSERT_TRUE(s.ok());
+  }
+  double four = 0;
+  {
+    std::vector<FarviewSystem::ConcurrentRequest> reqs(4, {tid, pid});
+    auto s = sys.RunOffloadedConcurrently(reqs, &four);
+    ASSERT_TRUE(s.ok());
+    // Later queries observe queueing delay: completion times increase.
+    for (size_t i = 1; i < s->size(); ++i) {
+      EXPECT_GE((*s)[i].cycles, (*s)[i - 1].cycles);
+    }
+  }
+  EXPECT_GT(four, 3.0 * one);
+  EXPECT_LT(four, 5.0 * one);
+}
+
+TEST(FarviewMultiClientTest, EmptyBatchIsError) {
+  FarviewSystem sys;
+  double m = 0;
+  EXPECT_FALSE(sys.RunOffloadedConcurrently({}, &m).ok());
+}
+
+TEST(FarviewMultiClientTest, UnknownProgramInBatchIsError) {
+  FarviewSystem sys;
+  const uint64_t tid = sys.LoadTable(TestTable(100));
+  double m = 0;
+  EXPECT_EQ(sys.RunOffloadedConcurrently({{tid, 404}}, &m).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fpgadp::farview

@@ -1,0 +1,151 @@
+#include "src/farview/farview.h"
+
+#include <gtest/gtest.h>
+
+#include "src/relational/cpu_executor.h"
+#include "src/relational/table.h"
+
+namespace fpgadp::farview {
+namespace {
+
+rel::Table TestTable(uint64_t rows) {
+  rel::SyntheticTableSpec spec;
+  spec.num_rows = rows;
+  spec.num_categories = 16;
+  spec.seed = 21;
+  return rel::MakeSyntheticTable(spec);
+}
+
+rel::Program SelectiveProgram(int64_t qty_ge) {
+  rel::Program prog;
+  rel::FilterOp f;
+  f.conjuncts.push_back(rel::Predicate{4, rel::CmpOp::kGe, qty_ge});
+  prog.ops.push_back(f);
+  return prog;
+}
+
+rel::Program CountProgram() {
+  rel::Program prog;
+  prog.ops.push_back(rel::AggregateOp{rel::AggKind::kCount, 0, false});
+  return prog;
+}
+
+TEST(FarviewTest, OffloadedResultMatchesCpu) {
+  FarviewSystem sys;
+  rel::Table t = TestTable(5000);
+  auto expected = rel::ExecuteCpu(SelectiveProgram(40), t);
+  ASSERT_TRUE(expected.ok());
+  const uint64_t tid = sys.LoadTable(t);
+  const uint64_t pid = sys.RegisterProgram(SelectiveProgram(40));
+  auto stats = sys.RunOffloaded(tid, pid);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_EQ(stats->result.num_rows(), expected->num_rows());
+  for (size_t i = 0; i < expected->num_rows(); ++i) {
+    EXPECT_EQ(stats->result.row(i), expected->row(i));
+  }
+}
+
+TEST(FarviewTest, FetchAllResultMatchesCpu) {
+  FarviewSystem sys;
+  rel::Table t = TestTable(2000);
+  auto expected = rel::ExecuteCpu(SelectiveProgram(25), t);
+  ASSERT_TRUE(expected.ok());
+  const uint64_t tid = sys.LoadTable(t);
+  const uint64_t pid = sys.RegisterProgram(SelectiveProgram(25));
+  auto stats = sys.RunFetchAll(tid, pid);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->result.num_rows(), expected->num_rows());
+}
+
+TEST(FarviewTest, OffloadMovesOnlyResultBytes) {
+  FarviewSystem sys;
+  rel::Table t = TestTable(8000);
+  const uint64_t tid = sys.LoadTable(t);
+  const uint64_t pid = sys.RegisterProgram(SelectiveProgram(48));  // ~6%
+  auto off = sys.RunOffloaded(tid, pid);
+  auto fetch = sys.RunFetchAll(tid, pid);
+  ASSERT_TRUE(off.ok() && fetch.ok());
+  EXPECT_EQ(fetch->wire_bytes, t.total_bytes());
+  EXPECT_EQ(off->wire_bytes, off->result.total_bytes());
+  EXPECT_LT(off->wire_bytes, fetch->wire_bytes / 10);
+}
+
+TEST(FarviewTest, AggregationOffloadIsTiny) {
+  FarviewSystem sys;
+  rel::Table t = TestTable(8000);
+  const uint64_t tid = sys.LoadTable(t);
+  const uint64_t pid = sys.RegisterProgram(CountProgram());
+  auto off = sys.RunOffloaded(tid, pid);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off->result.num_rows(), 1u);
+  EXPECT_EQ(off->result.row(0).Get(0), 8000);
+  EXPECT_EQ(off->wire_bytes, 8u);  // one 8-byte count
+  // But the memory node still scanned the whole table locally.
+  EXPECT_GE(off->dram_bytes, t.total_bytes());
+}
+
+TEST(FarviewTest, OffloadBeatsFetchAllOnSelectiveQueries) {
+  FarviewSystem sys;
+  rel::Table t = TestTable(20000);
+  const uint64_t tid = sys.LoadTable(t);
+  const uint64_t pid = sys.RegisterProgram(SelectiveProgram(45));
+  auto off = sys.RunOffloaded(tid, pid);
+  auto fetch = sys.RunFetchAll(tid, pid);
+  ASSERT_TRUE(off.ok() && fetch.ok());
+  EXPECT_LT(off->seconds, fetch->seconds)
+      << "selective offload must beat moving the table";
+}
+
+TEST(FarviewTest, UnknownProgramIsError) {
+  FarviewSystem sys;
+  const uint64_t tid = sys.LoadTable(TestTable(10));
+  EXPECT_EQ(sys.RunOffloaded(tid, 999).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(sys.RunFetchAll(tid, 999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(FarviewTest, BackToBackQueriesReuseTheSystem) {
+  FarviewSystem sys;
+  const uint64_t tid = sys.LoadTable(TestTable(3000));
+  const uint64_t p1 = sys.RegisterProgram(SelectiveProgram(10));
+  const uint64_t p2 = sys.RegisterProgram(CountProgram());
+  auto a = sys.RunOffloaded(tid, p1);
+  auto b = sys.RunOffloaded(tid, p2);
+  auto c = sys.RunOffloaded(tid, p1);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->result.num_rows(), c->result.num_rows());
+  EXPECT_EQ(b->result.row(0).Get(0), 3000);
+}
+
+TEST(FarviewTest, MultipleTables) {
+  FarviewSystem sys;
+  const uint64_t small = sys.LoadTable(TestTable(100));
+  const uint64_t big = sys.LoadTable(TestTable(5000));
+  const uint64_t pid = sys.RegisterProgram(CountProgram());
+  auto s = sys.RunOffloaded(small, pid);
+  auto b = sys.RunOffloaded(big, pid);
+  ASSERT_TRUE(s.ok() && b.ok());
+  EXPECT_EQ(s->result.row(0).Get(0), 100);
+  EXPECT_EQ(b->result.row(0).Get(0), 5000);
+}
+
+TEST(FarviewTest, ScanIsDramBandwidthBound) {
+  // With 2 DDR channels @19.2 GB/s and a 200 MHz clock, the node ingests
+  // ~192 B/cycle; a table of B bytes should scan in ~B/192 cycles plus
+  // request/response overheads.
+  FarviewConfig cfg;
+  FarviewSystem sys(cfg);
+  rel::Table t = TestTable(50000);  // 2 MB
+  const uint64_t tid = sys.LoadTable(t);
+  const uint64_t pid = sys.RegisterProgram(CountProgram());
+  auto off = sys.RunOffloaded(tid, pid);
+  ASSERT_TRUE(off.ok());
+  const double bytes_per_cycle = 2 * 19.2e9 / 200e6;
+  const uint64_t lower = uint64_t(t.total_bytes() / bytes_per_cycle);
+  EXPECT_GE(off->cycles, lower);
+  EXPECT_LE(off->cycles, 40 * lower)
+      << "scan should be within a small factor of the bandwidth bound";
+}
+
+}  // namespace
+}  // namespace fpgadp::farview

@@ -1,0 +1,116 @@
+#include "src/fleetrec/fleetrec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/microrec/model.h"
+
+namespace fpgadp::fleetrec {
+namespace {
+
+microrec::RecModel TestModel(size_t tables = 64) {
+  microrec::RecModel m = microrec::MakeTypicalModel(tables, 41, 1000,
+                                                    500000, 16);
+  m.hidden_layers = {512, 256};
+  return m;
+}
+
+TEST(FleetRecTest, RejectsBadConfig) {
+  microrec::RecModel m = TestModel();
+  FleetRecConfig cfg;
+  cfg.num_fpga_nodes = 0;
+  EXPECT_FALSE(FleetRecCluster::Create(&m, cfg).ok());
+  cfg = FleetRecConfig();
+  cfg.num_gpu_nodes = 0;
+  EXPECT_FALSE(FleetRecCluster::Create(&m, cfg).ok());
+  cfg = FleetRecConfig();
+  cfg.batch = 0;
+  EXPECT_FALSE(FleetRecCluster::Create(&m, cfg).ok());
+  EXPECT_FALSE(FleetRecCluster::Create(nullptr, FleetRecConfig()).ok());
+}
+
+TEST(FleetRecTest, ShardsCoverAllTablesOnce) {
+  microrec::RecModel m = TestModel();
+  FleetRecConfig cfg;
+  cfg.num_fpga_nodes = 4;
+  auto cluster = FleetRecCluster::Create(&m, cfg);
+  ASSERT_TRUE(cluster.ok());
+  size_t total_groups = 0;
+  uint64_t total_bytes = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    total_groups += cluster->shard(s).groups.size();
+    total_bytes += cluster->shard(s).total_bytes;
+  }
+  EXPECT_EQ(total_groups, m.tables.size());
+  EXPECT_EQ(total_bytes, m.EmbeddingBytes());
+}
+
+TEST(FleetRecTest, ShardsAreBalanced) {
+  microrec::RecModel m = TestModel(64);
+  FleetRecConfig cfg;
+  cfg.num_fpga_nodes = 4;
+  auto cluster = FleetRecCluster::Create(&m, cfg);
+  ASSERT_TRUE(cluster.ok());
+  uint64_t lo = UINT64_MAX, hi = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    lo = std::min(lo, cluster->shard(s).total_bytes);
+    hi = std::max(hi, cluster->shard(s).total_bytes);
+  }
+  EXPECT_LT(double(hi), 1.6 * double(lo));
+}
+
+TEST(FleetRecTest, EvaluateIsDeterministic) {
+  microrec::RecModel m = TestModel();
+  auto cluster = FleetRecCluster::Create(&m, FleetRecConfig());
+  ASSERT_TRUE(cluster.ok());
+  auto a = cluster->Evaluate(7);
+  auto b = cluster->Evaluate(7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->inferences_per_sec, b->inferences_per_sec);
+  EXPECT_EQ(a->bottleneck, b->bottleneck);
+}
+
+TEST(FleetRecTest, MoreGpusHelpWhenGpuBound) {
+  microrec::RecModel m = TestModel(16);
+  m.hidden_layers = {2048, 1024, 512};  // heavy MLP
+  FleetRecConfig one;
+  one.gpu_flops = 2e12;  // weak GPUs: clearly GPU-bound
+  FleetRecConfig four = one;
+  four.num_gpu_nodes = 4;
+  auto c1 = FleetRecCluster::Create(&m, one);
+  auto c4 = FleetRecCluster::Create(&m, four);
+  ASSERT_TRUE(c1.ok() && c4.ok());
+  auto s1 = c1->Evaluate(9);
+  auto s4 = c4->Evaluate(9);
+  ASSERT_TRUE(s1.ok() && s4.ok());
+  EXPECT_EQ(s1->bottleneck, Stage::kGpuMlp);
+  EXPECT_GT(s4->inferences_per_sec, 2 * s1->inferences_per_sec);
+}
+
+TEST(FleetRecTest, MoreFpgasHelpWhenLookupBound) {
+  microrec::RecModel m = TestModel(128);
+  m.hidden_layers = {64};  // tiny MLP: lookup-bound
+  FleetRecConfig one;
+  one.fpga.override_hbm_channels = 1;  // weak lookup nodes
+  one.fpga.sram_budget_bytes = 0;
+  one.num_fpga_nodes = 1;
+  one.num_gpu_nodes = 4;  // ample ingest + MLP so lookups dominate
+  FleetRecConfig four = one;
+  four.num_fpga_nodes = 4;
+  auto c1 = FleetRecCluster::Create(&m, one);
+  auto c4 = FleetRecCluster::Create(&m, four);
+  ASSERT_TRUE(c1.ok() && c4.ok());
+  auto s1 = c1->Evaluate(11);
+  auto s4 = c4->Evaluate(11);
+  ASSERT_TRUE(s1.ok() && s4.ok());
+  EXPECT_EQ(s1->bottleneck, Stage::kFpgaLookup);
+  EXPECT_GT(s4->inferences_per_sec, 2 * s1->inferences_per_sec);
+}
+
+TEST(FleetRecTest, BottleneckNameIsReadable) {
+  FleetStats s;
+  s.bottleneck = Stage::kNetwork;
+  EXPECT_EQ(s.BottleneckName(), "network");
+}
+
+}  // namespace
+}  // namespace fpgadp::fleetrec

@@ -1,0 +1,135 @@
+#include "src/hls/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/device/device.h"
+
+namespace fpgadp::hls {
+namespace {
+
+KernelProfile SimpleFilterProfile() {
+  KernelProfile p;
+  p.name = "filter";
+  p.int_adds = 1;
+  p.comparisons = 2;
+  return p;
+}
+
+KernelProfile DistanceProfile() {
+  // One PQ distance lane: 16 FP adds + lookups into a local LUT.
+  KernelProfile p;
+  p.name = "pq_distance";
+  p.fp_adds = 16;
+  p.local_bytes = 16 * 256 * 4;  // 16 sub-quantizers x 256 centroids x fp32
+  p.local_mem_accesses = 16;
+  return p;
+}
+
+TEST(EstimatorTest, RejectsZeroFactors) {
+  const auto dev = device::AlveoU280();
+  Pragmas zero_unroll;
+  zero_unroll.unroll = 0;
+  EXPECT_FALSE(Synthesize(SimpleFilterProfile(), zero_unroll, dev).ok());
+  Pragmas zero_ii;
+  zero_ii.pipeline_ii = 0;
+  EXPECT_FALSE(Synthesize(SimpleFilterProfile(), zero_ii, dev).ok());
+  Pragmas zero_part;
+  zero_part.array_partition = 0;
+  EXPECT_FALSE(Synthesize(SimpleFilterProfile(), zero_part, dev).ok());
+}
+
+TEST(EstimatorTest, SmallKernelFitsAndHitsIiOne) {
+  const auto dev = device::AlveoU280();
+  auto rep = Synthesize(SimpleFilterProfile(), Pragmas{}, dev);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_TRUE(rep->fits);
+  EXPECT_EQ(rep->achieved_ii, 1u);
+  EXPECT_GT(rep->throughput_items_per_sec, 100e6);
+}
+
+TEST(EstimatorTest, UnrollMultipliesResourcesAndThroughput) {
+  const auto dev = device::AlveoU280();
+  Pragmas base;
+  Pragmas unrolled;
+  unrolled.unroll = 8;
+  unrolled.array_partition = 16;  // keep memory ports from capping II
+  auto r1 = Synthesize(DistanceProfile(), base, dev);
+  auto r8 = Synthesize(DistanceProfile(), unrolled, dev);
+  ASSERT_TRUE(r1.ok() && r8.ok());
+  EXPECT_GT(r8->resources.luts, 6 * r1->resources.luts);
+  EXPECT_GT(r8->throughput_items_per_sec,
+            4 * r1->throughput_items_per_sec);
+}
+
+TEST(EstimatorTest, MemoryPortsCapIi) {
+  // 16 local accesses per iteration with a single (dual-ported) bank can
+  // at best start an iteration every ceil(16/2)=8 cycles.
+  const auto dev = device::AlveoU280();
+  Pragmas p;
+  p.array_partition = 1;
+  auto rep = Synthesize(DistanceProfile(), p, dev);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->achieved_ii, 8u);
+  // Partitioning the LUT into 8 banks restores II=1.
+  p.array_partition = 8;
+  auto rep2 = Synthesize(DistanceProfile(), p, dev);
+  ASSERT_TRUE(rep2.ok());
+  EXPECT_EQ(rep2->achieved_ii, 1u);
+  EXPECT_GE(rep2->resources.bram36, rep->resources.bram36);
+}
+
+TEST(EstimatorTest, DependencyDistanceFloorsIi) {
+  const auto dev = device::AlveoU280();
+  KernelProfile p = SimpleFilterProfile();
+  p.dependency_distance = 5;  // e.g. a floating-point accumulation chain
+  auto rep = Synthesize(p, Pragmas{}, dev);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->achieved_ii, 5u);
+}
+
+TEST(EstimatorTest, OversizedDesignDoesNotFit) {
+  const auto dev = device::AlveoU280();
+  Pragmas p;
+  p.unroll = 4096;
+  auto rep = Synthesize(DistanceProfile(), p, dev);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_FALSE(rep->fits);
+  EXPECT_EQ(rep->throughput_items_per_sec, 0.0);
+  EXPECT_NE(rep->ToString().find("DOES NOT FIT"), std::string::npos);
+}
+
+TEST(EstimatorTest, FmaxDegradesWithUtilization) {
+  const auto dev = device::AlveoU280();
+  Pragmas small;
+  Pragmas big;
+  big.unroll = 256;
+  big.array_partition = 256;
+  auto rs = Synthesize(DistanceProfile(), small, dev);
+  auto rb = Synthesize(DistanceProfile(), big, dev);
+  ASSERT_TRUE(rs.ok() && rb.ok());
+  EXPECT_LT(rb->fmax_hz, rs->fmax_hz);
+}
+
+class UnrollSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(UnrollSweep, ThroughputMonotoneWhileFitting) {
+  const auto dev = device::AlveoU250();
+  const uint32_t u = GetParam();
+  Pragmas p1, p2;
+  p1.unroll = u;
+  p1.array_partition = 2 * u;
+  p2.unroll = 2 * u;
+  p2.array_partition = 4 * u;
+  auto r1 = Synthesize(DistanceProfile(), p1, dev);
+  auto r2 = Synthesize(DistanceProfile(), p2, dev);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  if (r1->fits && r2->fits) {
+    EXPECT_GE(r2->throughput_items_per_sec, r1->throughput_items_per_sec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, UnrollSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace fpgadp::hls

@@ -1,0 +1,133 @@
+// End-to-end integration scenarios chaining several subsystems, the way a
+// deployment described in the tutorial would compose them.
+
+#include <gtest/gtest.h>
+
+#include "src/accl/collectives.h"
+#include "src/anns/accel.h"
+#include "src/anns/dataset.h"
+#include "src/farview/farview.h"
+#include "src/relational/cipher.h"
+#include "src/relational/compression.h"
+#include "src/relational/csv_parse.h"
+#include "src/relational/cpu_executor.h"
+#include "src/relational/queries.h"
+#include "src/relational/table.h"
+
+namespace fpgadp {
+namespace {
+
+TEST(IntegrationTest, CsvIngestToFarviewOffload) {
+  // Raw CSV -> parse -> load into the smart-memory node (compressed) ->
+  // offloaded Q6 -> same answer as local execution on the parsed table.
+  rel::SyntheticTableSpec spec;
+  spec.num_rows = 3000;
+  spec.seed = 111;
+  rel::Table original = rel::MakeSyntheticTable(spec);
+  const std::string csv = rel::TableToCsv(original);
+
+  auto parsed = rel::ParseCsv(original.schema(), csv);
+  ASSERT_TRUE(parsed.ok());
+
+  farview::FarviewSystem sys;
+  const uint64_t tid = sys.LoadTableCompressed(*parsed);
+  const uint64_t pid = sys.RegisterProgram(rel::MakeQ6Lite());
+  auto offloaded = sys.RunOffloaded(tid, pid);
+  ASSERT_TRUE(offloaded.ok()) << offloaded.status();
+
+  auto local = rel::ExecuteCpu(rel::MakeQ6Lite(), original);
+  ASSERT_TRUE(local.ok());
+  EXPECT_DOUBLE_EQ(offloaded->result.row(0).GetDouble(0),
+                   local->row(0).GetDouble(0));
+}
+
+TEST(IntegrationTest, SecureWireTransferOfQueryResult) {
+  // Offload a filter on the memory node, then ship the surviving rows
+  // compressed + encrypted (the HANA chain) and verify the client can
+  // reconstruct them bit-exactly.
+  farview::FarviewSystem sys;
+  rel::SyntheticTableSpec spec;
+  spec.num_rows = 4000;
+  spec.seed = 113;
+  rel::Table t = rel::MakeSyntheticTable(spec);
+  const uint64_t tid = sys.LoadTable(t);
+  rel::Program prog;
+  rel::FilterOp f;
+  f.conjuncts.push_back(rel::Predicate{4, rel::CmpOp::kGe, 40});
+  prog.ops.push_back(f);
+  const uint64_t pid = sys.RegisterProgram(prog);
+  auto stats = sys.RunOffloaded(tid, pid);
+  ASSERT_TRUE(stats.ok());
+
+  // Server side: serialize -> compress -> encrypt.
+  const auto plain = rel::SerializeRows(stats->result);
+  const auto packed = rel::LzCompress(plain);
+  std::array<uint8_t, 32> key{};
+  key[0] = 0x42;
+  const std::array<uint8_t, 12> nonce{9, 9, 9};
+  rel::ChaCha20 enc(key, nonce);
+  auto wire = enc.Transform(packed);
+
+  // Client side: decrypt -> decompress -> deserialize.
+  rel::ChaCha20 dec(key, nonce);
+  auto unpacked = rel::LzDecompress(dec.Transform(wire));
+  ASSERT_TRUE(unpacked.ok());
+  auto restored = rel::DeserializeRows(t.schema(), *unpacked);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->num_rows(), stats->result.num_rows());
+  for (size_t i = 0; i < restored->num_rows(); ++i) {
+    EXPECT_EQ(restored->row(i), stats->result.row(i));
+  }
+}
+
+TEST(IntegrationTest, DistributedAnnsViaAllGather) {
+  // Two "search nodes" each answer a query batch on a shard; all-gather
+  // redistributes per-node top-1 distances cluster-wide (the FleetRec/ACCL
+  // composition for distributed vector search).
+  anns::DatasetSpec spec;
+  spec.num_base = 2000;
+  spec.num_queries = 8;
+  spec.dim = 16;
+  spec.seed = 115;
+  anns::Dataset data = anns::MakeDataset(spec);
+
+  // Shard the corpus in half; build one index per node.
+  const size_t half = data.num_base() / 2;
+  std::vector<float> shard_a(data.base.begin(),
+                             data.base.begin() + half * spec.dim);
+  std::vector<float> shard_b(data.base.begin() + half * spec.dim,
+                             data.base.end());
+  anns::IvfPqIndex::Options opts;
+  opts.nlist = 8;
+  opts.pq.m = 4;
+  opts.pq.ksub = 16;
+  auto ia = anns::IvfPqIndex::Build(shard_a, spec.dim, opts);
+  auto ib = anns::IvfPqIndex::Build(shard_b, spec.dim, opts);
+  ASSERT_TRUE(ia.ok() && ib.ok());
+
+  anns::IvfPqIndex::SearchParams params;
+  params.nprobe = 8;
+  params.k = 1;
+  std::vector<std::vector<float>> contributions(2);
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    contributions[0].push_back(
+        ia->Search(data.QueryVector(q), params)[0].distance);
+    contributions[1].push_back(
+        ib->Search(data.QueryVector(q), params)[0].distance);
+  }
+  accl::Communicator comm(2);
+  std::vector<std::vector<float>> gathered;
+  auto stats = comm.AllGather(contributions, &gathered);
+  ASSERT_TRUE(stats.ok());
+  // Every node now sees both shards' best distances; the global best is
+  // the min — and it can never be worse than either shard's.
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    const float global =
+        std::min(gathered[0][q], gathered[0][data.num_queries() + q]);
+    EXPECT_LE(global, contributions[0][q]);
+    EXPECT_LE(global, contributions[1][q]);
+  }
+}
+
+}  // namespace
+}  // namespace fpgadp

@@ -1,0 +1,129 @@
+#include "src/kvs/smart_kvs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/sim/engine.h"
+
+namespace fpgadp::kvs {
+namespace {
+
+struct Harness {
+  net::Fabric fabric;
+  SmartNicKvs server;
+  KvClient client;
+  sim::Engine engine;
+
+  Harness()
+      : fabric("fab", 2,
+               [] {
+                 net::Fabric::Config c;
+                 c.clock_hz = 200e6;
+                 return c;
+               }()),
+        server("kvs", 1, &fabric, SmartNicKvs::Config()),
+        client("client", 0, 1, &fabric) {
+    fabric.RegisterWith(engine);
+    server.RegisterWith(engine);
+    engine.AddModule(&client);
+  }
+
+  /// Steps until `count` responses arrived (or a generous deadline).
+  void RunUntilResponses(uint64_t count) {
+    uint64_t guard = 0;
+    while (client.responses_received() < count && guard++ < (1ull << 24)) {
+      engine.Step();
+    }
+  }
+};
+
+TEST(SmartKvsTest, PutThenGetReturnsValue) {
+  Harness h;
+  h.client.Put(42, 777, /*tag=*/1);
+  h.RunUntilResponses(1);
+  net::Packet resp;
+  ASSERT_TRUE(h.client.PollResponse(&resp));
+  EXPECT_EQ(resp.user, uint64_t(KvOp::kPutResp));
+
+  h.client.Get(42, /*tag=*/2);
+  h.RunUntilResponses(2);
+  ASSERT_TRUE(h.client.PollResponse(&resp));
+  EXPECT_EQ(resp.user, uint64_t(KvOp::kGetResp));
+  EXPECT_EQ(resp.addr, 42u);
+  EXPECT_EQ(resp.user2, 777u);
+  EXPECT_GT(resp.bytes, 0u);
+  EXPECT_EQ(h.server.hits(), 1u);
+}
+
+TEST(SmartKvsTest, MissReturnsEmpty) {
+  Harness h;
+  h.client.Get(999, 1);
+  h.RunUntilResponses(1);
+  net::Packet resp;
+  ASSERT_TRUE(h.client.PollResponse(&resp));
+  EXPECT_EQ(resp.bytes, 0u);
+  EXPECT_EQ(h.server.hits(), 0u);
+}
+
+TEST(SmartKvsTest, OverwriteKeepsLatest) {
+  Harness h;
+  h.client.Put(5, 100, 1);
+  h.client.Put(5, 200, 2);
+  h.client.Get(5, 3);
+  h.RunUntilResponses(3);
+  net::Packet resp;
+  // Drain the two put acks.
+  ASSERT_TRUE(h.client.PollResponse(&resp));
+  ASSERT_TRUE(h.client.PollResponse(&resp));
+  ASSERT_TRUE(h.client.PollResponse(&resp));
+  EXPECT_EQ(resp.user2, 200u);
+  EXPECT_EQ(h.server.size(), 1u);
+}
+
+TEST(SmartKvsTest, ManyOpsAllAnswered) {
+  Harness h;
+  Rng rng(3);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      h.client.Put(rng.NextBounded(100), i, uint64_t(i));
+    } else {
+      h.client.Get(rng.NextBounded(100), uint64_t(i));
+    }
+  }
+  h.RunUntilResponses(n);
+  EXPECT_EQ(h.client.responses_received(), uint64_t(n));
+  EXPECT_EQ(h.server.gets() + h.server.puts(), uint64_t(n));
+}
+
+TEST(SmartKvsTest, ThroughputBeatsCpuBaseline) {
+  // The KV-Direct headline: NIC-side processing sustains far more ops/s
+  // than a software server, because each op costs one pipelined DRAM
+  // access rather than a software-stack traversal.
+  Harness h;
+  const int n = 4000;
+  Rng rng(5);
+  for (int i = 0; i < n; ++i) {
+    h.client.Get(rng.NextBounded(1000), uint64_t(i));
+  }
+  const sim::Cycle start = h.engine.now();
+  h.RunUntilResponses(n);
+  const double seconds = double(h.engine.now() - start) / 200e6;
+  const double fpga_ops = double(n) / seconds;
+  CpuKvsModel cpu;
+  EXPECT_GT(fpga_ops, 2 * cpu.OpsPerSec())
+      << "fpga " << fpga_ops << " vs cpu " << cpu.OpsPerSec();
+}
+
+TEST(SmartKvsTest, SmallOpLatencyIsMicroseconds) {
+  Harness h;
+  h.client.Get(1, 1);
+  const sim::Cycle start = h.engine.now();
+  h.RunUntilResponses(1);
+  const double us = double(h.engine.now() - start) / 200e6 * 1e6;
+  EXPECT_GT(us, 1.0);
+  EXPECT_LT(us, 5.0);  // one network RTT + one DRAM access
+}
+
+}  // namespace
+}  // namespace fpgadp::kvs

@@ -1,0 +1,53 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace fpgadp {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  FPGADP_LOG(kDebug) << "must be dropped " << 42;
+  FPGADP_LOG(kInfo) << "also dropped";
+  SetLogLevel(original);
+}
+
+TEST(UnitsTest, BytesPerCycle) {
+  // 100 Gbps at 200 MHz = 62 whole bytes per cycle (floor).
+  EXPECT_EQ(BytesPerCycle(100e9, 200e6), 62u);
+  // A 512-bit AXI bus at 200 MHz is 64 B/cycle = 102.4 Gbps.
+  EXPECT_EQ(BytesPerCycle(102.4e9, 200e6), 64u);
+}
+
+TEST(UnitsTest, CyclesToSeconds) {
+  EXPECT_DOUBLE_EQ(CyclesToSeconds(200'000'000, 200e6), 1.0);
+  EXPECT_DOUBLE_EQ(CyclesToSeconds(0, 200e6), 0.0);
+}
+
+TEST(UnitsTest, NanosToCyclesRoundsUp) {
+  EXPECT_EQ(NanosToCycles(5.0, 200e6), 1u);    // 5 ns exactly 1 cycle
+  EXPECT_EQ(NanosToCycles(5.1, 200e6), 2u);    // rounds up
+  EXPECT_EQ(NanosToCycles(100, 200e6), 20u);
+  EXPECT_EQ(NanosToCycles(0, 200e6), 0u);
+}
+
+TEST(UnitsTest, SizeConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace fpgadp

@@ -1,0 +1,169 @@
+#include "src/lsm/lsm_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/random.h"
+#include "src/lsm/sstable.h"
+
+namespace fpgadp::lsm {
+namespace {
+
+TEST(SsTableTest, FindHitsAndMisses) {
+  SsTable t = SsTable::FromSorted({{1, 10, false}, {5, 50, false},
+                                   {9, 90, false}});
+  ASSERT_TRUE(t.Find(5).has_value());
+  EXPECT_EQ(t.Find(5)->value, 50u);
+  EXPECT_FALSE(t.Find(4).has_value());
+  EXPECT_FALSE(t.Find(100).has_value());
+  EXPECT_EQ(t.min_key(), 1u);
+  EXPECT_EQ(t.max_key(), 9u);
+  EXPECT_EQ(t.bytes(), 3 * sizeof(KvEntry));
+}
+
+TEST(MergeTest, FreshestRecordWins) {
+  SsTable newer = SsTable::FromSorted({{1, 100, false}, {3, 300, false}});
+  SsTable older = SsTable::FromSorted({{1, 1, false}, {2, 2, false},
+                                       {3, 3, false}});
+  SsTable merged = MergeTables({&newer, &older}, false);
+  ASSERT_EQ(merged.num_entries(), 3u);
+  EXPECT_EQ(merged.Find(1)->value, 100u);
+  EXPECT_EQ(merged.Find(2)->value, 2u);
+  EXPECT_EQ(merged.Find(3)->value, 300u);
+}
+
+TEST(MergeTest, TombstoneShadowsAndDrops) {
+  SsTable newer = SsTable::FromSorted({{2, 0, true}});
+  SsTable older = SsTable::FromSorted({{2, 22, false}, {4, 44, false}});
+  SsTable kept = MergeTables({&newer, &older}, /*drop_tombstones=*/false);
+  ASSERT_TRUE(kept.Find(2).has_value());
+  EXPECT_TRUE(kept.Find(2)->tombstone);
+  SsTable dropped = MergeTables({&newer, &older}, /*drop_tombstones=*/true);
+  EXPECT_FALSE(dropped.Find(2).has_value());
+  EXPECT_TRUE(dropped.Find(4).has_value());
+}
+
+TEST(MergeTest, ManyTablesStaySorted) {
+  Rng rng(7);
+  std::vector<SsTable> tables;
+  for (int t = 0; t < 6; ++t) {
+    std::map<uint64_t, KvEntry> m;
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t k = rng.NextBounded(500);
+      m[k] = {k, rng.Next(), false};
+    }
+    std::vector<KvEntry> sorted;
+    for (auto& [k, e] : m) sorted.push_back(e);
+    tables.push_back(SsTable::FromSorted(std::move(sorted)));
+  }
+  std::vector<const SsTable*> ptrs;
+  for (auto& t : tables) ptrs.push_back(&t);
+  SsTable merged = MergeTables(ptrs, false);
+  for (size_t i = 1; i < merged.num_entries(); ++i) {
+    EXPECT_LT(merged.entries()[i - 1].key, merged.entries()[i].key);
+  }
+}
+
+TEST(LsmTreeTest, PutGetRoundTrip) {
+  LsmTree tree;
+  tree.Put(1, 11);
+  tree.Put(2, 22);
+  EXPECT_EQ(tree.Get(1), std::optional<uint64_t>(11));
+  EXPECT_EQ(tree.Get(2), std::optional<uint64_t>(22));
+  EXPECT_EQ(tree.Get(3), std::nullopt);
+}
+
+TEST(LsmTreeTest, OverwriteAndDeleteAcrossFlushes) {
+  LsmOptions opts;
+  opts.memtable_limit = 8;
+  LsmTree tree(opts);
+  tree.Put(5, 100);
+  tree.Flush();
+  tree.Put(5, 200);
+  tree.Flush();
+  EXPECT_EQ(tree.Get(5), std::optional<uint64_t>(200));
+  tree.Delete(5);
+  tree.Flush();
+  EXPECT_EQ(tree.Get(5), std::nullopt);
+}
+
+TEST(LsmTreeTest, MatchesReferenceMapUnderRandomWorkload) {
+  LsmOptions opts;
+  opts.memtable_limit = 64;
+  opts.tables_per_level = 3;
+  LsmTree tree(opts);
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(2000);
+    if (rng.NextBounded(10) < 8) {
+      const uint64_t value = rng.Next();
+      tree.Put(key, value);
+      reference[key] = value;
+    } else {
+      tree.Delete(key);
+      reference.erase(key);
+    }
+  }
+  for (uint64_t key = 0; key < 2000; ++key) {
+    auto it = reference.find(key);
+    if (it == reference.end()) {
+      EXPECT_EQ(tree.Get(key), std::nullopt) << "key " << key;
+    } else {
+      EXPECT_EQ(tree.Get(key), std::optional<uint64_t>(it->second))
+          << "key " << key;
+    }
+  }
+  EXPECT_GT(tree.stats().compactions, 0u);
+}
+
+TEST(LsmTreeTest, CompactionKeepsLevelsBounded) {
+  LsmOptions opts;
+  opts.memtable_limit = 16;
+  opts.tables_per_level = 4;
+  LsmTree tree(opts);
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) tree.Put(rng.Next(), 1);
+  for (size_t l = 0; l + 1 < tree.num_levels(); ++l) {
+    EXPECT_LT(tree.level_tables(l), opts.tables_per_level);
+  }
+}
+
+TEST(LsmTreeTest, WriteAmplificationIsTracked) {
+  LsmOptions opts;
+  opts.memtable_limit = 32;
+  LsmTree tree(opts);
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) tree.Put(rng.Next(), 1);
+  EXPECT_GT(tree.stats().WriteAmplification(), 1.0);
+  EXPECT_GT(tree.stats().entries_compacted, tree.stats().puts);
+}
+
+TEST(CostModelTest, FpgaMergesOrdersOfMagnitudeFaster) {
+  CompactionCostModel cost;
+  const uint64_t entries = 10'000'000;
+  const double cpu = cost.Seconds(CompactionEngine::kCpu, entries);
+  const double fpga = cost.Seconds(CompactionEngine::kFpga, entries);
+  EXPECT_GT(cpu / fpga, 10.0);
+}
+
+TEST(LsmTreeTest, OffloadLiftsSustainedThroughput) {
+  // Same workload, two engines: identical functional stats, but the
+  // sustained-ingest model shows the X-Engine offload win.
+  auto run = [](CompactionEngine engine) {
+    LsmOptions opts;
+    opts.memtable_limit = 64;
+    opts.engine = engine;
+    LsmTree tree(opts);
+    Rng rng(19);
+    for (int i = 0; i < 30000; ++i) tree.Put(rng.Next(), 1);
+    return tree.stats().SustainedPutsPerSec(engine, opts.cost, opts.put_ns);
+  };
+  const double cpu_rate = run(CompactionEngine::kCpu);
+  const double fpga_rate = run(CompactionEngine::kFpga);
+  EXPECT_GT(fpga_rate, 1.5 * cpu_rate);
+}
+
+}  // namespace
+}  // namespace fpgadp::lsm

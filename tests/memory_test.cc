@@ -1,0 +1,165 @@
+#include "src/memory/multi_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/device/device.h"
+#include "src/memory/channel.h"
+#include "src/sim/engine.h"
+
+namespace fpgadp::mem {
+namespace {
+
+MemoryChannel::Config FastConfig() {
+  MemoryChannel::Config cfg;
+  cfg.latency_ns = 100;      // 20 cycles @200MHz
+  cfg.bytes_per_sec = 12.8e9;  // 64 B/cycle @200MHz
+  cfg.clock_hz = 200e6;
+  cfg.access_granularity = 64;
+  return cfg;
+}
+
+struct ChannelHarness {
+  sim::Stream<MemRequest> req{"req", 16};
+  sim::Stream<MemResponse> resp{"resp", 16};
+  MemoryChannel ch;
+  sim::Engine engine;
+
+  explicit ChannelHarness(const MemoryChannel::Config& cfg)
+      : ch("ch", &req, &resp, cfg) {
+    engine.AddModule(&ch);
+    engine.AddStream(&req);
+    engine.AddStream(&resp);
+  }
+};
+
+TEST(MemoryChannelTest, SingleReadLatency) {
+  ChannelHarness h(FastConfig());
+  h.req.Write({/*id=*/1, /*addr=*/0, /*bytes=*/64, false});
+  uint64_t cycles = 0;
+  while (!h.resp.CanRead() && cycles < 10000) {
+    h.engine.Step();
+    ++cycles;
+  }
+  EXPECT_EQ(h.ch.completed(), 1u);
+  // latency 20 cycles + 1 transfer cycle + plumbing: well under 40 cycles.
+  EXPECT_LE(cycles, 40u);
+  EXPECT_GE(cycles, 20u);
+}
+
+TEST(MemoryChannelTest, ResponseEchoesRequest) {
+  ChannelHarness h(FastConfig());
+  h.req.Write({/*id=*/77, /*addr=*/4096, /*bytes=*/32, /*is_write=*/true});
+  h.req.Commit();
+  MemResponse got{};
+  for (int i = 0; i < 1000; ++i) {
+    h.engine.Step();
+    if (h.resp.CanRead()) {
+      got = h.resp.Read();
+      break;
+    }
+  }
+  EXPECT_EQ(got.id, 77u);
+  EXPECT_EQ(got.addr, 4096u);
+  EXPECT_EQ(got.bytes, 32u);
+  EXPECT_TRUE(got.is_write);
+}
+
+TEST(MemoryChannelTest, BandwidthSerializesLargeTransfers) {
+  // 100 x 64B requests at 64 B/cycle: data bus needs ~100 cycles; the
+  // latency pipelines behind it.
+  ChannelHarness h(FastConfig());
+  sim::Engine& e = h.engine;
+  int issued = 0;
+  uint64_t cycle = 0;
+  while (h.ch.completed() < 100 && cycle < 100000) {
+    while (issued < 100 && h.req.CanWrite()) {
+      h.req.Write({uint64_t(issued), uint64_t(issued) * 64, 64, false});
+      ++issued;
+    }
+    e.Step();
+    while (h.resp.CanRead()) (void)h.resp.Read();
+    ++cycle;
+  }
+  EXPECT_EQ(h.ch.completed(), 100u);
+  EXPECT_GE(cycle, 100u);
+  EXPECT_LE(cycle, 160u);  // ~bus-bound, not 100 * latency
+}
+
+TEST(MemoryChannelTest, SmallRequestsPayGranularity) {
+  // 8-byte reads on a 64-byte granule still move 64 bytes each.
+  ChannelHarness h(FastConfig());
+  h.req.Write({1, 0, 8, false});
+  for (int i = 0; i < 1000 && !h.resp.CanRead(); ++i) h.engine.Step();
+  ASSERT_TRUE(h.resp.CanRead());
+  EXPECT_EQ(h.ch.bytes_transferred(), 64u);
+}
+
+TEST(MemoryChannelTest, HbmGranuleIsThirtyTwoBytes) {
+  auto spec = device::AlveoU280();
+  MultiChannelMemory hbm = MultiChannelMemory::MakeHbm(spec, 200e6);
+  EXPECT_EQ(hbm.num_channels(), 32u);
+  EXPECT_EQ(hbm.channel(0).config().access_granularity, 32u);
+}
+
+TEST(MultiChannelTest, ChannelsOperateIndependently) {
+  auto spec = device::AlveoU280();
+  MultiChannelMemory hbm = MultiChannelMemory::MakeHbm(spec, 200e6);
+  sim::Engine e;
+  hbm.RegisterWith(e);
+  // One request to each of 4 channels; they should complete in parallel
+  // (total time ~ single-channel time).
+  for (uint32_t c = 0; c < 4; ++c) {
+    hbm.request(c).Write({c, 0, 32, false});
+  }
+  uint64_t cycles = 0;
+  while (hbm.TotalCompleted() < 4 && cycles < 10000) {
+    e.Step();
+    ++cycles;
+  }
+  EXPECT_EQ(hbm.TotalCompleted(), 4u);
+  EXPECT_LE(cycles, 50u);  // not 4x the single-access latency
+}
+
+TEST(MultiChannelTest, InterleavingCoversAllChannels) {
+  auto spec = device::AlveoU55C();
+  MultiChannelMemory hbm = MultiChannelMemory::MakeHbm(spec, 200e6);
+  std::vector<bool> hit(hbm.num_channels(), false);
+  for (uint64_t addr = 0; addr < 32 * 256; addr += 256) {
+    hit[hbm.ChannelOf(addr)] = true;
+  }
+  for (bool h : hit) EXPECT_TRUE(h);
+}
+
+TEST(BackingStoreTest, ReadWriteRoundTrip) {
+  BackingStore store(1024);
+  store.Write<uint64_t>(64, 0xDEADBEEFCAFEBABEull);
+  store.Write<float>(128, 3.5f);
+  EXPECT_EQ(store.Read<uint64_t>(64), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(store.Read<float>(128), 3.5f);
+  EXPECT_EQ(store.size(), 1024u);
+}
+
+TEST(DeviceCatalogTest, SpecsAreSane) {
+  const auto u250 = device::AlveoU250();
+  const auto u280 = device::AlveoU280();
+  const auto u55c = device::AlveoU55C();
+  EXPECT_EQ(u250.memory.hbm_channels, 0u);
+  EXPECT_EQ(u250.memory.ddr_channels, 4u);
+  EXPECT_EQ(u280.memory.hbm_channels, 32u);
+  EXPECT_EQ(u55c.memory.hbm_capacity_bytes, 16ull << 30);
+  EXPECT_GT(u250.resources.luts, u280.resources.luts);
+  EXPECT_GT(u280.sram_bytes(), 30ull << 20);  // ~41 MB on-chip
+}
+
+TEST(DeviceCatalogTest, ResourceFitAndUtilization) {
+  const auto u280 = device::AlveoU280();
+  device::Resources small{1000, 2000, 10, 0, 16};
+  EXPECT_TRUE(u280.resources.Fits(small));
+  EXPECT_LT(u280.resources.UtilizationOf(small), 0.01);
+  device::Resources huge{10'000'000, 0, 0, 0, 0};
+  EXPECT_FALSE(u280.resources.Fits(huge));
+  EXPECT_GT(u280.resources.UtilizationOf(huge), 1.0);
+}
+
+}  // namespace
+}  // namespace fpgadp::mem

@@ -1,0 +1,246 @@
+#include "src/microrec/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/microrec/cartesian.h"
+#include "src/microrec/model.h"
+
+namespace fpgadp::microrec {
+namespace {
+
+RecModel SmallModel(size_t tables = 24) {
+  RecModel m = MakeTypicalModel(tables, /*seed=*/7, /*min_rows=*/100,
+                                /*max_rows=*/100000, /*dim=*/16);
+  m.hidden_layers = {256, 128};
+  return m;
+}
+
+TEST(ModelTest, ShapeAndAccounting) {
+  RecModel m = SmallModel(10);
+  ASSERT_EQ(m.tables.size(), 10u);
+  EXPECT_EQ(m.ConcatDim(), 160u);
+  EXPECT_EQ(m.LookupsPerInference(), 10u);
+  // MACs: 160*256 + 256*128 + 128.
+  EXPECT_EQ(m.MlpMacs(), 160u * 256 + 256 * 128 + 128);
+  uint64_t bytes = 0;
+  for (const auto& t : m.tables) bytes += t.rows * 32;
+  EXPECT_EQ(m.EmbeddingBytes(), bytes);
+}
+
+TEST(ModelTest, DeterministicInSeed) {
+  RecModel a = MakeTypicalModel(20, 3);
+  RecModel b = MakeTypicalModel(20, 3);
+  RecModel c = MakeTypicalModel(20, 4);
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(a.tables[i].rows, b.tables[i].rows);
+  bool any_diff = false;
+  for (size_t i = 0; i < 20; ++i) any_diff |= a.tables[i].rows != c.tables[i].rows;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CartesianTest, IdentityPlanKeepsEverything) {
+  RecModel m = SmallModel();
+  CartesianPlan plan = PlanWithoutCartesian(m);
+  EXPECT_EQ(plan.groups.size(), m.tables.size());
+  EXPECT_EQ(plan.total_bytes, m.EmbeddingBytes());
+  for (size_t i = 0; i < plan.groups.size(); ++i) {
+    EXPECT_EQ(plan.groups[i].members, std::vector<size_t>{i});
+  }
+}
+
+TEST(CartesianTest, CombiningReducesLookups) {
+  RecModel m = SmallModel();
+  CartesianPlan plan = PlanCartesian(m);
+  EXPECT_LT(plan.LookupsPerInference(), m.LookupsPerInference());
+}
+
+TEST(CartesianTest, EveryTableCoveredExactlyOnce) {
+  RecModel m = SmallModel();
+  CartesianPlan plan = PlanCartesian(m);
+  std::vector<int> covered(m.tables.size(), 0);
+  for (const auto& g : plan.groups) {
+    uint64_t rows = 1;
+    uint32_t dim = 0;
+    for (size_t t : g.members) {
+      ++covered[t];
+      rows *= m.tables[t].rows;
+      dim += m.tables[t].dim;
+    }
+    EXPECT_EQ(g.rows, rows);
+    EXPECT_EQ(g.dim, dim);
+  }
+  for (int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(CartesianTest, RespectsRowLimit) {
+  RecModel m = SmallModel();
+  CartesianOptions opts;
+  opts.max_product_rows = 50000;
+  CartesianPlan plan = PlanCartesian(m, opts);
+  for (const auto& g : plan.groups) {
+    if (g.members.size() > 1) {
+      EXPECT_LE(g.rows, 50000u);
+    }
+  }
+}
+
+TEST(CartesianTest, RespectsMemoryBudget) {
+  RecModel m = SmallModel();
+  CartesianOptions opts;
+  opts.max_extra_bytes = 1 << 20;
+  CartesianPlan plan = PlanCartesian(m, opts);
+  EXPECT_LE(plan.total_bytes, m.EmbeddingBytes() + (1 << 20));
+}
+
+TEST(CartesianTest, ZeroBudgetMeansNoCombining) {
+  RecModel m = SmallModel();
+  CartesianOptions opts;
+  opts.max_extra_bytes = 0;
+  opts.max_product_rows = 1;  // nothing qualifies
+  CartesianPlan plan = PlanCartesian(m, opts);
+  EXPECT_EQ(plan.groups.size(), m.tables.size());
+}
+
+TEST(PlacementTest, SmallTablesGoToSram) {
+  RecModel m = SmallModel();
+  CartesianPlan plan = PlanWithoutCartesian(m);
+  auto layout = PlaceTables(plan, 32, /*sram=*/1 << 20, /*hbm=*/8ull << 30);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_GT(layout->sram_groups, 0u);
+  EXPECT_LE(layout->sram_bytes_used, 1u << 20);
+  EXPECT_EQ(layout->sram_groups + layout->hbm_groups, plan.groups.size());
+  // Every SRAM-resident group is no larger than every HBM-resident group.
+  uint64_t max_sram = 0, min_hbm = UINT64_MAX;
+  for (size_t g = 0; g < plan.groups.size(); ++g) {
+    if (layout->placements[g].loc == Loc::kSram) {
+      max_sram = std::max(max_sram, plan.groups[g].bytes());
+    } else {
+      min_hbm = std::min(min_hbm, plan.groups[g].bytes());
+    }
+  }
+  if (layout->hbm_groups > 0) {
+    EXPECT_LE(max_sram, min_hbm);
+  }
+}
+
+TEST(PlacementTest, HbmLoadIsBalanced) {
+  RecModel m = MakeTypicalModel(64, 9, 10000, 100000, 16);
+  CartesianPlan plan = PlanWithoutCartesian(m);
+  auto layout = PlaceTables(plan, 8, /*sram=*/0, /*hbm=*/8ull << 30);
+  ASSERT_TRUE(layout.ok());
+  uint64_t lo = UINT64_MAX, hi = 0;
+  for (uint64_t b : layout->channel_bytes) {
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  EXPECT_LT(double(hi), 2.0 * double(lo) + 1e6);
+}
+
+TEST(PlacementTest, OverflowIsError) {
+  RecModel m = MakeTypicalModel(4, 9, 1 << 20, 1 << 20, 16);
+  CartesianPlan plan = PlanWithoutCartesian(m);
+  auto layout = PlaceTables(plan, 2, 0, /*hbm=*/1 << 20);  // tiny capacity
+  EXPECT_EQ(layout.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineTest, RunsAndAccountsLookups) {
+  RecModel m = SmallModel();
+  auto engine = MicroRecEngine::Create(&m, PlanWithoutCartesian(m),
+                                       device::AlveoU280());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto stats = engine->RunBatch(64, 13);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->hbm_lookups + stats->sram_lookups, 64u * m.tables.size());
+  EXPECT_GT(stats->inferences_per_sec, 0);
+  EXPECT_GT(stats->latency_us, 0);
+  // Each HBM lookup moves one 32-byte granule (dim16 x fp16 = 32 B).
+  EXPECT_EQ(stats->hbm_bytes, stats->hbm_lookups * 32);
+}
+
+TEST(EngineTest, CartesianPlanIsFaster) {
+  RecModel m = MakeTypicalModel(48, 17, 50, 200000, 16);
+  m.hidden_layers = {256, 128};
+  MicroRecConfig cfg;
+  cfg.sram_budget_bytes = 0;  // isolate the lookup-count effect
+  auto base = MicroRecEngine::Create(&m, PlanWithoutCartesian(m),
+                                     device::AlveoU280(), cfg);
+  auto cart =
+      MicroRecEngine::Create(&m, PlanCartesian(m), device::AlveoU280(), cfg);
+  ASSERT_TRUE(base.ok() && cart.ok());
+  ASSERT_LT(cart->plan().LookupsPerInference(),
+            base->plan().LookupsPerInference());
+  auto sb = base->RunBatch(128, 19);
+  auto sc = cart->RunBatch(128, 19);
+  ASSERT_TRUE(sb.ok() && sc.ok());
+  EXPECT_LT(sc->hbm_lookups, sb->hbm_lookups);
+  EXPECT_LE(sc->cycles, sb->cycles);
+}
+
+TEST(EngineTest, MoreChannelsMoreThroughput) {
+  RecModel m = MakeTypicalModel(64, 23, 10000, 500000, 16);
+  m.hidden_layers = {};  // output neuron only: lookups dominate
+  MicroRecConfig few, many;
+  few.sram_budget_bytes = many.sram_budget_bytes = 0;
+  few.jobs_in_flight = many.jobs_in_flight = 16;
+  few.override_hbm_channels = 2;
+  many.override_hbm_channels = 32;
+  auto e_few =
+      MicroRecEngine::Create(&m, PlanWithoutCartesian(m), device::AlveoU280(), few);
+  auto e_many = MicroRecEngine::Create(&m, PlanWithoutCartesian(m),
+                                       device::AlveoU280(), many);
+  ASSERT_TRUE(e_few.ok() && e_many.ok());
+  auto s_few = e_few->RunBatch(64, 29);
+  auto s_many = e_many->RunBatch(64, 29);
+  ASSERT_TRUE(s_few.ok() && s_many.ok());
+  EXPECT_GT(s_many->inferences_per_sec, 2 * s_few->inferences_per_sec);
+}
+
+TEST(EngineTest, SramBudgetReducesHbmTraffic) {
+  RecModel m = SmallModel(32);
+  MicroRecConfig none, lots;
+  none.sram_budget_bytes = 0;
+  lots.sram_budget_bytes = 16ull << 20;
+  auto e0 = MicroRecEngine::Create(&m, PlanWithoutCartesian(m),
+                                   device::AlveoU280(), none);
+  auto e1 = MicroRecEngine::Create(&m, PlanWithoutCartesian(m),
+                                   device::AlveoU280(), lots);
+  ASSERT_TRUE(e0.ok() && e1.ok());
+  auto s0 = e0->RunBatch(32, 31);
+  auto s1 = e1->RunBatch(32, 31);
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  EXPECT_LT(s1->hbm_lookups, s0->hbm_lookups);
+  EXPECT_GT(s1->sram_lookups, 0u);
+}
+
+TEST(EngineTest, FpgaBeatsCpuBaselineByOrderOfMagnitude) {
+  // The E5 headline in miniature: a lookup-heavy production-shaped model.
+  RecModel m = MakeTypicalModel(96, 37, 1000, 1000000, 16);
+  m.hidden_layers = {512, 256, 128};
+  auto engine =
+      MicroRecEngine::Create(&m, PlanCartesian(m), device::AlveoU280());
+  ASSERT_TRUE(engine.ok());
+  auto stats = engine->RunBatch(256, 41);
+  ASSERT_TRUE(stats.ok());
+  CpuRecBaseline cpu;
+  const double cpu_ips =
+      1.0 / cpu.SecondsPerInference(m, m.LookupsPerInference());
+  EXPECT_GT(stats->inferences_per_sec, 5 * cpu_ips)
+      << "fpga " << stats->inferences_per_sec << " vs cpu " << cpu_ips;
+}
+
+TEST(EngineTest, RejectsBadInput) {
+  RecModel m = SmallModel();
+  EXPECT_FALSE(MicroRecEngine::Create(nullptr, PlanWithoutCartesian(m),
+                                      device::AlveoU280())
+                   .ok());
+  // U250 has no HBM.
+  EXPECT_FALSE(MicroRecEngine::Create(&m, PlanWithoutCartesian(m),
+                                      device::AlveoU250())
+                   .ok());
+  auto engine = MicroRecEngine::Create(&m, PlanWithoutCartesian(m),
+                                       device::AlveoU280());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->RunBatch(0, 1).ok());
+}
+
+}  // namespace
+}  // namespace fpgadp::microrec

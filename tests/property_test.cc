@@ -1,0 +1,237 @@
+// Cross-module property tests: conservation laws, ordering invariants, and
+// randomized-workload checks that hold for every seed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "src/common/random.h"
+#include "src/memory/multi_channel.h"
+#include "src/microrec/engine.h"
+#include "src/microrec/model.h"
+#include "src/net/fabric.h"
+#include "src/net/rdma.h"
+#include "src/net/tcp.h"
+#include "src/relational/compression.h"
+#include "src/sim/engine.h"
+
+namespace fpgadp {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, FabricConservesPacketsAndBytes) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const uint32_t nodes = 4;
+  net::Fabric::Config cfg;
+  cfg.clock_hz = 200e6;
+  net::Fabric fab("fab", nodes, cfg);
+  sim::Engine e;
+  fab.RegisterWith(e);
+
+  uint64_t sent_packets = 0, sent_bytes = 0;
+  uint64_t recv_packets = 0, recv_bytes = 0;
+  const int to_send = 200;
+  int queued = 0;
+  uint64_t guard = 0;
+  while ((recv_packets < uint64_t(to_send)) && guard++ < (1ull << 22)) {
+    // Drip-feed random packets.
+    while (queued < to_send) {
+      const auto src = uint32_t(rng.NextBounded(nodes));
+      if (!fab.egress(src).CanWrite()) break;
+      net::Packet p;
+      p.src = src;
+      p.dst = uint32_t(rng.NextBounded(nodes));
+      p.bytes = rng.NextBounded(8192);
+      fab.egress(src).Write(p);
+      sent_bytes += p.bytes;
+      ++sent_packets;
+      ++queued;
+    }
+    e.Step();
+    for (uint32_t n = 0; n < nodes; ++n) {
+      while (fab.ingress(n).CanRead()) {
+        recv_bytes += fab.ingress(n).Read().bytes;
+        ++recv_packets;
+      }
+    }
+  }
+  EXPECT_EQ(recv_packets, sent_packets);
+  EXPECT_EQ(recv_bytes, sent_bytes);
+  EXPECT_EQ(fab.packets_delivered(), sent_packets);
+  EXPECT_EQ(fab.payload_bytes_delivered(), sent_bytes);
+}
+
+TEST_P(SeededProperty, RdmaEveryPostedOpCompletes) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const uint32_t nodes = 3;
+  net::Fabric::Config cfg;
+  cfg.clock_hz = 200e6;
+  net::Fabric fab("fab", nodes, cfg);
+  std::vector<std::unique_ptr<net::RdmaEndpoint>> eps;
+  sim::Engine e;
+  fab.RegisterWith(e);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    eps.push_back(std::make_unique<net::RdmaEndpoint>(
+        "ep" + std::to_string(n), n, &fab));
+    e.AddModule(eps.back().get());
+  }
+  // Random mix of reads and writes; sends excluded (their completions are
+  // local and would double-count against the remote's receive count).
+  const int ops = 150;
+  int expected_completions = 0;
+  for (int i = 0; i < ops; ++i) {
+    const auto src = uint32_t(rng.NextBounded(nodes));
+    auto dst = uint32_t(rng.NextBounded(nodes - 1));
+    if (dst >= src) ++dst;
+    const uint64_t bytes = 1 + rng.NextBounded(4096);
+    if (rng.NextBounded(2) == 0) {
+      eps[src]->PostRead(dst, 0, bytes, uint64_t(i));
+    } else {
+      eps[src]->PostWrite(dst, 0, bytes, uint64_t(i));
+    }
+    ++expected_completions;
+  }
+  int completions = 0;
+  net::Completion c;
+  uint64_t guard = 0;
+  while (completions < expected_completions && guard++ < (1ull << 22)) {
+    e.Step();
+    for (auto& ep : eps) {
+      while (ep->PollCompletion(&c)) ++completions;
+    }
+  }
+  EXPECT_EQ(completions, expected_completions);
+}
+
+TEST_P(SeededProperty, TcpDeliversExactByteCounts) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  net::Fabric::Config cfg;
+  cfg.clock_hz = 200e6;
+  net::Fabric fab("fab", 2, cfg);
+  net::TcpStack a("a", 0, &fab);
+  net::TcpStack b("b", 1, &fab);
+  sim::Engine e;
+  fab.RegisterWith(e);
+  e.AddModule(&a);
+  e.AddModule(&b);
+  uint64_t total = 0;
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t bytes = 1 + rng.NextBounded(100000);
+    a.Send(1, bytes);
+    total += bytes;
+  }
+  uint64_t guard = 0;
+  while (b.Readable(0) < total && guard++ < (1ull << 24)) e.Step();
+  EXPECT_EQ(b.Readable(0), total);
+  // Drain the last ACKs.
+  for (int i = 0; i < 2000; ++i) e.Step();
+  EXPECT_EQ(a.bytes_acked(), total);
+  EXPECT_TRUE(a.Idle());
+}
+
+TEST_P(SeededProperty, MemoryChannelCompletesInOrder) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  sim::Stream<mem::MemRequest> req("req", 32);
+  sim::Stream<mem::MemResponse> resp("resp", 32);
+  mem::MemoryChannel::Config cfg;
+  cfg.clock_hz = 200e6;
+  mem::MemoryChannel ch("ch", &req, &resp, cfg);
+  sim::Engine e;
+  e.AddModule(&ch);
+  e.AddStream(&req);
+  e.AddStream(&resp);
+  const int n = 100;
+  int issued = 0;
+  uint64_t next_expected = 0;
+  uint64_t guard = 0;
+  while (next_expected < uint64_t(n) && guard++ < (1ull << 22)) {
+    while (issued < n && req.CanWrite()) {
+      req.Write({uint64_t(issued), rng.NextBounded(1 << 20),
+                 uint32_t(1 + rng.NextBounded(4096)), false});
+      ++issued;
+    }
+    e.Step();
+    while (resp.CanRead()) {
+      // Fixed-latency + serialized bus => strictly FIFO completion.
+      EXPECT_EQ(resp.Read().id, next_expected);
+      ++next_expected;
+    }
+  }
+  EXPECT_EQ(next_expected, uint64_t(n));
+  EXPECT_EQ(ch.completed(), uint64_t(n));
+}
+
+TEST_P(SeededProperty, LzRoundTripsStructuredData) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  // Random mix of runs, copies, and noise.
+  std::vector<uint8_t> data;
+  while (data.size() < 100000) {
+    switch (rng.NextBounded(3)) {
+      case 0: {  // run
+        data.insert(data.end(), 1 + rng.NextBounded(300),
+                    uint8_t(rng.Next()));
+        break;
+      }
+      case 1: {  // self-copy
+        if (data.empty()) break;
+        const size_t start = rng.NextBounded(data.size());
+        const size_t len =
+            std::min<size_t>(1 + rng.NextBounded(200), data.size() - start);
+        for (size_t i = 0; i < len; ++i) data.push_back(data[start + i]);
+        break;
+      }
+      default: {  // noise
+        for (int i = 0; i < 50; ++i) data.push_back(uint8_t(rng.Next()));
+        break;
+      }
+    }
+  }
+  auto round = rel::LzDecompress(rel::LzCompress(data));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(*round, data);
+  // RLE too.
+  auto rle = rel::RleDecode(rel::RleEncode(data));
+  ASSERT_TRUE(rle.ok());
+  EXPECT_EQ(*rle, data);
+}
+
+TEST_P(SeededProperty, MicroRecPlacementInvariants) {
+  const uint64_t seed = GetParam();
+  microrec::RecModel model = microrec::MakeTypicalModel(
+      40, seed, 100, 200000, 16);
+  microrec::CartesianPlan plan = microrec::PlanWithoutCartesian(model);
+  for (uint32_t channels : {2u, 8u, 32u}) {
+    for (uint64_t sram : {0ull, 1ull << 20}) {
+      auto layout =
+          microrec::PlaceTables(plan, channels, sram, 8ull << 30);
+      ASSERT_TRUE(layout.ok());
+      EXPECT_LE(layout->sram_bytes_used, sram);
+      uint64_t hbm_bytes = 0;
+      for (size_t g = 0; g < plan.groups.size(); ++g) {
+        const auto& p = layout->placements[g];
+        if (p.loc == microrec::Loc::kHbm) {
+          EXPECT_LT(p.channel, channels);
+          hbm_bytes += plan.groups[g].bytes();
+        }
+      }
+      uint64_t channel_sum = std::accumulate(
+          layout->channel_bytes.begin(), layout->channel_bytes.end(), 0ull);
+      EXPECT_EQ(channel_sum, hbm_bytes);
+      EXPECT_EQ(layout->sram_groups + layout->hbm_groups, plan.groups.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1ull, 7ull, 42ull, 1234ull,
+                                           987654321ull));
+
+}  // namespace
+}  // namespace fpgadp

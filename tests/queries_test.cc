@@ -1,0 +1,102 @@
+#include "src/relational/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "src/farview/farview.h"
+#include "src/relational/cpu_executor.h"
+#include "src/relational/fpga_executor.h"
+#include "src/relational/table.h"
+
+namespace fpgadp::rel {
+namespace {
+
+Table TestTable() {
+  SyntheticTableSpec spec;
+  spec.num_rows = 5000;
+  spec.num_categories = 12;
+  spec.seed = 81;
+  return MakeSyntheticTable(spec);
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.row(i), b.row(i)) << "row " << i;
+  }
+}
+
+TEST(QueriesTest, Q1LiteGroupsEveryCategory) {
+  Table t = TestTable();
+  auto out = ExecuteCpu(MakeQ1Lite(), t);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 12u);
+  int64_t total = 0;
+  for (const Row& r : out->rows()) total += r.Get(1);
+  int64_t expect = 0;
+  for (const Row& r : t.rows()) expect += r.Get(4);
+  EXPECT_EQ(total, expect);
+}
+
+TEST(QueriesTest, Q6LiteMatchesManualSum) {
+  Table t = TestTable();
+  auto out = ExecuteCpu(MakeQ6Lite(), t);
+  ASSERT_TRUE(out.ok());
+  double expect = 0;
+  for (const Row& r : t.rows()) {
+    const double price = r.GetDouble(3);
+    if (price >= 100.0 && price < 500.0 && r.Get(4) < 24) expect += price;
+  }
+  EXPECT_DOUBLE_EQ(out->row(0).GetDouble(0), expect);
+}
+
+TEST(QueriesTest, Q6SelectivityRespondsToRange) {
+  Table t = TestTable();
+  auto narrow = ExecuteCpu(MakeQ6Lite(100, 150, 24), t);
+  auto wide = ExecuteCpu(MakeQ6Lite(0, 1000, 50), t);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_LT(narrow->row(0).GetDouble(0), wide->row(0).GetDouble(0));
+}
+
+TEST(QueriesTest, TopExpensiveIsDescendingAndQualified) {
+  Table t = TestTable();
+  auto out = ExecuteCpu(MakeTopExpensive(25, 10), t);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 10u);
+  for (size_t i = 0; i < out->num_rows(); ++i) {
+    EXPECT_GE(out->row(i).Get(4), 25);
+    if (i > 0) {
+      EXPECT_GE(out->row(i - 1).GetDouble(3), out->row(i).GetDouble(3));
+    }
+  }
+}
+
+TEST(QueriesTest, AllQueriesCpuFpgaEquivalent) {
+  Table t = TestTable();
+  for (const Program& prog :
+       {MakeQ1Lite(), MakeQ6Lite(), MakeTopExpensive()}) {
+    auto cpu = ExecuteCpu(prog, t);
+    auto fpga = ExecuteFpga(prog, t);
+    ASSERT_TRUE(cpu.ok() && fpga.ok()) << prog.ToString();
+    ExpectTablesEqual(*cpu, fpga->output);
+  }
+}
+
+TEST(QueriesTest, AllQueriesOffloadToFarview) {
+  farview::FarviewSystem sys;
+  Table t = TestTable();
+  const uint64_t tid = sys.LoadTable(t);
+  for (const Program& prog :
+       {MakeQ1Lite(), MakeQ6Lite(), MakeTopExpensive()}) {
+    const uint64_t pid = sys.RegisterProgram(prog);
+    auto stats = sys.RunOffloaded(tid, pid);
+    ASSERT_TRUE(stats.ok()) << prog.ToString() << ": " << stats.status();
+    auto expect = ExecuteCpu(prog, t);
+    ASSERT_TRUE(expect.ok());
+    ExpectTablesEqual(*expect, stats->result);
+    EXPECT_LT(stats->wire_bytes, t.total_bytes() / 10)
+        << prog.ToString() << " should move far less than the table";
+  }
+}
+
+}  // namespace
+}  // namespace fpgadp::rel

@@ -1,0 +1,128 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fpgadp {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator zipf(10, 0.0, 17);
+  std::vector<int> hist(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hist[zipf.Next()];
+  for (int c : hist) {
+    EXPECT_NEAR(double(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMassOnHead) {
+  ZipfGenerator zipf(1000, 0.99, 19);
+  const int n = 100000;
+  int head = 0;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 10) ++head;
+  }
+  // With theta=0.99 the top-1% of keys should draw far more than 1% of
+  // accesses (the embedding-cache effect MicroRec exploits).
+  EXPECT_GT(double(head) / n, 0.3);
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfGenerator zipf(37, 0.7, 23);
+  for (int i = 0; i < 50000; ++i) EXPECT_LT(zipf.Next(), 37u);
+}
+
+TEST(ClusteredVectorsTest, ShapeAndDeterminism) {
+  const auto a = GenerateClusteredVectors(100, 16, 4, 31);
+  const auto b = GenerateClusteredVectors(100, 16, 4, 31);
+  ASSERT_EQ(a.size(), 100u * 16u);
+  EXPECT_EQ(a, b);
+  const auto c = GenerateClusteredVectors(100, 16, 4, 32);
+  EXPECT_NE(a, c);
+}
+
+TEST(ClusteredVectorsTest, ClusterStructureIsPresent) {
+  // With tiny stddev, vectors collapse onto at most `num_clusters` distinct
+  // points; verify pairwise distances are bimodal (near zero or not).
+  const size_t dim = 8;
+  const auto data = GenerateClusteredVectors(200, dim, 3, 37, 1e-4f);
+  int near = 0, far = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = i + 1; j < 50; ++j) {
+      double d2 = 0;
+      for (size_t k = 0; k < dim; ++k) {
+        const double diff = data[i * dim + k] - data[j * dim + k];
+        d2 += diff * diff;
+      }
+      if (d2 < 1e-4) ++near;
+      else ++far;
+    }
+  }
+  EXPECT_GT(near, 0);
+  EXPECT_GT(far, 0);
+}
+
+}  // namespace
+}  // namespace fpgadp

@@ -1,0 +1,206 @@
+#include "src/relational/cpu_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/relational/program.h"
+#include "src/relational/table.h"
+
+namespace fpgadp::rel {
+namespace {
+
+Table SmallTable() {
+  SyntheticTableSpec spec;
+  spec.num_rows = 1000;
+  spec.num_categories = 8;
+  spec.seed = 5;
+  return MakeSyntheticTable(spec);
+}
+
+TEST(SyntheticTableTest, SchemaAndDeterminism) {
+  Table a = SmallTable();
+  Table b = SmallTable();
+  ASSERT_EQ(a.schema().num_columns(), 5u);
+  EXPECT_EQ(a.schema().field(0).name, "id");
+  EXPECT_EQ(a.schema().field(3).type, ColumnType::kDouble);
+  ASSERT_EQ(a.num_rows(), 1000u);
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.row(i), b.row(i));
+  }
+  EXPECT_EQ(a.total_bytes(), 1000u * 40u);
+}
+
+TEST(PredicateTest, IntComparisons) {
+  Row r;
+  r.Set(1, 10);
+  EXPECT_TRUE((Predicate{1, CmpOp::kEq, 10}).Eval(r));
+  EXPECT_TRUE((Predicate{1, CmpOp::kLt, 11}).Eval(r));
+  EXPECT_TRUE((Predicate{1, CmpOp::kLe, 10}).Eval(r));
+  EXPECT_TRUE((Predicate{1, CmpOp::kGt, 9}).Eval(r));
+  EXPECT_TRUE((Predicate{1, CmpOp::kGe, 10}).Eval(r));
+  EXPECT_TRUE((Predicate{1, CmpOp::kNe, 11}).Eval(r));
+  EXPECT_FALSE((Predicate{1, CmpOp::kLt, 10}).Eval(r));
+}
+
+TEST(PredicateTest, DoubleComparisons) {
+  Row r;
+  r.SetDouble(3, 2.5);
+  Predicate p;
+  p.column = 3;
+  p.op = CmpOp::kLt;
+  p.dvalue = 3.0;
+  p.is_double = true;
+  EXPECT_TRUE(p.Eval(r));
+  p.op = CmpOp::kGt;
+  EXPECT_FALSE(p.Eval(r));
+}
+
+TEST(FilterTest, KeepsOnlyMatching) {
+  Table t = SmallTable();
+  FilterOp f;
+  f.conjuncts.push_back(Predicate{2, CmpOp::kEq, 3});
+  Table out = FilterCpu(f, t);
+  size_t expected = 0;
+  for (const Row& r : t.rows()) {
+    if (r.Get(2) == 3) ++expected;
+  }
+  EXPECT_EQ(out.num_rows(), expected);
+  for (const Row& r : out.rows()) EXPECT_EQ(r.Get(2), 3);
+}
+
+TEST(FilterTest, ConjunctionNarrows) {
+  Table t = SmallTable();
+  FilterOp one;
+  one.conjuncts.push_back(Predicate{4, CmpOp::kGe, 10});
+  FilterOp both = one;
+  both.conjuncts.push_back(Predicate{4, CmpOp::kLe, 20});
+  EXPECT_LE(FilterCpu(both, t).num_rows(), FilterCpu(one, t).num_rows());
+}
+
+TEST(ProjectTest, ReordersColumns) {
+  Table t = SmallTable();
+  ProjectOp p;
+  p.columns = {4, 0};
+  Table out = ProjectCpu(p, t);
+  ASSERT_EQ(out.schema().num_columns(), 2u);
+  EXPECT_EQ(out.schema().field(0).name, "qty");
+  EXPECT_EQ(out.schema().field(1).name, "id");
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(out.row(i).Get(0), t.row(i).Get(4));
+    EXPECT_EQ(out.row(i).Get(1), t.row(i).Get(0));
+  }
+}
+
+TEST(AggregateTest, SumCountMinMaxAvg) {
+  Table t = SmallTable();
+  int64_t expect_sum = 0;
+  int64_t expect_min = INT64_MAX, expect_max = INT64_MIN;
+  for (const Row& r : t.rows()) {
+    expect_sum += r.Get(4);
+    expect_min = std::min(expect_min, r.Get(4));
+    expect_max = std::max(expect_max, r.Get(4));
+  }
+  AggregateOp sum{AggKind::kSum, 4, false};
+  EXPECT_EQ(AggregateCpu(sum, t).row(0).Get(0), expect_sum);
+  AggregateOp cnt{AggKind::kCount, 0, false};
+  EXPECT_EQ(AggregateCpu(cnt, t).row(0).Get(0), 1000);
+  AggregateOp mn{AggKind::kMin, 4, false};
+  EXPECT_EQ(AggregateCpu(mn, t).row(0).Get(0), expect_min);
+  AggregateOp mx{AggKind::kMax, 4, false};
+  EXPECT_EQ(AggregateCpu(mx, t).row(0).Get(0), expect_max);
+  AggregateOp avg{AggKind::kAvg, 4, false};
+  EXPECT_NEAR(AggregateCpu(avg, t).row(0).GetDouble(0),
+              double(expect_sum) / 1000.0, 1e-9);
+}
+
+TEST(AggregateTest, DoubleSum) {
+  Table t = SmallTable();
+  double expect = 0;
+  for (const Row& r : t.rows()) expect += r.GetDouble(3);
+  AggregateOp sum{AggKind::kSum, 3, true};
+  EXPECT_DOUBLE_EQ(AggregateCpu(sum, t).row(0).GetDouble(0), expect);
+}
+
+TEST(GroupByTest, PartitionIsExhaustiveAndSorted) {
+  Table t = SmallTable();
+  GroupByOp g;
+  g.group_column = 2;
+  g.agg = AggregateOp{AggKind::kCount, 0, false};
+  Table out = GroupByCpu(g, t);
+  int64_t total = 0;
+  int64_t prev_key = INT64_MIN;
+  for (const Row& r : out.rows()) {
+    EXPECT_GT(r.Get(0), prev_key) << "groups must be sorted";
+    prev_key = r.Get(0);
+    total += r.Get(1);
+  }
+  EXPECT_EQ(total, int64_t(t.num_rows()));
+}
+
+TEST(ProgramTest, ChainedExecution) {
+  Table t = SmallTable();
+  Program prog;
+  FilterOp f;
+  f.conjuncts.push_back(Predicate{4, CmpOp::kGe, 25});
+  prog.ops.push_back(f);
+  prog.ops.push_back(AggregateOp{AggKind::kCount, 0, false});
+  auto out = ExecuteCpu(prog, t);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  int64_t expect = 0;
+  for (const Row& r : t.rows()) {
+    if (r.Get(4) >= 25) ++expect;
+  }
+  EXPECT_EQ(out->row(0).Get(0), expect);
+  EXPECT_EQ(prog.ToString(), "filter|agg(count)");
+}
+
+TEST(ProgramTest, OutputSchemaTracksOps) {
+  Table t = SmallTable();
+  Program prog;
+  prog.ops.push_back(ProjectOp{{1, 4}});
+  GroupByOp g;
+  g.group_column = 0;  // "key" after projection
+  g.agg = AggregateOp{AggKind::kSum, 1, false};
+  prog.ops.push_back(g);
+  Schema out = prog.OutputSchema(t.schema());
+  ASSERT_EQ(out.num_columns(), 2u);
+  EXPECT_EQ(out.field(0).name, "key");
+  EXPECT_EQ(out.field(1).name, "sum");
+}
+
+TEST(HashJoinTest, PkFkJoinMatchesNestedLoop) {
+  // Build (dimension) table: 64 unique keys with payload.
+  Schema dim_schema({{"k", ColumnType::kInt64}, {"payload", ColumnType::kInt64}});
+  Table dim(dim_schema);
+  for (int64_t i = 0; i < 64; ++i) {
+    Row r;
+    r.Set(0, i);
+    r.Set(1, i * 100);
+    dim.Append(r);
+  }
+  SyntheticTableSpec spec;
+  spec.num_rows = 2000;
+  spec.key_cardinality = 128;  // half the probe keys miss
+  spec.seed = 77;
+  Table fact = MakeSyntheticTable(spec);
+
+  auto out = HashJoinCpu(dim, fact, JoinSpec{0, 1});
+  ASSERT_TRUE(out.ok());
+  size_t expect = 0;
+  for (const Row& r : fact.rows()) {
+    if (r.Get(1) < 64) ++expect;
+  }
+  EXPECT_EQ(out->num_rows(), expect);
+  for (const Row& r : out->rows()) {
+    EXPECT_EQ(r.Get(1), r.Get(0) * 100) << "payload must match key";
+  }
+}
+
+TEST(HashJoinTest, RejectsBadKeys) {
+  Table t = SmallTable();
+  EXPECT_FALSE(HashJoinCpu(t, t, JoinSpec{99, 0}).ok());
+  EXPECT_FALSE(HashJoinCpu(t, t, JoinSpec{0, 99}).ok());
+}
+
+}  // namespace
+}  // namespace fpgadp::rel

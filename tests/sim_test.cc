@@ -1,0 +1,265 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/sim/kernels.h"
+#include "src/sim/module.h"
+#include "src/sim/stream.h"
+
+namespace fpgadp::sim {
+namespace {
+
+TEST(StreamTest, WritesVisibleOnlyAfterCommit) {
+  Stream<int> s("s", 4);
+  EXPECT_TRUE(s.CanWrite());
+  EXPECT_FALSE(s.CanRead());
+  s.Write(1);
+  EXPECT_FALSE(s.CanRead()) << "staged write must not be readable";
+  s.Commit();
+  ASSERT_TRUE(s.CanRead());
+  EXPECT_EQ(s.Read(), 1);
+}
+
+TEST(StreamTest, CapacityCountsStagedItems) {
+  Stream<int> s("s", 2);
+  s.Write(1);
+  s.Write(2);
+  EXPECT_FALSE(s.CanWrite()) << "staged items must exert backpressure";
+  s.Commit();
+  EXPECT_FALSE(s.CanWrite());
+  (void)s.Read();
+  EXPECT_TRUE(s.CanWrite());
+}
+
+TEST(StreamTest, FifoOrderPreserved) {
+  Stream<int> s("s", 8);
+  for (int i = 0; i < 5; ++i) s.Write(i);
+  s.Commit();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(s.Read(), i);
+}
+
+TEST(StreamTest, StatsTrackTraffic) {
+  Stream<int> s("s", 8);
+  for (int i = 0; i < 6; ++i) s.Write(i);
+  s.Commit();
+  (void)s.Read();
+  EXPECT_EQ(s.total_pushed(), 6u);
+  EXPECT_EQ(s.total_popped(), 1u);
+  EXPECT_EQ(s.high_watermark(), 6u);
+}
+
+TEST(EngineTest, SourceToSinkMovesAllData) {
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  Stream<int> ch("ch", 4);
+  VectorSource<int> src("src", data, &ch);
+  VectorSink<int> sink("sink", &ch);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&sink);
+  e.AddStream(&ch);
+  auto cycles = e.Run(10000);
+  ASSERT_TRUE(cycles.ok()) << cycles.status();
+  EXPECT_EQ(sink.collected(), data);
+}
+
+TEST(EngineTest, OneItemPerCycleThroughput) {
+  // 1000 items at 1 lane through one FIFO: ~1 item/cycle steady state, so
+  // total cycles ≈ N + small pipeline fill.
+  const int n = 1000;
+  std::vector<int> data(n, 7);
+  Stream<int> ch("ch", 4);
+  VectorSource<int> src("src", data, &ch);
+  VectorSink<int> sink("sink", &ch);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&sink);
+  e.AddStream(&ch);
+  auto cycles = e.Run(100000);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_GE(cycles.value(), uint64_t(n));
+  EXPECT_LE(cycles.value(), uint64_t(n) + 10);
+}
+
+TEST(EngineTest, WideLanesScaleThroughput) {
+  const int n = 1024;
+  std::vector<int> data(n, 1);
+  Stream<int> ch("ch", 32);
+  VectorSource<int> src("src", data, &ch, /*lanes=*/8);
+  VectorSink<int> sink("sink", &ch, /*lanes=*/8);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&sink);
+  e.AddStream(&ch);
+  auto cycles = e.Run(100000);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_LE(cycles.value(), uint64_t(n / 8 + 10));
+}
+
+TEST(EngineTest, TimeoutWhenNotQuiescing) {
+  // A source into a full, never-drained stream cannot quiesce.
+  std::vector<int> data(10, 1);
+  Stream<int> ch("ch", 2);
+  VectorSource<int> src("src", data, &ch);
+  Engine e;
+  e.AddModule(&src);
+  e.AddStream(&ch);
+  auto r = e.Run(100);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST(TransformKernelTest, MapsValues) {
+  std::vector<int> data{1, 2, 3, 4, 5};
+  Stream<int> in("in", 4);
+  Stream<int> out("out", 4);
+  VectorSource<int> src("src", data, &in);
+  TransformKernel<int, int> k(
+      "double", &in, &out,
+      [](const int& v) { return std::optional<int>(v * 2); });
+  VectorSink<int> sink("sink", &out);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&k);
+  e.AddModule(&sink);
+  e.AddStream(&in);
+  e.AddStream(&out);
+  ASSERT_TRUE(e.Run(10000).ok());
+  EXPECT_EQ(sink.collected(), (std::vector<int>{2, 4, 6, 8, 10}));
+  EXPECT_EQ(k.consumed(), 5u);
+}
+
+TEST(TransformKernelTest, FilterDropsWithoutStalling) {
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  Stream<int> in("in", 4);
+  Stream<int> out("out", 4);
+  VectorSource<int> src("src", data, &in);
+  TransformKernel<int, int> k(
+      "odd", &in, &out, [](const int& v) {
+        return v % 2 ? std::optional<int>(v) : std::nullopt;
+      });
+  VectorSink<int> sink("sink", &out);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&k);
+  e.AddModule(&sink);
+  e.AddStream(&in);
+  e.AddStream(&out);
+  auto cycles = e.Run(100000);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(sink.collected().size(), 500u);
+  // Line-rate consumption: the filter still absorbs ~1 item/cycle.
+  EXPECT_LE(cycles.value(), 1030u);
+}
+
+TEST(TransformKernelTest, IiThrottlesThroughput) {
+  const int n = 100;
+  std::vector<int> data(n, 1);
+  Stream<int> in("in", 8);
+  Stream<int> out("out", 8);
+  VectorSource<int> src("src", data, &in);
+  TransformKernel<int, int> k(
+      "slow", &in, &out, [](const int& v) { return std::optional<int>(v); },
+      KernelTiming{/*ii=*/4, /*lanes=*/1, /*latency=*/1});
+  VectorSink<int> sink("sink", &out);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&k);
+  e.AddModule(&sink);
+  e.AddStream(&in);
+  e.AddStream(&out);
+  auto cycles = e.Run(100000);
+  ASSERT_TRUE(cycles.ok());
+  // II=4 means one item every 4 cycles.
+  EXPECT_GE(cycles.value(), uint64_t(4 * n));
+  EXPECT_LE(cycles.value(), uint64_t(4 * n) + 20);
+}
+
+TEST(TransformKernelTest, LatencyAddsPipelineFill) {
+  std::vector<int> data{1};
+  Stream<int> in("in", 4);
+  Stream<int> out("out", 4);
+  VectorSource<int> src("src", data, &in);
+  TransformKernel<int, int> k(
+      "deep", &in, &out, [](const int& v) { return std::optional<int>(v); },
+      KernelTiming{1, 1, /*latency=*/50});
+  VectorSink<int> sink("sink", &out);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&k);
+  e.AddModule(&sink);
+  e.AddStream(&in);
+  e.AddStream(&out);
+  auto cycles = e.Run(10000);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_GE(cycles.value(), 50u);
+}
+
+TEST(ReduceKernelTest, SumsExpectedCount) {
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 1);
+  Stream<int> in("in", 4);
+  Stream<long> out("out", 2);
+  VectorSource<int> src("src", data, &in);
+  ReduceKernel<int, long> k(
+      "sum", &in, &out, 0L,
+      [](long& acc, const int& v) { acc += v; }, data.size());
+  VectorSink<long> sink("sink", &out);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&k);
+  e.AddModule(&sink);
+  e.AddStream(&in);
+  e.AddStream(&out);
+  ASSERT_TRUE(e.Run(10000).ok());
+  ASSERT_EQ(sink.collected().size(), 1u);
+  EXPECT_EQ(sink.collected()[0], 5050L);
+}
+
+TEST(DelayLineTest, AddsFixedLatency) {
+  std::vector<int> data{42};
+  Stream<int> in("in", 4);
+  Stream<int> out("out", 4);
+  VectorSource<int> src("src", data, &in);
+  DelayLine<int> wire("wire", &in, &out, /*latency=*/100);
+  VectorSink<int> sink("sink", &out);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&wire);
+  e.AddModule(&sink);
+  e.AddStream(&in);
+  e.AddStream(&out);
+  auto cycles = e.Run(10000);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(sink.collected(), std::vector<int>{42});
+  EXPECT_GE(cycles.value(), 100u);
+  EXPECT_LE(cycles.value(), 110u);
+}
+
+TEST(EngineTest, UtilizationReportMentionsModules) {
+  std::vector<int> data(10, 1);
+  Stream<int> ch("ch", 4);
+  VectorSource<int> src("mysource", data, &ch);
+  VectorSink<int> sink("mysink", &ch);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&sink);
+  e.AddStream(&ch);
+  ASSERT_TRUE(e.Run(1000).ok());
+  const std::string report = e.UtilizationReport();
+  EXPECT_NE(report.find("mysource"), std::string::npos);
+  EXPECT_NE(report.find("mysink"), std::string::npos);
+}
+
+TEST(EngineTest, ElapsedSecondsUsesClock) {
+  Engine e(/*clock_hz=*/100e6);
+  for (int i = 0; i < 100; ++i) e.Step();
+  EXPECT_DOUBLE_EQ(e.ElapsedSeconds(), 100.0 / 100e6);
+}
+
+}  // namespace
+}  // namespace fpgadp::sim

@@ -1,0 +1,138 @@
+#include "src/relational/sketches.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/random.h"
+
+namespace fpgadp::rel {
+namespace {
+
+TEST(Hash64Test, DeterministicAndDispersive) {
+  EXPECT_EQ(Hash64(42), Hash64(42));
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(Hash64(i));
+  EXPECT_EQ(seen.size(), 10000u) << "no collisions on small consecutive keys";
+}
+
+TEST(HllTest, RejectsBadPrecision) {
+  EXPECT_FALSE(HyperLogLog::Create(3).ok());
+  EXPECT_FALSE(HyperLogLog::Create(17).ok());
+  EXPECT_TRUE(HyperLogLog::Create(4).ok());
+  EXPECT_TRUE(HyperLogLog::Create(16).ok());
+}
+
+TEST(HllTest, EmptySketchEstimatesZero) {
+  auto hll = HyperLogLog::Create(12);
+  ASSERT_TRUE(hll.ok());
+  EXPECT_NEAR(hll->Estimate(), 0.0, 1e-9);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  auto hll = HyperLogLog::Create(12);
+  ASSERT_TRUE(hll.ok());
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t v = 0; v < 50; ++v) hll->Add(v);
+  }
+  EXPECT_NEAR(hll->Estimate(), 50.0, 5.0);
+}
+
+class HllAccuracy : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HllAccuracy, WithinThreeSigma) {
+  const uint64_t n = GetParam();
+  auto hll = HyperLogLog::Create(12);  // sigma ~ 1.04/64 ~ 1.6%
+  ASSERT_TRUE(hll.ok());
+  Rng rng(n * 31 + 1);
+  for (uint64_t i = 0; i < n; ++i) hll->Add(rng.Next());
+  const double err = std::abs(hll->Estimate() - double(n)) / double(n);
+  EXPECT_LT(err, 0.05) << "estimate " << hll->Estimate() << " for n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracy,
+                         ::testing::Values(1000u, 10000u, 100000u, 500000u));
+
+TEST(HllTest, MergeEqualsUnion) {
+  auto a = HyperLogLog::Create(12);
+  auto b = HyperLogLog::Create(12);
+  auto u = HyperLogLog::Create(12);
+  ASSERT_TRUE(a.ok() && b.ok() && u.ok());
+  for (uint64_t i = 0; i < 20000; ++i) {
+    const uint64_t v = Hash64(i) ^ 0x1234;
+    if (i % 2 == 0) a->Add(v);
+    else b->Add(v);
+    u->Add(v);
+  }
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_DOUBLE_EQ(a->Estimate(), u->Estimate());
+}
+
+TEST(HllTest, MergeRejectsPrecisionMismatch) {
+  auto a = HyperLogLog::Create(10);
+  auto b = HyperLogLog::Create(12);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(a->Merge(*b).ok());
+}
+
+TEST(CountMinTest, RejectsZeroDimensions) {
+  EXPECT_FALSE(CountMinSketch::Create(0, 4).ok());
+  EXPECT_FALSE(CountMinSketch::Create(100, 0).ok());
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  auto cm = CountMinSketch::Create(512, 4);
+  ASSERT_TRUE(cm.ok());
+  ZipfGenerator zipf(1000, 0.9, 44);
+  std::vector<uint64_t> truth(1000, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t k = zipf.Next();
+    cm->Add(k);
+    ++truth[k];
+  }
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_GE(cm->EstimateCount(k), truth[k]);
+  }
+}
+
+TEST(CountMinTest, HeavyHittersAreAccurate) {
+  auto cm = CountMinSketch::Create(4096, 4);
+  ASSERT_TRUE(cm.ok());
+  ZipfGenerator zipf(100000, 0.99, 45);
+  std::vector<uint64_t> truth(100000, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t k = zipf.Next();
+    cm->Add(k);
+    ++truth[k];
+  }
+  // Error bound: eps = e/width per the CM guarantee, with total mass n.
+  const double eps_bound = 2.718 / 4096 * n;
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_LE(cm->EstimateCount(k) - truth[k], uint64_t(eps_bound));
+  }
+  EXPECT_EQ(cm->total_added(), uint64_t(n));
+}
+
+TEST(CountMinTest, MergeAddsCounts) {
+  auto a = CountMinSketch::Create(256, 3, 9);
+  auto b = CountMinSketch::Create(256, 3, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  a->Add(5, 10);
+  b->Add(5, 7);
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_GE(a->EstimateCount(5), 17u);
+}
+
+TEST(CountMinTest, MergeRejectsShapeMismatch) {
+  auto a = CountMinSketch::Create(256, 3, 9);
+  auto b = CountMinSketch::Create(128, 3, 9);
+  auto c = CountMinSketch::Create(256, 3, 10);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_FALSE(a->Merge(*b).ok());
+  EXPECT_FALSE(a->Merge(*c).ok());
+}
+
+}  // namespace
+}  // namespace fpgadp::rel

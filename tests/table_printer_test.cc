@@ -1,0 +1,57 @@
+#include "src/common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fpgadp {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "23456"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line before the value column has the same width for column 0.
+  const size_t value_col = out.find("value");
+  const size_t x_line = out.find("x ");
+  ASSERT_NE(value_col, std::string::npos);
+  ASSERT_NE(x_line, std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvEscapesNothingButJoins) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FmtRounds) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(3.145, 0), "3");
+  EXPECT_EQ(TablePrinter::Fmt(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinterTest, FmtCountAddsSeparators) {
+  EXPECT_EQ(TablePrinter::FmtCount(0), "0");
+  EXPECT_EQ(TablePrinter::FmtCount(999), "999");
+  EXPECT_EQ(TablePrinter::FmtCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::FmtCount(1234567), "1,234,567");
+  EXPECT_EQ(TablePrinter::FmtCount(1000000000ull), "1,000,000,000");
+}
+
+TEST(TablePrinterTest, NumRowsTracksAdds) {
+  TablePrinter t({"h"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"r"});
+  t.AddRow({"s"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace fpgadp

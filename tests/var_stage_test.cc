@@ -1,0 +1,138 @@
+#include "src/sim/var_stage.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/sim/engine.h"
+#include "src/sim/kernels.h"
+
+namespace fpgadp::sim {
+namespace {
+
+struct Harness {
+  Stream<int> in{"in", 8};
+  Stream<int> out{"out", 8};
+  Engine engine;
+};
+
+TEST(VarStageTest, TransformsValues) {
+  Harness h;
+  std::vector<int> data{1, 2, 3};
+  VectorSource<int> src("src", data, &h.in);
+  VarStage<int, int> stage(
+      "stage", &h.in, &h.out, [](const int& v) { return v * 10; },
+      [](const int&) { return 1; });
+  VectorSink<int> sink("sink", &h.out);
+  h.engine.AddModule(&src);
+  h.engine.AddModule(&stage);
+  h.engine.AddModule(&sink);
+  h.engine.AddStream(&h.in);
+  h.engine.AddStream(&h.out);
+  ASSERT_TRUE(h.engine.Run(1000).ok());
+  EXPECT_EQ(sink.collected(), (std::vector<int>{10, 20, 30}));
+}
+
+TEST(VarStageTest, PerItemCostSerializesOccupancy) {
+  // 5 items at 100 cycles each through a single shared engine: ~500 cycles.
+  Harness h;
+  std::vector<int> data(5, 1);
+  VectorSource<int> src("src", data, &h.in);
+  VarStage<int, int> stage(
+      "stage", &h.in, &h.out, [](const int& v) { return v; },
+      [](const int&) { return 100; });
+  VectorSink<int> sink("sink", &h.out);
+  h.engine.AddModule(&src);
+  h.engine.AddModule(&stage);
+  h.engine.AddModule(&sink);
+  h.engine.AddStream(&h.in);
+  h.engine.AddStream(&h.out);
+  auto cycles = h.engine.Run(10000);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_GE(cycles.value(), 500u);
+  EXPECT_LE(cycles.value(), 540u);
+}
+
+TEST(VarStageTest, CostCanDependOnItem) {
+  Harness h;
+  std::vector<int> data{1, 50, 1};
+  VectorSource<int> src("src", data, &h.in);
+  VarStage<int, int> stage(
+      "stage", &h.in, &h.out, [](const int& v) { return v; },
+      [](const int& v) { return uint64_t(v); });
+  VectorSink<int> sink("sink", &h.out);
+  h.engine.AddModule(&src);
+  h.engine.AddModule(&stage);
+  h.engine.AddModule(&sink);
+  h.engine.AddStream(&h.in);
+  h.engine.AddStream(&h.out);
+  auto cycles = h.engine.Run(10000);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_GE(cycles.value(), 52u);
+  EXPECT_LE(cycles.value(), 80u);
+  EXPECT_EQ(sink.collected().size(), 3u);
+}
+
+TEST(VarStageTest, ZeroCostStillTakesACycle) {
+  Harness h;
+  std::vector<int> data(10, 1);
+  VectorSource<int> src("src", data, &h.in);
+  VarStage<int, int> stage(
+      "stage", &h.in, &h.out, [](const int& v) { return v; },
+      [](const int&) { return 0; });
+  VectorSink<int> sink("sink", &h.out);
+  h.engine.AddModule(&src);
+  h.engine.AddModule(&stage);
+  h.engine.AddModule(&sink);
+  h.engine.AddStream(&h.in);
+  h.engine.AddStream(&h.out);
+  ASSERT_TRUE(h.engine.Run(1000).ok());
+  EXPECT_EQ(sink.collected().size(), 10u);
+}
+
+TEST(VarStageTest, StallsOnFullDownstream) {
+  // No sink drains `out` (capacity 8): the stage must stop after filling it
+  // and the engine must time out (the stage holds an item it cannot emit).
+  Harness h;
+  std::vector<int> data(20, 1);
+  VectorSource<int> src("src", data, &h.in);
+  VarStage<int, int> stage(
+      "stage", &h.in, &h.out, [](const int& v) { return v; },
+      [](const int&) { return 1; });
+  h.engine.AddModule(&src);
+  h.engine.AddModule(&stage);
+  h.engine.AddStream(&h.in);
+  h.engine.AddStream(&h.out);
+  auto r = h.engine.Run(500);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(h.out.Size(), 8u);
+}
+
+TEST(VarStageTest, PipelinesAcrossStages) {
+  // Two 10-cycle stages: 8 items take ~8*10 + 10 (fill), not 8*20.
+  Stream<int> a{"a", 8}, b{"b", 8}, c{"c", 8};
+  std::vector<int> data(8, 1);
+  VectorSource<int> src("src", data, &a);
+  VarStage<int, int> s1(
+      "s1", &a, &b, [](const int& v) { return v; },
+      [](const int&) { return 10; });
+  VarStage<int, int> s2(
+      "s2", &b, &c, [](const int& v) { return v; },
+      [](const int&) { return 10; });
+  VectorSink<int> sink("sink", &c);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&s1);
+  e.AddModule(&s2);
+  e.AddModule(&sink);
+  e.AddStream(&a);
+  e.AddStream(&b);
+  e.AddStream(&c);
+  auto cycles = e.Run(10000);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_LT(cycles.value(), 8u * 20u);
+  EXPECT_GE(cycles.value(), 8u * 10u);
+}
+
+}  // namespace
+}  // namespace fpgadp::sim

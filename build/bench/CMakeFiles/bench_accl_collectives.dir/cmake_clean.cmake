@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accl_collectives.dir/bench_accl_collectives.cc.o"
+  "CMakeFiles/bench_accl_collectives.dir/bench_accl_collectives.cc.o.d"
+  "bench_accl_collectives"
+  "bench_accl_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accl_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

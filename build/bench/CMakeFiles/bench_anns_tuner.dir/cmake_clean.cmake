@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anns_tuner.dir/bench_anns_tuner.cc.o"
+  "CMakeFiles/bench_anns_tuner.dir/bench_anns_tuner.cc.o.d"
+  "bench_anns_tuner"
+  "bench_anns_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anns_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_biskm.dir/bench_biskm.cc.o"
+  "CMakeFiles/bench_biskm.dir/bench_biskm.cc.o.d"
+  "bench_biskm"
+  "bench_biskm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_biskm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

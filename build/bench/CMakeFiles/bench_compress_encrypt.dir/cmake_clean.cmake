@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compress_encrypt.dir/bench_compress_encrypt.cc.o"
+  "CMakeFiles/bench_compress_encrypt.dir/bench_compress_encrypt.cc.o.d"
+  "bench_compress_encrypt"
+  "bench_compress_encrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compress_encrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_farview_offload.dir/bench_farview_offload.cc.o"
+  "CMakeFiles/bench_farview_offload.dir/bench_farview_offload.cc.o.d"
+  "bench_farview_offload"
+  "bench_farview_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_farview_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

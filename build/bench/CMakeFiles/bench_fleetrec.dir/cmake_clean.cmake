@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleetrec.dir/bench_fleetrec.cc.o"
+  "CMakeFiles/bench_fleetrec.dir/bench_fleetrec.cc.o.d"
+  "bench_fleetrec"
+  "bench_fleetrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleetrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

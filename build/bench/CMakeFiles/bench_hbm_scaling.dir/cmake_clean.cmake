@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hbm_scaling.dir/bench_hbm_scaling.cc.o"
+  "CMakeFiles/bench_hbm_scaling.dir/bench_hbm_scaling.cc.o.d"
+  "bench_hbm_scaling"
+  "bench_hbm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hbm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hls_pragmas.dir/bench_hls_pragmas.cc.o"
+  "CMakeFiles/bench_hls_pragmas.dir/bench_hls_pragmas.cc.o.d"
+  "bench_hls_pragmas"
+  "bench_hls_pragmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hls_pragmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

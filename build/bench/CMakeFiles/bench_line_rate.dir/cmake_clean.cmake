@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_line_rate.dir/bench_line_rate.cc.o"
+  "CMakeFiles/bench_line_rate.dir/bench_line_rate.cc.o.d"
+  "bench_line_rate"
+  "bench_line_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_line_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsm_compaction.dir/bench_lsm_compaction.cc.o"
+  "CMakeFiles/bench_lsm_compaction.dir/bench_lsm_compaction.cc.o.d"
+  "bench_lsm_compaction"
+  "bench_lsm_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsm_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microrec.dir/bench_microrec.cc.o"
+  "CMakeFiles/bench_microrec.dir/bench_microrec.cc.o.d"
+  "bench_microrec"
+  "bench_microrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

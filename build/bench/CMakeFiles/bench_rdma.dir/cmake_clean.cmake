@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rdma.dir/bench_rdma.cc.o"
+  "CMakeFiles/bench_rdma.dir/bench_rdma.cc.o.d"
+  "bench_rdma"
+  "bench_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

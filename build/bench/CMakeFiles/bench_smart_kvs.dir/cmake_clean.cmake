@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smart_kvs.dir/bench_smart_kvs.cc.o"
+  "CMakeFiles/bench_smart_kvs.dir/bench_smart_kvs.cc.o.d"
+  "bench_smart_kvs"
+  "bench_smart_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smart_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anns_search.dir/anns_search.cpp.o"
+  "CMakeFiles/anns_search.dir/anns_search.cpp.o.d"
+  "anns_search"
+  "anns_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anns_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farview_offload.dir/farview_offload.cpp.o"
+  "CMakeFiles/farview_offload.dir/farview_offload.cpp.o.d"
+  "farview_offload"
+  "farview_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farview_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

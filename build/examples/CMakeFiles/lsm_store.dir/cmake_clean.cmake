@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_store.dir/lsm_store.cpp.o"
+  "CMakeFiles/lsm_store.dir/lsm_store.cpp.o.d"
+  "lsm_store"
+  "lsm_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_kvs.dir/smart_kvs.cpp.o"
+  "CMakeFiles/smart_kvs.dir/smart_kvs.cpp.o.d"
+  "smart_kvs"
+  "smart_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accl/collectives.cc" "src/CMakeFiles/fpgadp.dir/accl/collectives.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/accl/collectives.cc.o.d"
+  "/root/repo/src/anns/accel.cc" "src/CMakeFiles/fpgadp.dir/anns/accel.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/anns/accel.cc.o.d"
+  "/root/repo/src/anns/biskm.cc" "src/CMakeFiles/fpgadp.dir/anns/biskm.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/anns/biskm.cc.o.d"
+  "/root/repo/src/anns/dataset.cc" "src/CMakeFiles/fpgadp.dir/anns/dataset.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/anns/dataset.cc.o.d"
+  "/root/repo/src/anns/ivf.cc" "src/CMakeFiles/fpgadp.dir/anns/ivf.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/anns/ivf.cc.o.d"
+  "/root/repo/src/anns/kmeans.cc" "src/CMakeFiles/fpgadp.dir/anns/kmeans.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/anns/kmeans.cc.o.d"
+  "/root/repo/src/anns/pq.cc" "src/CMakeFiles/fpgadp.dir/anns/pq.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/anns/pq.cc.o.d"
+  "/root/repo/src/anns/tuner.cc" "src/CMakeFiles/fpgadp.dir/anns/tuner.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/anns/tuner.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/fpgadp.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/fpgadp.dir/common/random.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/fpgadp.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/fpgadp.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/CMakeFiles/fpgadp.dir/device/device.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/device/device.cc.o.d"
+  "/root/repo/src/farview/farview.cc" "src/CMakeFiles/fpgadp.dir/farview/farview.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/farview/farview.cc.o.d"
+  "/root/repo/src/fleetrec/fleetrec.cc" "src/CMakeFiles/fpgadp.dir/fleetrec/fleetrec.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/fleetrec/fleetrec.cc.o.d"
+  "/root/repo/src/hls/dataflow.cc" "src/CMakeFiles/fpgadp.dir/hls/dataflow.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/hls/dataflow.cc.o.d"
+  "/root/repo/src/hls/estimator.cc" "src/CMakeFiles/fpgadp.dir/hls/estimator.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/hls/estimator.cc.o.d"
+  "/root/repo/src/kvs/smart_kvs.cc" "src/CMakeFiles/fpgadp.dir/kvs/smart_kvs.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/kvs/smart_kvs.cc.o.d"
+  "/root/repo/src/lsm/lsm_tree.cc" "src/CMakeFiles/fpgadp.dir/lsm/lsm_tree.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/lsm/lsm_tree.cc.o.d"
+  "/root/repo/src/lsm/sstable.cc" "src/CMakeFiles/fpgadp.dir/lsm/sstable.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/lsm/sstable.cc.o.d"
+  "/root/repo/src/memory/channel.cc" "src/CMakeFiles/fpgadp.dir/memory/channel.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/memory/channel.cc.o.d"
+  "/root/repo/src/memory/multi_channel.cc" "src/CMakeFiles/fpgadp.dir/memory/multi_channel.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/memory/multi_channel.cc.o.d"
+  "/root/repo/src/microrec/cartesian.cc" "src/CMakeFiles/fpgadp.dir/microrec/cartesian.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/microrec/cartesian.cc.o.d"
+  "/root/repo/src/microrec/engine.cc" "src/CMakeFiles/fpgadp.dir/microrec/engine.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/microrec/engine.cc.o.d"
+  "/root/repo/src/microrec/model.cc" "src/CMakeFiles/fpgadp.dir/microrec/model.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/microrec/model.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/fpgadp.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/net/fabric.cc.o.d"
+  "/root/repo/src/net/rdma.cc" "src/CMakeFiles/fpgadp.dir/net/rdma.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/net/rdma.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/fpgadp.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/net/tcp.cc.o.d"
+  "/root/repo/src/relational/cipher.cc" "src/CMakeFiles/fpgadp.dir/relational/cipher.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/relational/cipher.cc.o.d"
+  "/root/repo/src/relational/compression.cc" "src/CMakeFiles/fpgadp.dir/relational/compression.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/relational/compression.cc.o.d"
+  "/root/repo/src/relational/cpu_executor.cc" "src/CMakeFiles/fpgadp.dir/relational/cpu_executor.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/relational/cpu_executor.cc.o.d"
+  "/root/repo/src/relational/csv_parse.cc" "src/CMakeFiles/fpgadp.dir/relational/csv_parse.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/relational/csv_parse.cc.o.d"
+  "/root/repo/src/relational/fpga_executor.cc" "src/CMakeFiles/fpgadp.dir/relational/fpga_executor.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/relational/fpga_executor.cc.o.d"
+  "/root/repo/src/relational/program.cc" "src/CMakeFiles/fpgadp.dir/relational/program.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/relational/program.cc.o.d"
+  "/root/repo/src/relational/queries.cc" "src/CMakeFiles/fpgadp.dir/relational/queries.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/relational/queries.cc.o.d"
+  "/root/repo/src/relational/sketches.cc" "src/CMakeFiles/fpgadp.dir/relational/sketches.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/relational/sketches.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/fpgadp.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/relational/table.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/fpgadp.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/fpgadp.dir/sim/engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

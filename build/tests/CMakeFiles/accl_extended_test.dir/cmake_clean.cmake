@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accl_extended_test.dir/accl_extended_test.cc.o"
+  "CMakeFiles/accl_extended_test.dir/accl_extended_test.cc.o.d"
+  "accl_extended_test"
+  "accl_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accl_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

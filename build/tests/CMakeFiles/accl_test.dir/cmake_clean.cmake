@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accl_test.dir/accl_test.cc.o"
+  "CMakeFiles/accl_test.dir/accl_test.cc.o.d"
+  "accl_test"
+  "accl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

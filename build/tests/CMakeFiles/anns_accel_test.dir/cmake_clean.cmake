@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anns_accel_test.dir/anns_accel_test.cc.o"
+  "CMakeFiles/anns_accel_test.dir/anns_accel_test.cc.o.d"
+  "anns_accel_test"
+  "anns_accel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anns_accel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

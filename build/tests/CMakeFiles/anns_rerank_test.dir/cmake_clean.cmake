@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anns_rerank_test.dir/anns_rerank_test.cc.o"
+  "CMakeFiles/anns_rerank_test.dir/anns_rerank_test.cc.o.d"
+  "anns_rerank_test"
+  "anns_rerank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anns_rerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for anns_rerank_test.
+# This may be replaced when dependencies are built.

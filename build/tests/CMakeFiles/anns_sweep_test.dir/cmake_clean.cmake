@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anns_sweep_test.dir/anns_sweep_test.cc.o"
+  "CMakeFiles/anns_sweep_test.dir/anns_sweep_test.cc.o.d"
+  "anns_sweep_test"
+  "anns_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anns_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anns_test.dir/anns_test.cc.o"
+  "CMakeFiles/anns_test.dir/anns_test.cc.o.d"
+  "anns_test"
+  "anns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biskm_test.dir/biskm_test.cc.o"
+  "CMakeFiles/biskm_test.dir/biskm_test.cc.o.d"
+  "biskm_test"
+  "biskm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biskm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

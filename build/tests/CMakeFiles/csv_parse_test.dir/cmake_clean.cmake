@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_parse_test.dir/csv_parse_test.cc.o"
+  "CMakeFiles/csv_parse_test.dir/csv_parse_test.cc.o.d"
+  "csv_parse_test"
+  "csv_parse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

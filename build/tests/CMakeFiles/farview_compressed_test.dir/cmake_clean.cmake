@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farview_compressed_test.dir/farview_compressed_test.cc.o"
+  "CMakeFiles/farview_compressed_test.dir/farview_compressed_test.cc.o.d"
+  "farview_compressed_test"
+  "farview_compressed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farview_compressed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

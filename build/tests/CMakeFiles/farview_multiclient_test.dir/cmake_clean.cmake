@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farview_multiclient_test.dir/farview_multiclient_test.cc.o"
+  "CMakeFiles/farview_multiclient_test.dir/farview_multiclient_test.cc.o.d"
+  "farview_multiclient_test"
+  "farview_multiclient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farview_multiclient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farview_test.dir/farview_test.cc.o"
+  "CMakeFiles/farview_test.dir/farview_test.cc.o.d"
+  "farview_test"
+  "farview_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleetrec_test.dir/fleetrec_test.cc.o"
+  "CMakeFiles/fleetrec_test.dir/fleetrec_test.cc.o.d"
+  "fleetrec_test"
+  "fleetrec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleetrec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

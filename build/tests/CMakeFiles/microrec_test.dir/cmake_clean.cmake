@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_test.dir/microrec_test.cc.o"
+  "CMakeFiles/microrec_test.dir/microrec_test.cc.o.d"
+  "microrec_test"
+  "microrec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

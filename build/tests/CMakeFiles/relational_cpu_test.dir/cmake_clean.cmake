@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_cpu_test.dir/relational_cpu_test.cc.o"
+  "CMakeFiles/relational_cpu_test.dir/relational_cpu_test.cc.o.d"
+  "relational_cpu_test"
+  "relational_cpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

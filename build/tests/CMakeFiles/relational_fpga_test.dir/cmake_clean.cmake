@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_fpga_test.dir/relational_fpga_test.cc.o"
+  "CMakeFiles/relational_fpga_test.dir/relational_fpga_test.cc.o.d"
+  "relational_fpga_test"
+  "relational_fpga_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_fpga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topn_op_test.dir/topn_op_test.cc.o"
+  "CMakeFiles/topn_op_test.dir/topn_op_test.cc.o.d"
+  "topn_op_test"
+  "topn_op_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topn_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/var_stage_test.dir/var_stage_test.cc.o"
+  "CMakeFiles/var_stage_test.dir/var_stage_test.cc.o.d"
+  "var_stage_test"
+  "var_stage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/var_stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

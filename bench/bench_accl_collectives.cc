@@ -10,6 +10,8 @@
 #include "src/common/random.h"
 #include "src/common/table_printer.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::accl;
 
@@ -26,7 +28,8 @@ std::vector<std::vector<float>> Buffers(uint32_t p, size_t n, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E7: collectives latency/throughput vs cluster size ===\n";
   std::cout << "100 Gbps per port, 1 us wire+switch, 4 MiB all-reduce / "
                "1 MiB broadcast payloads\n\n";

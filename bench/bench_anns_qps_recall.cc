@@ -13,10 +13,13 @@
 #include "src/anns/ivf.h"
 #include "src/common/table_printer.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::anns;
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E3: IVF-PQ recall vs QPS, FPGA accelerator vs CPU ===\n";
   DatasetSpec spec;
   spec.num_base = 40000;

@@ -10,10 +10,13 @@
 #include "src/anns/tuner.h"
 #include "src/common/table_printer.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::anns;
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E4: design-space exploration per recall target ===\n";
   DatasetSpec spec;
   spec.num_base = 15000;

@@ -12,10 +12,13 @@
 #include "src/common/random.h"
 #include "src/common/table_printer.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::anns;
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E14: any-precision K-means (BiS-KM) ===\n";
   const size_t n = 20000, dim = 16, k = 16;
   std::cout << "dataset: " << n << " x dim" << dim << ", k=" << k

@@ -1,0 +1,45 @@
+#include "bench/bench_common.h"
+
+#include <cstring>
+#include <iostream>
+
+namespace fpgadp::bench {
+
+Session::Session(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path_ = arg + 8;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+  }
+  if (!trace_path_.empty()) {
+    writer_ = std::make_unique<obs::TraceWriter>();
+    obs::SetGlobalTraceWriter(writer_.get());
+  }
+  if (metrics_) obs::SetGlobalMetrics(metrics_.get());
+}
+
+Session::~Session() {
+  if (writer_) {
+    obs::SetGlobalTraceWriter(nullptr);
+    const Status s = writer_->WriteFile(trace_path_);
+    if (s.ok()) {
+      std::cerr << "[bench] wrote " << writer_->event_count()
+                << " trace events to " << trace_path_
+                << " (open in chrome://tracing or ui.perfetto.dev; 1 us = 1 "
+                   "cycle)\n";
+    } else {
+      std::cerr << "[bench] trace write failed: " << s << "\n";
+    }
+  }
+  if (metrics_) {
+    obs::SetGlobalMetrics(nullptr);
+    std::cerr << "\n[bench] metrics registry (" << metrics_->size()
+              << " instruments):\n"
+              << metrics_->ToString();
+  }
+}
+
+}  // namespace fpgadp::bench

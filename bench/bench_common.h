@@ -1,0 +1,58 @@
+#ifndef FPGADP_BENCH_BENCH_COMMON_H_
+#define FPGADP_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace fpgadp::bench {
+
+/// Shared observability harness for every bench binary. Declare one at the
+/// top of main():
+///
+///   int main(int argc, char** argv) {
+///     fpgadp::bench::Session session(argc, argv);
+///     ...
+///   }
+///
+/// Flags (unknown flags are ignored so benches can add their own):
+///   --trace=<file>   Record every simulated engine run as Chrome
+///                    trace_event JSON; open in chrome://tracing or
+///                    https://ui.perfetto.dev. Module-busy spans, stream
+///                    depth and hardware counter tracks; 1 trace "us" = 1
+///                    kernel cycle.
+///   --metrics        Print the metrics registry (stall attribution, stream
+///                    traffic, memory/network counters) on exit.
+///
+/// The session installs the process-global trace writer / metrics registry
+/// (see obs/trace.h), which every Engine picks up when it starts running —
+/// including engines constructed deep inside ExecuteFpga or pipeline
+/// helpers. The destructor writes the trace file and prints metrics, so the
+/// Session must outlive all engine runs (declare it first in main).
+class Session {
+ public:
+  Session(int argc, char** argv);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool tracing() const { return writer_ != nullptr; }
+  bool metrics_enabled() const { return metrics_ != nullptr; }
+  const std::string& trace_path() const { return trace_path_; }
+
+  /// The registry --metrics dumps, for benches that want to add their own
+  /// instruments; nullptr when --metrics is off.
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+
+ private:
+  std::string trace_path_;
+  std::unique_ptr<obs::TraceWriter> writer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+};
+
+}  // namespace fpgadp::bench
+
+#endif  // FPGADP_BENCH_BENCH_COMMON_H_

@@ -17,6 +17,8 @@
 #include "src/relational/compression.h"
 #include "src/common/check.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::rel;
 
@@ -36,7 +38,8 @@ std::vector<uint8_t> ColumnLikeBytes(size_t n, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E10: compression + encryption offload chain ===\n";
   const size_t n = 8 << 20;  // 8 MiB column segment
   std::cout << "segment: 8 MiB dictionary-coded column bytes, seed 10\n\n";

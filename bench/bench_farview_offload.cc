@@ -14,9 +14,12 @@
 #include "src/relational/queries.h"
 #include "src/relational/table.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E1: Farview operator offloading vs fetch-all ===\n";
   std::cout << "table: 500k rows x 40 B, 2 DDR4 channels on the memory node,"
                " 100 Gbps fabric, seed 42\n\n";

@@ -13,6 +13,8 @@
 #include "src/fleetrec/fleetrec.h"
 #include "src/microrec/model.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::fleetrec;
 
@@ -45,7 +47,8 @@ void Sweep(const char* label, const microrec::RecModel& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E13: FleetRec hybrid GPU-FPGA cluster composition ===\n";
   std::cout << "batch 256, 100 Gbps per link, 20 TFLOP/s effective per GPU\n\n";
 

@@ -16,6 +16,8 @@
 #include "src/relational/fpga_executor.h"
 #include "src/relational/table.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::rel;
 
@@ -49,7 +51,8 @@ double CpuJoinSeconds(size_t build_rows, size_t probe_rows,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E9: pipelined FPGA hash join vs CPU ===\n";
   std::cout << "PK-FK join, probe side 400k tuples, 8-lane probe pipeline\n\n";
 

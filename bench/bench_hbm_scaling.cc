@@ -13,10 +13,13 @@
 #include "src/microrec/engine.h"
 #include "src/microrec/model.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E6: lookup throughput vs # HBM pseudo-channels ===\n";
   // Lookup-only workload: trivial MLP, no SRAM, so memory is the bottleneck.
   RecModel model = MakeTypicalModel(/*num_tables=*/64, /*seed=*/11, 10000,

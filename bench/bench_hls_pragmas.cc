@@ -14,10 +14,13 @@
 #include "src/device/device.h"
 #include "src/hls/estimator.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::hls;
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E11: pragma sweeps through the HLS model ===\n";
   const auto dev = device::AlveoU250();
   std::cout << "device: " << dev.name << "\n\n";

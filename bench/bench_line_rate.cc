@@ -16,10 +16,13 @@
 #include "src/relational/sketches.h"
 #include "src/relational/table.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::rel;
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E8: line-rate operators on the streaming datapath ===\n";
   SyntheticTableSpec spec;
   spec.num_rows = 200000;

@@ -13,6 +13,8 @@
 #include "src/common/table_printer.h"
 #include "src/lsm/lsm_tree.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::lsm;
 
@@ -31,7 +33,8 @@ LsmStats RunWorkload(CompactionEngine engine, size_t memtable_limit,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E16: LSM compaction on CPU vs FPGA merge network ===\n";
   const int kPuts = 200000;
   std::cout << "workload: " << kPuts

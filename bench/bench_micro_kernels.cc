@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include <vector>
 
 #include "src/anns/dataset.h"
@@ -139,4 +141,10 @@ BENCHMARK(BM_SimulatorStep);
 }  // namespace
 }  // namespace fpgadp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
+  ::benchmark::Initialize(&argc, argv);  // leaves --trace/--metrics alone
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

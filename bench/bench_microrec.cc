@@ -12,6 +12,8 @@
 #include "src/microrec/engine.h"
 #include "src/microrec/model.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::microrec;
 
@@ -63,7 +65,8 @@ void RunModel(const char* label, const RecModel& model, TablePrinter& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E5: MicroRec inference, FPGA vs CPU ===\n";
   std::cout << "U280 (32 HBM pseudo-channels), batch 512, seed 99\n\n";
 

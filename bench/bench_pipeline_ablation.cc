@@ -19,6 +19,8 @@
 #include "src/sim/kernels.h"
 #include "src/sim/var_stage.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::sim;
 
@@ -102,7 +104,8 @@ uint64_t RunDeepKernel(uint32_t latency, int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E17: pipeline micro-architecture ablations ===\n\n";
 
   std::cout << "--- (a) FIFO depth vs bursty-stage coupling (4096 items, "

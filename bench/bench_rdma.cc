@@ -13,6 +13,8 @@
 #include "src/net/rdma.h"
 #include "src/sim/engine.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::net;
 
@@ -55,7 +57,8 @@ struct Harness {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E2: RDMA READ latency / bandwidth on the 100 Gbps fabric "
                "===\n\n";
 

@@ -17,6 +17,8 @@
 #include "src/kvs/smart_kvs.h"
 #include "src/sim/engine.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::kvs;
 
@@ -75,7 +77,8 @@ double MeasureOpsPerSec(uint32_t num_clients, int ops_per_client,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E15: smart-NIC KVS vs software server ===\n";
   std::cout << "closed-loop GET workload, 10k keys, seed 17\n\n";
   CpuKvsModel cpu;

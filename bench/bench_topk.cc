@@ -18,10 +18,13 @@
 #include "src/common/random.h"
 #include "src/common/table_printer.h"
 
+#include "bench/bench_common.h"
+
 using namespace fpgadp;
 using namespace fpgadp::anns;
 
-int main() {
+int main(int argc, char** argv) {
+  fpgadp::bench::Session session(argc, argv);
   std::cout << "=== E12: K-selection overhead on top of a distance scan ===\n";
   const uint32_t n = 1 << 20;
   std::cout << "stream: " << n << " candidates, seed 12; scan itself takes "

@@ -4,6 +4,8 @@
 
 #include "src/common/check.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace fpgadp::mem {
 
@@ -18,6 +20,14 @@ MemoryChannel::MemoryChannel(std::string name, sim::Stream<MemRequest>* req,
 }
 
 void MemoryChannel::Tick(sim::Cycle cycle) {
+  last_tick_ = cycle;
+  // Attribute this cycle of channel activity: the bus is streaming a burst,
+  // or in-flight requests are waiting out the fixed access latency.
+  if (cycle < bus_free_) {
+    ++bus_busy_cycles_;
+  } else if (!pending_.empty()) {
+    ++latency_wait_cycles_;
+  }
   bool progressed = false;
   // Deliver completions whose time has come.
   while (!pending_.empty() && pending_.front().done <= cycle &&
@@ -46,7 +56,42 @@ void MemoryChannel::Tick(sim::Cycle cycle) {
   }
   // Completion order must stay monotone for the front-pop above; the
   // fixed-latency + serialized-bus model guarantees it, assert in debug.
-  if (progressed) MarkBusy();
+  if (progressed) {
+    MarkBusy();
+  } else if (!pending_.empty() && pending_.front().done <= cycle) {
+    MarkStall(sim::StallKind::kOutputBlocked);  // response FIFO is full
+  } else if (!pending_.empty()) {
+    MarkBusy();  // serving in-flight requests (bus or latency shadow)
+  } else {
+    MarkStall(sim::StallKind::kIdle);  // no requests queued or in flight
+  }
+}
+
+void MemoryChannel::SampleTraceCounters(obs::TraceCounterSink& sink) {
+  // Emit only on change so a 32-pseudo-channel HBM stack stays tractable.
+  const auto queue = static_cast<double>(pending_.size());
+  if (queue != last_queue_emitted_) {
+    sink.Counter(name() + ".queue", queue);
+    last_queue_emitted_ = queue;
+  }
+  const double bus_busy = bus_free_ > last_tick_ ? 1 : 0;
+  if (bus_busy != last_bus_emitted_) {
+    sink.Counter(name() + ".bus_busy", bus_busy);
+    last_bus_emitted_ = bus_busy;
+  }
+}
+
+void MemoryChannel::ExportCustomMetrics(obs::MetricsRegistry& registry) const {
+  // Gauges (idempotent Set) because this hook runs once per Run() and the
+  // underlying counters are cumulative.
+  const std::string base = "mem." + name();
+  registry.GetGauge(base + ".bus_busy_cycles")
+      ->Set(static_cast<double>(bus_busy_cycles_));
+  registry.GetGauge(base + ".latency_wait_cycles")
+      ->Set(static_cast<double>(latency_wait_cycles_));
+  registry.GetGauge(base + ".bytes_transferred")
+      ->Set(static_cast<double>(bytes_transferred_));
+  registry.GetGauge(base + ".completed")->Set(static_cast<double>(completed_));
 }
 
 }  // namespace fpgadp::mem

@@ -32,10 +32,21 @@ class MemoryChannel : public sim::Module {
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override { return pending_.empty(); }
 
+  void SampleTraceCounters(obs::TraceCounterSink& sink) override;
+  void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
+
   /// Total bytes moved over the bus (after granularity rounding).
   uint64_t bytes_transferred() const { return bytes_transferred_; }
   /// Requests completed.
   uint64_t completed() const { return completed_; }
+
+  /// Cycles the data bus spent streaming a burst — the bandwidth-bound share
+  /// of channel activity.
+  uint64_t bus_busy_cycles() const { return bus_busy_cycles_; }
+  /// Cycles with requests in flight but the bus quiet — time hidden inside
+  /// the fixed access latency (the latency-bound share).
+  uint64_t latency_wait_cycles() const { return latency_wait_cycles_; }
+
   const Config& config() const { return config_; }
 
  private:
@@ -53,6 +64,12 @@ class MemoryChannel : public sim::Module {
   std::deque<Pending> pending_;  // completion times are monotone
   uint64_t bytes_transferred_ = 0;
   uint64_t completed_ = 0;
+  uint64_t bus_busy_cycles_ = 0;
+  uint64_t latency_wait_cycles_ = 0;
+  sim::Cycle last_tick_ = 0;
+  // Trace counter dedup: last emitted values (-1 = never emitted).
+  double last_queue_emitted_ = -1;
+  double last_bus_emitted_ = -1;
 };
 
 }  // namespace fpgadp::mem

@@ -4,6 +4,8 @@
 
 #include "src/common/check.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace fpgadp::net {
 
@@ -14,6 +16,8 @@ Fabric::Fabric(std::string name, uint32_t num_nodes, const Config& config)
   wire_latency_cycles_ = NanosToCycles(config_.wire_latency_ns, config_.clock_hz);
   tx_free_.assign(num_nodes, 0);
   rx_free_.assign(num_nodes, 0);
+  tx_busy_cycles_.assign(num_nodes, 0);
+  rx_busy_cycles_.assign(num_nodes, 0);
   arriving_.resize(num_nodes);
   for (uint32_t n = 0; n < num_nodes; ++n) {
     egress_.push_back(std::make_unique<sim::Stream<Packet>>(
@@ -37,6 +41,12 @@ uint64_t Fabric::SerializationCycles(uint64_t payload_bytes) const {
 }
 
 void Fabric::Tick(sim::Cycle cycle) {
+  // Per-port serialization accounting: a port is busy while a packet is
+  // still streaming through it.
+  for (uint32_t n = 0; n < tx_free_.size(); ++n) {
+    if (cycle < tx_free_[n]) ++tx_busy_cycles_[n];
+    if (cycle < rx_free_[n]) ++rx_busy_cycles_[n];
+  }
   bool progressed = false;
   // Pick up newly posted packets from every egress port.
   for (uint32_t n = 0; n < egress_.size(); ++n) {
@@ -73,7 +83,46 @@ void Fabric::Tick(sim::Cycle cycle) {
       progressed = true;
     }
   }
-  if (progressed) MarkBusy();
+  if (progressed) {
+    MarkBusy();
+  } else if (in_flight_ > 0) {
+    MarkBusy();  // packets still serializing or on the wire
+  } else {
+    MarkStall(sim::StallKind::kIdle);  // no traffic offered
+  }
+}
+
+void Fabric::SampleTraceCounters(obs::TraceCounterSink& sink) {
+  // Emit only on change so a quiet 8-node fabric does not flood the trace.
+  const auto in_flight = static_cast<double>(in_flight_);
+  if (in_flight != last_inflight_emitted_) {
+    sink.Counter(name() + ".in_flight", in_flight);
+    last_inflight_emitted_ = in_flight;
+  }
+  last_incast_emitted_.resize(arriving_.size(), -1);
+  for (uint32_t n = 0; n < arriving_.size(); ++n) {
+    // Incast pressure is per receive port; one counter track per node.
+    const auto depth = static_cast<double>(arriving_[n].size());
+    if (depth != last_incast_emitted_[n]) {
+      sink.Counter(name() + ".incast_q" + std::to_string(n), depth);
+      last_incast_emitted_[n] = depth;
+    }
+  }
+}
+
+void Fabric::ExportCustomMetrics(obs::MetricsRegistry& registry) const {
+  const std::string base = "net." + name();
+  registry.GetGauge(base + ".packets_delivered")
+      ->Set(static_cast<double>(packets_delivered_));
+  registry.GetGauge(base + ".payload_bytes")
+      ->Set(static_cast<double>(payload_bytes_delivered_));
+  for (uint32_t n = 0; n < tx_busy_cycles_.size(); ++n) {
+    const std::string port = base + ".port" + std::to_string(n);
+    registry.GetGauge(port + ".tx_busy_cycles")
+        ->Set(static_cast<double>(tx_busy_cycles_[n]));
+    registry.GetGauge(port + ".rx_busy_cycles")
+        ->Set(static_cast<double>(rx_busy_cycles_[n]));
+  }
 }
 
 }  // namespace fpgadp::net

@@ -70,9 +70,20 @@ class Fabric : public sim::Module {
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override { return in_flight_ == 0; }
 
+  void SampleTraceCounters(obs::TraceCounterSink& sink) override;
+  void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
+
   uint32_t num_nodes() const { return static_cast<uint32_t>(egress_.size()); }
   uint64_t packets_delivered() const { return packets_delivered_; }
   uint64_t payload_bytes_delivered() const { return payload_bytes_delivered_; }
+
+  /// Cycles port `node` spent serializing onto / off the wire — the
+  /// per-port share of line-rate occupancy.
+  uint64_t tx_busy_cycles(uint32_t node) const { return tx_busy_cycles_[node]; }
+  uint64_t rx_busy_cycles(uint32_t node) const { return rx_busy_cycles_[node]; }
+  /// Packets currently queued for receive at `node` — the incast depth.
+  size_t incast_depth(uint32_t node) const { return arriving_[node].size(); }
+
   const Config& config() const { return config_; }
 
  private:
@@ -91,6 +102,11 @@ class Fabric : public sim::Module {
   std::vector<std::unique_ptr<sim::Stream<Packet>>> ingress_;
   std::vector<sim::Cycle> tx_free_;
   std::vector<sim::Cycle> rx_free_;
+  std::vector<uint64_t> tx_busy_cycles_;
+  std::vector<uint64_t> rx_busy_cycles_;
+  // Trace counter dedup: last emitted values (-1 = never emitted).
+  std::vector<double> last_incast_emitted_;
+  double last_inflight_emitted_ = -1;
   std::vector<std::priority_queue<InFlight, std::vector<InFlight>,
                                   std::greater<InFlight>>>
       arriving_;  // per destination

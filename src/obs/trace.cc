@@ -1,0 +1,122 @@
+#include "src/obs/trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace fpgadp::obs {
+
+namespace {
+
+void AppendEscaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int TraceWriter::NewProcess(const std::string& name) {
+  const int pid = ++next_pid_;
+  events_.push_back({'P', pid, 0, 0, 0, 0, name});
+  return pid;
+}
+
+int TraceWriter::NewThread(int pid, const std::string& name) {
+  const int tid = ++next_tid_;
+  events_.push_back({'T', pid, tid, 0, 0, 0, name});
+  return tid;
+}
+
+void TraceWriter::CompleteSpan(int pid, int tid, const std::string& name,
+                               uint64_t ts, uint64_t dur) {
+  events_.push_back({'X', pid, tid, ts, dur, 0, name});
+  ++span_count_;
+}
+
+void TraceWriter::Counter(int pid, const std::string& name, uint64_t ts,
+                          double value) {
+  events_.push_back({'C', pid, 0, ts, 0, value, name});
+  ++counter_count_;
+}
+
+void TraceWriter::Instant(int pid, int tid, const std::string& name,
+                          uint64_t ts) {
+  events_.push_back({'i', pid, tid, ts, 0, 0, name});
+  ++instant_count_;
+}
+
+void TraceWriter::WriteJson(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{";
+    switch (e.ph) {
+      case 'P':
+        os << "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << e.pid
+           << ",\"args\":{\"name\":\"";
+        AppendEscaped(os, e.name);
+        os << "\"}";
+        break;
+      case 'T':
+        os << "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid << ",\"args\":{\"name\":\"";
+        AppendEscaped(os, e.name);
+        os << "\"}";
+        break;
+      case 'X':
+        os << "\"name\":\"";
+        AppendEscaped(os, e.name);
+        os << "\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts
+           << ",\"dur\":" << e.dur;
+        break;
+      case 'C':
+        os << "\"name\":\"";
+        AppendEscaped(os, e.name);
+        os << "\",\"cat\":\"sim\",\"ph\":\"C\",\"pid\":" << e.pid
+           << ",\"ts\":" << e.ts << ",\"args\":{\"value\":" << e.value << "}";
+        break;
+      case 'i':
+        os << "\"name\":\"";
+        AppendEscaped(os, e.name);
+        os << "\",\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+        break;
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+Status TraceWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open trace file: " + path);
+  WriteJson(f);
+  f.flush();
+  if (!f) return Status::IoError("short write to trace file: " + path);
+  return Status::OK();
+}
+
+namespace {
+TraceWriter* g_trace = nullptr;
+}  // namespace
+
+TraceWriter* GlobalTraceWriter() { return g_trace; }
+void SetGlobalTraceWriter(TraceWriter* writer) { g_trace = writer; }
+
+}  // namespace fpgadp::obs

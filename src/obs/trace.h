@@ -1,0 +1,93 @@
+#ifndef FPGADP_OBS_TRACE_H_
+#define FPGADP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace fpgadp::obs {
+
+/// Collects timeline events and serializes them as Chrome trace_event JSON
+/// (the `{"traceEvents":[...]}` object form), loadable in chrome://tracing
+/// and Perfetto. One trace "process" groups the tracks of one engine run;
+/// each module gets a "thread" track for its busy spans, and streams /
+/// hardware resources appear as counter tracks.
+///
+/// Timestamps are simulated kernel cycles mapped 1:1 onto trace
+/// microseconds: 1 cycle renders as 1 us, so the viewer's time axis reads
+/// directly in cycles.
+class TraceWriter {
+ public:
+  /// Starts a new process-level track group; returns its pid.
+  int NewProcess(const std::string& name);
+
+  /// Starts a thread-level track inside `pid`; returns its tid.
+  int NewThread(int pid, const std::string& name);
+
+  /// A closed duration span [ts, ts+dur) on a thread track ("ph":"X").
+  void CompleteSpan(int pid, int tid, const std::string& name, uint64_t ts,
+                    uint64_t dur);
+
+  /// A sample on a counter track ("ph":"C").
+  void Counter(int pid, const std::string& name, uint64_t ts, double value);
+
+  /// A zero-duration marker on a thread track ("ph":"i").
+  void Instant(int pid, int tid, const std::string& name, uint64_t ts);
+
+  size_t span_count() const { return span_count_; }
+  size_t counter_count() const { return counter_count_; }
+  size_t instant_count() const { return instant_count_; }
+  size_t event_count() const { return events_.size(); }
+
+  void WriteJson(std::ostream& os) const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;  // 'X', 'C', 'i', 'P' (process meta), 'T' (thread meta)
+    int pid = 0;
+    int tid = 0;
+    uint64_t ts = 0;
+    uint64_t dur = 0;
+    double value = 0;
+    std::string name;
+  };
+
+  std::vector<Event> events_;
+  int next_pid_ = 0;
+  int next_tid_ = 0;  // tids are globally unique; simpler and legal
+  size_t span_count_ = 0;
+  size_t counter_count_ = 0;
+  size_t instant_count_ = 0;
+};
+
+/// A counter-emission point pre-bound to (writer, pid, timestamp), handed to
+/// modules so they can publish hardware-level counters (bus occupancy,
+/// per-port queue depth) without knowing trace plumbing.
+class TraceCounterSink {
+ public:
+  TraceCounterSink(TraceWriter* writer, int pid, uint64_t ts)
+      : writer_(writer), pid_(pid), ts_(ts) {}
+
+  void Counter(const std::string& name, double value) {
+    writer_->Counter(pid_, name, ts_, value);
+  }
+
+ private:
+  TraceWriter* writer_;
+  int pid_;
+  uint64_t ts_;
+};
+
+/// Process-wide trace writer benches opt into with --trace=<file>; nullptr
+/// when disabled. Engines pick this up when they start running, so code that
+/// builds engines internally (ExecuteFpga, benches) traces without plumbing.
+TraceWriter* GlobalTraceWriter();
+void SetGlobalTraceWriter(TraceWriter* writer);
+
+}  // namespace fpgadp::obs
+
+#endif  // FPGADP_OBS_TRACE_H_

@@ -48,7 +48,16 @@ void OpKernel::Tick(sim::Cycle cycle) {
     ++issued;
     progressed = true;
   }
-  if (progressed) MarkBusy();
+  if (progressed) {
+    MarkBusy();
+  } else if (!emit_.empty() && emit_.front().first <= cycle &&
+             !out_->CanWrite()) {
+    MarkStall(sim::StallKind::kOutputBlocked);
+  } else if (!in_->CanRead() && emit_.empty()) {
+    MarkStall(sim::StallKind::kInputStarved);
+  } else {
+    MarkStall(sim::StallKind::kIdle);  // beats still in the latency shadow
+  }
 }
 
 OpKernel::ProcessFn MakeOpProcessFn(const OpDesc& op) {

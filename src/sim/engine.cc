@@ -1,5 +1,6 @@
 #include "src/sim/engine.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "src/common/check.h"
@@ -17,10 +18,154 @@ void Engine::AddStream(StreamBase* stream) {
   streams_.push_back(stream);
 }
 
+void Engine::EnableTracing(obs::TraceWriter* writer, TraceOptions options) {
+  FPGADP_CHECK(writer != nullptr);
+  FPGADP_CHECK(options.sample_period > 0);
+  trace_ = std::make_unique<TraceState>();
+  trace_->writer = writer;
+  trace_->options = std::move(options);
+  trace_->pid = writer->NewProcess(trace_->options.label);
+  observability_checked_ = true;
+  if (!metrics_ && obs::GlobalMetrics() != nullptr) {
+    EnableMetrics(obs::GlobalMetrics());
+  }
+}
+
+void Engine::EnableMetrics(obs::MetricsRegistry* registry) {
+  FPGADP_CHECK(registry != nullptr);
+  metrics_ = std::make_unique<MetricsState>();
+  metrics_->registry = registry;
+}
+
+void Engine::SetupObservability() {
+  observability_checked_ = true;
+  if (!trace_ && obs::GlobalTraceWriter() != nullptr) {
+    EnableTracing(obs::GlobalTraceWriter());
+  }
+  if (!metrics_ && obs::GlobalMetrics() != nullptr) {
+    EnableMetrics(obs::GlobalMetrics());
+  }
+}
+
+void Engine::EnsureProbeSlots() {
+  if (trace_) {
+    TraceState& t = *trace_;
+    while (t.tids.size() < modules_.size()) {
+      const size_t i = t.tids.size();
+      const int tid = t.writer->NewThread(t.pid, modules_[i]->name());
+      t.tids.push_back(tid);
+      t.prev_busy.push_back(modules_[i]->busy_cycles());
+      t.span_start.push_back(0);
+      t.span_open.push_back(false);
+      modules_[i]->AttachTrace(t.writer, t.pid, tid);
+    }
+    while (t.last_depth.size() < streams_.size()) t.last_depth.push_back(-1);
+  }
+  if (metrics_) {
+    MetricsState& m = *metrics_;
+    m.module_cursor.resize(modules_.size());
+    m.stream_cursor.resize(streams_.size(), {0, 0});
+    while (m.depth_hist.size() < streams_.size()) {
+      m.depth_hist.push_back(m.registry->GetHistogram(
+          "stream." + streams_[m.depth_hist.size()]->name() + ".depth"));
+    }
+  }
+}
+
 void Engine::Step() {
-  for (Module* m : modules_) m->Tick(now_);
+  if (!observability_checked_) SetupObservability();
+  for (Module* m : modules_) {
+    m->Tick(now_);
+    m->FinalizeTick();
+  }
   for (StreamBase* s : streams_) s->Commit();
+  if (trace_ || metrics_) ProbeStep();
   ++now_;
+}
+
+void Engine::ProbeStep() {
+  EnsureProbeSlots();
+  if (trace_) {
+    TraceState& t = *trace_;
+    for (size_t i = 0; i < modules_.size(); ++i) {
+      const uint64_t busy = modules_[i]->busy_cycles();
+      if (busy != t.prev_busy[i]) {
+        if (!t.span_open[i]) {
+          t.span_open[i] = true;
+          t.span_start[i] = now_;
+        }
+      } else if (t.span_open[i]) {
+        t.writer->CompleteSpan(t.pid, t.tids[i], "busy", t.span_start[i],
+                               now_ - t.span_start[i]);
+        t.span_open[i] = false;
+      }
+      t.prev_busy[i] = busy;
+    }
+    if (now_ % t.options.sample_period == 0) {
+      for (size_t i = 0; i < streams_.size(); ++i) {
+        const double depth = static_cast<double>(streams_[i]->Depth());
+        if (depth != t.last_depth[i]) {
+          t.writer->Counter(t.pid, streams_[i]->name() + ".depth", now_,
+                            depth);
+          t.last_depth[i] = depth;
+        }
+      }
+      obs::TraceCounterSink sink(t.writer, t.pid, now_);
+      for (Module* m : modules_) m->SampleTraceCounters(sink);
+    }
+  }
+  if (metrics_ && now_ % metrics_->sample_period == 0) {
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      metrics_->depth_hist[i]->Observe(
+          static_cast<double>(streams_[i]->Depth()));
+    }
+  }
+}
+
+void Engine::FlushObservers() {
+  if (!trace_ && !metrics_) return;
+  EnsureProbeSlots();
+  if (trace_) {
+    TraceState& t = *trace_;
+    for (size_t i = 0; i < modules_.size(); ++i) {
+      if (t.span_open[i]) {
+        t.writer->CompleteSpan(t.pid, t.tids[i], "busy", t.span_start[i],
+                               now_ - t.span_start[i]);
+        t.span_open[i] = false;
+      }
+    }
+  }
+  if (metrics_) ExportMetrics();
+}
+
+void Engine::ExportMetrics() {
+  MetricsState& ms = *metrics_;
+  obs::MetricsRegistry& reg = *ms.registry;
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    const Module& m = *modules_[i];
+    auto& cur = ms.module_cursor[i];
+    const std::string base = "module." + m.name();
+    reg.GetCounter(base + ".busy_cycles")->Inc(m.busy_cycles() - cur.busy);
+    reg.GetCounter(base + ".starved_cycles")
+        ->Inc(m.starved_cycles() - cur.starved);
+    reg.GetCounter(base + ".blocked_cycles")
+        ->Inc(m.blocked_cycles() - cur.blocked);
+    reg.GetCounter(base + ".idle_cycles")->Inc(m.idle_cycles() - cur.idle);
+    cur = {m.busy_cycles(), m.starved_cycles(), m.blocked_cycles(),
+           m.idle_cycles()};
+    m.ExportCustomMetrics(reg);
+  }
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    const StreamBase& s = *streams_[i];
+    auto& [pushed, popped] = ms.stream_cursor[i];
+    const std::string base = "stream." + s.name();
+    reg.GetCounter(base + ".pushed")->Inc(s.TotalPushed() - pushed);
+    reg.GetCounter(base + ".popped")->Inc(s.TotalPopped() - popped);
+    pushed = s.TotalPushed();
+    popped = s.TotalPopped();
+  }
+  reg.GetCounter("engine.cycles")->Inc(now_ - ms.cycles_cursor);
+  ms.cycles_cursor = now_;
 }
 
 bool Engine::QuiescedNow() const {
@@ -35,9 +180,13 @@ bool Engine::QuiescedNow() const {
 
 Result<Cycle> Engine::Run(uint64_t max_cycles) {
   for (uint64_t i = 0; i < max_cycles; ++i) {
-    if (QuiescedNow()) return now_;
+    if (QuiescedNow()) {
+      FlushObservers();
+      return now_;
+    }
     Step();
   }
+  FlushObservers();
   if (QuiescedNow()) return now_;
   return Status::Timeout("engine did not quiesce within " +
                          std::to_string(max_cycles) + " cycles");
@@ -49,13 +198,19 @@ double Engine::ElapsedSeconds() const {
 
 std::string Engine::UtilizationReport() const {
   std::ostringstream os;
+  const auto pct = [this](uint64_t cycles) {
+    const double p = now_ == 0 ? 0.0
+                               : 100.0 * static_cast<double>(cycles) /
+                                     static_cast<double>(now_);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f", p);
+    return std::string(buf);
+  };
   for (const Module* m : modules_) {
-    const double util =
-        now_ == 0 ? 0.0
-                  : 100.0 * static_cast<double>(m->busy_cycles()) /
-                        static_cast<double>(now_);
     os << m->name() << ": busy " << m->busy_cycles() << "/" << now_ << " ("
-       << static_cast<int>(util) << "%)\n";
+       << pct(m->busy_cycles()) << "%), starved " << pct(m->starved_cycles())
+       << "%, blocked " << pct(m->blocked_cycles()) << "%, idle "
+       << pct(m->idle_cycles()) << "%\n";
   }
   return os.str();
 }

@@ -2,15 +2,27 @@
 #define FPGADP_SIM_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/module.h"
 #include "src/sim/stream.h"
 
 namespace fpgadp::sim {
+
+/// Observability knobs for a traced engine run.
+struct TraceOptions {
+  /// Cycles between stream-depth / hardware-counter samples. Spans are
+  /// tracked every cycle regardless.
+  uint32_t sample_period = 16;
+  /// Label for this engine's process track in the trace viewer.
+  std::string label = "engine";
+};
 
 /// Drives a set of modules and streams with a two-phase, cycle-stepped loop:
 /// each cycle every module Tick()s (reads are visible, writes staged), then
@@ -21,6 +33,14 @@ namespace fpgadp::sim {
 ///   e.AddModule(&source); e.AddModule(&kernel); e.AddModule(&sink);
 ///   e.AddStream(&in); e.AddStream(&out);
 ///   Result<Cycle> cycles = e.Run(/*max_cycles=*/1 << 24);
+///
+/// Observability: attach a TraceWriter (or set the process-global one — see
+/// obs/trace.h) and every run records per-module busy spans, stream-depth
+/// counter tracks, and hardware counters published by modules, as Chrome
+/// trace_event JSON. Attach a MetricsRegistry and the run exports stall
+/// attribution and stream traffic totals. Both are pure observers: enabling
+/// them never changes simulated cycle counts, and when disabled the cost is
+/// one pointer check per cycle.
 class Engine {
  public:
   /// `clock_hz` is the modeled kernel clock, used only by reporting helpers.
@@ -32,6 +52,14 @@ class Engine {
 
   /// Registers a stream so the engine commits it each cycle.
   void AddStream(StreamBase* stream);
+
+  /// Records this run into `writer` (one process track group per engine).
+  /// Overrides the process-global writer for this engine.
+  void EnableTracing(obs::TraceWriter* writer, TraceOptions options = {});
+
+  /// Exports run statistics into `registry` when each Run() finishes.
+  /// Overrides the process-global registry for this engine.
+  void EnableMetrics(obs::MetricsRegistry* registry);
 
   /// Advances exactly one cycle.
   void Step();
@@ -50,14 +78,53 @@ class Engine {
   /// Seconds of simulated time elapsed so far at the modeled clock.
   double ElapsedSeconds() const;
 
-  /// One line per module: name, busy cycles, utilization %.
+  /// One line per module: name, busy cycles, utilization % (one decimal),
+  /// and the stall-attribution breakdown (starved / blocked / idle).
   std::string UtilizationReport() const;
 
+  /// Closes open trace spans and exports metrics. Run() calls this on exit;
+  /// call it directly only when driving the engine with Step() manually.
+  void FlushObservers();
+
  private:
+  struct TraceState {
+    obs::TraceWriter* writer = nullptr;
+    int pid = 0;
+    TraceOptions options;
+    // Per-module span tracking; grown lazily so late AddModule calls work.
+    std::vector<int> tids;
+    std::vector<uint64_t> prev_busy;
+    std::vector<uint64_t> span_start;
+    std::vector<bool> span_open;
+    // Per-stream counter dedup: last emitted depth (-1 = never emitted).
+    std::vector<double> last_depth;
+  };
+
+  struct MetricsState {
+    obs::MetricsRegistry* registry = nullptr;
+    uint32_t sample_period = 16;
+    // Deltas since last export, so repeated Run() calls never double-count.
+    struct ModuleCursor {
+      uint64_t busy = 0, starved = 0, blocked = 0, idle = 0;
+    };
+    std::vector<ModuleCursor> module_cursor;
+    std::vector<std::pair<uint64_t, uint64_t>> stream_cursor;  // pushed/popped
+    std::vector<obs::Histogram*> depth_hist;  // parallel to streams_
+    uint64_t cycles_cursor = 0;
+  };
+
+  void SetupObservability();
+  void EnsureProbeSlots();
+  void ProbeStep();
+  void ExportMetrics();
+
   double clock_hz_;
   Cycle now_ = 0;
   std::vector<Module*> modules_;
   std::vector<StreamBase*> streams_;
+  bool observability_checked_ = false;
+  std::unique_ptr<TraceState> trace_;
+  std::unique_ptr<MetricsState> metrics_;
 };
 
 }  // namespace fpgadp::sim

@@ -46,7 +46,13 @@ class VectorSource : public Module {
       out_->Write(data_[pos_++]);
       progressed = true;
     }
-    if (progressed) MarkBusy();
+    if (progressed) {
+      MarkBusy();
+    } else if (pos_ < data_.size()) {
+      MarkStall(StallKind::kOutputBlocked);  // data left but FIFO is full
+    } else {
+      MarkStall(StallKind::kIdle);  // burst fully emitted
+    }
   }
 
   bool Idle() const override { return pos_ >= data_.size(); }
@@ -80,6 +86,8 @@ class VectorSink : public Module {
     if (progressed) {
       MarkBusy();
       last_arrival_ = true;
+    } else {
+      MarkStall(StallKind::kInputStarved);  // a sink only ever waits on input
     }
   }
 
@@ -142,7 +150,18 @@ class TransformKernel : public Module {
       }
       if (issued > 0) next_issue_ = cycle + timing_.ii;
     }
-    if (progressed) MarkBusy();
+    if (progressed) {
+      MarkBusy();
+    } else if (!pipe_.empty() && pipe_.front().ready <= cycle &&
+               !out_->CanWrite()) {
+      MarkStall(StallKind::kOutputBlocked);
+    } else if (!in_->CanRead() && pipe_.empty()) {
+      MarkStall(StallKind::kInputStarved);
+    } else {
+      // Items in the latency shadow, or the II gate is closed: the kernel is
+      // limited by its own timing contract, not by its neighbours.
+      MarkStall(StallKind::kIdle);
+    }
   }
 
   bool Idle() const override { return pipe_.empty(); }
@@ -202,7 +221,15 @@ class ReduceKernel : public Module {
       emitted_ = true;
       progressed = true;
     }
-    if (progressed) MarkBusy();
+    if (progressed) {
+      MarkBusy();
+    } else if (consumed_ == expected_ && !emitted_) {
+      MarkStall(StallKind::kOutputBlocked);
+    } else if (consumed_ < expected_ && !in_->CanRead()) {
+      MarkStall(StallKind::kInputStarved);
+    } else {
+      MarkStall(StallKind::kIdle);  // II gate closed or reduction finished
+    }
   }
 
   bool Idle() const override { return emitted_ || consumed_ < expected_; }
@@ -250,7 +277,16 @@ class DelayLine : public Module {
       ++accepted;
       progressed = true;
     }
-    if (progressed) MarkBusy();
+    if (progressed) {
+      MarkBusy();
+    } else if (!pending_.empty() && pending_.front().first <= cycle &&
+               !out_->CanWrite()) {
+      MarkStall(StallKind::kOutputBlocked);
+    } else if (pending_.empty() && !in_->CanRead()) {
+      MarkStall(StallKind::kInputStarved);
+    } else {
+      MarkStall(StallKind::kIdle);  // items still inside the delay window
+    }
   }
 
   bool Idle() const override { return pending_.empty(); }

@@ -5,10 +5,25 @@
 #include <string>
 #include <utility>
 
+namespace fpgadp::obs {
+class MetricsRegistry;
+class TraceCounterSink;
+class TraceWriter;
+}  // namespace fpgadp::obs
+
 namespace fpgadp::sim {
 
 /// Simulated clock cycle index.
 using Cycle = uint64_t;
+
+/// Why a module made no forward progress in a cycle. Attribution follows the
+/// classic pipeline-stall taxonomy: waiting on an empty input FIFO, waiting
+/// on a full output FIFO, or genuinely having no work.
+enum class StallKind : uint8_t {
+  kInputStarved = 0,
+  kOutputBlocked = 1,
+  kIdle = 2,
+};
 
 /// A hardware block in the spatial dataflow simulator. Modules communicate
 /// exclusively through Stream<T> channels (see stream.h) so the composition
@@ -19,6 +34,11 @@ using Cycle = uint64_t;
 /// The engine calls Tick() on every module each cycle (compute phase), then
 /// commits all streams (update phase), so the order in which modules tick
 /// never changes simulation results.
+///
+/// Each Tick classifies the cycle into exactly one bucket: MarkBusy() for
+/// forward progress, or MarkStall() for the three stall kinds. The engine
+/// backfills any unclassified cycle as idle (FinalizeTick), so per-module
+/// bucket totals always sum to the elapsed cycle count.
 class Module {
  public:
   explicit Module(std::string name) : name_(std::move(name)) {}
@@ -42,12 +62,75 @@ class Module {
   /// reporting. Subclasses call MarkBusy() from Tick().
   uint64_t busy_cycles() const { return busy_cycles_; }
 
+  /// Stall-attribution counters (see StallKind).
+  uint64_t starved_cycles() const { return starved_cycles_; }
+  uint64_t blocked_cycles() const { return blocked_cycles_; }
+  uint64_t idle_cycles() const { return idle_cycles_; }
+
+  /// Total classified cycles: busy + starved + blocked + idle.
+  uint64_t attributed_cycles() const { return attributed_; }
+
+  /// Called by the engine after each Tick(): attributes the cycle as idle
+  /// when the subclass recorded nothing, keeping the per-module invariant
+  /// (one bucket per ticked cycle) without requiring every subclass to
+  /// classify explicitly.
+  void FinalizeTick() {
+    ++ticked_;
+    if (attributed_ < ticked_) {
+      idle_cycles_ += ticked_ - attributed_;
+      attributed_ = ticked_;
+    }
+  }
+
+  /// Engine probe attach: gives the module a place to emit per-item trace
+  /// events (see StreamTap). Null writer detaches.
+  void AttachTrace(obs::TraceWriter* writer, int pid, int tid) {
+    trace_writer_ = writer;
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
+
+  /// Periodic trace sampling hook: modules owning hardware-level resources
+  /// (memory bus, NIC ports) publish counter tracks here.
+  virtual void SampleTraceCounters(obs::TraceCounterSink& sink) { (void)sink; }
+
+  /// Metrics export hook for module-specific counters beyond the stall
+  /// buckets (e.g. bus-busy cycles). Called by the engine when a metrics
+  /// registry is attached.
+  virtual void ExportCustomMetrics(obs::MetricsRegistry& registry) const {
+    (void)registry;
+  }
+
  protected:
-  void MarkBusy() { ++busy_cycles_; }
+  void MarkBusy() {
+    ++busy_cycles_;
+    ++attributed_;
+  }
+
+  void MarkStall(StallKind kind) {
+    switch (kind) {
+      case StallKind::kInputStarved: ++starved_cycles_; break;
+      case StallKind::kOutputBlocked: ++blocked_cycles_; break;
+      case StallKind::kIdle: ++idle_cycles_; break;
+    }
+    ++attributed_;
+  }
+
+  obs::TraceWriter* trace_writer() const { return trace_writer_; }
+  int trace_pid() const { return trace_pid_; }
+  int trace_tid() const { return trace_tid_; }
 
  private:
   std::string name_;
   uint64_t busy_cycles_ = 0;
+  uint64_t starved_cycles_ = 0;
+  uint64_t blocked_cycles_ = 0;
+  uint64_t idle_cycles_ = 0;
+  uint64_t attributed_ = 0;
+  uint64_t ticked_ = 0;
+  obs::TraceWriter* trace_writer_ = nullptr;
+  int trace_pid_ = 0;
+  int trace_tid_ = 0;
 };
 
 }  // namespace fpgadp::sim

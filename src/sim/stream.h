@@ -28,6 +28,19 @@ class StreamBase {
   /// True iff any item is buffered (committed or staged).
   virtual bool InFlight() const = 0;
 
+  /// Current occupancy, committed + staged items — what a depth probe on the
+  /// physical FIFO would read. The engine samples this periodically when
+  /// observability is enabled.
+  virtual size_t Depth() const = 0;
+
+  /// FIFO capacity, for occupancy-relative reporting.
+  virtual size_t Capacity() const = 0;
+
+  /// Lifetime item counts, exposed type-erased so the observability layer
+  /// can export them without knowing T.
+  virtual uint64_t TotalPushed() const = 0;
+  virtual uint64_t TotalPopped() const = 0;
+
   const std::string& name() const { return name_; }
 
  private:
@@ -58,6 +71,10 @@ class Stream : public StreamBase {
     FPGADP_CHECK(CanWrite());
     staged_.push_back(std::move(v));
     ++total_pushed_;
+    // Watermark tracks true occupancy (committed + staged), the same
+    // quantity capacity/backpressure is computed from — so a full FIFO
+    // reports a watermark equal to its capacity.
+    high_watermark_ = std::max(high_watermark_, buf_.size() + staged_.size());
   }
 
   /// True iff an item is available to Read() this cycle.
@@ -86,11 +103,15 @@ class Stream : public StreamBase {
     if (!staged_.empty()) {
       for (auto& v : staged_) buf_.push_back(std::move(v));
       staged_.clear();
-      high_watermark_ = std::max(high_watermark_, buf_.size());
     }
   }
 
   bool InFlight() const override { return !buf_.empty() || !staged_.empty(); }
+
+  size_t Depth() const override { return buf_.size() + staged_.size(); }
+  size_t Capacity() const override { return capacity_; }
+  uint64_t TotalPushed() const override { return total_pushed_; }
+  uint64_t TotalPopped() const override { return total_popped_; }
 
   /// Lifetime statistics, for occupancy analysis.
   uint64_t total_pushed() const { return total_pushed_; }

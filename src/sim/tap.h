@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 #include "src/sim/module.h"
 #include "src/sim/stream.h"
 
@@ -34,15 +35,25 @@ class StreamTap : public Module {
   }
 
   void Tick(Cycle cycle) override {
-    bool progressed = false;
-    while (in_->CanRead() && out_->CanWrite()) {
-      T v = in_->Read();
-      if (events_.size() < max_events_) events_.push_back({cycle, v});
-      ++forwarded_;
-      out_->Write(std::move(v));
-      progressed = true;
+    // Exactly one item per cycle: the tap is a register slice, not a burst
+    // mover. Draining more would compress the burst shapes it exists to
+    // record and let a tapped pipeline outrun an untapped one.
+    if (!in_->CanRead()) {
+      MarkStall(StallKind::kInputStarved);
+      return;
     }
-    if (progressed) MarkBusy();
+    if (!out_->CanWrite()) {
+      MarkStall(StallKind::kOutputBlocked);
+      return;
+    }
+    T v = in_->Read();
+    if (events_.size() < max_events_) events_.push_back({cycle, v});
+    ++forwarded_;
+    if (trace_writer() != nullptr) {
+      trace_writer()->Instant(trace_pid(), trace_tid(), name(), cycle);
+    }
+    out_->Write(std::move(v));
+    MarkBusy();
   }
 
   bool Idle() const override { return true; }

@@ -33,23 +33,33 @@ class VarStage : public Module {
   }
 
   void Tick(Cycle cycle) override {
+    bool progressed = false;
     if (holding_) {
-      MarkBusy();
-      if (cycle >= ready_at_ && out_->CanWrite()) {
-        out_->Write(std::move(*pending_));
-        pending_.reset();
-        holding_ = false;
-      } else {
-        return;  // still working or blocked on downstream
+      if (cycle < ready_at_) {
+        MarkBusy();  // actively computing on the held item
+        return;
       }
+      if (!out_->CanWrite()) {
+        MarkStall(StallKind::kOutputBlocked);
+        return;
+      }
+      out_->Write(std::move(*pending_));
+      pending_.reset();
+      holding_ = false;
+      progressed = true;
     }
-    if (!holding_ && in_->CanRead()) {
+    if (in_->CanRead()) {
       In item = in_->Read();
       const uint64_t cost = cost_(item);
       pending_ = fn_(item);
       ready_at_ = cycle + (cost > 0 ? cost : 1);
       holding_ = true;
+      progressed = true;
+    }
+    if (progressed) {
       MarkBusy();
+    } else {
+      MarkStall(StallKind::kInputStarved);
     }
   }
 

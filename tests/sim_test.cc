@@ -8,6 +8,7 @@
 #include "src/sim/kernels.h"
 #include "src/sim/module.h"
 #include "src/sim/stream.h"
+#include "src/sim/tap.h"
 
 namespace fpgadp::sim {
 namespace {
@@ -49,6 +50,24 @@ TEST(StreamTest, StatsTrackTraffic) {
   EXPECT_EQ(s.total_pushed(), 6u);
   EXPECT_EQ(s.total_popped(), 1u);
   EXPECT_EQ(s.high_watermark(), 6u);
+}
+
+TEST(StreamTest, WatermarkSeesFullFifoIncludingStagedItems) {
+  // Peak occupancy is committed + staged: reads that drain the committed
+  // side before Commit() must not hide that the FIFO was full.
+  Stream<int> s("s", 4);
+  s.Write(1);
+  s.Write(2);
+  s.Commit();
+  s.Write(3);
+  s.Write(4);
+  EXPECT_FALSE(s.CanWrite()) << "2 committed + 2 staged = full";
+  (void)s.Read();
+  (void)s.Read();
+  s.Commit();
+  EXPECT_EQ(s.high_watermark(), 4u)
+      << "watermark must report the full FIFO, not just committed items";
+  EXPECT_EQ(s.Depth(), 2u);
 }
 
 TEST(EngineTest, SourceToSinkMovesAllData) {
@@ -240,6 +259,54 @@ TEST(DelayLineTest, AddsFixedLatency) {
   EXPECT_LE(cycles.value(), 110u);
 }
 
+TEST(StreamTapTest, ForwardsExactlyOneItemPerCycle) {
+  // The tap is documented as a non-perturbing 1-item/cycle pass-through
+  // wire: a tapped pipeline must cost exactly the tap's one-cycle latency
+  // over the untapped pipeline, and nothing else.
+  const int n = 200;
+  std::vector<int> data(n);
+  std::iota(data.begin(), data.end(), 0);
+
+  Cycle untapped_cycles = 0;
+  {
+    Stream<int> ch("ch", 4);
+    VectorSource<int> src("src", data, &ch);
+    VectorSink<int> sink("sink", &ch);
+    Engine e;
+    e.AddModule(&src);
+    e.AddModule(&sink);
+    e.AddStream(&ch);
+    auto cycles = e.Run(100000);
+    ASSERT_TRUE(cycles.ok());
+    untapped_cycles = cycles.value();
+  }
+
+  Stream<int> a("a", 4);
+  Stream<int> b("b", 4);
+  VectorSource<int> src("src", data, &a);
+  StreamTap<int> tap("tap", &a, &b);
+  VectorSink<int> sink("sink", &b);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&tap);
+  e.AddModule(&sink);
+  e.AddStream(&a);
+  e.AddStream(&b);
+  auto cycles = e.Run(100000);
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(cycles.value(), untapped_cycles + 1)
+      << "tap must add exactly its one-cycle latency";
+  EXPECT_EQ(sink.collected(), data);
+  EXPECT_EQ(tap.forwarded(), static_cast<uint64_t>(n));
+  // Burst shape is preserved: with a 1-lane source, consecutive captured
+  // events are exactly one cycle apart (no multi-item bursts compressed
+  // into one cycle).
+  ASSERT_EQ(tap.events().size(), static_cast<size_t>(n));
+  for (size_t i = 1; i < tap.events().size(); ++i) {
+    EXPECT_EQ(tap.events()[i].cycle, tap.events()[i - 1].cycle + 1);
+  }
+}
+
 TEST(EngineTest, UtilizationReportMentionsModules) {
   std::vector<int> data(10, 1);
   Stream<int> ch("ch", 4);
@@ -253,6 +320,27 @@ TEST(EngineTest, UtilizationReportMentionsModules) {
   const std::string report = e.UtilizationReport();
   EXPECT_NE(report.find("mysource"), std::string::npos);
   EXPECT_NE(report.find("mysink"), std::string::npos);
+}
+
+TEST(EngineTest, UtilizationReportPrintsOneDecimalAndStalls) {
+  // 3 items through a depth-4 FIFO: 4 cycles total, source busy 3 of 4 =
+  // 75.0%. Integer truncation would print 75% and hide fractions entirely.
+  std::vector<int> data(3, 1);
+  Stream<int> ch("ch", 4);
+  VectorSource<int> src("src", data, &ch);
+  VectorSink<int> sink("sink", &ch);
+  Engine e;
+  e.AddModule(&src);
+  e.AddModule(&sink);
+  e.AddStream(&ch);
+  auto cycles = e.Run(1000);
+  ASSERT_TRUE(cycles.ok());
+  ASSERT_EQ(cycles.value(), 4u);
+  const std::string report = e.UtilizationReport();
+  EXPECT_NE(report.find("src: busy 3/4 (75.0%)"), std::string::npos) << report;
+  EXPECT_NE(report.find("starved"), std::string::npos);
+  EXPECT_NE(report.find("blocked"), std::string::npos);
+  EXPECT_NE(report.find("idle"), std::string::npos);
 }
 
 TEST(EngineTest, ElapsedSecondsUsesClock) {

@@ -1,5 +1,6 @@
 #include "bench/bench_common.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -12,6 +13,10 @@ Session::Session(int argc, char** argv) {
       trace_path_ = arg + 8;
     } else if (std::strcmp(arg, "--metrics") == 0) {
       metrics_ = std::make_unique<obs::MetricsRegistry>();
+    } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+      fault_seed_ = std::strtoull(arg + 13, nullptr, 10);
+    } else if (std::strncmp(arg, "--drop-rate=", 12) == 0) {
+      drop_rate_ = std::strtod(arg + 12, nullptr);
     }
   }
   if (!trace_path_.empty()) {

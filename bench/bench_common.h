@@ -25,6 +25,10 @@ namespace fpgadp::bench {
 ///                    kernel cycle.
 ///   --metrics        Print the metrics registry (stall attribution, stream
 ///                    traffic, memory/network counters) on exit.
+///   --fault-seed=N   Seed for the fault injector of benches that support
+///                    lossy-fabric runs (default 1).
+///   --drop-rate=X    Per-packet drop probability in [0,1) for those
+///                    benches; 0 (default) keeps the fabric loss-free.
 ///
 /// The session installs the process-global trace writer / metrics registry
 /// (see obs/trace.h), which every Engine picks up when it starts running —
@@ -43,6 +47,11 @@ class Session {
   bool metrics_enabled() const { return metrics_ != nullptr; }
   const std::string& trace_path() const { return trace_path_; }
 
+  /// Fault-model knobs for benches with lossy-fabric modes. The session
+  /// only parses them; the bench constructs its own FaultInjector.
+  uint64_t fault_seed() const { return fault_seed_; }
+  double drop_rate() const { return drop_rate_; }
+
   /// The registry --metrics dumps, for benches that want to add their own
   /// instruments; nullptr when --metrics is off.
   obs::MetricsRegistry* metrics() { return metrics_.get(); }
@@ -51,6 +60,8 @@ class Session {
   std::string trace_path_;
   std::unique_ptr<obs::TraceWriter> writer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  uint64_t fault_seed_ = 1;
+  double drop_rate_ = 0;
 };
 
 }  // namespace fpgadp::bench

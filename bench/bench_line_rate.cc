@@ -46,6 +46,11 @@ int main(int argc, char** argv) {
               TablePrinter::Fmt(gbps, 1), gbps >= 100 ? "yes" : "NO"});
   };
 
+  // Pre-fault-model cycle count for the qty>=25 filter, captured from the
+  // seed build; a drift here means some supposedly inert change perturbed
+  // the cycle-level simulation.
+  constexpr uint64_t kGoldenFilterCycles = 100007;
+
   // Filters at three selectivities: cycles must not depend on survival.
   for (int64_t qty : {0, 25, 49}) {
     Program p;
@@ -55,6 +60,12 @@ int main(int argc, char** argv) {
     auto stats = ExecuteFpga(p, table, options);
     if (!stats.ok()) {
       std::cerr << "failed: " << stats.status() << "\n";
+      return 1;
+    }
+    if (qty == 25 && stats->cycles != kGoldenFilterCycles) {
+      std::cerr << "FAIL: filter cycle count drifted from the golden "
+                   "baseline (got "
+                << stats->cycles << ", want " << kGoldenFilterCycles << ")\n";
       return 1;
     }
     const double sel =

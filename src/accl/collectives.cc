@@ -127,8 +127,28 @@ Communicator::Communicator(uint32_t world_size, net::Fabric::Config fabric,
 
 Result<CollectiveStats> Communicator::RunSchedule(
     const std::vector<std::vector<Step>>& schedule, uint64_t payload_bytes) {
+  last_outcome_ = PartialOutcome{};
+  Status last_error;
+  for (uint32_t attempt = 1; attempt <= max_attempts_; ++attempt) {
+    ++last_outcome_.attempts;
+    Result<CollectiveStats> r = RunScheduleOnce(schedule, payload_bytes);
+    if (r.ok()) {
+      last_outcome_.status = Status::OK();
+      CollectiveStats stats = std::move(r).value();
+      stats.attempts = attempt;
+      return stats;
+    }
+    last_error = r.status();
+  }
+  last_outcome_.status = last_error;
+  return last_error;
+}
+
+Result<CollectiveStats> Communicator::RunScheduleOnce(
+    const std::vector<std::vector<Step>>& schedule, uint64_t payload_bytes) {
   FPGADP_CHECK(schedule.size() == world_size_);
   net::Fabric fabric("fabric", world_size_, fabric_config_);
+  fabric.set_fault_injector(fault_injector_);
   std::vector<std::unique_ptr<net::RdmaEndpoint>> eps;
   std::vector<std::unique_ptr<RankProgram>> programs;
   std::vector<std::unique_ptr<net::TcpStack>> stacks;
@@ -138,7 +158,7 @@ Result<CollectiveStats> Communicator::RunSchedule(
   for (uint32_t r = 0; r < world_size_; ++r) {
     if (transport_ == Transport::kRdma) {
       eps.push_back(std::make_unique<net::RdmaEndpoint>(
-          "ep" + std::to_string(r), r, &fabric));
+          "ep" + std::to_string(r), r, &fabric, rdma_reliability_));
       std::vector<RankProgram::S> steps;
       steps.reserve(schedule[r].size());
       for (const Step& s : schedule[r]) {
@@ -150,7 +170,8 @@ Result<CollectiveStats> Communicator::RunSchedule(
       engine.AddModule(programs.back().get());
     } else {
       stacks.push_back(std::make_unique<net::TcpStack>(
-          "tcp" + std::to_string(r), r, &fabric, tcp_config_));
+          "tcp" + std::to_string(r), r, &fabric, tcp_config_,
+          tcp_reliability_));
       std::vector<TcpRankProgram::S> steps;
       steps.reserve(schedule[r].size());
       for (const Step& s : schedule[r]) {
@@ -163,7 +184,6 @@ Result<CollectiveStats> Communicator::RunSchedule(
     }
   }
 
-  const uint64_t kMax = 1ull << 34;
   uint64_t cycles = 0;
   auto all_done = [&] {
     for (const auto& p : programs) {
@@ -174,15 +194,42 @@ Result<CollectiveStats> Communicator::RunSchedule(
     }
     return true;
   };
-  while (!all_done() && cycles < kMax) {
+  // A transport that exhausted its retry cap can never finish its
+  // schedule; stop stepping as soon as one gives up.
+  auto transport_failure = [&]() -> Status {
+    for (const auto& ep : eps) {
+      if (ep->failed()) return ep->status();
+    }
+    for (const auto& st : stacks) {
+      if (st->failed()) return st->status();
+    }
+    return Status::OK();
+  };
+  Status failure;
+  while (!all_done() && cycles < max_cycles_) {
     engine.Step();
     ++cycles;
+    failure = transport_failure();
+    if (!failure.ok()) break;
   }
+  // Record per-rank completion for graceful degradation before failing.
+  last_outcome_.rank_done.assign(world_size_, false);
+  last_outcome_.ranks_completed = 0;
+  for (uint32_t r = 0; r < world_size_; ++r) {
+    const bool done = transport_ == Transport::kRdma
+                          ? programs[r]->Done()
+                          : tcp_programs[r]->Done();
+    last_outcome_.rank_done[r] = done;
+    if (done) ++last_outcome_.ranks_completed;
+  }
+  if (!failure.ok()) return failure;
   if (!all_done()) return Status::Timeout("collective did not complete");
   // Drain in-flight completions so the fabric's byte counter is final.
-  while (!engine.QuiescedNow() && cycles < kMax) {
+  while (!engine.QuiescedNow() && cycles < max_cycles_) {
     engine.Step();
     ++cycles;
+    failure = transport_failure();
+    if (!failure.ok()) return failure;
   }
 
   CollectiveStats stats;

@@ -6,6 +6,7 @@
 
 #include "src/common/result.h"
 #include "src/net/fabric.h"
+#include "src/net/rdma.h"
 #include "src/net/tcp.h"
 
 namespace fpgadp::accl {
@@ -31,6 +32,18 @@ struct CollectiveStats {
   double seconds = 0;
   uint64_t wire_bytes = 0;   ///< Payload bytes that crossed the fabric.
   double bus_bw = 0;         ///< bytes / seconds of the caller's buffer.
+  uint32_t attempts = 1;     ///< Schedule executions (>1 after fault retries).
+};
+
+/// Graceful-degradation report for the most recent collective: which ranks
+/// finished their schedules on the final attempt, even when the operation
+/// as a whole failed. Lets callers salvage partial results (e.g. a gather
+/// root that received most contributions) instead of all-or-nothing.
+struct PartialOutcome {
+  uint32_t attempts = 0;         ///< Schedule executions performed.
+  uint32_t ranks_completed = 0;  ///< Ranks that ran to completion last try.
+  std::vector<bool> rank_done;   ///< Per-rank completion, last attempt.
+  Status status;                 ///< Final status (OK on success).
 };
 
 /// An ACCL-style collectives library for a cluster of FPGAs on a 100 Gbps
@@ -54,6 +67,38 @@ class Communicator {
   void set_tcp_config(const net::TcpStack::Config& config) {
     tcp_config_ = config;
   }
+
+  /// Attaches a fault injector to every fabric the communicator builds.
+  /// The injector's seeded stream persists across collectives and retry
+  /// attempts, so a retried schedule sees fresh (but still deterministic)
+  /// fault draws. Endpoints detect the lossy fabric and switch on their
+  /// reliability protocols automatically.
+  void set_fault_injector(net::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
+  /// Per-endpoint retransmission knobs used on a lossy fabric.
+  void set_rdma_reliability(const net::RdmaEndpoint::Reliability& r) {
+    rdma_reliability_ = r;
+  }
+  void set_tcp_reliability(const net::TcpStack::Reliability& r) {
+    tcp_reliability_ = r;
+  }
+
+  /// Caps one schedule execution; exceeding it yields Status::Timeout
+  /// (see RunSchedule). Tests shrink this to exercise the timeout path.
+  void set_max_cycles(uint64_t max_cycles) { max_cycles_ = max_cycles; }
+
+  /// Whole-schedule retry bound: a collective that fails (timeout or a
+  /// transport giving up) is re-executed from scratch up to this many
+  /// times before the error is surfaced. Default 1 = no retry.
+  void set_max_attempts(uint32_t max_attempts) {
+    max_attempts_ = max_attempts == 0 ? 1 : max_attempts;
+  }
+
+  /// Degradation report for the most recent collective (valid after any
+  /// Broadcast/Reduce/... call, success or failure).
+  const PartialOutcome& last_outcome() const { return last_outcome_; }
 
   /// buffers[rank] is rank's local buffer; all must equal buffers[root] in
   /// size. After the call every rank holds root's data.
@@ -116,8 +161,14 @@ class Communicator {
     uint64_t tag = 0;
   };
 
-  /// Simulates the per-rank schedules to completion.
+  /// Simulates the per-rank schedules to completion, retrying failed
+  /// attempts up to max_attempts_ and recording last_outcome_.
   Result<CollectiveStats> RunSchedule(
+      const std::vector<std::vector<Step>>& schedule, uint64_t payload_bytes);
+
+  /// One schedule execution on a fresh fabric; fills last_outcome_'s
+  /// per-rank completion state.
+  Result<CollectiveStats> RunScheduleOnce(
       const std::vector<std::vector<Step>>& schedule, uint64_t payload_bytes);
 
   /// Builds the binomial-tree schedule rooted at `root`; `down` = true for
@@ -130,6 +181,12 @@ class Communicator {
   double clock_hz_;
   Transport transport_;
   net::TcpStack::Config tcp_config_;
+  net::FaultInjector* fault_injector_ = nullptr;
+  net::RdmaEndpoint::Reliability rdma_reliability_;
+  net::TcpStack::Reliability tcp_reliability_;
+  uint64_t max_cycles_ = 1ull << 34;
+  uint32_t max_attempts_ = 1;
+  PartialOutcome last_outcome_;
 };
 
 }  // namespace fpgadp::accl

@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal = 8,
   kIoError = 9,
   kTimeout = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -77,6 +78,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status carries no error.

@@ -27,7 +27,7 @@ constexpr double kCpuPerTupleNs = 1.0;
 MemoryNode::MemoryNode(std::string name, uint32_t node_id, net::Fabric* fabric,
                        const FarviewConfig& config)
     : sim::Module(std::move(name)), config_(config),
-      endpoint_(this->name() + ".ep", node_id, fabric),
+      endpoint_(this->name() + ".ep", node_id, fabric, config.reliability),
       dram_(this->name() + ".dram", config.ddr_channels, DdrConfig(config)) {}
 
 uint64_t MemoryNode::StoreTable(rel::Table table, uint64_t stored_bytes,
@@ -177,12 +177,13 @@ void MemoryNode::Tick(sim::Cycle) {
 
 namespace {
 std::vector<std::unique_ptr<net::RdmaEndpoint>> MakeClients(
-    uint32_t num_clients, net::Fabric* fabric) {
+    uint32_t num_clients, net::Fabric* fabric,
+    const net::RdmaEndpoint::Reliability& reliability) {
   FPGADP_CHECK(num_clients >= 1);
   std::vector<std::unique_ptr<net::RdmaEndpoint>> clients;
   for (uint32_t c = 0; c < num_clients; ++c) {
     clients.push_back(std::make_unique<net::RdmaEndpoint>(
-        "client" + std::to_string(c) + ".ep", c, fabric));
+        "client" + std::to_string(c) + ".ep", c, fabric, reliability));
   }
   return clients;
 }
@@ -196,12 +197,21 @@ FarviewSystem::FarviewSystem(const FarviewConfig& config, uint32_t num_clients)
                 f.clock_hz = config.clock_hz;
                 return f;
               }()),
-      clients_(MakeClients(num_clients, &fabric_)), client_(*clients_[0]) {
+      clients_(MakeClients(num_clients, &fabric_, config.reliability)),
+      client_(*clients_[0]) {
   node_ = std::make_unique<MemoryNode>("memnode", num_clients, &fabric_,
                                        config_);
   fabric_.RegisterWith(engine_);
   for (auto& c : clients_) engine_.AddModule(c.get());
   node_->RegisterWith(engine_);
+}
+
+Status FarviewSystem::TransportFailure() const {
+  for (const auto& c : clients_) {
+    if (c->failed()) return c->status();
+  }
+  if (node_->endpoint().failed()) return node_->endpoint().status();
+  return Status::OK();
 }
 
 Result<std::vector<QueryStats>> FarviewSystem::RunOffloadedConcurrently(
@@ -240,6 +250,7 @@ Result<std::vector<QueryStats>> FarviewSystem::RunOffloadedConcurrently(
   net::Packet resp;
   for (uint64_t i = 0; i < kMaxCycles && remaining > 0; ++i) {
     engine_.Step();
+    if (Status failure = TransportFailure(); !failure.ok()) return failure;
     for (auto& f : flight) {
       if (f.done) continue;
       while (clients_[f.client]->PollRecv(&resp)) {
@@ -317,6 +328,7 @@ Result<QueryStats> FarviewSystem::RunOffloaded(uint64_t table_id,
   const uint64_t kMaxCycles = 1ull << 28;
   for (uint64_t i = 0; i < kMaxCycles && !got; ++i) {
     engine_.Step();
+    if (Status failure = TransportFailure(); !failure.ok()) return failure;
     while (client_.PollRecv(&resp)) {
       if (resp.kind != net::OpKind::kOffloadResp || resp.tag != tag) continue;
       payload += resp.bytes;
@@ -367,8 +379,10 @@ Result<QueryStats> FarviewSystem::RunFetchAll(uint64_t table_id,
   for (uint64_t i = 0; i < kMaxCycles && completed < issued_tags; ++i) {
     engine_.Step();
     while (client_.PollCompletion(&c)) {
+      if (c.status != StatusCode::kOk) return client_.status();
       if (c.kind == net::OpKind::kReadResp) ++completed;
     }
+    if (Status failure = TransportFailure(); !failure.ok()) return failure;
   }
   if (completed < issued_tags) {
     return Status::Timeout("fetch-all transfer did not complete");

@@ -37,6 +37,9 @@ struct FarviewConfig {
                                      ///< 40 B = a 512-bit-bus-class datapath,
                                      ///< so DRAM stays the bottleneck).
   device::CpuModel cpu;              ///< Compute-node CPU for the baseline.
+  /// Endpoint retransmission knobs, active only when a FaultInjector is
+  /// attached to the system's fabric (see FarviewSystem::set_fault_injector).
+  net::RdmaEndpoint::Reliability reliability;
 };
 
 /// Result of one query execution, offloaded or baseline.
@@ -190,6 +193,18 @@ class FarviewSystem {
 
   sim::Engine& engine() { return engine_; }
   MemoryNode& memory_node() { return *node_; }
+
+  /// Makes the deployment's fabric lossy. Must be called before queries
+  /// run; every RdmaEndpoint (clients and the memory node's) switches on
+  /// its reliable-connection protocol, so queries survive drops/corruption
+  /// up to the retry cap, after which Run* surfaces Status::Unavailable.
+  void set_fault_injector(net::FaultInjector* injector) {
+    fabric_.set_fault_injector(injector);
+  }
+
+ private:
+  /// First transport failure across all endpoints, or OK.
+  Status TransportFailure() const;
 
  private:
   FarviewConfig config_;

@@ -42,6 +42,13 @@ void SmartNicKvs::Tick(sim::Cycle) {
   while (ig.CanRead() && in_flight_.size() < config_.max_outstanding &&
          dram_req_.CanWrite()) {
     net::Packet req = ig.Read();
+    if (req.corrupt) {
+      // Failed CRC: the request's key/value cannot be trusted. Drop it;
+      // the client's retry timer re-issues the (idempotent) op.
+      ++corrupt_discarded_;
+      progressed = true;
+      continue;
+    }
     const uint64_t tag = next_dram_tag_++;
     const uint64_t bucket_addr = rel::Hash64(req.addr) % (1ull << 30);
     const bool is_put = req.user == uint64_t(KvOp::kPutReq);
@@ -85,11 +92,18 @@ void SmartNicKvs::Tick(sim::Cycle) {
 }
 
 KvClient::KvClient(std::string name, uint32_t node_id, uint32_t server,
-                   net::Fabric* fabric)
+                   net::Fabric* fabric, const Retry& retry)
     : sim::Module(std::move(name)), node_id_(node_id), server_(server),
-      fabric_(fabric) {
+      fabric_(fabric), retry_(retry) {
   FPGADP_CHECK(fabric_ != nullptr);
+  FPGADP_CHECK(retry_.backoff >= 1.0);
 }
+
+KvClient::KvClient(std::string name, uint32_t node_id, uint32_t server,
+                   net::Fabric* fabric)
+    : KvClient(std::move(name), node_id, server, fabric, Retry()) {}
+
+bool KvClient::reliable() const { return fabric_->lossy(); }
 
 void KvClient::Get(uint64_t key, uint64_t tag) {
   net::Packet p;
@@ -121,19 +135,70 @@ bool KvClient::PollResponse(net::Packet* out) {
   return true;
 }
 
-void KvClient::Tick(sim::Cycle) {
+void KvClient::Tick(sim::Cycle cycle) {
   bool progressed = false;
+  const bool rel = reliable();
   auto& eg = fabric_->egress(node_id_);
   while (!queue_.empty() && eg.CanWrite()) {
-    eg.Write(queue_.front());
+    const net::Packet& p = queue_.front();
+    if (rel && outstanding_.find(p.tag) == outstanding_.end()) {
+      // First transmission: arm the at-least-once retry timer.
+      const uint64_t rto =
+          retry_.rto_cycles + 2 * fabric_->SerializationCycles(p.bytes);
+      outstanding_[p.tag] = {p, cycle + rto, rto, 0};
+    }
+    eg.Write(p);
     queue_.pop_front();
     progressed = true;
   }
   auto& ig = fabric_->ingress(node_id_);
   while (ig.CanRead()) {
-    responses_q_.push_back(ig.Read());
-    ++responses_;
+    net::Packet p = ig.Read();
     progressed = true;
+    if (rel) {
+      if (p.corrupt) {
+        ++corrupt_discarded_;  // the retry timer covers the lost response
+        continue;
+      }
+      auto it = outstanding_.find(p.tag);
+      if (it == outstanding_.end()) {
+        ++duplicates_discarded_;  // a late response for a retried request
+        continue;
+      }
+      outstanding_.erase(it);
+      // Progress restarts the timers of requests still queued behind the
+      // server's pipeline, preventing spurious retries under deep load.
+      for (auto& [tag, o] : outstanding_) o.next_retry = cycle + o.rto;
+    }
+    responses_q_.push_back(p);
+    ++responses_;
+  }
+  if (rel) {
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+      Outstanding& o = it->second;
+      if (cycle < o.next_retry) {
+        ++it;
+        continue;
+      }
+      if (o.retries_done >= retry_.max_retries) {
+        if (status_.ok()) {
+          status_ = Status::Unavailable(
+              name() + ": request tag " + std::to_string(it->first) +
+              " gave up after " + std::to_string(retry_.max_retries) +
+              " retries");
+        }
+        it = outstanding_.erase(it);
+        progressed = true;
+        continue;
+      }
+      ++o.retries_done;
+      ++retries_;
+      o.rto = static_cast<uint64_t>(double(o.rto) * retry_.backoff);
+      o.next_retry = cycle + o.rto;
+      queue_.push_back(o.request);
+      progressed = true;
+      ++it;
+    }
   }
   if (progressed) MarkBusy();
 }

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <unordered_map>
 
 #include "src/common/result.h"
+#include "src/common/status.h"
 #include "src/memory/channel.h"
 #include "src/net/fabric.h"
 #include "src/sim/module.h"
@@ -53,6 +55,9 @@ class SmartNicKvs : public sim::Module {
   uint64_t puts() const { return puts_; }
   uint64_t hits() const { return hits_; }
   size_t size() const { return store_.size(); }
+  /// Requests dropped because their payload failed its CRC (lossy fabric
+  /// only); the client's retry timer re-issues them.
+  uint64_t corrupt_discarded() const { return corrupt_discarded_; }
 
  private:
   struct Pending {
@@ -69,13 +74,32 @@ class SmartNicKvs : public sim::Module {
   std::unordered_map<uint64_t, Pending> in_flight_;  // by dram tag
   uint64_t next_dram_tag_ = 0;
   uint64_t gets_ = 0, puts_ = 0, hits_ = 0;
+  uint64_t corrupt_discarded_ = 0;
 };
 
 /// A client issuing GET/PUT requests over the fabric and collecting
 /// responses. Keeps a configurable number of requests outstanding so the
 /// NIC pipeline stays full (the closed-loop load generator KV-Direct uses).
+///
+/// On a lossy fabric (Fabric::lossy()) the client adds at-least-once
+/// request/response retry, which is all an idempotent KV protocol needs:
+/// each request is tracked by its tag and re-issued on a timeout with
+/// exponential backoff; responses for unknown tags (late duplicates) and
+/// corrupted packets are discarded. A request exceeding the retry cap
+/// latches failed() and surfaces Status::Unavailable. Tags must be unique
+/// among in-flight requests for the dedup to work.
 class KvClient : public sim::Module {
  public:
+  /// Retry knobs for the lossy-fabric at-least-once protocol.
+  struct Retry {
+    uint64_t rto_cycles = 2000;
+    double backoff = 2.0;
+    uint32_t max_retries = 8;
+  };
+
+  KvClient(std::string name, uint32_t node_id, uint32_t server,
+           net::Fabric* fabric, const Retry& retry);
+  /// Convenience overload with default retry knobs.
   KvClient(std::string name, uint32_t node_id, uint32_t server,
            net::Fabric* fabric);
 
@@ -88,17 +112,44 @@ class KvClient : public sim::Module {
   bool PollResponse(net::Packet* out);
 
   void Tick(sim::Cycle cycle) override;
-  bool Idle() const override { return queue_.empty(); }
+  bool Idle() const override {
+    return queue_.empty() && outstanding_.empty();
+  }
 
   uint64_t responses_received() const { return responses_; }
 
+  /// True once any request exhausted its retry cap (lossy fabric only).
+  bool failed() const { return !status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Lossy-mode protocol counters (all zero on a loss-free fabric).
+  uint64_t retries() const { return retries_; }
+  uint64_t duplicates_discarded() const { return duplicates_discarded_; }
+  uint64_t corrupt_discarded() const { return corrupt_discarded_; }
+
  private:
+  /// A request awaiting its response (lossy mode only).
+  struct Outstanding {
+    net::Packet request;
+    sim::Cycle next_retry = 0;
+    uint64_t rto = 0;
+    uint32_t retries_done = 0;
+  };
+
+  bool reliable() const;
+
   uint32_t node_id_;
   uint32_t server_;
   net::Fabric* fabric_;
+  Retry retry_;
   std::deque<net::Packet> queue_;
   std::deque<net::Packet> responses_q_;
+  std::map<uint64_t, Outstanding> outstanding_;  ///< Keyed by request tag.
+  Status status_;
   uint64_t responses_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t duplicates_discarded_ = 0;
+  uint64_t corrupt_discarded_ = 0;
 };
 
 /// Deterministic software-KVS baseline: a kernel-bypass server still pays

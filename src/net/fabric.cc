@@ -9,6 +9,91 @@
 
 namespace fpgadp::net {
 
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kLinkFlap: return "link_flap";
+  }
+  return "unknown";
+}
+
+bool FaultInjector::LinkDown(sim::Cycle cycle, uint32_t src,
+                             uint32_t dst) const {
+  for (const Flap& f : flaps_) {
+    if (cycle >= f.until) continue;
+    if ((f.src == kAnyNode || f.src == src) &&
+        (f.dst == kAnyNode || f.dst == dst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::Decision FaultInjector::OnPacket(sim::Cycle cycle,
+                                                const Packet& packet) {
+  Decision d;
+  // Scheduled faults first: the earliest unfired matching entry fires.
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    const Entry& e = schedule_[i];
+    if (fired_[i] || cycle < e.cycle) continue;
+    if ((e.src != kAnyNode && e.src != packet.src) ||
+        (e.dst != kAnyNode && e.dst != packet.dst)) {
+      continue;
+    }
+    fired_[i] = true;
+    Count(e.kind);
+    switch (e.kind) {
+      case FaultKind::kDrop: d.drop = true; break;
+      case FaultKind::kCorrupt: d.corrupt = true; break;
+      case FaultKind::kDuplicate: d.duplicate = true; break;
+      case FaultKind::kDelay:
+        d.extra_delay_cycles += config_.delay_spike_cycles;
+        break;
+      case FaultKind::kLinkFlap:
+        flaps_.push_back({e.src, e.dst, cycle + config_.flap_down_cycles});
+        d.drop = true;  // the triggering packet is the first casualty
+        break;
+    }
+  }
+  // A down link loses everything offered to it.
+  if (!d.drop && LinkDown(cycle, packet.src, packet.dst)) {
+    Count(FaultKind::kLinkFlap);
+    d.drop = true;
+  }
+  // Probabilistic faults, drawn in a fixed order from the seeded stream so
+  // the same seed and offered traffic reproduce the same pattern.
+  if (!d.drop && config_.drop_rate > 0 &&
+      rng_.NextDouble() < config_.drop_rate) {
+    Count(FaultKind::kDrop);
+    d.drop = true;
+  }
+  if (!d.drop) {
+    if (config_.corrupt_rate > 0 && rng_.NextDouble() < config_.corrupt_rate) {
+      Count(FaultKind::kCorrupt);
+      d.corrupt = true;
+    }
+    if (config_.duplicate_rate > 0 &&
+        rng_.NextDouble() < config_.duplicate_rate) {
+      Count(FaultKind::kDuplicate);
+      d.duplicate = true;
+    }
+    if (config_.delay_rate > 0 && rng_.NextDouble() < config_.delay_rate) {
+      Count(FaultKind::kDelay);
+      d.extra_delay_cycles += config_.delay_spike_cycles;
+    }
+  }
+  return d;
+}
+
+uint64_t FaultInjector::total_faults() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts_) total += c;
+  return total;
+}
+
 Fabric::Fabric(std::string name, uint32_t num_nodes, const Config& config)
     : sim::Module(std::move(name)), config_(config) {
   FPGADP_CHECK(num_nodes > 0);
@@ -53,20 +138,64 @@ void Fabric::Tick(sim::Cycle cycle) {
     while (egress_[n]->CanRead()) {
       Packet p = egress_[n]->Read();
       FPGADP_CHECK(p.dst < ingress_.size());
+      // Link-level control packets (which only exist on a lossy fabric)
+      // ride a prioritized control lane, as RC hardware acks do: they skip
+      // the port's data backlog instead of queueing behind megabytes of
+      // payload, so they cannot starve the very timers they feed.
+      const bool control =
+          p.kind == OpKind::kRdmaAck || p.kind == OpKind::kRdmaNack;
       const uint64_t ser = SerializationCycles(p.bytes);
-      const sim::Cycle tx_start = std::max<sim::Cycle>(cycle + 1, tx_free_[n]);
-      const sim::Cycle tx_end = tx_start + ser;
-      tx_free_[n] = tx_end;
+      const sim::Cycle tx_start =
+          control ? cycle + 1 : std::max<sim::Cycle>(cycle + 1, tx_free_[n]);
+      if (!control) tx_free_[n] = tx_start + ser;
+      // Fault injection point: the packet has left the sender NIC (tx
+      // serialization is already paid) and is inside the switch.
+      uint64_t extra_delay = 0;
+      bool duplicate = false;
+      if (injector_ != nullptr) {
+        const FaultInjector::Decision d = injector_->OnPacket(cycle, p);
+        if (d.drop) {
+          TraceFault(cycle, FaultKind::kDrop, p);
+          ++packets_dropped_;
+          progressed = true;
+          continue;
+        }
+        if (d.corrupt) {
+          p.corrupt = true;
+          TraceFault(cycle, FaultKind::kCorrupt, p);
+        }
+        if (d.duplicate) {
+          duplicate = true;
+          TraceFault(cycle, FaultKind::kDuplicate, p);
+        }
+        if (d.extra_delay_cycles > 0) {
+          extra_delay = d.extra_delay_cycles;
+          TraceFault(cycle, FaultKind::kDelay, p);
+        }
+      }
       // Cut-through switching: the receive port streams the packet while
       // the sender is still serializing it, so an uncontended transfer
       // costs ser + wire, not 2x ser. The rx port is still a serialized
       // resource (incast queues here).
-      const sim::Cycle rx_start = std::max<sim::Cycle>(
-          tx_start + wire_latency_cycles_, rx_free_[p.dst]);
+      const sim::Cycle rx_start =
+          control ? tx_start + wire_latency_cycles_
+                  : std::max<sim::Cycle>(tx_start + wire_latency_cycles_,
+                                         rx_free_[p.dst]);
       const sim::Cycle rx_end = rx_start + ser;
-      rx_free_[p.dst] = rx_end;
-      arriving_[p.dst].push({rx_end, p});
+      if (!control) rx_free_[p.dst] = rx_end;
+      // A delay spike holds the packet in switch buffering after the port:
+      // it does not occupy the receive port meanwhile, so later packets
+      // overtake it — delay faults genuinely reorder delivery.
+      arriving_[p.dst].push({rx_end + extra_delay, p});
       ++in_flight_;
+      if (duplicate) {
+        // The switch emits a second copy right behind the first; it pays
+        // its own receive-port serialization.
+        const sim::Cycle rx2_end = rx_free_[p.dst] + ser;
+        rx_free_[p.dst] = rx2_end;
+        arriving_[p.dst].push({rx2_end + extra_delay, p});
+        ++in_flight_;
+      }
       progressed = true;
     }
   }
@@ -110,12 +239,30 @@ void Fabric::SampleTraceCounters(obs::TraceCounterSink& sink) {
   }
 }
 
+void Fabric::TraceFault(sim::Cycle cycle, FaultKind kind, const Packet& packet) {
+  if (trace_writer() == nullptr) return;
+  trace_writer()->Instant(trace_pid(), trace_tid(),
+                          std::string("fault.") + FaultKindName(kind) + " " +
+                              std::to_string(packet.src) + "->" +
+                              std::to_string(packet.dst),
+                          cycle);
+}
+
 void Fabric::ExportCustomMetrics(obs::MetricsRegistry& registry) const {
   const std::string base = "net." + name();
   registry.GetGauge(base + ".packets_delivered")
       ->Set(static_cast<double>(packets_delivered_));
   registry.GetGauge(base + ".payload_bytes")
       ->Set(static_cast<double>(payload_bytes_delivered_));
+  if (injector_ != nullptr) {
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+      const auto kind = static_cast<FaultKind>(k);
+      registry.GetGauge(base + ".faults." + FaultKindName(kind))
+          ->Set(static_cast<double>(injector_->fault_count(kind)));
+    }
+    registry.GetGauge(base + ".packets_dropped")
+        ->Set(static_cast<double>(packets_dropped_));
+  }
   for (uint32_t n = 0; n < tx_busy_cycles_.size(); ++n) {
     const std::string port = base + ".port" + std::to_string(n);
     registry.GetGauge(port + ".tx_busy_cycles")

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/sim/engine.h"
 #include "src/sim/module.h"
 #include "src/sim/stream.h"
@@ -26,6 +27,8 @@ enum class OpKind : uint8_t {
   kTcpSynAck = 8,   ///< TCP session layer: connection accept.
   kTcpData = 9,     ///< TCP session layer: data segment.
   kTcpAck = 10,     ///< TCP session layer: cumulative ACK (header-only).
+  kRdmaAck = 11,    ///< Link-level ACK for a sequenced packet (lossy mode).
+  kRdmaNack = 12,   ///< Link-level NACK: payload CRC failed, resend now.
 };
 
 /// A message on the fabric. `bytes` is payload size; the fabric adds the
@@ -41,6 +44,109 @@ struct Packet {
   uint64_t bytes = 0;  ///< Payload bytes.
   uint64_t user = 0;   ///< Opaque field for upper layers (e.g. descriptor id).
   uint64_t user2 = 0;  ///< Second opaque field (e.g. a KV value).
+  uint64_t seq = 0;    ///< Link-level sequence number (0 = unsequenced). For
+                       ///< kRdmaAck/kRdmaNack/kTcpAck it names the acked seq /
+                       ///< cumulative byte offset instead.
+  bool corrupt = false;  ///< Payload failed its CRC (set by the FaultInjector);
+                         ///< receivers must discard or NACK, never consume.
+};
+
+/// The kinds of link fault the injector can produce.
+enum class FaultKind : uint8_t {
+  kDrop = 0,       ///< Packet vanishes in the switch after tx serialization.
+  kCorrupt = 1,    ///< Packet arrives with `corrupt` set (payload CRC fail).
+  kDuplicate = 2,  ///< Switch emits the packet twice.
+  kDelay = 3,      ///< Delivery pays an extra latency spike.
+  kLinkFlap = 4,   ///< The (src,dst) link goes down for a window of cycles.
+};
+inline constexpr int kNumFaultKinds = 5;
+
+/// Returns a stable lowercase name for `kind` ("drop", "corrupt", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// A seeded, deterministic per-link fault model the Fabric consults once per
+/// packet pickup. Two sources of faults compose:
+///
+///  * probabilistic: per-packet Bernoulli draws for drop / corrupt /
+///    duplicate / delay-spike, from one seeded xoshiro stream — the same
+///    seed and offered traffic always yield the same fault pattern, so every
+///    recovery path is exactly reproducible;
+///  * scheduled: explicit `(cycle, src, dst, kind)` entries, each firing on
+///    the first matching packet at or after `cycle` (one-shot), which lets
+///    tests script "drop exactly the 3rd segment" scenarios.
+///
+/// A kLinkFlap fault takes the (src,dst) link down for `flap_down_cycles`;
+/// every packet offered to a down link is dropped. Attach to a Fabric with
+/// Fabric::set_fault_injector(); endpoints detect the attachment
+/// (Fabric::lossy()) and switch on their reliability protocols.
+class FaultInjector {
+ public:
+  static constexpr uint32_t kAnyNode = 0xffffffffu;
+
+  struct Config {
+    uint64_t seed = 1;
+    double drop_rate = 0;       ///< P(drop) per packet.
+    double corrupt_rate = 0;    ///< P(payload corruption) per packet.
+    double duplicate_rate = 0;  ///< P(switch duplicates) per packet.
+    double delay_rate = 0;      ///< P(delay spike) per packet.
+    uint64_t delay_spike_cycles = 2000;  ///< Extra latency of one spike.
+    uint64_t flap_down_cycles = 4000;    ///< Outage length of one link flap.
+  };
+
+  /// One scheduled fault: fires on the first packet matching (src, dst) —
+  /// kAnyNode matches everything — picked up at or after `cycle`.
+  struct Entry {
+    sim::Cycle cycle = 0;
+    uint32_t src = kAnyNode;
+    uint32_t dst = kAnyNode;
+    FaultKind kind = FaultKind::kDrop;
+  };
+
+  /// What the fabric should do with one packet.
+  struct Decision {
+    bool drop = false;
+    bool corrupt = false;
+    bool duplicate = false;
+    uint64_t extra_delay_cycles = 0;
+  };
+
+  explicit FaultInjector(const Config& config) : config_(config),
+                                                 rng_(config.seed) {}
+
+  /// Queues a scheduled fault.
+  void Schedule(const Entry& entry) {
+    schedule_.push_back(entry);
+    fired_.push_back(false);
+  }
+
+  /// Consulted by the Fabric once per packet pickup; draws faults and
+  /// advances the deterministic stream. Not idempotent — only the fabric
+  /// should call this.
+  Decision OnPacket(sim::Cycle cycle, const Packet& packet);
+
+  /// True while the (src,dst) link is inside a flap outage.
+  bool LinkDown(sim::Cycle cycle, uint32_t src, uint32_t dst) const;
+
+  uint64_t fault_count(FaultKind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+  uint64_t total_faults() const;
+  const Config& config() const { return config_; }
+
+ private:
+  struct Flap {
+    uint32_t src, dst;
+    sim::Cycle until;
+  };
+
+  void Count(FaultKind kind) { ++counts_[static_cast<size_t>(kind)]; }
+
+  Config config_;
+  Rng rng_;
+  std::vector<Entry> schedule_;
+  std::vector<bool> fired_;  // parallel to schedule_
+  std::vector<Flap> flaps_;
+  uint64_t counts_[kNumFaultKinds] = {};
 };
 
 /// A single-switch 100 Gbps fabric connecting `num_nodes` endpoints — the
@@ -48,6 +154,12 @@ struct Packet {
 /// sender NIC serialization, propagation + switching latency, and receiver
 /// NIC serialization; each NIC port is a serialized resource, so incasts
 /// queue at the receiver exactly as they would on real hardware.
+///
+/// By default the fabric is loss-free and order-preserving per (src,dst)
+/// pair. Attaching a FaultInjector makes it lossy: packets may be dropped,
+/// corrupted, duplicated, delayed, or lost to link flaps, each fault counted
+/// in the metrics registry and emitted as a trace instant. Endpoints check
+/// lossy() and enable their reliability protocols (see rdma.h / tcp.h).
 class Fabric : public sim::Module {
  public:
   struct Config {
@@ -67,6 +179,17 @@ class Fabric : public sim::Module {
   /// Registers the fabric module and all port streams with `engine`.
   void RegisterWith(sim::Engine& engine);
 
+  /// Attaches (or detaches, with nullptr) a fault injector. Must be done
+  /// before traffic is offered: endpoints key their reliability protocols
+  /// off lossy(), and switching mid-flight would strand unsequenced
+  /// packets. When no injector is attached the fabric is loss-free and
+  /// byte-identical to the pre-fault-model behaviour.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+  /// True iff a fault injector is attached, i.e. packets may be dropped,
+  /// corrupted, duplicated, delayed, or lost to link flaps.
+  bool lossy() const { return injector_ != nullptr; }
+
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override { return in_flight_ == 0; }
 
@@ -76,6 +199,8 @@ class Fabric : public sim::Module {
   uint32_t num_nodes() const { return static_cast<uint32_t>(egress_.size()); }
   uint64_t packets_delivered() const { return packets_delivered_; }
   uint64_t payload_bytes_delivered() const { return payload_bytes_delivered_; }
+  /// Packets the injector removed from the wire (drops + flap casualties).
+  uint64_t packets_dropped() const { return packets_dropped_; }
 
   /// Cycles port `node` spent serializing onto / off the wire — the
   /// per-port share of line-rate occupancy.
@@ -86,6 +211,10 @@ class Fabric : public sim::Module {
 
   const Config& config() const { return config_; }
 
+  /// Cycles one packet of `payload_bytes` occupies a port (payload + header
+  /// at line rate). Public so endpoints can size retransmission timeouts.
+  uint64_t SerializationCycles(uint64_t payload_bytes) const;
+
  private:
   struct InFlight {
     sim::Cycle deliver_at;
@@ -93,9 +222,11 @@ class Fabric : public sim::Module {
     bool operator>(const InFlight& o) const { return deliver_at > o.deliver_at; }
   };
 
-  uint64_t SerializationCycles(uint64_t payload_bytes) const;
+  /// Emits a fault marker on this module's trace track, if tracing.
+  void TraceFault(sim::Cycle cycle, FaultKind kind, const Packet& packet);
 
   Config config_;
+  FaultInjector* injector_ = nullptr;
   double bytes_per_cycle_;
   uint64_t wire_latency_cycles_;
   std::vector<std::unique_ptr<sim::Stream<Packet>>> egress_;
@@ -113,6 +244,7 @@ class Fabric : public sim::Module {
   uint64_t in_flight_ = 0;
   uint64_t packets_delivered_ = 0;
   uint64_t payload_bytes_delivered_ = 0;
+  uint64_t packets_dropped_ = 0;
 };
 
 }  // namespace fpgadp::net

@@ -1,14 +1,31 @@
 #include "src/net/rdma.h"
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
 
 namespace fpgadp::net {
 
-RdmaEndpoint::RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric)
-    : sim::Module(std::move(name)), node_id_(node_id), fabric_(fabric) {
+namespace {
+
+/// Link-level control packets are never sequenced (acking an ack would
+/// recurse forever); everything else carries a per-destination seq.
+bool IsSequenced(OpKind kind) {
+  return kind != OpKind::kRdmaAck && kind != OpKind::kRdmaNack;
+}
+
+}  // namespace
+
+RdmaEndpoint::RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric,
+                           const Reliability& reliability)
+    : sim::Module(std::move(name)), node_id_(node_id), fabric_(fabric),
+      reliability_(reliability) {
   FPGADP_CHECK(fabric_ != nullptr);
   FPGADP_CHECK(node_id_ < fabric_->num_nodes());
+  FPGADP_CHECK(reliability_.backoff >= 1.0);
 }
+
+RdmaEndpoint::RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric)
+    : RdmaEndpoint(std::move(name), node_id, fabric, Reliability()) {}
 
 void RdmaEndpoint::PostSend(uint32_t dst, uint64_t bytes, uint64_t tag,
                             uint64_t user) {
@@ -66,15 +83,185 @@ bool RdmaEndpoint::PollRecv(Packet* out) {
   return true;
 }
 
+uint64_t RdmaEndpoint::InitialRto(const Packet& p) const {
+  // Base timeout plus the round trip's share of payload serialization, so
+  // a 1 MiB write is not declared lost while it is still on the wire.
+  return reliability_.rto_cycles + 2 * fabric_->SerializationCycles(p.bytes);
+}
+
+void RdmaEndpoint::FailOp(sim::Cycle cycle, const Packet& p) {
+  if (status_.ok()) {
+    status_ = Status::Unavailable(
+        name() + ": gave up on " + std::to_string(p.dst) + " seq " +
+        std::to_string(p.seq) + " after " +
+        std::to_string(reliability_.max_retries) + " retries");
+  }
+  cq_.push_back(
+      {p.tag, p.kind, p.dst, p.bytes, cycle, StatusCode::kUnavailable});
+}
+
+void RdmaEndpoint::CheckRetransmits(sim::Cycle cycle) {
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    Unacked& u = it->second;
+    if (cycle < u.next_retry) {
+      ++it;
+      continue;
+    }
+    if (u.retries >= reliability_.max_retries) {
+      FailOp(cycle, u.packet);
+      it = unacked_.erase(it);
+      continue;
+    }
+    ++u.retries;
+    ++retransmits_;
+    u.rto = static_cast<uint64_t>(double(u.rto) * reliability_.backoff);
+    u.next_retry = cycle + u.rto;
+    outbox_.push_back(u.packet);
+    ++it;
+  }
+}
+
+void RdmaEndpoint::Dispatch(sim::Cycle cycle, const Packet& p) {
+  switch (p.kind) {
+    case OpKind::kReadReq: {
+      // NIC answers autonomously with the payload.
+      Packet resp;
+      resp.src = node_id_;
+      resp.dst = p.src;
+      resp.kind = OpKind::kReadResp;
+      resp.addr = p.addr;
+      resp.bytes = p.user;  // requested size
+      resp.tag = p.tag;
+      outbox_.push_back(resp);
+      break;
+    }
+    case OpKind::kReadResp:
+      cq_.push_back({p.tag, OpKind::kReadResp, p.src, p.bytes, cycle});
+      break;
+    case OpKind::kWrite: {
+      Packet ack;
+      ack.src = node_id_;
+      ack.dst = p.src;
+      ack.kind = OpKind::kWriteAck;
+      ack.bytes = 0;
+      ack.tag = p.tag;
+      outbox_.push_back(ack);
+      break;
+    }
+    case OpKind::kWriteAck:
+      cq_.push_back({p.tag, OpKind::kWriteAck, p.src, p.bytes, cycle});
+      break;
+    case OpKind::kSend:
+    case OpKind::kOffloadReq:
+    case OpKind::kOffloadResp:
+    case OpKind::kTcpSyn:
+    case OpKind::kTcpSynAck:
+    case OpKind::kTcpData:
+    case OpKind::kTcpAck:
+    case OpKind::kRdmaAck:
+    case OpKind::kRdmaNack:
+      // TCP kinds only appear when a TcpStack owns the port; surfacing
+      // them in the receive queue keeps misconfigurations observable.
+      // (kRdmaAck/kRdmaNack are consumed before Dispatch in lossy mode.)
+      rq_.push_back(p);
+      break;
+  }
+}
+
+void RdmaEndpoint::HandleArrival(sim::Cycle cycle, Packet p) {
+  if (!reliable()) {
+    Dispatch(cycle, p);
+    return;
+  }
+  if (p.kind == OpKind::kRdmaAck) {
+    if (p.corrupt) return;  // a corrupted ack is useless; timers recover
+    auto it = unacked_.find({p.src, p.seq});
+    if (it != unacked_.end()) {
+      const Packet& original = it->second.packet;
+      if (original.kind == OpKind::kSend) {
+        // RC send semantics on a lossy link: the message is known delivered.
+        cq_.push_back(
+            {original.tag, OpKind::kSend, original.dst, original.bytes, cycle});
+      }
+      unacked_.erase(it);
+    }
+    // Progress restarts the peer's timers: acks are flowing, so packets
+    // still waiting are queued (behind our own tx serialization or the
+    // peer's incast), not lost. Prevents spurious retransmits of deeply
+    // pipelined transfers.
+    for (auto& [key, u] : unacked_) {
+      if (key.first == p.src) u.next_retry = cycle + u.rto;
+    }
+    return;
+  }
+  if (p.kind == OpKind::kRdmaNack) {
+    if (p.corrupt) return;
+    auto it = unacked_.find({p.src, p.seq});
+    if (it != unacked_.end()) {
+      Unacked& u = it->second;
+      if (u.retries >= reliability_.max_retries) {
+        FailOp(cycle, u.packet);
+        unacked_.erase(it);
+      } else {
+        // The link works (the NACK made it back): resend immediately
+        // without touching the backoff.
+        ++u.retries;
+        ++retransmits_;
+        u.next_retry = cycle + u.rto;
+        outbox_.push_back(u.packet);
+      }
+    }
+    return;
+  }
+  // Sequenced data packet.
+  if (p.corrupt) {
+    Packet nack;
+    nack.src = node_id_;
+    nack.dst = p.src;
+    nack.kind = OpKind::kRdmaNack;
+    nack.seq = p.seq;
+    outbox_.push_back(nack);
+    ++nacks_sent_;
+    return;
+  }
+  Packet ack;
+  ack.src = node_id_;
+  ack.dst = p.src;
+  ack.kind = OpKind::kRdmaAck;
+  ack.seq = p.seq;
+  outbox_.push_back(ack);
+  ++acks_sent_;
+  RecvWindow& w = recv_window_[p.src];
+  if (p.seq < w.next_expected || w.seen_ahead.count(p.seq) > 0) {
+    ++duplicates_discarded_;  // already consumed; the re-ACK covers a lost ack
+    return;
+  }
+  if (p.seq == w.next_expected) {
+    ++w.next_expected;
+    while (w.seen_ahead.erase(w.next_expected) > 0) ++w.next_expected;
+  } else {
+    w.seen_ahead.insert(p.seq);
+  }
+  Dispatch(cycle, p);
+}
+
 void RdmaEndpoint::Tick(sim::Cycle cycle) {
   bool progressed = false;
   auto& eg = fabric_->egress(node_id_);
+  const bool rel = reliable();
   // Ship posted work requests to the NIC.
   while (!outbox_.empty() && eg.CanWrite()) {
     Packet p = outbox_.front();
     outbox_.pop_front();
+    if (rel && IsSequenced(p.kind) && p.seq == 0) {
+      // First transmission: stamp the per-destination sequence number and
+      // arm the retransmission timer.
+      p.seq = ++next_seq_[p.dst];
+      const uint64_t rto = InitialRto(p);
+      unacked_[{p.dst, p.seq}] = {p, cycle + rto, rto, 0};
+    }
     eg.Write(p);
-    if (p.kind == OpKind::kSend) {
+    if (!rel && p.kind == OpKind::kSend) {
       // Local send completion: the message left the NIC.
       cq_.push_back({p.tag, OpKind::kSend, p.dst, p.bytes, cycle});
     }
@@ -83,51 +270,26 @@ void RdmaEndpoint::Tick(sim::Cycle cycle) {
   // Service arrivals.
   auto& ig = fabric_->ingress(node_id_);
   while (ig.CanRead()) {
-    Packet p = ig.Read();
+    HandleArrival(cycle, ig.Read());
     progressed = true;
-    switch (p.kind) {
-      case OpKind::kReadReq: {
-        // NIC answers autonomously with the payload.
-        Packet resp;
-        resp.src = node_id_;
-        resp.dst = p.src;
-        resp.kind = OpKind::kReadResp;
-        resp.addr = p.addr;
-        resp.bytes = p.user;  // requested size
-        resp.tag = p.tag;
-        outbox_.push_back(resp);
-        break;
-      }
-      case OpKind::kReadResp:
-        cq_.push_back({p.tag, OpKind::kReadResp, p.src, p.bytes, cycle});
-        break;
-      case OpKind::kWrite: {
-        Packet ack;
-        ack.src = node_id_;
-        ack.dst = p.src;
-        ack.kind = OpKind::kWriteAck;
-        ack.bytes = 0;
-        ack.tag = p.tag;
-        outbox_.push_back(ack);
-        break;
-      }
-      case OpKind::kWriteAck:
-        cq_.push_back({p.tag, OpKind::kWriteAck, p.src, p.bytes, cycle});
-        break;
-      case OpKind::kSend:
-      case OpKind::kOffloadReq:
-      case OpKind::kOffloadResp:
-      case OpKind::kTcpSyn:
-      case OpKind::kTcpSynAck:
-      case OpKind::kTcpData:
-      case OpKind::kTcpAck:
-        // TCP kinds only appear when a TcpStack owns the port; surfacing
-        // them in the receive queue keeps misconfigurations observable.
-        rq_.push_back(p);
-        break;
-    }
   }
+  if (rel) CheckRetransmits(cycle);
   if (progressed) MarkBusy();
+}
+
+void RdmaEndpoint::ExportCustomMetrics(obs::MetricsRegistry& registry) const {
+  if (retransmits_ == 0 && acks_sent_ == 0 && nacks_sent_ == 0 &&
+      duplicates_discarded_ == 0) {
+    return;  // loss-free endpoints stay out of the registry
+  }
+  const std::string base = "net." + name();
+  registry.GetGauge(base + ".retransmits")
+      ->Set(static_cast<double>(retransmits_));
+  registry.GetGauge(base + ".acks_sent")->Set(static_cast<double>(acks_sent_));
+  registry.GetGauge(base + ".nacks_sent")
+      ->Set(static_cast<double>(nacks_sent_));
+  registry.GetGauge(base + ".duplicates_discarded")
+      ->Set(static_cast<double>(duplicates_discarded_));
 }
 
 }  // namespace fpgadp::net

@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <set>
 #include <string>
 
+#include "src/common/status.h"
 #include "src/net/fabric.h"
 #include "src/sim/module.h"
 
@@ -17,6 +20,9 @@ struct Completion {
   uint32_t peer = 0;
   uint64_t bytes = 0;
   sim::Cycle at = 0;  ///< Cycle at which the completion was generated.
+  /// kOk on success; kUnavailable when the op was abandoned after the
+  /// retransmission retry cap (kind then names the original request).
+  StatusCode status = StatusCode::kOk;
 };
 
 /// Verbs-style RDMA endpoint ("one queue pair per peer" collapsed into a
@@ -24,7 +30,8 @@ struct Completion {
 /// cites expose to HLS kernels). Reliable-connection semantics:
 ///
 ///  * PostSend   — two-sided; remote side receives a Packet, local side
-///                 completes when the NIC serializes the message.
+///                 completes when the NIC serializes the message (loss-free
+///                 fabric) or when the link-level ACK returns (lossy fabric).
 ///  * PostRead   — one-sided; header-only request travels to the target,
 ///                 whose NIC answers with the payload autonomously (no
 ///                 remote CPU/kernel involvement); completes on data arrival.
@@ -32,8 +39,36 @@ struct Completion {
 ///
 /// Packets of kind kOffloadReq/kOffloadResp are *not* auto-answered; they
 /// surface in the receive queue for an upper layer (Farview) to serve.
+///
+/// On a lossy fabric (Fabric::lossy(), i.e. a FaultInjector is attached)
+/// the endpoint adds a go-back-N-free link-level reliability layer, the
+/// shape real RC queue pairs implement in NIC hardware:
+///
+///  * every outbound packet carries a per-destination sequence number;
+///  * the receiver ACKs each sequenced packet (header-only kRdmaAck),
+///    NACKs corrupted ones (kRdmaNack), and drops duplicates by seq;
+///  * the sender retransmits unacked packets on a timeout that doubles per
+///    retry (exponential backoff); a NACK retransmits immediately;
+///  * after `Reliability::max_retries` retransmissions the op is abandoned:
+///    a Completion with status kUnavailable is queued, failed() latches,
+///    and status() surfaces Status::Unavailable.
+///
+/// On a loss-free fabric none of this machinery runs — wire traffic and
+/// cycle counts are bit-identical to the no-injector behaviour.
 class RdmaEndpoint : public sim::Module {
  public:
+  /// Retransmission knobs for the lossy-fabric reliability layer.
+  struct Reliability {
+    /// Base retransmission timeout; per packet, twice the payload
+    /// serialization time is added on top (big packets get longer timers).
+    uint64_t rto_cycles = 2000;
+    double backoff = 2.0;     ///< RTO multiplier per retry.
+    uint32_t max_retries = 8; ///< Retransmissions before giving up.
+  };
+
+  RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric,
+               const Reliability& reliability);
+  /// Convenience overload with default retransmission knobs.
   RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric);
 
   /// Posts verbs; safe to call before Run() or from another module's Tick().
@@ -52,15 +87,57 @@ class RdmaEndpoint : public sim::Module {
   size_t recv_available() const { return rq_.size(); }
   uint32_t node_id() const { return node_id_; }
 
+  /// True once any op exhausted its retry cap; status() then carries
+  /// Status::Unavailable for the first such op.
+  bool failed() const { return !status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Lossy-mode protocol counters (all zero on a loss-free fabric).
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t acks_sent() const { return acks_sent_; }
+  uint64_t nacks_sent() const { return nacks_sent_; }
+  uint64_t duplicates_discarded() const { return duplicates_discarded_; }
+
   void Tick(sim::Cycle cycle) override;
-  bool Idle() const override { return outbox_.empty(); }
+  bool Idle() const override { return outbox_.empty() && unacked_.empty(); }
+
+  void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
 
  private:
+  /// A sequenced packet awaiting its link-level ACK.
+  struct Unacked {
+    Packet packet;
+    sim::Cycle next_retry = 0;
+    uint64_t rto = 0;
+    uint32_t retries = 0;
+  };
+  /// Per-peer receive-side dedup window.
+  struct RecvWindow {
+    uint64_t next_expected = 1;
+    std::set<uint64_t> seen_ahead;  // out-of-order seqs already consumed
+  };
+
+  bool reliable() const { return fabric_->lossy(); }
+  void HandleArrival(sim::Cycle cycle, Packet p);
+  void Dispatch(sim::Cycle cycle, const Packet& p);
+  void CheckRetransmits(sim::Cycle cycle);
+  void FailOp(sim::Cycle cycle, const Packet& p);
+  uint64_t InitialRto(const Packet& p) const;
+
   uint32_t node_id_;
   Fabric* fabric_;
+  Reliability reliability_;
   std::deque<Packet> outbox_;
   std::deque<Completion> cq_;
   std::deque<Packet> rq_;
+  std::map<uint32_t, uint64_t> next_seq_;  ///< Per-destination tx sequence.
+  std::map<std::pair<uint32_t, uint64_t>, Unacked> unacked_;  ///< (dst, seq).
+  std::map<uint32_t, RecvWindow> recv_window_;  ///< Per-source dedup.
+  Status status_;
+  uint64_t retransmits_ = 0;
+  uint64_t acks_sent_ = 0;
+  uint64_t nacks_sent_ = 0;
+  uint64_t duplicates_discarded_ = 0;
 };
 
 }  // namespace fpgadp::net

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/common/result.h"
+#include "src/common/status.h"
 #include "src/net/fabric.h"
 #include "src/sim/module.h"
 
@@ -25,8 +26,25 @@ namespace fpgadp::net {
 ///    large on-chip buffers),
 ///  * per-segment cumulative ACKs (header-only packets).
 ///
-/// The loss-free fabric never reorders within a (src,dst) pair, so
-/// retransmission logic is not modeled.
+/// Loss model. On a loss-free fabric (no FaultInjector attached) delivery
+/// is in order per (src,dst) pair and nothing is ever lost, so the stack
+/// runs a minimal fast path: incremental ACKs, no sequence numbers, no
+/// timers — byte-identical to the pre-fault-model behaviour. On a lossy
+/// fabric (Fabric::lossy()) the stack switches to real TCP-style
+/// retransmission:
+///
+///  * each kTcpData segment carries its byte offset in Packet::seq, and
+///    ACKs are cumulative (Packet::seq = next expected byte offset);
+///  * the receiver buffers out-of-order segments, discards duplicates and
+///    corrupted segments (which elicit a duplicate cumulative ACK), and
+///    releases bytes to Read() strictly in order;
+///  * unacked segments retransmit on a per-segment timeout with
+///    exponential backoff; three duplicate ACKs trigger a fast retransmit
+///    of the lowest unacked segment;
+///  * SYNs retransmit on the same timer scheme until the SYN-ACK arrives;
+///  * a segment (or SYN) exceeding `Reliability::max_retries` abandons the
+///    connection: tx state is cleared, failed() latches, and status()
+///    carries Status::Unavailable.
 class TcpStack : public sim::Module {
  public:
   struct Config {
@@ -34,6 +52,19 @@ class TcpStack : public sim::Module {
     uint64_t window_bytes = 256 * 1024;  ///< Receive window / in-flight cap.
   };
 
+  /// Retransmission knobs, active only on a lossy fabric.
+  struct Reliability {
+    /// Base retransmission timeout; per segment, twice the segment's
+    /// serialization time is added on top.
+    uint64_t rto_cycles = 2000;
+    double backoff = 2.0;     ///< RTO multiplier per retry.
+    uint32_t max_retries = 8; ///< Retransmissions before giving up.
+  };
+
+  TcpStack(std::string name, uint32_t node_id, Fabric* fabric,
+           const Config& config, const Reliability& reliability);
+
+  /// Convenience overload with default retransmission knobs.
   TcpStack(std::string name, uint32_t node_id, Fabric* fabric,
            const Config& config);
 
@@ -64,25 +95,73 @@ class TcpStack : public sim::Module {
   uint64_t segments_sent() const { return segments_sent_; }
   uint64_t bytes_acked() const { return bytes_acked_; }
 
+  /// True once any connection exhausted its retry cap; status() then
+  /// carries Status::Unavailable for the first such connection.
+  bool failed() const { return !status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Lossy-mode protocol counters (all zero on a loss-free fabric).
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t fast_retransmits() const { return fast_retransmits_; }
+  uint64_t ooo_buffered() const { return ooo_buffered_; }
+  uint64_t corrupt_discarded() const { return corrupt_discarded_; }
+
+  void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
+
  private:
+  /// One in-flight segment awaiting its cumulative ACK (lossy mode only).
+  struct SentSegment {
+    uint64_t bytes = 0;
+    sim::Cycle next_retry = 0;
+    uint64_t rto = 0;
+    uint32_t retries = 0;
+  };
+
   struct Connection {
     bool established = false;
     bool syn_sent = false;
+    bool failed = false;       ///< Retry cap hit; tx side is abandoned.
     uint64_t tx_pending = 0;   ///< Bytes queued, not yet segmented.
     uint64_t in_flight = 0;    ///< Sent but unacked bytes.
     uint64_t rx_available = 0; ///< In-order bytes awaiting Read().
+    // Lossy-mode state. Sender side:
+    uint64_t snd_nxt = 0;  ///< Next byte offset to segment.
+    uint64_t snd_una = 0;  ///< Lowest unacknowledged byte offset.
+    uint32_t dup_acks = 0; ///< Consecutive duplicate-ACK count.
+    std::map<uint64_t, SentSegment> unacked;  ///< Keyed by start offset.
+    // Receiver side:
+    uint64_t rx_next = 0;  ///< Next expected byte offset.
+    std::map<uint64_t, uint64_t> ooo;  ///< Out-of-order: offset -> bytes.
+    // SYN retransmission:
+    sim::Cycle syn_next_retry = 0;
+    uint64_t syn_rto = 0;
+    uint32_t syn_retries = 0;
   };
 
   Connection& Conn(uint32_t peer) { return conns_[peer]; }
+  bool reliable() const { return fabric_->lossy(); }
+  uint64_t SegmentRto(uint64_t bytes) const;
+  void FailConnection(uint32_t peer, Connection& c, const char* what);
+  void HandleData(sim::Cycle cycle, const Packet& p, Connection& c);
+  void HandleAck(sim::Cycle cycle, const Packet& p, Connection& c);
+  void CheckRetransmits(sim::Cycle cycle, bool* progressed);
+  void SendAck(uint32_t peer, uint64_t cumulative);
 
   uint32_t node_id_;
   Fabric* fabric_;
   Config config_;
+  Reliability reliability_;
   std::map<uint32_t, Connection> conns_;
   std::deque<Packet> pending_acks_;  ///< ACK/SYN-ACK deferred by port pressure.
+  std::deque<Packet> retransmit_q_;  ///< Retransmits deferred by port pressure.
   std::set<uint32_t> syn_emitted_;   ///< Peers whose SYN already left.
+  Status status_;
   uint64_t segments_sent_ = 0;
   uint64_t bytes_acked_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t fast_retransmits_ = 0;
+  uint64_t ooo_buffered_ = 0;
+  uint64_t corrupt_discarded_ = 0;
 };
 
 }  // namespace fpgadp::net

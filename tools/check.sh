@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification driver: builds and tests the default preset, then the
+# ASan+UBSan preset, in one command. Run from the repository root:
+#
+#   tools/check.sh            # default + asan
+#   tools/check.sh --fast     # default preset only
+#
+# The asan preset (see CMakePresets.json) configures into build-asan/ with
+# FPGADP_SANITIZE=ON, so sanitized and regular build trees never collide.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-4}"
+PRESETS=(default asan)
+if [[ "${1:-}" == "--fast" ]]; then
+  PRESETS=(default)
+fi
+
+for preset in "${PRESETS[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "All presets green: ${PRESETS[*]}"

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <iostream>
 
+#include "src/sim/engine.h"
+
 namespace fpgadp::bench {
 
 Session::Session(int argc, char** argv) {
@@ -17,6 +19,11 @@ Session::Session(int argc, char** argv) {
       fault_seed_ = std::strtoull(arg + 13, nullptr, 10);
     } else if (std::strncmp(arg, "--drop-rate=", 12) == 0) {
       drop_rate_ = std::strtod(arg + 12, nullptr);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads_ = static_cast<uint32_t>(std::strtoul(arg + 10, nullptr, 10));
+      if (threads_ == 0) threads_ = 1;
+    } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
+      fast_forward_ = false;
     }
   }
   if (!trace_path_.empty()) {
@@ -24,9 +31,15 @@ Session::Session(int argc, char** argv) {
     obs::SetGlobalTraceWriter(writer_.get());
   }
   if (metrics_) obs::SetGlobalMetrics(metrics_.get());
+  // Installed process-wide so engines constructed inside helpers
+  // (ExecuteFpga, MicroRec, ACCL) inherit them without config plumbing.
+  sim::SetDefaultEngineThreads(threads_);
+  sim::SetDefaultFastForward(fast_forward_);
 }
 
 Session::~Session() {
+  sim::SetDefaultEngineThreads(1);
+  sim::SetDefaultFastForward(true);
   if (writer_) {
     obs::SetGlobalTraceWriter(nullptr);
     const Status s = writer_->WriteFile(trace_path_);

@@ -29,6 +29,14 @@ namespace fpgadp::bench {
 ///                    lossy-fabric runs (default 1).
 ///   --drop-rate=X    Per-packet drop probability in [0,1) for those
 ///                    benches; 0 (default) keeps the fabric loss-free.
+///   --threads=N      Worker threads for every engine's parallel tick
+///                    (default 1 = serial). Results are bit-identical at
+///                    any thread count; engines with modules not certified
+///                    parallel-safe fall back to serial automatically.
+///   --no-fast-forward
+///                    Disable event-driven fast-forwarding in Engine::Run()
+///                    (cycle counts are identical either way; this exists
+///                    to measure the speedup and to debug hint bugs).
 ///
 /// The session installs the process-global trace writer / metrics registry
 /// (see obs/trace.h), which every Engine picks up when it starts running —
@@ -52,6 +60,11 @@ class Session {
   uint64_t fault_seed() const { return fault_seed_; }
   double drop_rate() const { return drop_rate_; }
 
+  /// Engine execution knobs, installed process-wide in the constructor so
+  /// they reach engines constructed deep inside pipeline helpers.
+  uint32_t threads() const { return threads_; }
+  bool fast_forward() const { return fast_forward_; }
+
   /// The registry --metrics dumps, for benches that want to add their own
   /// instruments; nullptr when --metrics is off.
   obs::MetricsRegistry* metrics() { return metrics_.get(); }
@@ -62,6 +75,8 @@ class Session {
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   uint64_t fault_seed_ = 1;
   double drop_rate_ = 0;
+  uint32_t threads_ = 1;
+  bool fast_forward_ = true;
 };
 
 }  // namespace fpgadp::bench

@@ -17,6 +17,22 @@ MemoryChannel::MemoryChannel(std::string name, sim::Stream<MemRequest>* req,
   FPGADP_CHECK(config_.bytes_per_sec > 0 && config_.clock_hz > 0);
   latency_cycles_ = NanosToCycles(config_.latency_ns, config_.clock_hz);
   bytes_per_cycle_ = config_.bytes_per_sec / config_.clock_hz;
+  req_->BindConsumer(this);
+  resp_->BindProducer(this);
+  SetParallelSafe();
+}
+
+void MemoryChannel::AttributeSkip(sim::Cycle from, sim::Cycle to) {
+  const uint64_t n = to - from;
+  if (pending_.empty()) return;  // quiet channel: backfilled as idle
+  // Closed form of the per-tick accounting: the bus streams until
+  // bus_free_, the remainder of the gap is latency shadow, and every
+  // cycle with requests in flight counts busy.
+  const uint64_t bus =
+      bus_free_ > from ? std::min<uint64_t>(n, bus_free_ - from) : 0;
+  bus_busy_cycles_ += bus;
+  latency_wait_cycles_ += n - bus;
+  MarkBusyN(n);
 }
 
 void MemoryChannel::Tick(sim::Cycle cycle) {

@@ -32,6 +32,13 @@ class MemoryChannel : public sim::Module {
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override { return pending_.empty(); }
 
+  /// With no requests queued the channel is reactive; otherwise the oldest
+  /// in-flight access completes at its precomputed `done` cycle.
+  sim::Cycle NextEventCycle(sim::Cycle now) const override {
+    if (pending_.empty()) return sim::kNoEventCycle;
+    return pending_.front().done > now ? pending_.front().done : now;
+  }
+
   void SampleTraceCounters(obs::TraceCounterSink& sink) override;
   void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
 
@@ -48,6 +55,9 @@ class MemoryChannel : public sim::Module {
   uint64_t latency_wait_cycles() const { return latency_wait_cycles_; }
 
   const Config& config() const { return config_; }
+
+ protected:
+  void AttributeSkip(sim::Cycle from, sim::Cycle to) override;
 
  private:
   struct Pending {

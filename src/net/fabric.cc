@@ -94,6 +94,17 @@ uint64_t FaultInjector::total_faults() const {
   return total;
 }
 
+sim::Cycle FaultInjector::NextScheduledCycle(sim::Cycle now) const {
+  sim::Cycle earliest = sim::kNoEventCycle;
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    if (fired_[i]) continue;
+    if (schedule_[i].cycle > now && schedule_[i].cycle < earliest) {
+      earliest = schedule_[i].cycle;
+    }
+  }
+  return earliest;
+}
+
 Fabric::Fabric(std::string name, uint32_t num_nodes, const Config& config)
     : sim::Module(std::move(name)), config_(config) {
   FPGADP_CHECK(num_nodes > 0);
@@ -109,7 +120,38 @@ Fabric::Fabric(std::string name, uint32_t num_nodes, const Config& config)
         this->name() + ".eg" + std::to_string(n), 64));
     ingress_.push_back(std::make_unique<sim::Stream<Packet>>(
         this->name() + ".ig" + std::to_string(n), 64));
+    egress_.back()->BindConsumer(this);
+    ingress_.back()->BindProducer(this);
   }
+  SetParallelSafe();
+}
+
+sim::Cycle Fabric::NextEventCycle(sim::Cycle now) const {
+  sim::Cycle earliest = sim::kNoEventCycle;
+  if (injector_ != nullptr) earliest = injector_->NextScheduledCycle(now);
+  for (const auto& pq : arriving_) {
+    if (pq.empty()) continue;
+    const sim::Cycle at = pq.top().deliver_at > now ? pq.top().deliver_at : now;
+    if (at < earliest) earliest = at;
+  }
+  return earliest;
+}
+
+void Fabric::AttributeSkip(sim::Cycle from, sim::Cycle to) {
+  const uint64_t n = to - from;
+  // Closed form of the per-tick port accounting: port p serializes until
+  // tx_free_[p]/rx_free_[p].
+  for (uint32_t p = 0; p < tx_free_.size(); ++p) {
+    if (tx_free_[p] > from) {
+      tx_busy_cycles_[p] += std::min<uint64_t>(n, tx_free_[p] - from);
+    }
+    if (rx_free_[p] > from) {
+      rx_busy_cycles_[p] += std::min<uint64_t>(n, rx_free_[p] - from);
+    }
+  }
+  // The serial ticks mark busy while anything is in flight (on the wire or
+  // in receive serialization) and idle otherwise.
+  if (in_flight_ > 0) MarkBusyN(n);
 }
 
 void Fabric::RegisterWith(sim::Engine& engine) {

@@ -127,6 +127,12 @@ class FaultInjector {
   /// True while the (src,dst) link is inside a flap outage.
   bool LinkDown(sim::Cycle cycle, uint32_t src, uint32_t dst) const;
 
+  /// Earliest cycle strictly after `now` at which an unfired scheduled
+  /// entry arms, or sim::kNoEventCycle if none. Entries latch on packet
+  /// pickup, so this only bounds fast-forwarding (the fabric must be awake
+  /// at the arming cycle); it never fires anything by itself.
+  sim::Cycle NextScheduledCycle(sim::Cycle now) const;
+
   uint64_t fault_count(FaultKind kind) const {
     return counts_[static_cast<size_t>(kind)];
   }
@@ -193,6 +199,12 @@ class Fabric : public sim::Module {
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override { return in_flight_ == 0; }
 
+  /// With the ports quiet (all streams empty is the caller's precondition)
+  /// the fabric next acts when the earliest queued arrival finishes its
+  /// receive serialization; a scheduled fault entry arming is also an
+  /// event, so scripted "drop at cycle N" scenarios stay exact.
+  sim::Cycle NextEventCycle(sim::Cycle now) const override;
+
   void SampleTraceCounters(obs::TraceCounterSink& sink) override;
   void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
 
@@ -214,6 +226,9 @@ class Fabric : public sim::Module {
   /// Cycles one packet of `payload_bytes` occupies a port (payload + header
   /// at line rate). Public so endpoints can size retransmission timeouts.
   uint64_t SerializationCycles(uint64_t payload_bytes) const;
+
+ protected:
+  void AttributeSkip(sim::Cycle from, sim::Cycle to) override;
 
  private:
   struct InFlight {

@@ -22,6 +22,11 @@ RdmaEndpoint::RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric,
   FPGADP_CHECK(fabric_ != nullptr);
   FPGADP_CHECK(node_id_ < fabric_->num_nodes());
   FPGADP_CHECK(reliability_.backoff >= 1.0);
+  // The Tick touches exactly this node's port pair; declaring the
+  // endpoints certifies the module for parallel ticking.
+  fabric_->egress(node_id_).BindProducer(this);
+  fabric_->ingress(node_id_).BindConsumer(this);
+  SetParallelSafe();
 }
 
 RdmaEndpoint::RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric)

@@ -101,6 +101,17 @@ class RdmaEndpoint : public sim::Module {
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override { return outbox_.empty() && unacked_.empty(); }
 
+  /// Posted work ships next tick; otherwise the endpoint sleeps until its
+  /// earliest retransmission timer (lossy mode) or an arrival (reactive).
+  sim::Cycle NextEventCycle(sim::Cycle now) const override {
+    if (!outbox_.empty()) return now;
+    sim::Cycle earliest = sim::kNoEventCycle;
+    for (const auto& [key, u] : unacked_) {
+      if (u.next_retry < earliest) earliest = u.next_retry;
+    }
+    return earliest > now ? earliest : now;
+  }
+
   void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
 
  private:

@@ -15,6 +15,35 @@ TcpStack::TcpStack(std::string name, uint32_t node_id, Fabric* fabric,
   FPGADP_CHECK(node_id_ < fabric_->num_nodes());
   FPGADP_CHECK(config_.mss_bytes > 0 && config_.window_bytes > 0);
   FPGADP_CHECK(reliability_.backoff >= 1.0);
+  // The Tick touches exactly this node's port pair; declaring the
+  // endpoints certifies the module for parallel ticking.
+  fabric_->egress(node_id_).BindProducer(this);
+  fabric_->ingress(node_id_).BindConsumer(this);
+  SetParallelSafe();
+}
+
+sim::Cycle TcpStack::NextEventCycle(sim::Cycle now) const {
+  if (!pending_acks_.empty() || !retransmit_q_.empty()) return now;
+  const bool rel = fabric_->lossy();
+  sim::Cycle earliest = sim::kNoEventCycle;
+  for (const auto& [peer, c] : conns_) {
+    if (c.failed) continue;
+    if (c.syn_sent && !c.established) {
+      // An unemitted SYN leaves next tick; an emitted one waits for the
+      // SYN-ACK, with a retransmission deadline only in lossy mode.
+      if (syn_emitted_.count(peer) == 0) return now;
+      if (rel && c.syn_next_retry < earliest) earliest = c.syn_next_retry;
+      continue;
+    }
+    if (c.established && c.tx_pending > 0 &&
+        c.in_flight + config_.mss_bytes <= config_.window_bytes) {
+      return now;  // a data segment can leave next tick
+    }
+    for (const auto& [off, seg] : c.unacked) {
+      if (seg.next_retry < earliest) earliest = seg.next_retry;
+    }
+  }
+  return earliest > now ? earliest : now;
 }
 
 TcpStack::TcpStack(std::string name, uint32_t node_id, Fabric* fabric,

@@ -91,6 +91,11 @@ class TcpStack : public sim::Module {
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override;
 
+  /// Deferred ACKs/retransmits and sendable data ship next tick; armed
+  /// SYN/segment timers (lossy mode) report their earliest deadline;
+  /// everything else is reactive (waiting on arrivals).
+  sim::Cycle NextEventCycle(sim::Cycle now) const override;
+
   uint32_t node_id() const { return node_id_; }
   uint64_t segments_sent() const { return segments_sent_; }
   uint64_t bytes_acked() const { return bytes_acked_; }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,7 +68,11 @@ std::vector<double> Pow2Bounds(uint32_t num_buckets);
 
 /// A flat namespace of named instruments. Get* creates on first use and
 /// returns the same pointer thereafter, so callers register once and record
-/// without lookups. Single-threaded by design, like the simulator it serves.
+/// without lookups. Map access (lookup/creation/export) is mutex-guarded so
+/// engines exporting from different threads — e.g. a sweep running one
+/// engine per worker against the process-global registry — cannot corrupt
+/// the name maps; the instruments themselves are still single-writer (each
+/// engine's coordinator thread), like the simulator they serve.
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
@@ -82,6 +87,7 @@ class MetricsRegistry {
   const Histogram* FindHistogram(const std::string& name) const;
 
   size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -89,6 +95,7 @@ class MetricsRegistry {
   std::string ToString() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -19,6 +19,9 @@ OpKernel::OpKernel(std::string name, sim::Stream<Beat>* in,
       lanes_(lanes), latency_(latency) {
   FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
   FPGADP_CHECK(lanes_ > 0);
+  in_->BindConsumer(this);
+  out_->BindProducer(this);
+  SetParallelSafe();
 }
 
 void OpKernel::Tick(sim::Cycle cycle) {

@@ -59,7 +59,23 @@ class OpKernel : public sim::Module {
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override { return emit_.empty(); }
 
+  /// Empty emit queue: reactive. Otherwise the front beat retires when its
+  /// pipeline latency elapses.
+  sim::Cycle NextEventCycle(sim::Cycle now) const override {
+    if (emit_.empty()) return sim::kNoEventCycle;
+    return emit_.front().first > now ? emit_.front().first : now;
+  }
+
   uint64_t consumed() const { return consumed_; }
+
+ protected:
+  void AttributeSkip(sim::Cycle from, sim::Cycle to) override {
+    // Serial waiting branches: no input and nothing in flight is
+    // starvation; beats in the latency shadow are idle (backfilled).
+    if (emit_.empty()) {
+      MarkStallN(sim::StallKind::kInputStarved, to - from);
+    }
+  }
 
  private:
   sim::Stream<Beat>* in_;

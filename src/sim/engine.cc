@@ -1,21 +1,109 @@
 #include "src/sim/engine.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <unordered_map>
 
 #include "src/common/check.h"
 #include "src/common/units.h"
+#include "src/sim/thread_pool.h"
 
 namespace fpgadp::sim {
+
+namespace {
+uint32_t g_default_threads = 1;
+bool g_default_fast_forward = true;
+}  // namespace
+
+void SetDefaultEngineThreads(uint32_t n) {
+  g_default_threads = n == 0 ? 1 : n;
+}
+uint32_t DefaultEngineThreads() { return g_default_threads; }
+void SetDefaultFastForward(bool on) { g_default_fast_forward = on; }
+bool DefaultFastForward() { return g_default_fast_forward; }
+
+Engine::Engine(double clock_hz)
+    : clock_hz_(clock_hz),
+      fast_forward_(g_default_fast_forward),
+      threads_(g_default_threads) {}
+
+Engine::~Engine() {
+  // Safety net for manually stepped harnesses that forget the final flush;
+  // a Run()-driven engine has already flushed, so this stays a no-op (and
+  // never touches modules that might not outlive an oddly-ordered scope).
+  if (!flushed_) FlushObservers();
+}
 
 void Engine::AddModule(Module* module) {
   FPGADP_CHECK(module != nullptr);
   modules_.push_back(module);
+  schedule_dirty_ = true;
 }
 
 void Engine::AddStream(StreamBase* stream) {
   FPGADP_CHECK(stream != nullptr);
   streams_.push_back(stream);
+  schedule_dirty_ = true;
+}
+
+void Engine::SetThreads(uint32_t n) {
+  threads_ = n == 0 ? 1 : n;
+  pool_.reset();
+  schedule_dirty_ = true;
+}
+
+void Engine::RebuildSchedule() {
+  schedule_dirty_ = false;
+  levels_.clear();
+  parallel_tick_ = false;
+  if (threads_ <= 1) {
+    pool_.reset();
+    return;
+  }
+  if (!pool_ || pool_->num_threads() != threads_) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+  }
+  // Certification gate: every module must have declared its stream
+  // endpoints and promised a self-contained Tick; any stream with an
+  // ambiguous writer/reader set vetoes the whole engine.
+  for (const Module* m : modules_) {
+    if (!m->parallel_safe()) return;
+  }
+  for (const StreamBase* s : streams_) {
+    if (s->bind_conflict()) return;
+  }
+  // Build the dependency levels. Each stream connecting two registered
+  // modules is an edge from the lower registration index to the higher —
+  // the direction serial ticking makes same-cycle mutations visible in —
+  // and the level of a module is the longest such path reaching it. Edges
+  // always point from a lower to a higher index, so one pass over edges
+  // sorted by target computes longest paths exactly.
+  std::unordered_map<const Module*, size_t> index;
+  index.reserve(modules_.size());
+  for (size_t i = 0; i < modules_.size(); ++i) index[modules_[i]] = i;
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (const StreamBase* s : streams_) {
+    const auto ip = index.find(s->producer());
+    const auto ic = index.find(s->consumer());
+    if (ip == index.end() || ic == index.end()) continue;
+    size_t a = ip->second, b = ic->second;
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    edges.emplace_back(b, a);  // (target, source), for sort-by-target
+  }
+  std::sort(edges.begin(), edges.end());
+  std::vector<uint32_t> level(modules_.size(), 0);
+  uint32_t max_level = 0;
+  for (const auto& [b, a] : edges) {
+    level[b] = std::max(level[b], level[a] + 1);
+    max_level = std::max(max_level, level[b]);
+  }
+  levels_.resize(max_level + 1);
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    levels_[level[i]].push_back(modules_[i]);
+  }
+  parallel_tick_ = true;
 }
 
 void Engine::EnableTracing(obs::TraceWriter* writer, TraceOptions options) {
@@ -74,12 +162,38 @@ void Engine::EnsureProbeSlots() {
 
 void Engine::Step() {
   if (!observability_checked_) SetupObservability();
-  for (Module* m : modules_) {
-    m->Tick(now_);
-    m->FinalizeTick();
+  if (schedule_dirty_) RebuildSchedule();
+  if (parallel_tick_) {
+    // Tick phase, one barrier per dependency level. Modules within a level
+    // share no stream, so their Ticks are independent; the barrier between
+    // levels reproduces serial registration-order visibility exactly.
+    for (const auto& lvl : levels_) {
+      if (lvl.size() == 1) {
+        lvl[0]->Tick(now_);
+        lvl[0]->FinalizeTick();
+      } else {
+        pool_->ParallelFor(lvl.size(), [&](size_t i) {
+          lvl[i]->Tick(now_);
+          lvl[i]->FinalizeTick();
+        });
+      }
+    }
+    // Commit phase: per-stream state only, embarrassingly parallel.
+    if (streams_.size() >= 8) {
+      pool_->ParallelFor(streams_.size(),
+                         [&](size_t i) { streams_[i]->Commit(); });
+    } else {
+      for (StreamBase* s : streams_) s->Commit();
+    }
+  } else {
+    for (Module* m : modules_) {
+      m->Tick(now_);
+      m->FinalizeTick();
+    }
+    for (StreamBase* s : streams_) s->Commit();
   }
-  for (StreamBase* s : streams_) s->Commit();
   if (trace_ || metrics_) ProbeStep();
+  flushed_ = false;
   ++now_;
 }
 
@@ -123,6 +237,7 @@ void Engine::ProbeStep() {
 }
 
 void Engine::FlushObservers() {
+  flushed_ = true;
   if (!trace_ && !metrics_) return;
   EnsureProbeSlots();
   if (trace_) {
@@ -178,11 +293,55 @@ bool Engine::QuiescedNow() const {
   return true;
 }
 
+Cycle Engine::EarliestEvent() const {
+  Cycle earliest = kNoEventCycle;
+  for (const Module* m : modules_) {
+    const Cycle hint = m->NextEventCycle(now_);
+    if (hint < earliest) earliest = hint;
+    if (earliest <= now_ + 1) break;  // no skip possible; stop scanning
+  }
+  return earliest;
+}
+
 Result<Cycle> Engine::Run(uint64_t max_cycles) {
-  for (uint64_t i = 0; i < max_cycles; ++i) {
-    if (QuiescedNow()) {
-      FlushObservers();
-      return now_;
+  if (!observability_checked_) SetupObservability();
+  const Cycle limit = now_ + max_cycles;
+  // Fast-forward only when observers are off: per-cycle span tracking and
+  // periodic sampling need every cycle, and observers must never perturb
+  // what they measure — so the skip is what yields, not the probes.
+  const bool can_skip = fast_forward_ && !trace_ && !metrics_;
+  while (now_ < limit) {
+    bool streams_empty = true;
+    for (const StreamBase* s : streams_) {
+      if (s->InFlight()) {
+        streams_empty = false;
+        break;
+      }
+    }
+    if (streams_empty) {
+      bool all_idle = true;
+      for (const Module* m : modules_) {
+        if (!m->Idle()) {
+          all_idle = false;
+          break;
+        }
+      }
+      if (all_idle) {
+        FlushObservers();
+        return now_;
+      }
+      if (can_skip) {
+        // Nothing moves on the wires and no module can act before the
+        // earliest event hint: jump there (clamped to the cycle budget;
+        // kNoEventCycle everywhere means a genuine deadlock, which runs
+        // the budget out exactly as per-cycle ticking would).
+        const Cycle target = std::min(EarliestEvent(), limit);
+        if (target > now_ + 1) {
+          for (Module* m : modules_) m->AccountSkip(now_, target);
+          now_ = target;
+          continue;
+        }
+      }
     }
     Step();
   }

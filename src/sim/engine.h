@@ -24,6 +24,18 @@ struct TraceOptions {
   std::string label = "engine";
 };
 
+class ThreadPool;
+
+/// Process-global defaults new engines are constructed with, so harness
+/// flags (e.g. bench_common's --threads) reach engines built deep inside
+/// pipeline helpers (ExecuteFpga, MicroRec, ACCL) without threading a knob
+/// through every config struct. Per-engine SetThreads/SetFastForward
+/// override them.
+void SetDefaultEngineThreads(uint32_t n);
+uint32_t DefaultEngineThreads();
+void SetDefaultFastForward(bool on);
+bool DefaultFastForward();
+
 /// Drives a set of modules and streams with a two-phase, cycle-stepped loop:
 /// each cycle every module Tick()s (reads are visible, writes staged), then
 /// every stream Commit()s staged writes. The engine neither owns modules nor
@@ -41,10 +53,36 @@ struct TraceOptions {
 /// attribution and stream traffic totals. Both are pure observers: enabling
 /// them never changes simulated cycle counts, and when disabled the cost is
 /// one pointer check per cycle.
+///
+/// Performance modes — both preserve cycle counts and every per-module
+/// counter bit-for-bit (locked down by tests/golden_cycles_test.cc and
+/// tests/engine_parallel_test.cc):
+///
+///  * Fast-forward (on by default, SetFastForward): when every stream is
+///    empty, Run() asks each module for its NextEventCycle() hint and jumps
+///    straight to the earliest one, bulk-attributing the skipped cycles via
+///    Module::AccountSkip. Idle tails and retransmission-timer waits
+///    collapse from O(cycles) to O(events). Only Run() fast-forwards;
+///    manual Step() driving always advances one real cycle. Attaching a
+///    trace writer or metrics registry disables skipping for that engine
+///    (per-cycle probes need every cycle).
+///
+///  * Parallel tick (SetThreads): module Tick()s and stream Commit()s are
+///    sharded across a ThreadPool. Ticks run level-by-level over the
+///    dependency order derived from stream endpoint bindings (registration
+///    order between connected modules is preserved exactly — same-cycle
+///    Read()s are visible to later-ticking neighbours, so order DOES
+///    matter), with a barrier per level; modules inside one level share no
+///    stream and are provably independent. Requires every module to be
+///    parallel_safe(); one uncertified module (or a conflicting stream
+///    binding) falls the engine back to the bit-identical serial path.
+///    Probes and quiesce checks stay on the coordinating thread, so all
+///    observer state remains single-threaded.
 class Engine {
  public:
   /// `clock_hz` is the modeled kernel clock, used only by reporting helpers.
-  explicit Engine(double clock_hz = 200e6) : clock_hz_(clock_hz) {}
+  explicit Engine(double clock_hz = 200e6);
+  ~Engine();
 
   /// Registers a module; ticked in registration order (order never affects
   /// results thanks to two-phase streams).
@@ -61,7 +99,18 @@ class Engine {
   /// Overrides the process-global registry for this engine.
   void EnableMetrics(obs::MetricsRegistry* registry);
 
-  /// Advances exactly one cycle.
+  /// Sets the tick/commit worker count; 1 restores the serial loop. The
+  /// pool spins up lazily on the next Step()/Run().
+  void SetThreads(uint32_t n);
+  uint32_t threads() const { return threads_; }
+
+  /// Enables/disables event-driven fast-forwarding inside Run().
+  void SetFastForward(bool on) { fast_forward_ = on; }
+  bool fast_forward() const { return fast_forward_; }
+
+  /// Advances exactly one cycle. Never fast-forwards, so manually stepped
+  /// harnesses observe every cycle; see FlushObservers() for the probe
+  /// contract when driving the engine this way.
   void Step();
 
   /// Runs until every module is idle and every stream is drained, or until
@@ -82,8 +131,14 @@ class Engine {
   /// and the stall-attribution breakdown (starved / blocked / idle).
   std::string UtilizationReport() const;
 
-  /// Closes open trace spans and exports metrics. Run() calls this on exit;
-  /// call it directly only when driving the engine with Step() manually.
+  /// Closes open trace spans and exports metrics. Run() calls this on exit
+  /// (including on timeout). Step() never calls it — a manually stepped
+  /// engine that quiesces has NOT flushed, and its last busy spans and
+  /// metric deltas are missing until someone flushes. Call this when a
+  /// manual-stepping harness finishes; as a safety net the destructor also
+  /// flushes (idempotent: spans already closed and delta cursors already
+  /// advanced make a second flush a no-op), which requires the registered
+  /// modules, streams, and attached observers to outlive the engine.
   void FlushObservers();
 
  private:
@@ -117,14 +172,29 @@ class Engine {
   void EnsureProbeSlots();
   void ProbeStep();
   void ExportMetrics();
+  void RebuildSchedule();
+  /// Earliest NextEventCycle() over all modules; only meaningful when every
+  /// stream is empty.
+  Cycle EarliestEvent() const;
 
   double clock_hz_;
   Cycle now_ = 0;
   std::vector<Module*> modules_;
   std::vector<StreamBase*> streams_;
   bool observability_checked_ = false;
+  bool flushed_ = true;  // no cycles stepped since the last observer flush
   std::unique_ptr<TraceState> trace_;
   std::unique_ptr<MetricsState> metrics_;
+  bool fast_forward_ = true;
+  uint32_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  // Parallel tick schedule, rebuilt when the module/stream set changes:
+  // levels_ partitions modules so that no two modules in one level share a
+  // stream, and every stream edge points from an earlier level to a later
+  // one in registration order.
+  bool schedule_dirty_ = true;
+  bool parallel_tick_ = false;
+  std::vector<std::vector<Module*>> levels_;
 };
 
 }  // namespace fpgadp::sim

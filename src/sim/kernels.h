@@ -37,6 +37,8 @@ class VectorSource : public Module {
         lanes_(lanes) {
     FPGADP_CHECK(out_ != nullptr);
     FPGADP_CHECK(lanes_ > 0);
+    out_->BindProducer(this);
+    SetParallelSafe();
   }
 
   void Tick(Cycle) override {
@@ -57,6 +59,12 @@ class VectorSource : public Module {
 
   bool Idle() const override { return pos_ >= data_.size(); }
 
+  /// With streams empty the source either still has data (it will write
+  /// next cycle) or is exhausted (it never acts again).
+  Cycle NextEventCycle(Cycle now) const override {
+    return pos_ < data_.size() ? now : kNoEventCycle;
+  }
+
   /// Items emitted so far.
   size_t emitted() const { return pos_; }
 
@@ -75,6 +83,8 @@ class VectorSink : public Module {
       : Module(std::move(name)), in_(in), lanes_(lanes) {
     FPGADP_CHECK(in_ != nullptr);
     FPGADP_CHECK(lanes_ > 0);
+    in_->BindConsumer(this);
+    SetParallelSafe();
   }
 
   void Tick(Cycle) override {
@@ -93,8 +103,16 @@ class VectorSink : public Module {
 
   bool Idle() const override { return true; }
 
+  /// Purely reactive; a skipped sink would have counted starvation.
+  Cycle NextEventCycle(Cycle) const override { return kNoEventCycle; }
+
   const std::vector<T>& collected() const { return collected_; }
   std::vector<T>& collected() { return collected_; }
+
+ protected:
+  void AttributeSkip(Cycle from, Cycle to) override {
+    MarkStallN(StallKind::kInputStarved, to - from);
+  }
 
  private:
   Stream<T>* in_;
@@ -118,6 +136,9 @@ class TransformKernel : public Module {
         timing_(timing) {
     FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
     FPGADP_CHECK(timing_.ii > 0 && timing_.lanes > 0);
+    in_->BindConsumer(this);
+    out_->BindProducer(this);
+    SetParallelSafe();
   }
 
   void Tick(Cycle cycle) override {
@@ -166,8 +187,22 @@ class TransformKernel : public Module {
 
   bool Idle() const override { return pipe_.empty(); }
 
+  /// Empty pipeline: reactive (waiting on input). Otherwise the front
+  /// in-flight item retires when its latency elapses.
+  Cycle NextEventCycle(Cycle now) const override {
+    if (pipe_.empty()) return kNoEventCycle;
+    return pipe_.front().ready > now ? pipe_.front().ready : now;
+  }
+
   /// Items consumed from the input stream.
   uint64_t consumed() const { return consumed_; }
+
+ protected:
+  void AttributeSkip(Cycle from, Cycle to) override {
+    // Matches the serial waiting branches: no input and nothing in flight
+    // counts as starvation; items in the latency shadow count as idle.
+    if (pipe_.empty()) MarkStallN(StallKind::kInputStarved, to - from);
+  }
 
  private:
   struct InFlight {
@@ -200,6 +235,9 @@ class ReduceKernel : public Module {
       : Module(std::move(name)), in_(in), out_(out), acc_(std::move(init)),
         fn_(std::move(fn)), expected_(expected_count), timing_(timing) {
     FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
+    in_->BindConsumer(this);
+    out_->BindProducer(this);
+    SetParallelSafe();
   }
 
   void Tick(Cycle cycle) override {
@@ -234,7 +272,23 @@ class ReduceKernel : public Module {
 
   bool Idle() const override { return emitted_ || consumed_ < expected_; }
 
+  /// Mid-fold the kernel is input-driven; once the count is reached the
+  /// emit is self-scheduled for the very next tick; after that, done.
+  Cycle NextEventCycle(Cycle now) const override {
+    if (consumed_ == expected_ && !emitted_) return now;
+    return kNoEventCycle;
+  }
+
   uint64_t consumed() const { return consumed_; }
+
+ protected:
+  void AttributeSkip(Cycle from, Cycle to) override {
+    if (consumed_ < expected_) {
+      MarkStallN(StallKind::kInputStarved, to - from);
+    } else {
+      MarkStallN(StallKind::kIdle, to - from);  // reduction finished
+    }
+  }
 
  private:
   Stream<In>* in_;
@@ -258,6 +312,9 @@ class DelayLine : public Module {
       : Module(std::move(name)), in_(in), out_(out), latency_(latency),
         lanes_(lanes) {
     FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
+    in_->BindConsumer(this);
+    out_->BindProducer(this);
+    SetParallelSafe();
   }
 
   void Tick(Cycle cycle) override {
@@ -290,6 +347,18 @@ class DelayLine : public Module {
   }
 
   bool Idle() const override { return pending_.empty(); }
+
+  Cycle NextEventCycle(Cycle now) const override {
+    if (pending_.empty()) return kNoEventCycle;
+    return pending_.front().first > now ? pending_.front().first : now;
+  }
+
+ protected:
+  void AttributeSkip(Cycle from, Cycle to) override {
+    // Matches the serial branches: empty+no-input is starvation, items
+    // still inside the delay window are idle.
+    if (pending_.empty()) MarkStallN(StallKind::kInputStarved, to - from);
+  }
 
  private:
   Stream<T>* in_;

@@ -16,6 +16,10 @@ namespace fpgadp::sim {
 /// Simulated clock cycle index.
 using Cycle = uint64_t;
 
+/// Sentinel NextEventCycle() value: the module has no self-scheduled future
+/// event — it only reacts to stream traffic (or is finished entirely).
+inline constexpr Cycle kNoEventCycle = ~Cycle{0};
+
 /// Why a module made no forward progress in a cycle. Attribution follows the
 /// classic pipeline-stall taxonomy: waiting on an empty input FIFO, waiting
 /// on a full output FIFO, or genuinely having no work.
@@ -55,6 +59,40 @@ class Module {
   /// pending latencies). The engine stops when all modules are idle and all
   /// streams are drained.
   virtual bool Idle() const = 0;
+
+  /// Fast-forward hint: the earliest cycle >= `now` at which this module
+  /// could possibly make forward progress, given that every stream in the
+  /// system is empty and stays empty until then. Timer- and latency-driven
+  /// modules (memory channels, retransmission timers, delay lines) return
+  /// their next deadline; purely reactive modules return kNoEventCycle. The
+  /// conservative default — "I might act next cycle" — disables skipping
+  /// past an uncertified module, so subclasses opt in explicitly.
+  ///
+  /// Contract: if every module's hint is > c for all cycles in [now, c],
+  /// then ticking the system through [now, c) is a no-op except for stall
+  /// attribution, which AccountSkip() reproduces in closed form.
+  virtual Cycle NextEventCycle(Cycle now) const { return now; }
+
+  /// Engine-driven bulk attribution for a fast-forwarded gap: accounts the
+  /// `to - from` skipped cycles exactly as the per-cycle Tick()s would have
+  /// (AttributeSkip first, then idle backfill — the bulk analogue of
+  /// FinalizeTick), keeping every bucket total bit-identical to a run
+  /// without fast-forward.
+  void AccountSkip(Cycle from, Cycle to) {
+    AttributeSkip(from, to);
+    ticked_ += to - from;
+    if (attributed_ < ticked_) {
+      idle_cycles_ += ticked_ - attributed_;
+      attributed_ = ticked_;
+    }
+  }
+
+  /// True iff the module's Tick() touches only its own state and its bound
+  /// streams (see StreamBase::BindProducer/BindConsumer) — the certification
+  /// the engine's parallel mode requires. Modules that call into shared
+  /// structures or into other modules directly must stay uncertified; one
+  /// uncertified module drops the whole engine to the serial tick path.
+  bool parallel_safe() const { return parallel_safe_; }
 
   const std::string& name() const { return name_; }
 
@@ -116,6 +154,34 @@ class Module {
     ++attributed_;
   }
 
+  /// Bulk attribution counterparts, for AttributeSkip implementations.
+  void MarkBusyN(uint64_t n) {
+    busy_cycles_ += n;
+    attributed_ += n;
+  }
+
+  void MarkStallN(StallKind kind, uint64_t n) {
+    switch (kind) {
+      case StallKind::kInputStarved: starved_cycles_ += n; break;
+      case StallKind::kOutputBlocked: blocked_cycles_ += n; break;
+      case StallKind::kIdle: idle_cycles_ += n; break;
+    }
+    attributed_ += n;
+  }
+
+  /// Hook for AccountSkip(): classify the `to - from` skipped cycles the
+  /// same way the serial Tick()s would have. The default classifies nothing,
+  /// which AccountSkip backfills as idle — correct for any module whose
+  /// waiting Tick marks nothing (or kIdle) while its hint is pending.
+  virtual void AttributeSkip(Cycle from, Cycle to) {
+    (void)from;
+    (void)to;
+  }
+
+  /// Certifies this module for the engine's parallel tick mode. Call from
+  /// the subclass constructor, after binding every stream the Tick touches.
+  void SetParallelSafe() { parallel_safe_ = true; }
+
   obs::TraceWriter* trace_writer() const { return trace_writer_; }
   int trace_pid() const { return trace_pid_; }
   int trace_tid() const { return trace_tid_; }
@@ -128,6 +194,7 @@ class Module {
   uint64_t idle_cycles_ = 0;
   uint64_t attributed_ = 0;
   uint64_t ticked_ = 0;
+  bool parallel_safe_ = false;
   obs::TraceWriter* trace_writer_ = nullptr;
   int trace_pid_ = 0;
   int trace_tid_ = 0;

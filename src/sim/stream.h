@@ -12,6 +12,8 @@
 
 namespace fpgadp::sim {
 
+class Module;
+
 /// Type-erased base so the engine can commit and inspect streams generically.
 class StreamBase {
  public:
@@ -43,8 +45,30 @@ class StreamBase {
 
   const std::string& name() const { return name_; }
 
+  /// Endpoint declarations for the engine's parallel scheduler: the module
+  /// whose Tick writes this stream, and the one whose Tick reads it. Called
+  /// from module constructors. A stream may legitimately have an unbound
+  /// side (driven from outside the engine, e.g. a test harness); a side
+  /// bound twice to *different* modules marks the stream conflicted, which
+  /// vetoes parallel ticking for the whole engine (the scheduler cannot
+  /// order an unknown set of writers).
+  void BindProducer(Module* m) {
+    if (producer_ != nullptr && producer_ != m) bind_conflict_ = true;
+    producer_ = m;
+  }
+  void BindConsumer(Module* m) {
+    if (consumer_ != nullptr && consumer_ != m) bind_conflict_ = true;
+    consumer_ = m;
+  }
+  Module* producer() const { return producer_; }
+  Module* consumer() const { return consumer_; }
+  bool bind_conflict() const { return bind_conflict_; }
+
  private:
   std::string name_;
+  Module* producer_ = nullptr;
+  Module* consumer_ = nullptr;
+  bool bind_conflict_ = false;
 };
 
 /// Bounded FIFO channel between two modules — the simulator analog of

@@ -1,0 +1,76 @@
+#include "src/sim/thread_pool.h"
+
+#include "src/common/check.h"
+
+namespace fpgadp::sim {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  FPGADP_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads - 1);
+  for (uint32_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    total_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    working_ = static_cast<uint32_t>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller is a pool member too: claim indices until exhausted.
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    body(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return working_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerMain() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* body;
+    size_t total;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      body = body_;
+      total = total_;
+    }
+    for (;;) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      (*body)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--working_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace fpgadp::sim

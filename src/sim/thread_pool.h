@@ -1,0 +1,61 @@
+#ifndef FPGADP_SIM_THREAD_POOL_H_
+#define FPGADP_SIM_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fpgadp::sim {
+
+/// A persistent fork/join worker pool sized for per-cycle dispatch: the
+/// calling thread participates in every ParallelFor (so a pool of size N
+/// spawns N-1 workers), indices are claimed from a shared atomic so load
+/// imbalance self-schedules, and workers park on a condition variable
+/// between cycles rather than spinning — on an oversubscribed host (CI
+/// containers often expose a single core) a sleeping pool degrades to
+/// roughly serial speed instead of burning the core on barrier spins.
+///
+/// ParallelFor is a full barrier: it returns only after every index has
+/// been processed, and the mutex hand-offs on both edges give the caller
+/// release/acquire visibility of everything the workers wrote (and vice
+/// versa for the next dispatch). That is the memory model the engine's
+/// tick/commit phases rely on.
+class ThreadPool {
+ public:
+  /// `num_threads` counts the caller: ThreadPool(4) spawns 3 workers.
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Invokes `body(i)` for every i in [0, n), spread across the pool plus
+  /// the calling thread; returns after all n calls finished.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size()) + 1;
+  }
+
+ private:
+  void WorkerMain();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here between epochs
+  std::condition_variable done_cv_;   // the caller waits here for the join
+  const std::function<void(size_t)>* body_ = nullptr;  // valid for one epoch
+  size_t total_ = 0;
+  std::atomic<size_t> next_{0};
+  uint64_t epoch_ = 0;
+  uint32_t working_ = 0;  // workers still inside the current epoch
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fpgadp::sim
+
+#endif  // FPGADP_SIM_THREAD_POOL_H_

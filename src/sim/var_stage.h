@@ -30,6 +30,9 @@ class VarStage : public Module {
       : Module(std::move(name)), in_(in), out_(out), fn_(std::move(fn)),
         cost_(std::move(cost)) {
     FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
+    in_->BindConsumer(this);
+    out_->BindProducer(this);
+    SetParallelSafe();
   }
 
   void Tick(Cycle cycle) override {
@@ -65,8 +68,26 @@ class VarStage : public Module {
 
   bool Idle() const override { return !holding_; }
 
+  /// Holding an item: the stage emits when its per-item cost elapses.
+  /// Empty-handed it waits on input.
+  Cycle NextEventCycle(Cycle now) const override {
+    if (!holding_) return kNoEventCycle;
+    return ready_at_ > now ? ready_at_ : now;
+  }
+
   /// Items fully processed.
   uint64_t processed() const { return out_ ? out_->total_pushed() : 0; }
+
+ protected:
+  void AttributeSkip(Cycle from, Cycle to) override {
+    // The serial ticks mark busy while the engine crunches the held item
+    // and starved while waiting for one.
+    if (holding_) {
+      MarkBusyN(to - from);
+    } else {
+      MarkStallN(StallKind::kInputStarved, to - from);
+    }
+  }
 
  private:
   Stream<In>* in_;

@@ -1,0 +1,287 @@
+// Golden-cycle lockdown for the simulation engine. Each scenario is a
+// small, fixed configuration of one of the repo's bench workloads; its
+// exact cycle count is recorded in tests/golden/cycles.json and any drift
+// fails the suite. Because the same scenarios are re-run at 8 worker
+// threads and with fast-forward disabled, this file is the proof that the
+// engine's performance modes are pure optimizations: bit-identical cycle
+// counts, only wall-clock changes.
+//
+// Regenerate the baseline (after an *intentional* timing-model change)
+// with tools/update_goldens.sh, which runs this binary with
+// FPGADP_UPDATE_GOLDENS=1.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/accl/collectives.h"
+#include "src/device/device.h"
+#include "src/microrec/cartesian.h"
+#include "src/microrec/engine.h"
+#include "src/microrec/model.h"
+#include "src/net/fabric.h"
+#include "src/net/rdma.h"
+#include "src/relational/fpga_executor.h"
+#include "src/relational/program.h"
+#include "src/relational/table.h"
+#include "src/sim/engine.h"
+
+#ifndef FPGADP_GOLDEN_DIR
+#error "FPGADP_GOLDEN_DIR must be defined by the build (tests/CMakeLists.txt)"
+#endif
+
+namespace fpgadp {
+namespace {
+
+struct RunOpts {
+  uint32_t threads = 1;
+  bool fast_forward = true;
+};
+
+/// Installs the engine-default knobs for the scope of one scenario run, so
+/// engines constructed deep inside helpers (ExecuteFpga, MicroRec, ACCL)
+/// pick them up exactly like bench_common's --threads / --no-fast-forward.
+class ScopedEngineDefaults {
+ public:
+  explicit ScopedEngineDefaults(const RunOpts& opts) {
+    sim::SetDefaultEngineThreads(opts.threads);
+    sim::SetDefaultFastForward(opts.fast_forward);
+  }
+  ~ScopedEngineDefaults() {
+    sim::SetDefaultEngineThreads(1);
+    sim::SetDefaultFastForward(true);
+  }
+};
+
+/// bench_rdma's TimedReads harness at fixed configuration: `count`
+/// pipelined READs of `bytes` each over the loss-free 100 Gbps fabric,
+/// manually Step()-driven (so fast-forward never applies; thread count
+/// still does).
+uint64_t RdmaReadScenario(int count, uint64_t bytes) {
+  net::Fabric fabric("fab", 2, [] {
+    net::Fabric::Config c;
+    c.clock_hz = 200e6;
+    return c;
+  }());
+  net::RdmaEndpoint a("a", 0, &fabric);
+  net::RdmaEndpoint b("b", 1, &fabric);
+  sim::Engine engine;
+  fabric.RegisterWith(engine);
+  engine.AddModule(&a);
+  engine.AddModule(&b);
+  for (int i = 0; i < count; ++i) {
+    a.PostRead(1, uint64_t(i) * bytes, bytes, uint64_t(i));
+  }
+  int done = 0;
+  net::Completion c;
+  while (done < count) {
+    engine.Step();
+    while (a.PollCompletion(&c)) ++done;
+  }
+  engine.FlushObservers();
+  return engine.now();
+}
+
+/// bench_line_rate's golden configuration: qty >= 25 filter over the
+/// 200k-row seed-8 synthetic table on a 2-lane datapath.
+uint64_t LineRateFilterScenario() {
+  rel::SyntheticTableSpec spec;
+  spec.num_rows = 200000;
+  spec.seed = 8;
+  rel::Table table = rel::MakeSyntheticTable(spec);
+  rel::FpgaOptions options;
+  options.lanes = 2;
+  options.stream_depth = 32;
+  rel::Program p;
+  rel::FilterOp f;
+  f.conjuncts.push_back(rel::Predicate{4, rel::CmpOp::kGe, 25});
+  p.ops.push_back(f);
+  auto stats = rel::ExecuteFpga(p, table, options);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  return stats.ok() ? stats->cycles : 0;
+}
+
+/// bench_hash_join at small fixed size: 4Ki-row build side, 20k-row probe
+/// side re-keyed to ~50% match rate, 4-lane probe pipeline.
+uint64_t HashJoinScenario() {
+  rel::Schema schema(
+      {{"k", rel::ColumnType::kInt64}, {"payload", rel::ColumnType::kInt64}});
+  rel::Table dim(schema);
+  const size_t build = 4096;
+  dim.Reserve(build);
+  for (size_t i = 0; i < build; ++i) {
+    rel::Row r;
+    r.Set(0, int64_t(i));
+    r.Set(1, int64_t(i) * 3);
+    dim.Append(r);
+  }
+  rel::SyntheticTableSpec spec;
+  spec.num_rows = 20000;
+  spec.key_cardinality = 1 << 22;
+  spec.seed = 9;
+  rel::Table probe = rel::MakeSyntheticTable(spec);
+  for (size_t i = 0; i < probe.num_rows(); ++i) {
+    probe.row(i).Set(1, int64_t(probe.row(i).Get(1) % (2 * build)));
+  }
+  rel::FpgaOptions options;
+  options.lanes = 4;
+  options.stream_depth = 16;
+  auto stats = rel::HashJoinFpga(dim, probe, rel::JoinSpec{0, 1}, options);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  return stats.ok() ? stats->cycles : 0;
+}
+
+/// bench_hbm_scaling's engine at small fixed size: 8 HBM-resident tables
+/// on 4 pseudo-channels, 32 inferences, seed 123.
+uint64_t MicroRecScenario() {
+  microrec::RecModel model = microrec::MakeTypicalModel(
+      /*num_tables=*/8, /*seed=*/11, 1000, 50000, 16);
+  microrec::MicroRecConfig cfg;
+  cfg.sram_budget_bytes = 0;
+  cfg.override_hbm_channels = 4;
+  cfg.jobs_in_flight = 8;
+  auto engine = microrec::MicroRecEngine::Create(
+      &model, microrec::PlanWithoutCartesian(model), device::AlveoU280(), cfg);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  if (!engine.ok()) return 0;
+  auto stats = engine->RunBatch(32, 123);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  return stats.ok() ? stats->cycles : 0;
+}
+
+/// bench_accl shape at small fixed size: tree broadcast of 1024 floats
+/// across 4 ranks over the RDMA transport.
+uint64_t AcclBroadcastScenario() {
+  accl::Communicator comm(4);
+  std::vector<std::vector<float>> buffers(4, std::vector<float>(1024));
+  for (size_t i = 0; i < buffers[0].size(); ++i) {
+    buffers[0][i] = float(i) * 0.5f;
+  }
+  auto stats = comm.Broadcast(0, buffers, accl::Algo::kTree);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  return stats.ok() ? stats->cycles : 0;
+}
+
+const std::vector<std::string> kScenarios = {
+    "rdma_64x4k",  "rdma_1x1m",   "line_rate_filter",
+    "hash_join",   "hbm_scaling", "accl_broadcast",
+};
+
+uint64_t RunScenario(const std::string& name, const RunOpts& opts) {
+  ScopedEngineDefaults defaults(opts);
+  if (name == "rdma_64x4k") return RdmaReadScenario(64, 4096);
+  if (name == "rdma_1x1m") return RdmaReadScenario(1, 1ull << 20);
+  if (name == "line_rate_filter") return LineRateFilterScenario();
+  if (name == "hash_join") return HashJoinScenario();
+  if (name == "hbm_scaling") return MicroRecScenario();
+  if (name == "accl_broadcast") return AcclBroadcastScenario();
+  ADD_FAILURE() << "unknown scenario " << name;
+  return 0;
+}
+
+std::string GoldenPath() {
+  return std::string(FPGADP_GOLDEN_DIR) + "/cycles.json";
+}
+
+/// Minimal parser for the flat {"name": count, ...} baseline file — avoids
+/// a JSON dependency for six integers.
+std::map<std::string, uint64_t> LoadGoldens() {
+  std::map<std::string, uint64_t> goldens;
+  std::ifstream in(GoldenPath());
+  EXPECT_TRUE(in.good()) << "missing golden baseline " << GoldenPath()
+                         << " — run tools/update_goldens.sh";
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t q1 = line.find('"');
+    if (q1 == std::string::npos) continue;
+    const size_t q2 = line.find('"', q1 + 1);
+    const size_t colon = line.find(':', q2);
+    if (q2 == std::string::npos || colon == std::string::npos) continue;
+    goldens[line.substr(q1 + 1, q2 - q1 - 1)] =
+        std::strtoull(line.c_str() + colon + 1, nullptr, 10);
+  }
+  return goldens;
+}
+
+void WriteGoldens(const std::map<std::string, uint64_t>& goldens) {
+  std::ofstream out(GoldenPath());
+  ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+  out << "{\n";
+  size_t i = 0;
+  for (const auto& [name, cycles] : goldens) {
+    out << "  \"" << name << "\": " << cycles
+        << (++i < goldens.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+}
+
+TEST(GoldenCycles, MatchesBaseline) {
+  std::map<std::string, uint64_t> current;
+  for (const std::string& name : kScenarios) {
+    current[name] = RunScenario(name, RunOpts{});
+  }
+  if (std::getenv("FPGADP_UPDATE_GOLDENS") != nullptr) {
+    WriteGoldens(current);
+    std::cout << "[golden] wrote " << current.size() << " baselines to "
+              << GoldenPath() << "\n";
+    return;
+  }
+  const auto goldens = LoadGoldens();
+  for (const std::string& name : kScenarios) {
+    ASSERT_TRUE(goldens.count(name))
+        << name << " missing from baseline — run tools/update_goldens.sh";
+    EXPECT_EQ(current[name], goldens.at(name))
+        << "scenario " << name
+        << " drifted from the golden baseline; if the timing model changed "
+           "intentionally, regenerate with tools/update_goldens.sh";
+  }
+}
+
+// The three cycle counts other parts of the repo hard-code (bench_rdma's
+// zero-overhead guard and bench_line_rate's golden filter). Keeping them
+// asserted here too means a drift is caught by `ctest -L golden` without
+// running any bench binary.
+TEST(GoldenCycles, SeedBuildAnchors) {
+  EXPECT_EQ(RunScenario("rdma_64x4k", RunOpts{}), 4700u);
+  EXPECT_EQ(RunScenario("rdma_1x1m", RunOpts{}), 17191u);
+  EXPECT_EQ(RunScenario("line_rate_filter", RunOpts{}), 100007u);
+}
+
+// Parallel tick is a pure optimization: 8 worker threads must reproduce
+// the serial cycle count bit-for-bit on every scenario (engines with
+// uncertified modules fall back to serial internally — still identical).
+TEST(GoldenCycles, ThreadCountInvariant) {
+  for (const std::string& name : kScenarios) {
+    const uint64_t serial = RunScenario(name, RunOpts{1, true});
+    const uint64_t parallel = RunScenario(name, RunOpts{8, true});
+    EXPECT_EQ(serial, parallel) << "scenario " << name;
+  }
+}
+
+// Fast-forward is a pure optimization: disabling it must not change any
+// scenario's cycle count.
+TEST(GoldenCycles, FastForwardInvariant) {
+  for (const std::string& name : kScenarios) {
+    const uint64_t ff_on = RunScenario(name, RunOpts{1, true});
+    const uint64_t ff_off = RunScenario(name, RunOpts{1, false});
+    EXPECT_EQ(ff_on, ff_off) << "scenario " << name;
+  }
+}
+
+// Both modes at once, the configuration bench binaries run under
+// `--threads=8` on a loss-free fabric.
+TEST(GoldenCycles, CombinedModesInvariant) {
+  for (const std::string& name : kScenarios) {
+    const uint64_t base = RunScenario(name, RunOpts{1, true});
+    const uint64_t both = RunScenario(name, RunOpts{8, false});
+    EXPECT_EQ(base, both) << "scenario " << name;
+  }
+}
+
+}  // namespace
+}  // namespace fpgadp

@@ -318,6 +318,85 @@ TEST(EngineMetricsTest, RepeatedRunsDoNotDoubleCount) {
   EXPECT_EQ(reg.FindCounter("engine.cycles")->value(), e.now());
 }
 
+// ---------------------------------------------------------------------------
+// The Step()/FlushObservers contract. Run() flushes observers on exit, but
+// a manually Step()-driven engine that quiesces has NOT flushed: its last
+// busy spans and metric deltas are missing until FlushObservers() runs.
+// These tests pin down both the truncation and the two remedies (explicit
+// flush, destructor safety net).
+
+TEST(EngineMetricsTest, ManualSteppingRequiresExplicitFlush) {
+  std::vector<int> data(20, 2);
+  Stream<int> ch("ch", 4);
+  VectorSource<int> src("src", data, &ch);
+  VectorSink<int> sink("sink", &ch);
+  MetricsRegistry reg;
+  Engine e;
+  e.EnableMetrics(&reg);
+  e.AddModule(&src);
+  e.AddModule(&sink);
+  e.AddStream(&ch);
+  while (!e.QuiescedNow()) e.Step();
+  // Step() never exports: nothing in the registry yet, counters truncated.
+  const obs::Counter* busy = reg.FindCounter("module.src.busy_cycles");
+  EXPECT_TRUE(busy == nullptr || busy->value() < src.busy_cycles())
+      << "Step() must not flush observers (per-cycle probes would be "
+         "perturbed by partial exports)";
+  e.FlushObservers();
+  ASSERT_NE(reg.FindCounter("module.src.busy_cycles"), nullptr);
+  EXPECT_EQ(reg.FindCounter("module.src.busy_cycles")->value(),
+            src.busy_cycles());
+  EXPECT_EQ(reg.FindCounter("engine.cycles")->value(), e.now());
+  // Flushing is idempotent: a second flush (or Run()'s own exit flush)
+  // never double-counts.
+  e.FlushObservers();
+  EXPECT_EQ(reg.FindCounter("module.src.busy_cycles")->value(),
+            src.busy_cycles());
+}
+
+TEST(EngineMetricsTest, DestructorFlushesForgottenManualStepper) {
+  std::vector<int> data(20, 2);
+  Stream<int> ch("ch", 4);
+  VectorSource<int> src("src", data, &ch);
+  VectorSink<int> sink("sink", &ch);
+  MetricsRegistry reg;
+  {
+    Engine e;  // destroyed before modules/streams/registry, as required
+    e.EnableMetrics(&reg);
+    e.AddModule(&src);
+    e.AddModule(&sink);
+    e.AddStream(&ch);
+    while (!e.QuiescedNow()) e.Step();
+    // No FlushObservers() — the destructor is the safety net.
+  }
+  ASSERT_NE(reg.FindCounter("module.src.busy_cycles"), nullptr);
+  EXPECT_EQ(reg.FindCounter("module.src.busy_cycles")->value(),
+            src.busy_cycles());
+  EXPECT_GT(reg.FindCounter("engine.cycles")->value(), 0u);
+}
+
+TEST(TraceTest, ManualSteppingTruncatesSpansUntilFlushed) {
+  std::vector<int> data(50, 1);
+  Stream<int> ch("ch", 2);
+  VectorSource<int> src("src", data, &ch);
+  VectorSink<int> sink("sink", &ch);
+  TraceWriter writer;
+  Engine e;
+  e.EnableTracing(&writer, TraceOptions{/*sample_period=*/1, "steps"});
+  e.AddModule(&src);
+  e.AddModule(&sink);
+  e.AddStream(&ch);
+  while (!e.QuiescedNow()) e.Step();
+  const size_t spans_before_flush = writer.span_count();
+  e.FlushObservers();
+  // The final busy span of each module only closes at flush time.
+  EXPECT_GT(writer.span_count(), spans_before_flush)
+      << "unflushed manual stepper must be missing its trailing spans";
+  std::ostringstream os;
+  writer.WriteJson(os);
+  ExpectWellFormedJson(os.str());
+}
+
 TEST(EngineMetricsTest, GlobalRegistryPickedUpByNestedEngines) {
   MetricsRegistry reg;
   obs::SetGlobalMetrics(&reg);

@@ -5,6 +5,12 @@
 #   tools/check.sh            # default + asan
 #   tools/check.sh --fast     # default preset only
 #
+# Tests run per label tier — unit (fast, always-on), property (randomized
+# differential suites), golden (cycle-baseline lockdown, see
+# tests/golden/cycles.json) — with per-tier wall-clock timing so a slow
+# tier is visible at a glance. The golden tier runs on BOTH presets: a
+# cycle count that drifts only under sanitizers is still a bug.
+#
 # The asan preset (see CMakePresets.json) configures into build-asan/ with
 # FPGADP_SANITIZE=ON, so sanitized and regular build trees never collide.
 set -euo pipefail
@@ -16,13 +22,19 @@ if [[ "${1:-}" == "--fast" ]]; then
   PRESETS=(default)
 fi
 
+LABELS=(unit property golden)
+
 for preset in "${PRESETS[@]}"; do
   echo "=== [$preset] configure ==="
   cmake --preset "$preset"
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$JOBS"
-  echo "=== [$preset] test ==="
-  ctest --preset "$preset" -j "$JOBS"
+  for label in "${LABELS[@]}"; do
+    echo "=== [$preset] test: -L $label ==="
+    start=$SECONDS
+    ctest --preset "$preset" -j "$JOBS" -L "$label"
+    echo "--- [$preset] $label tier took $((SECONDS - start))s ---"
+  done
 done
 
-echo "All presets green: ${PRESETS[*]}"
+echo "All presets green: ${PRESETS[*]} (tiers: ${LABELS[*]})"

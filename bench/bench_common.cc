@@ -2,17 +2,21 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "src/sim/engine.h"
 
 namespace fpgadp::bench {
 
-Session::Session(int argc, char** argv) {
+Session::Session(int argc, char** argv)
+    : start_(std::chrono::steady_clock::now()) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--trace=", 8) == 0) {
       trace_path_ = arg + 8;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path_ = arg + 7;
     } else if (std::strcmp(arg, "--metrics") == 0) {
       metrics_ = std::make_unique<obs::MetricsRegistry>();
     } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
@@ -37,9 +41,60 @@ Session::Session(int argc, char** argv) {
   sim::SetDefaultFastForward(fast_forward_);
 }
 
+void Session::AddResult(const std::string& name,
+                        const std::vector<ResultField>& fields) {
+  // Recorded unconditionally (it is a handful of doubles); dumped only when
+  // a --json path is configured by flag or SetDefaultJsonPath.
+  results_.push_back({name, fields});
+}
+
+void Session::SetDefaultJsonPath(const std::string& path) {
+  if (json_path_.empty()) json_path_ = path;
+}
+
+namespace {
+
+/// Minimal JSON string escaping for row/field names (quotes, backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
 Session::~Session() {
   sim::SetDefaultEngineThreads(1);
   sim::SetDefaultFastForward(true);
+  if (!json_path_.empty()) {
+    const double wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::ofstream out(json_path_);
+    if (!out.good()) {
+      std::cerr << "[bench] cannot write json results to " << json_path_
+                << "\n";
+    } else {
+      out.precision(12);  // cycle counts must round-trip exactly
+      out << "{\n  \"wall_clock_sec\": " << wall_sec << ",\n  \"rows\": [";
+      for (size_t i = 0; i < results_.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+            << JsonEscape(results_[i].name) << "\"";
+        for (const auto& [key, value] : results_[i].fields) {
+          out << ", \"" << JsonEscape(key) << "\": " << value;
+        }
+        out << "}";
+      }
+      out << "\n  ]\n}\n";
+      std::cerr << "[bench] wrote " << results_.size() << " result rows to "
+                << json_path_ << "\n";
+    }
+  }
   if (writer_) {
     obs::SetGlobalTraceWriter(nullptr);
     const Status s = writer_->WriteFile(trace_path_);

@@ -1,8 +1,11 @@
 #ifndef FPGADP_BENCH_BENCH_COMMON_H_
 #define FPGADP_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -37,6 +40,11 @@ namespace fpgadp::bench {
 ///                    Disable event-driven fast-forwarding in Engine::Run()
 ///                    (cycle counts are identical either way; this exists
 ///                    to measure the speedup and to debug hint bugs).
+///   --json=<file>    Dump every result row the bench recorded with
+///                    AddResult(), plus the bench's total wall-clock, as a
+///                    JSON file on exit — the machine-readable complement
+///                    to the printed tables, for diffing perf trajectories
+///                    across commits.
 ///
 /// The session installs the process-global trace writer / metrics registry
 /// (see obs/trace.h), which every Engine picks up when it starts running —
@@ -69,10 +77,34 @@ class Session {
   /// instruments; nullptr when --metrics is off.
   obs::MetricsRegistry* metrics() { return metrics_.get(); }
 
+  /// One named numeric field of a result row.
+  using ResultField = std::pair<std::string, double>;
+
+  /// Records one result row for --json export (a no-op without --json).
+  /// `name` identifies the scenario/configuration; fields are the numbers a
+  /// printed table row would carry (cycles, wall seconds, items/sec, ...).
+  void AddResult(const std::string& name,
+                 const std::vector<ResultField>& fields);
+
+  /// Fallback --json destination a bench can install before results are
+  /// recorded; an explicit --json=<file> flag always wins.
+  void SetDefaultJsonPath(const std::string& path);
+
+  bool json_enabled() const { return !json_path_.empty(); }
+  const std::string& json_path() const { return json_path_; }
+
  private:
+  struct ResultRow {
+    std::string name;
+    std::vector<ResultField> fields;
+  };
+
   std::string trace_path_;
+  std::string json_path_;
   std::unique_ptr<obs::TraceWriter> writer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::vector<ResultRow> results_;
+  std::chrono::steady_clock::time_point start_;
   uint64_t fault_seed_ = 1;
   double drop_rate_ = 0;
   uint32_t threads_ = 1;

@@ -1,0 +1,341 @@
+// Simulator-throughput benchmark: how fast does the *simulator itself* run,
+// in host wall-clock, across the data-plane shapes the repo's experiments
+// exercise? Reports simulated cycles/sec and items/sec for six scenarios —
+// narrow pipeline (1 lane), wide-lane burst movers (16 and 64 lanes), a
+// 16-lane transform, memory-bound channel traffic, and a fabric incast —
+// each in serial, --threads=N, and
+// fast-forward-off modes. Cycle counts must be identical across modes (the
+// engine's performance contract); the bench fails hard if they diverge, and
+// in --smoke mode it additionally re-runs the golden line-rate filter
+// scenario and fails on any drift from tests/golden/cycles.json.
+//
+// Results are dumped to BENCH_sim_throughput.json (override with
+// --json=<file>) so the perf trajectory is diffable across commits.
+//
+// Flags: --smoke (small sizes + golden guard, for the `perf` ctest tier),
+// plus the bench_common set (--threads=N, --no-fast-forward, --json=...).
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/memory/channel.h"
+#include "src/memory/mem_types.h"
+#include "src/net/fabric.h"
+#include "src/relational/fpga_executor.h"
+#include "src/relational/program.h"
+#include "src/relational/table.h"
+#include "src/sim/engine.h"
+#include "src/sim/kernels.h"
+
+#ifndef FPGADP_GOLDEN_DIR
+#error "FPGADP_GOLDEN_DIR must be defined by the build (bench/CMakeLists.txt)"
+#endif
+
+namespace fpgadp {
+namespace {
+
+struct Mode {
+  std::string name;
+  uint32_t threads = 1;
+  bool fast_forward = true;
+};
+
+struct RunResult {
+  uint64_t cycles = 0;
+  uint64_t items = 0;
+  double wall_sec = 0;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `engine` to quiescence under `mode`, timing the Run() call only
+/// (scenario construction is excluded — we measure the stepping hot path).
+uint64_t TimedRun(sim::Engine& engine, const Mode& mode, double* wall_sec) {
+  engine.SetThreads(mode.threads);
+  engine.SetFastForward(mode.fast_forward);
+  const double t0 = Now();
+  auto cycles = engine.Run(/*max_cycles=*/1ull << 32);
+  *wall_sec = Now() - t0;
+  if (!cycles.ok()) {
+    std::cerr << "FAIL: engine did not quiesce: " << cycles.status() << "\n";
+    std::exit(1);
+  }
+  return cycles.value();
+}
+
+/// narrow: 1-lane source -> II=1 transform -> sink through depth-8 FIFOs —
+/// the 3-module pipeline every E-series experiment is built from.
+RunResult RunNarrow(size_t n, const Mode& mode) {
+  std::vector<int> data(n, 7);
+  sim::Stream<int> a("a", 8), b("b", 8);
+  sim::VectorSource<int> src("src", std::move(data), &a);
+  sim::TransformKernel<int, int> k(
+      "k", &a, &b, [](const int& v) { return std::optional<int>(v + 1); });
+  sim::VectorSink<int> sink("sink", &b);
+  // Pre-size the sink's output buffer: the bench measures the data plane,
+  // not allocator growth (repeated reallocation is mostly page-fault cost
+  // and would dominate the wide scenarios). Same treatment in every
+  // scenario, and applied identically when baselining older library
+  // versions, so comparisons isolate the stream/kernel hot path.
+  sink.collected().reserve(n);
+  sim::Engine e;
+  e.AddModule(&src);
+  e.AddModule(&k);
+  e.AddModule(&sink);
+  e.AddStream(&a);
+  e.AddStream(&b);
+  RunResult r;
+  r.cycles = TimedRun(e, mode, &r.wall_sec);
+  r.items = sink.collected().size();
+  return r;
+}
+
+/// Wide-lane burst mover: `lanes`-wide source -> sink through one FIFO of
+/// depth 4*lanes — a pure burst mover, the shape of an AXI read burst
+/// feeding a drain. These are the scenarios the data-plane batching work
+/// targets (>= 5x wall-clock on the widest): wide16 moves one 512-bit AXI
+/// beat of ints per cycle; wide64 models a multi-port / HBM-class 2048-bit
+/// datapath, where the simulator's fixed per-cycle costs (module tick
+/// boundaries, engine loop) amortize over 4x the items and the span API's
+/// advantage over per-item calls is largest.
+RunResult RunWideLaneImpl(size_t n, const Mode& mode, uint32_t lanes) {
+  std::vector<int> data(n);
+  for (size_t i = 0; i < n; ++i) data[i] = int(i);
+  sim::Stream<int> ch("ch", 4 * size_t(lanes));
+  sim::VectorSource<int> src("src", std::move(data), &ch, lanes);
+  sim::VectorSink<int> sink("sink", &ch, lanes);
+  sink.collected().reserve(n);
+  sim::Engine e;
+  e.AddModule(&src);
+  e.AddModule(&sink);
+  e.AddStream(&ch);
+  RunResult r;
+  r.cycles = TimedRun(e, mode, &r.wall_sec);
+  r.items = sink.collected().size();
+  return r;
+}
+
+RunResult RunWideLane(size_t n, const Mode& mode) {
+  return RunWideLaneImpl(n, mode, /*lanes=*/16);
+}
+
+RunResult RunWideLane64(size_t n, const Mode& mode) {
+  return RunWideLaneImpl(n, mode, /*lanes=*/64);
+}
+
+/// wide16_xform: the wide-lane shape with a 16-lane transform kernel in the
+/// middle — shows how much of the cycle cost is the per-item std::function
+/// the span API cannot remove.
+RunResult RunWideXform(size_t n, const Mode& mode) {
+  std::vector<int> data(n, 3);
+  sim::Stream<int> a("a", 64), b("b", 64);
+  sim::VectorSource<int> src("src", std::move(data), &a, /*lanes=*/16);
+  sim::KernelTiming timing;
+  timing.lanes = 16;
+  sim::TransformKernel<int, int> k(
+      "k", &a, &b, [](const int& v) { return std::optional<int>(v * 2); },
+      timing);
+  sim::VectorSink<int> sink("sink", &b, /*lanes=*/16);
+  sink.collected().reserve(n);
+  sim::Engine e;
+  e.AddModule(&src);
+  e.AddModule(&k);
+  e.AddModule(&sink);
+  e.AddStream(&a);
+  e.AddStream(&b);
+  RunResult r;
+  r.cycles = TimedRun(e, mode, &r.wall_sec);
+  r.items = sink.collected().size();
+  return r;
+}
+
+/// membound: one DDR-class channel served at 1 request/cycle, responses
+/// drained by a sink — the latency+bus timing model under load.
+RunResult RunMemBound(size_t n, const Mode& mode) {
+  std::vector<mem::MemRequest> reqs(n);
+  for (size_t i = 0; i < n; ++i) {
+    reqs[i] = mem::MemRequest{/*id=*/i, /*addr=*/i * 64, /*bytes=*/64,
+                              /*is_write=*/false};
+  }
+  sim::Stream<mem::MemRequest> req("req", 16);
+  sim::Stream<mem::MemResponse> resp("resp", 16);
+  sim::VectorSource<mem::MemRequest> src("src", std::move(reqs), &req,
+                                         /*lanes=*/4);
+  mem::MemoryChannel chan("ddr0", &req, &resp, mem::MemoryChannel::Config{});
+  sim::VectorSink<mem::MemResponse> sink("sink", &resp, /*lanes=*/4);
+  sink.collected().reserve(n);
+  sim::Engine e;
+  e.AddModule(&src);
+  e.AddModule(&chan);
+  e.AddModule(&sink);
+  e.AddStream(&req);
+  e.AddStream(&resp);
+  RunResult r;
+  r.cycles = TimedRun(e, mode, &r.wall_sec);
+  r.items = sink.collected().size();
+  return r;
+}
+
+/// incast: 3 senders stream 256 B packets at one receive port of a 4-node
+/// 100 Gbps fabric — the per-port serialization loops under congestion.
+RunResult RunIncast(size_t pkts_per_sender, const Mode& mode) {
+  net::Fabric fabric("fab", 4, net::Fabric::Config{});
+  std::vector<std::unique_ptr<sim::VectorSource<net::Packet>>> senders;
+  for (uint32_t s = 1; s < 4; ++s) {
+    std::vector<net::Packet> pkts(pkts_per_sender);
+    for (size_t i = 0; i < pkts.size(); ++i) {
+      net::Packet p;
+      p.src = s;
+      p.dst = 0;
+      p.bytes = 256;
+      p.tag = i;
+      pkts[i] = p;
+    }
+    senders.push_back(std::make_unique<sim::VectorSource<net::Packet>>(
+        "tx" + std::to_string(s), std::move(pkts), &fabric.egress(s),
+        /*lanes=*/4));
+  }
+  sim::VectorSink<net::Packet> sink("rx0", &fabric.ingress(0), /*lanes=*/4);
+  sink.collected().reserve(3 * pkts_per_sender);
+  sim::Engine e;
+  fabric.RegisterWith(e);
+  for (auto& s : senders) e.AddModule(s.get());
+  e.AddModule(&sink);
+  RunResult r;
+  r.cycles = TimedRun(e, mode, &r.wall_sec);
+  r.items = sink.collected().size();
+  return r;
+}
+
+/// Golden guard (--smoke): the fixed line-rate filter configuration from
+/// tests/golden/cycles.json must reproduce its recorded cycle count — the
+/// proof that data-plane batching changed wall-clock only.
+bool CheckGoldenFilter() {
+  const std::string path = std::string(FPGADP_GOLDEN_DIR) + "/cycles.json";
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "FAIL: missing golden baseline " << path << "\n";
+    return false;
+  }
+  uint64_t want = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t at = line.find("\"line_rate_filter\"");
+    if (at == std::string::npos) continue;
+    const size_t colon = line.find(':', at);
+    if (colon != std::string::npos) {
+      want = std::strtoull(line.c_str() + colon + 1, nullptr, 10);
+    }
+  }
+  if (want == 0) {
+    std::cerr << "FAIL: line_rate_filter missing from " << path << "\n";
+    return false;
+  }
+  rel::SyntheticTableSpec spec;
+  spec.num_rows = 200000;
+  spec.seed = 8;
+  rel::Table table = rel::MakeSyntheticTable(spec);
+  rel::FpgaOptions options;
+  options.lanes = 2;
+  options.stream_depth = 32;
+  rel::Program p;
+  rel::FilterOp f;
+  f.conjuncts.push_back(rel::Predicate{4, rel::CmpOp::kGe, 25});
+  p.ops.push_back(f);
+  auto stats = rel::ExecuteFpga(p, table, options);
+  if (!stats.ok()) {
+    std::cerr << "FAIL: golden filter run failed: " << stats.status() << "\n";
+    return false;
+  }
+  if (stats->cycles != want) {
+    std::cerr << "FAIL: line_rate_filter drifted from the golden baseline "
+              << "(got " << stats->cycles << ", want " << want << ")\n";
+    return false;
+  }
+  std::cout << "[golden] line_rate_filter reproduced at " << want
+            << " cycles\n";
+  return true;
+}
+
+}  // namespace
+}  // namespace fpgadp
+
+int main(int argc, char** argv) {
+  using namespace fpgadp;
+  bench::Session session(argc, argv);
+  session.SetDefaultJsonPath("BENCH_sim_throughput.json");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const size_t scale = smoke ? 16 : 1;
+
+  std::cout << "=== simulator data-plane throughput"
+            << (smoke ? " (smoke)" : "") << " ===\n";
+
+  struct Scenario {
+    std::string name;
+    size_t n;
+    RunResult (*run)(size_t, const Mode&);
+  };
+  const std::vector<Scenario> scenarios = {
+      {"narrow", 500000 / scale, RunNarrow},
+      {"wide16", 4000000 / scale, RunWideLane},
+      {"wide64", 8000000 / scale, RunWideLane64},
+      {"wide16_xform", 1000000 / scale, RunWideXform},
+      {"membound", 100000 / scale, RunMemBound},
+      {"incast", 5000 / scale, RunIncast},
+  };
+  const uint32_t nthreads = session.threads() > 1 ? session.threads() : 4;
+  const std::vector<Mode> modes = {
+      {"serial", 1, true},
+      {"noff", 1, false},
+      {"thr" + std::to_string(nthreads), nthreads, true},
+  };
+
+  TablePrinter t({"scenario", "mode", "sim cycles", "items", "wall ms",
+                  "Mcycles/s", "Mitems/s"});
+  bool ok = true;
+  for (const Scenario& sc : scenarios) {
+    uint64_t first_cycles = 0;
+    for (const Mode& mode : modes) {
+      const RunResult r = sc.run(sc.n, mode);
+      if (first_cycles == 0) {
+        first_cycles = r.cycles;
+      } else if (r.cycles != first_cycles) {
+        std::cerr << "FAIL: scenario " << sc.name << " mode " << mode.name
+                  << " changed the cycle count (" << r.cycles << " vs "
+                  << first_cycles << ") — performance modes must be pure\n";
+        ok = false;
+      }
+      const double mcps = double(r.cycles) / r.wall_sec / 1e6;
+      const double mips = double(r.items) / r.wall_sec / 1e6;
+      t.AddRow({sc.name, mode.name, TablePrinter::FmtCount(r.cycles),
+                TablePrinter::FmtCount(r.items),
+                TablePrinter::Fmt(r.wall_sec * 1e3, 2),
+                TablePrinter::Fmt(mcps, 2), TablePrinter::Fmt(mips, 2)});
+      session.AddResult(sc.name + "." + mode.name,
+                        {{"cycles", double(r.cycles)},
+                         {"items", double(r.items)},
+                         {"wall_sec", r.wall_sec},
+                         {"sim_cycles_per_sec", double(r.cycles) / r.wall_sec},
+                         {"items_per_sec", double(r.items) / r.wall_sec}});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\n(cycle counts asserted identical across serial / threaded "
+               "/ no-fast-forward modes)\n";
+
+  if (smoke && !CheckGoldenFilter()) ok = false;
+  return ok ? 0 : 1;
+}

@@ -29,4 +29,19 @@ namespace fpgadp::internal {
       ::fpgadp::internal::CheckFailed(__FILE__, __LINE__, _st.ToString().c_str()); \
   } while (false)
 
+/// Debug-only variant for assertions too costly (or too paranoid) for the
+/// simulator's per-cycle hot paths. Compiled out in optimized builds unless
+/// FPGADP_ENABLE_DCHECKS is defined — the sanitizer preset defines it, so
+/// CI still exercises every DCHECK. Note both CMake presets build
+/// RelWithDebInfo (NDEBUG set); without the explicit opt-in these would
+/// never fire.
+#if !defined(NDEBUG) || defined(FPGADP_ENABLE_DCHECKS)
+#define FPGADP_DCHECK(expr) FPGADP_CHECK(expr)
+#else
+#define FPGADP_DCHECK(expr)      \
+  do {                           \
+    (void)sizeof(!(expr));       \
+  } while (false)
+#endif
+
 #endif  // FPGADP_COMMON_CHECK_H_

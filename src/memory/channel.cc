@@ -1,6 +1,7 @@
 #include "src/memory/channel.h"
 
 #include <algorithm>
+#include <span>
 
 #include "src/common/check.h"
 #include "src/common/units.h"
@@ -45,29 +46,45 @@ void MemoryChannel::Tick(sim::Cycle cycle) {
     ++latency_wait_cycles_;
   }
   bool progressed = false;
-  // Deliver completions whose time has come.
-  while (!pending_.empty() && pending_.front().done <= cycle &&
-         resp_->CanWrite()) {
-    resp_->Write(pending_.front().resp);
-    pending_.pop_front();
-    ++completed_;
-    progressed = true;
+  // Deliver completions whose time has come, burst-written per contiguous
+  // free run of the response FIFO.
+  while (!pending_.empty() && pending_.front().done <= cycle) {
+    std::span<MemResponse> dst = resp_->WritableSpan();
+    if (dst.empty()) break;  // response FIFO full
+    size_t n = 0;
+    while (n < dst.size() && !pending_.empty() &&
+           pending_.front().done <= cycle) {
+      dst[n++] = pending_.front().resp;
+      pending_.pop_front();
+    }
+    resp_->CommitWrite(n);
+    completed_ += n;
+    progressed = progressed || n > 0;
   }
-  // Accept new requests while the controller queue has room.
-  while (req_->CanRead() && pending_.size() < config_.max_outstanding) {
-    MemRequest r = req_->Read();
-    const uint64_t eff_bytes =
-        std::max<uint64_t>(r.bytes, config_.access_granularity);
-    const auto transfer_cycles = static_cast<uint64_t>(
-        (static_cast<double>(eff_bytes) + bytes_per_cycle_ - 1) /
-        bytes_per_cycle_);
-    // Row access latency overlaps with other transfers (the controller
-    // pipelines), but the data bus itself is serialized.
-    const sim::Cycle start = std::max<sim::Cycle>(cycle + 1, bus_free_);
-    const sim::Cycle done = start + latency_cycles_ + transfer_cycles;
-    bus_free_ = start + transfer_cycles;
-    bytes_transferred_ += eff_bytes;
-    pending_.push_back({done, MemResponse{r.id, r.addr, r.bytes, r.is_write}});
+  // Accept new requests while the controller queue has room, burst-read
+  // from the request FIFO (the per-request bus math is unchanged).
+  while (pending_.size() < config_.max_outstanding) {
+    std::span<const MemRequest> src = req_->ReadableSpan();
+    if (src.empty()) break;  // no requests waiting
+    const size_t n =
+        std::min<size_t>(src.size(), config_.max_outstanding - pending_.size());
+    for (size_t i = 0; i < n; ++i) {
+      const MemRequest& r = src[i];
+      const uint64_t eff_bytes =
+          std::max<uint64_t>(r.bytes, config_.access_granularity);
+      const auto transfer_cycles = static_cast<uint64_t>(
+          (static_cast<double>(eff_bytes) + bytes_per_cycle_ - 1) /
+          bytes_per_cycle_);
+      // Row access latency overlaps with other transfers (the controller
+      // pipelines), but the data bus itself is serialized.
+      const sim::Cycle start = std::max<sim::Cycle>(cycle + 1, bus_free_);
+      const sim::Cycle done = start + latency_cycles_ + transfer_cycles;
+      bus_free_ = start + transfer_cycles;
+      bytes_transferred_ += eff_bytes;
+      pending_.push_back(
+          {done, MemResponse{r.id, r.addr, r.bytes, r.is_write}});
+    }
+    req_->ConsumeRead(n);
     progressed = true;
   }
   // Completion order must stay monotone for the front-pop above; the

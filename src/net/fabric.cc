@@ -1,6 +1,7 @@
 #include "src/net/fabric.h"
 
 #include <algorithm>
+#include <span>
 
 #include "src/common/check.h"
 #include "src/common/units.h"
@@ -175,83 +176,96 @@ void Fabric::Tick(sim::Cycle cycle) {
     if (cycle < rx_free_[n]) ++rx_busy_cycles_[n];
   }
   bool progressed = false;
-  // Pick up newly posted packets from every egress port.
+  // Pick up newly posted packets from every egress port, burst-read per
+  // contiguous run; the per-packet switching/fault logic is unchanged.
   for (uint32_t n = 0; n < egress_.size(); ++n) {
-    while (egress_[n]->CanRead()) {
-      Packet p = egress_[n]->Read();
-      FPGADP_CHECK(p.dst < ingress_.size());
-      // Link-level control packets (which only exist on a lossy fabric)
-      // ride a prioritized control lane, as RC hardware acks do: they skip
-      // the port's data backlog instead of queueing behind megabytes of
-      // payload, so they cannot starve the very timers they feed.
-      const bool control =
-          p.kind == OpKind::kRdmaAck || p.kind == OpKind::kRdmaNack;
-      const uint64_t ser = SerializationCycles(p.bytes);
-      const sim::Cycle tx_start =
-          control ? cycle + 1 : std::max<sim::Cycle>(cycle + 1, tx_free_[n]);
-      if (!control) tx_free_[n] = tx_start + ser;
-      // Fault injection point: the packet has left the sender NIC (tx
-      // serialization is already paid) and is inside the switch.
-      uint64_t extra_delay = 0;
-      bool duplicate = false;
-      if (injector_ != nullptr) {
-        const FaultInjector::Decision d = injector_->OnPacket(cycle, p);
-        if (d.drop) {
-          TraceFault(cycle, FaultKind::kDrop, p);
-          ++packets_dropped_;
-          progressed = true;
-          continue;
+    while (true) {
+      std::span<const Packet> posted = egress_[n]->ReadableSpan();
+      if (posted.empty()) break;
+      for (size_t pi = 0; pi < posted.size(); ++pi) {
+        Packet p = posted[pi];
+        FPGADP_CHECK(p.dst < ingress_.size());
+        // Link-level control packets (which only exist on a lossy fabric)
+        // ride a prioritized control lane, as RC hardware acks do: they skip
+        // the port's data backlog instead of queueing behind megabytes of
+        // payload, so they cannot starve the very timers they feed.
+        const bool control =
+            p.kind == OpKind::kRdmaAck || p.kind == OpKind::kRdmaNack;
+        const uint64_t ser = SerializationCycles(p.bytes);
+        const sim::Cycle tx_start =
+            control ? cycle + 1 : std::max<sim::Cycle>(cycle + 1, tx_free_[n]);
+        if (!control) tx_free_[n] = tx_start + ser;
+        // Fault injection point: the packet has left the sender NIC (tx
+        // serialization is already paid) and is inside the switch.
+        uint64_t extra_delay = 0;
+        bool duplicate = false;
+        if (injector_ != nullptr) {
+          const FaultInjector::Decision d = injector_->OnPacket(cycle, p);
+          if (d.drop) {
+            TraceFault(cycle, FaultKind::kDrop, p);
+            ++packets_dropped_;
+            progressed = true;
+            continue;
+          }
+          if (d.corrupt) {
+            p.corrupt = true;
+            TraceFault(cycle, FaultKind::kCorrupt, p);
+          }
+          if (d.duplicate) {
+            duplicate = true;
+            TraceFault(cycle, FaultKind::kDuplicate, p);
+          }
+          if (d.extra_delay_cycles > 0) {
+            extra_delay = d.extra_delay_cycles;
+            TraceFault(cycle, FaultKind::kDelay, p);
+          }
         }
-        if (d.corrupt) {
-          p.corrupt = true;
-          TraceFault(cycle, FaultKind::kCorrupt, p);
-        }
-        if (d.duplicate) {
-          duplicate = true;
-          TraceFault(cycle, FaultKind::kDuplicate, p);
-        }
-        if (d.extra_delay_cycles > 0) {
-          extra_delay = d.extra_delay_cycles;
-          TraceFault(cycle, FaultKind::kDelay, p);
-        }
-      }
-      // Cut-through switching: the receive port streams the packet while
-      // the sender is still serializing it, so an uncontended transfer
-      // costs ser + wire, not 2x ser. The rx port is still a serialized
-      // resource (incast queues here).
-      const sim::Cycle rx_start =
-          control ? tx_start + wire_latency_cycles_
-                  : std::max<sim::Cycle>(tx_start + wire_latency_cycles_,
-                                         rx_free_[p.dst]);
-      const sim::Cycle rx_end = rx_start + ser;
-      if (!control) rx_free_[p.dst] = rx_end;
-      // A delay spike holds the packet in switch buffering after the port:
-      // it does not occupy the receive port meanwhile, so later packets
-      // overtake it — delay faults genuinely reorder delivery.
-      arriving_[p.dst].push({rx_end + extra_delay, p});
-      ++in_flight_;
-      if (duplicate) {
-        // The switch emits a second copy right behind the first; it pays
-        // its own receive-port serialization.
-        const sim::Cycle rx2_end = rx_free_[p.dst] + ser;
-        rx_free_[p.dst] = rx2_end;
-        arriving_[p.dst].push({rx2_end + extra_delay, p});
+        // Cut-through switching: the receive port streams the packet while
+        // the sender is still serializing it, so an uncontended transfer
+        // costs ser + wire, not 2x ser. The rx port is still a serialized
+        // resource (incast queues here).
+        const sim::Cycle rx_start =
+            control ? tx_start + wire_latency_cycles_
+                    : std::max<sim::Cycle>(tx_start + wire_latency_cycles_,
+                                           rx_free_[p.dst]);
+        const sim::Cycle rx_end = rx_start + ser;
+        if (!control) rx_free_[p.dst] = rx_end;
+        // A delay spike holds the packet in switch buffering after the port:
+        // it does not occupy the receive port meanwhile, so later packets
+        // overtake it — delay faults genuinely reorder delivery.
+        arriving_[p.dst].push({rx_end + extra_delay, p});
         ++in_flight_;
+        if (duplicate) {
+          // The switch emits a second copy right behind the first; it pays
+          // its own receive-port serialization.
+          const sim::Cycle rx2_end = rx_free_[p.dst] + ser;
+          rx_free_[p.dst] = rx2_end;
+          arriving_[p.dst].push({rx2_end + extra_delay, p});
+          ++in_flight_;
+        }
+        progressed = true;
       }
-      progressed = true;
+      egress_[n]->ConsumeRead(posted.size());
     }
   }
-  // Deliver packets whose receive serialization has completed.
+  // Deliver packets whose receive serialization has completed, burst-written
+  // per contiguous free run of each ingress FIFO.
   for (uint32_t n = 0; n < ingress_.size(); ++n) {
     auto& pq = arriving_[n];
-    while (!pq.empty() && pq.top().deliver_at <= cycle &&
-           ingress_[n]->CanWrite()) {
-      ingress_[n]->Write(pq.top().packet);
-      payload_bytes_delivered_ += pq.top().packet.bytes;
-      pq.pop();
-      --in_flight_;
-      ++packets_delivered_;
-      progressed = true;
+    while (!pq.empty() && pq.top().deliver_at <= cycle) {
+      std::span<Packet> dst = ingress_[n]->WritableSpan();
+      if (dst.empty()) break;  // ingress FIFO full
+      size_t k = 0;
+      while (k < dst.size() && !pq.empty() && pq.top().deliver_at <= cycle) {
+        dst[k] = pq.top().packet;
+        payload_bytes_delivered_ += pq.top().packet.bytes;
+        pq.pop();
+        ++k;
+      }
+      ingress_[n]->CommitWrite(k);
+      in_flight_ -= k;
+      packets_delivered_ += k;
+      progressed = progressed || k > 0;
     }
   }
   if (progressed) {

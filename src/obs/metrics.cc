@@ -1,10 +1,41 @@
 #include "src/obs/metrics.h"
 
+#include <atomic>
 #include <sstream>
 
 #include "src/common/check.h"
 
 namespace fpgadp::obs {
+
+namespace internal {
+
+namespace {
+// Depth counter, not a flag, so manual Step() loops that nest scopes and
+// multi-level parallel engines stay correct. Relaxed is enough: guards are
+// entered/left by an engine's coordinator thread, and the DCHECK only needs
+// to observe a value that thread published before dispatching Ticks.
+std::atomic<int> g_tick_phase_depth{0};
+}  // namespace
+
+#if !defined(NDEBUG) || defined(FPGADP_ENABLE_DCHECKS)
+TickPhaseGuard::TickPhaseGuard() {
+  g_tick_phase_depth.fetch_add(1, std::memory_order_relaxed);
+}
+TickPhaseGuard::~TickPhaseGuard() {
+  g_tick_phase_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+#endif
+
+bool InTickPhase() {
+  return g_tick_phase_depth.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace internal
+
+// Per-cycle code must cache instrument pointers; a by-name lookup during an
+// engine's tick phase is a hot-path regression the DCHECK makes loud.
+#define FPGADP_ASSERT_NOT_IN_TICK() \
+  FPGADP_DCHECK(!::fpgadp::obs::internal::InTickPhase())
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   FPGADP_CHECK(!bounds_.empty());
@@ -42,6 +73,7 @@ std::vector<double> Pow2Bounds(uint32_t num_buckets) {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  FPGADP_ASSERT_NOT_IN_TICK();
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -49,6 +81,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  FPGADP_ASSERT_NOT_IN_TICK();
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
@@ -57,6 +90,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
+  FPGADP_ASSERT_NOT_IN_TICK();
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
@@ -64,18 +98,21 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  FPGADP_ASSERT_NOT_IN_TICK();
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  FPGADP_ASSERT_NOT_IN_TICK();
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  FPGADP_ASSERT_NOT_IN_TICK();
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();

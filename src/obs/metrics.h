@@ -66,6 +66,34 @@ class Histogram {
 /// lengths.
 std::vector<double> Pow2Bounds(uint32_t num_buckets);
 
+namespace internal {
+
+/// RAII marker an engine holds across its per-cycle tick + commit phase.
+/// While any guard is live, by-name registry lookups (Get*/Find*) are a
+/// programmer error — hot-path code must resolve instrument handles once,
+/// outside the cycle loop — and FPGADP_DCHECK-fail. Nestable (a counter,
+/// not a flag) and process-global: safe because no module's Tick() runs a
+/// nested engine, so a live guard always means "inside some engine's cycle
+/// loop". Compiled to a no-op when FPGADP_DCHECK is compiled out (the
+/// assertions that read it are gone too), so release ticking pays nothing.
+class TickPhaseGuard {
+ public:
+#if !defined(NDEBUG) || defined(FPGADP_ENABLE_DCHECKS)
+  TickPhaseGuard();
+  ~TickPhaseGuard();
+#else
+  TickPhaseGuard() {}
+  ~TickPhaseGuard() {}
+#endif
+  TickPhaseGuard(const TickPhaseGuard&) = delete;
+  TickPhaseGuard& operator=(const TickPhaseGuard&) = delete;
+};
+
+/// True while any TickPhaseGuard is live.
+bool InTickPhase();
+
+}  // namespace internal
+
 /// A flat namespace of named instruments. Get* creates on first use and
 /// returns the same pointer thereafter, so callers register once and record
 /// without lookups. Map access (lookup/creation/export) is mutex-guarded so
@@ -73,6 +101,11 @@ std::vector<double> Pow2Bounds(uint32_t num_buckets);
 /// engine per worker against the process-global registry — cannot corrupt
 /// the name maps; the instruments themselves are still single-writer (each
 /// engine's coordinator thread), like the simulator they serve.
+///
+/// Per-cycle simulation code must not call Get*/Find* — hash + mutex per
+/// lookup is exactly the probe cost the observability layer promises to
+/// avoid. Every lookup FPGADP_DCHECKs that no engine is inside its tick
+/// phase (see internal::TickPhaseGuard).
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);

@@ -1,7 +1,9 @@
 #include "src/relational/fpga_executor.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
@@ -26,30 +28,46 @@ OpKernel::OpKernel(std::string name, sim::Stream<Beat>* in,
 
 void OpKernel::Tick(sim::Cycle cycle) {
   bool progressed = false;
-  // Retire ready beats.
+  // Retire ready beats, burst-written per contiguous free run.
   uint32_t retired = 0;
-  while (retired < lanes_ && !emit_.empty() && emit_.front().first <= cycle &&
-         out_->CanWrite()) {
-    out_->Write(emit_.front().second);
-    emit_.pop_front();
-    ++retired;
-    progressed = true;
+  while (retired < lanes_ && !emit_.empty() && emit_.front().first <= cycle) {
+    std::span<Beat> dst = out_->WritableSpan();
+    if (dst.empty()) break;  // out FIFO full
+    size_t n = 0;
+    while (n < dst.size() && retired + n < lanes_ && !emit_.empty() &&
+           emit_.front().first <= cycle) {
+      dst[n++] = std::move(emit_.front().second);
+      emit_.pop_front();
+    }
+    out_->CommitWrite(n);
+    retired += static_cast<uint32_t>(n);
+    progressed = progressed || n > 0;
   }
-  // Issue new beats. The emit queue is only gated for ordinary traffic;
-  // flush bursts (group-by on EOS) may exceed the bound and simply take
-  // multiple cycles to drain, which is the honest hardware behaviour.
+  // Issue new beats, burst-read from the in FIFO. The emit queue is only
+  // gated for ordinary traffic; flush bursts (group-by on EOS) may exceed
+  // the bound and simply take multiple cycles to drain, which is the honest
+  // hardware behaviour. The gate is re-checked per beat because one input
+  // beat can emit many (or zero) output beats.
   const size_t gate = static_cast<size_t>(latency_ + 4) * lanes_;
   uint32_t issued = 0;
-  while (issued < lanes_ && in_->CanRead() && emit_.size() < gate) {
-    Beat b = in_->Read();
-    scratch_.clear();
-    fn_(b, scratch_);
-    for (Beat& out_beat : scratch_) {
-      emit_.emplace_back(cycle + latency_, out_beat);
+  while (issued < lanes_ && emit_.size() < gate) {
+    std::span<const Beat> src = in_->ReadableSpan();
+    if (src.empty()) break;  // starved
+    const size_t limit = std::min<size_t>(lanes_ - issued, src.size());
+    size_t taken = 0;
+    while (taken < limit && emit_.size() < gate) {
+      scratch_.clear();
+      fn_(src[taken], scratch_);
+      ++taken;
+      for (Beat& out_beat : scratch_) {
+        emit_.emplace_back(cycle + latency_, out_beat);
+      }
     }
-    ++consumed_;
-    ++issued;
-    progressed = true;
+    in_->ConsumeRead(taken);
+    consumed_ += taken;
+    issued += static_cast<uint32_t>(taken);
+    progressed = progressed || taken > 0;
+    if (taken < limit) break;  // emit gate closed mid-burst
   }
   if (progressed) {
     MarkBusy();

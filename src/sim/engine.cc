@@ -32,6 +32,8 @@ Engine::~Engine() {
   // Safety net for manually stepped harnesses that forget the final flush;
   // a Run()-driven engine has already flushed, so this stays a no-op (and
   // never touches modules that might not outlive an oddly-ordered scope).
+  // Streams attached to the commit queue need no detach here: the queue is
+  // shared-owned, so it outlives whichever of engine/stream dies last.
   if (!flushed_) FlushObservers();
 }
 
@@ -59,19 +61,38 @@ void Engine::RebuildSchedule() {
   parallel_tick_ = false;
   if (threads_ <= 1) {
     pool_.reset();
-    return;
+  } else {
+    if (!pool_ || pool_->num_threads() != threads_) {
+      pool_ = std::make_unique<ThreadPool>(threads_);
+    }
+    parallel_tick_ = TryBuildLevels();
   }
-  if (!pool_ || pool_->num_threads() != threads_) {
-    pool_ = std::make_unique<ThreadPool>(threads_);
+  // Wire the commit-skip plumbing for the chosen mode: serial commits drain
+  // the dirty-stream list writers push onto; parallel commits must not (a
+  // push from a worker thread would race), so streams are detached and the
+  // commit shard checks the per-stream staged flag instead. Streams already
+  // dirty (e.g. preloaded by a harness before the first Step) are re-seeded
+  // from their flags.
+  commit_queue_->clear();
+  for (StreamBase* s : streams_) {
+    if (parallel_tick_) {
+      s->commit_queue_.reset();
+    } else {
+      s->commit_queue_ = commit_queue_;
+      if (s->has_staged()) commit_queue_->push_back(s);
+    }
   }
+}
+
+bool Engine::TryBuildLevels() {
   // Certification gate: every module must have declared its stream
   // endpoints and promised a self-contained Tick; any stream with an
   // ambiguous writer/reader set vetoes the whole engine.
   for (const Module* m : modules_) {
-    if (!m->parallel_safe()) return;
+    if (!m->parallel_safe()) return false;
   }
   for (const StreamBase* s : streams_) {
-    if (s->bind_conflict()) return;
+    if (s->bind_conflict()) return false;
   }
   // Build the dependency levels. Each stream connecting two registered
   // modules is an edge from the lower registration index to the higher —
@@ -103,7 +124,7 @@ void Engine::RebuildSchedule() {
   for (size_t i = 0; i < modules_.size(); ++i) {
     levels_[level[i]].push_back(modules_[i]);
   }
-  parallel_tick_ = true;
+  return true;
 }
 
 void Engine::EnableTracing(obs::TraceWriter* writer, TraceOptions options) {
@@ -151,18 +172,51 @@ void Engine::EnsureProbeSlots() {
   }
   if (metrics_) {
     MetricsState& m = *metrics_;
-    m.module_cursor.resize(modules_.size());
-    m.stream_cursor.resize(streams_.size(), {0, 0});
+    obs::MetricsRegistry& reg = *m.registry;
+    // Resolve instrument handles by name once per module/stream; exports
+    // and depth samples afterwards touch only cached pointers.
+    while (m.module_cursor.size() < modules_.size()) {
+      const std::string base =
+          "module." + modules_[m.module_cursor.size()]->name();
+      MetricsState::ModuleCursor cur;
+      cur.busy_c = reg.GetCounter(base + ".busy_cycles");
+      cur.starved_c = reg.GetCounter(base + ".starved_cycles");
+      cur.blocked_c = reg.GetCounter(base + ".blocked_cycles");
+      cur.idle_c = reg.GetCounter(base + ".idle_cycles");
+      m.module_cursor.push_back(cur);
+    }
+    while (m.stream_cursor.size() < streams_.size()) {
+      const std::string base =
+          "stream." + streams_[m.stream_cursor.size()]->name();
+      MetricsState::StreamCursor cur;
+      cur.pushed_c = reg.GetCounter(base + ".pushed");
+      cur.popped_c = reg.GetCounter(base + ".popped");
+      m.stream_cursor.push_back(cur);
+    }
     while (m.depth_hist.size() < streams_.size()) {
-      m.depth_hist.push_back(m.registry->GetHistogram(
+      m.depth_hist.push_back(reg.GetHistogram(
           "stream." + streams_[m.depth_hist.size()]->name() + ".depth"));
     }
+    if (m.cycles_c == nullptr) m.cycles_c = reg.GetCounter("engine.cycles");
   }
 }
 
 void Engine::Step() {
   if (!observability_checked_) SetupObservability();
   if (schedule_dirty_) RebuildSchedule();
+  TickAndCommit();
+  if (trace_ || metrics_) ProbeStep();
+  flushed_ = false;
+  ++now_;
+}
+
+void Engine::TickAndCommit() {
+  // Tick() runs once per module per cycle; by-name metrics lookups (hash +
+  // registry mutex) do not belong there. The guard turns any such lookup
+  // into an FPGADP_DCHECK failure for the duration of this function;
+  // modules cache instrument handles at construction instead. Probes run
+  // after the guard is gone — they are allowed (and sampled) lookups.
+  [[maybe_unused]] const obs::internal::TickPhaseGuard tick_guard;
   if (parallel_tick_) {
     // Tick phase, one barrier per dependency level. Modules within a level
     // share no stream, so their Ticks are independent; the barrier between
@@ -178,23 +232,30 @@ void Engine::Step() {
         });
       }
     }
-    // Commit phase: per-stream state only, embarrassingly parallel.
+    // Commit phase: per-stream state only, embarrassingly parallel. Only
+    // streams whose staged flag is set need the index fold (the serial
+    // dirty list is detached in this mode — worker pushes would race).
     if (streams_.size() >= 8) {
-      pool_->ParallelFor(streams_.size(),
-                         [&](size_t i) { streams_[i]->Commit(); });
+      pool_->ParallelFor(streams_.size(), [&](size_t i) {
+        if (streams_[i]->has_staged()) streams_[i]->Commit();
+      });
     } else {
-      for (StreamBase* s : streams_) s->Commit();
+      for (StreamBase* s : streams_) {
+        if (s->has_staged()) s->Commit();
+      }
     }
   } else {
     for (Module* m : modules_) {
       m->Tick(now_);
       m->FinalizeTick();
     }
-    for (StreamBase* s : streams_) s->Commit();
+    // Commit only the streams that staged a write this cycle — they queued
+    // themselves via StreamBase::NoteStaged. Idle streams cost nothing.
+    if (!commit_queue_->empty()) {
+      for (StreamBase* s : *commit_queue_) s->Commit();
+      commit_queue_->clear();
+    }
   }
-  if (trace_ || metrics_) ProbeStep();
-  flushed_ = false;
-  ++now_;
 }
 
 void Engine::ProbeStep() {
@@ -259,27 +320,25 @@ void Engine::ExportMetrics() {
   for (size_t i = 0; i < modules_.size(); ++i) {
     const Module& m = *modules_[i];
     auto& cur = ms.module_cursor[i];
-    const std::string base = "module." + m.name();
-    reg.GetCounter(base + ".busy_cycles")->Inc(m.busy_cycles() - cur.busy);
-    reg.GetCounter(base + ".starved_cycles")
-        ->Inc(m.starved_cycles() - cur.starved);
-    reg.GetCounter(base + ".blocked_cycles")
-        ->Inc(m.blocked_cycles() - cur.blocked);
-    reg.GetCounter(base + ".idle_cycles")->Inc(m.idle_cycles() - cur.idle);
-    cur = {m.busy_cycles(), m.starved_cycles(), m.blocked_cycles(),
-           m.idle_cycles()};
+    cur.busy_c->Inc(m.busy_cycles() - cur.busy);
+    cur.starved_c->Inc(m.starved_cycles() - cur.starved);
+    cur.blocked_c->Inc(m.blocked_cycles() - cur.blocked);
+    cur.idle_c->Inc(m.idle_cycles() - cur.idle);
+    cur.busy = m.busy_cycles();
+    cur.starved = m.starved_cycles();
+    cur.blocked = m.blocked_cycles();
+    cur.idle = m.idle_cycles();
     m.ExportCustomMetrics(reg);
   }
   for (size_t i = 0; i < streams_.size(); ++i) {
     const StreamBase& s = *streams_[i];
-    auto& [pushed, popped] = ms.stream_cursor[i];
-    const std::string base = "stream." + s.name();
-    reg.GetCounter(base + ".pushed")->Inc(s.TotalPushed() - pushed);
-    reg.GetCounter(base + ".popped")->Inc(s.TotalPopped() - popped);
-    pushed = s.TotalPushed();
-    popped = s.TotalPopped();
+    auto& cur = ms.stream_cursor[i];
+    cur.pushed_c->Inc(s.TotalPushed() - cur.pushed);
+    cur.popped_c->Inc(s.TotalPopped() - cur.popped);
+    cur.pushed = s.TotalPushed();
+    cur.popped = s.TotalPopped();
   }
-  reg.GetCounter("engine.cycles")->Inc(now_ - ms.cycles_cursor);
+  ms.cycles_c->Inc(now_ - ms.cycles_cursor);
   ms.cycles_cursor = now_;
 }
 
@@ -305,11 +364,16 @@ Cycle Engine::EarliestEvent() const {
 
 Result<Cycle> Engine::Run(uint64_t max_cycles) {
   if (!observability_checked_) SetupObservability();
+  if (schedule_dirty_) RebuildSchedule();
   const Cycle limit = now_ + max_cycles;
   // Fast-forward only when observers are off: per-cycle span tracking and
   // periodic sampling need every cycle, and observers must never perturb
   // what they measure — so the skip is what yields, not the probes.
   const bool can_skip = fast_forward_ && !trace_ && !metrics_;
+  // Setup and schedule state cannot change while Run is stepping (module
+  // registration and SetThreads happen between runs, never inside a Tick),
+  // so the loop below inlines Step() minus its per-cycle re-checks.
+  const bool observing = trace_ != nullptr || metrics_ != nullptr;
   while (now_ < limit) {
     bool streams_empty = true;
     for (const StreamBase* s : streams_) {
@@ -343,7 +407,10 @@ Result<Cycle> Engine::Run(uint64_t max_cycles) {
         }
       }
     }
-    Step();
+    TickAndCommit();
+    if (observing) ProbeStep();
+    flushed_ = false;
+    ++now_;
   }
   FlushObservers();
   if (QuiescedNow()) return now_;

@@ -88,7 +88,11 @@ class Engine {
   /// results thanks to two-phase streams).
   void AddModule(Module* module);
 
-  /// Registers a stream so the engine commits it each cycle.
+  /// Registers a stream so the engine commits it each cycle. Commit work is
+  /// skipped for streams that staged nothing: in serial mode writers enqueue
+  /// themselves on a dirty-stream list the commit phase drains (streams with
+  /// no traffic cost zero per cycle); in parallel mode the commit shard
+  /// checks the per-stream staged flag instead (the list push would race).
   void AddStream(StreamBase* stream);
 
   /// Records this run into `writer` (one process track group per engine).
@@ -159,12 +163,24 @@ class Engine {
     obs::MetricsRegistry* registry = nullptr;
     uint32_t sample_period = 16;
     // Deltas since last export, so repeated Run() calls never double-count.
+    // Counter handles are resolved by name once (EnsureProbeSlots) and
+    // reused by every subsequent export.
     struct ModuleCursor {
       uint64_t busy = 0, starved = 0, blocked = 0, idle = 0;
+      obs::Counter* busy_c = nullptr;
+      obs::Counter* starved_c = nullptr;
+      obs::Counter* blocked_c = nullptr;
+      obs::Counter* idle_c = nullptr;
+    };
+    struct StreamCursor {
+      uint64_t pushed = 0, popped = 0;
+      obs::Counter* pushed_c = nullptr;
+      obs::Counter* popped_c = nullptr;
     };
     std::vector<ModuleCursor> module_cursor;
-    std::vector<std::pair<uint64_t, uint64_t>> stream_cursor;  // pushed/popped
+    std::vector<StreamCursor> stream_cursor;
     std::vector<obs::Histogram*> depth_hist;  // parallel to streams_
+    obs::Counter* cycles_c = nullptr;
     uint64_t cycles_cursor = 0;
   };
 
@@ -173,6 +189,12 @@ class Engine {
   void ProbeStep();
   void ExportMetrics();
   void RebuildSchedule();
+  /// Certification + dependency-level construction for parallel ticking;
+  /// false leaves the engine on the serial path.
+  bool TryBuildLevels();
+  /// One cycle's module ticks plus the stream commit phase, under the
+  /// tick-phase metrics-lookup guard.
+  void TickAndCommit();
   /// Earliest NextEventCycle() over all modules; only meaningful when every
   /// stream is empty.
   Cycle EarliestEvent() const;
@@ -195,6 +217,15 @@ class Engine {
   bool schedule_dirty_ = true;
   bool parallel_tick_ = false;
   std::vector<std::vector<Module*>> levels_;
+  // Serial-mode dirty-stream list: streams push themselves here on their
+  // first staged write of a cycle (StreamBase::NoteStaged) and the commit
+  // phase drains it, so idle streams cost nothing. RebuildSchedule() shares
+  // this vector with registered streams in serial mode and detaches them in
+  // parallel mode. Shared ownership (instead of a raw back-pointer) makes
+  // stream/engine destruction order irrelevant — harnesses destroy them in
+  // both orders.
+  std::shared_ptr<std::vector<StreamBase*>> commit_queue_ =
+      std::make_shared<std::vector<StreamBase*>>();
 };
 
 }  // namespace fpgadp::sim

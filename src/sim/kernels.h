@@ -1,10 +1,12 @@
 #ifndef FPGADP_SIM_KERNELS_H_
 #define FPGADP_SIM_KERNELS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,13 +44,22 @@ class VectorSource : public Module {
   }
 
   void Tick(Cycle) override {
-    bool progressed = false;
-    for (uint32_t i = 0; i < lanes_ && pos_ < data_.size(); ++i) {
-      if (!out_->CanWrite()) break;
-      out_->Write(data_[pos_++]);
-      progressed = true;
+    // Burst write: up to `lanes` items per cycle, one bounds check and one
+    // bulk copy per contiguous run (an empty WritableSpan is exactly the
+    // FIFO-full condition the per-item loop would have hit).
+    size_t budget = std::min<size_t>(lanes_, data_.size() - pos_);
+    size_t written = 0;
+    while (written < budget) {
+      std::span<T> dst = out_->WritableSpan();
+      if (dst.empty()) break;
+      const size_t n = std::min(budget - written, dst.size());
+      std::copy_n(data_.begin() + static_cast<ptrdiff_t>(pos_), n,
+                  dst.begin());
+      out_->CommitWrite(n);
+      pos_ += n;
+      written += n;
     }
-    if (progressed) {
+    if (written > 0) {
       MarkBusy();
     } else if (pos_ < data_.size()) {
       MarkStall(StallKind::kOutputBlocked);  // data left but FIFO is full
@@ -88,12 +99,19 @@ class VectorSink : public Module {
   }
 
   void Tick(Cycle) override {
-    bool progressed = false;
-    for (uint32_t i = 0; i < lanes_ && in_->CanRead(); ++i) {
-      collected_.push_back(in_->Read());
-      progressed = true;
+    // Burst read: drain up to `lanes` committed items with one bulk append
+    // per contiguous run.
+    size_t drained = 0;
+    while (drained < lanes_) {
+      std::span<const T> src = in_->ReadableSpan();
+      if (src.empty()) break;
+      const size_t n = std::min<size_t>(lanes_ - drained, src.size());
+      collected_.insert(collected_.end(), src.begin(),
+                        src.begin() + static_cast<ptrdiff_t>(n));
+      in_->ConsumeRead(n);
+      drained += n;
     }
-    if (progressed) {
+    if (drained > 0) {
       MarkBusy();
       last_arrival_ = true;
     } else {
@@ -143,31 +161,50 @@ class TransformKernel : public Module {
 
   void Tick(Cycle cycle) override {
     bool progressed = false;
-    // Retire phase: completed items leave the pipeline into the out stream.
+    // Retire phase: completed items leave the pipeline into the out stream,
+    // burst-written per contiguous free run.
     uint32_t retired = 0;
     while (retired < timing_.lanes && !pipe_.empty() &&
-           pipe_.front().ready <= cycle && out_->CanWrite()) {
-      out_->Write(std::move(pipe_.front().value));
-      pipe_.pop_front();
-      ++retired;
-      progressed = true;
+           pipe_.front().ready <= cycle) {
+      std::span<Out> dst = out_->WritableSpan();
+      if (dst.empty()) break;  // FIFO full — same exit CanWrite() gave
+      size_t n = 0;
+      while (n < dst.size() && retired + n < timing_.lanes &&
+             !pipe_.empty() && pipe_.front().ready <= cycle) {
+        dst[n++] = std::move(pipe_.front().value);
+        pipe_.pop_front();
+      }
+      out_->CommitWrite(n);
+      retired += static_cast<uint32_t>(n);
+      progressed = progressed || n > 0;
     }
     // Issue phase: accept new inputs if the II gate is open and the pipeline
     // register file has room (bounded by latency*lanes in-flight items).
+    // Inputs arrive as read bursts; the room bound is re-checked per item
+    // because filtered (dropped) items occupy no pipeline slot, so a burst
+    // can legally consume more items than the pipeline has free slots.
     const size_t max_in_flight =
         static_cast<size_t>(timing_.latency) * timing_.lanes + timing_.lanes;
     if (cycle >= next_issue_) {
       uint32_t issued = 0;
-      while (issued < timing_.lanes && in_->CanRead() &&
+      while (issued < timing_.lanes &&
              pipe_.size() + drop_slots_ < max_in_flight) {
-        In item = in_->Read();
-        std::optional<Out> produced = fn_(item);
-        ++consumed_;
-        if (produced.has_value()) {
-          pipe_.push_back({cycle + timing_.latency, std::move(*produced)});
+        std::span<const In> src = in_->ReadableSpan();
+        if (src.empty()) break;  // starved — same exit CanRead() gave
+        const size_t n = std::min<size_t>(timing_.lanes - issued, src.size());
+        size_t taken = 0;
+        while (taken < n && pipe_.size() + drop_slots_ < max_in_flight) {
+          std::optional<Out> produced = fn_(src[taken]);
+          ++taken;
+          if (produced.has_value()) {
+            pipe_.push_back({cycle + timing_.latency, std::move(*produced)});
+          }
         }
-        ++issued;
-        progressed = true;
+        in_->ConsumeRead(taken);
+        consumed_ += taken;
+        issued += static_cast<uint32_t>(taken);
+        progressed = progressed || taken > 0;
+        if (taken < n) break;  // pipeline register file filled mid-burst
       }
       if (issued > 0) next_issue_ = cycle + timing_.ii;
     }
@@ -243,13 +280,18 @@ class ReduceKernel : public Module {
   void Tick(Cycle cycle) override {
     bool progressed = false;
     if (consumed_ < expected_ && cycle >= next_issue_) {
-      uint32_t issued = 0;
-      while (issued < timing_.lanes && consumed_ < expected_ &&
-             in_->CanRead()) {
-        In item = in_->Read();
-        fn_(acc_, item);
-        ++consumed_;
-        ++issued;
+      const uint64_t budget =
+          std::min<uint64_t>(timing_.lanes, expected_ - consumed_);
+      uint64_t issued = 0;
+      while (issued < budget) {
+        std::span<const In> src = in_->ReadableSpan();
+        if (src.empty()) break;
+        const size_t n = static_cast<size_t>(
+            std::min<uint64_t>(budget - issued, src.size()));
+        for (size_t i = 0; i < n; ++i) fn_(acc_, src[i]);
+        in_->ConsumeRead(n);
+        consumed_ += n;
+        issued += n;
         progressed = true;
       }
       if (issued > 0) next_issue_ = cycle + timing_.ii;
@@ -321,17 +363,31 @@ class DelayLine : public Module {
     bool progressed = false;
     uint32_t moved = 0;
     while (moved < lanes_ && !pending_.empty() &&
-           pending_.front().first <= cycle && out_->CanWrite()) {
-      out_->Write(std::move(pending_.front().second));
-      pending_.pop_front();
-      ++moved;
-      progressed = true;
+           pending_.front().first <= cycle) {
+      std::span<T> dst = out_->WritableSpan();
+      if (dst.empty()) break;  // FIFO full — same exit CanWrite() gave
+      size_t n = 0;
+      while (n < dst.size() && moved + n < lanes_ && !pending_.empty() &&
+             pending_.front().first <= cycle) {
+        dst[n++] = std::move(pending_.front().second);
+        pending_.pop_front();
+      }
+      out_->CommitWrite(n);
+      moved += static_cast<uint32_t>(n);
+      progressed = progressed || n > 0;
     }
+    const size_t bound = static_cast<size_t>(latency_ + 1) * lanes_;
     uint32_t accepted = 0;
-    while (accepted < lanes_ && in_->CanRead() &&
-           pending_.size() < static_cast<size_t>(latency_ + 1) * lanes_) {
-      pending_.emplace_back(cycle + latency_, in_->Read());
-      ++accepted;
+    while (accepted < lanes_ && pending_.size() < bound) {
+      std::span<const T> src = in_->ReadableSpan();
+      if (src.empty()) break;  // starved — same exit CanRead() gave
+      const size_t n = std::min({static_cast<size_t>(lanes_ - accepted),
+                                 src.size(), bound - pending_.size()});
+      for (size_t i = 0; i < n; ++i) {
+        pending_.emplace_back(cycle + latency_, src[i]);
+      }
+      in_->ConsumeRead(n);
+      accepted += static_cast<uint32_t>(n);
       progressed = true;
     }
     if (progressed) {

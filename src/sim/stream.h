@@ -3,7 +3,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,34 +15,61 @@ namespace fpgadp::sim {
 
 class Module;
 
-/// Type-erased base so the engine can commit and inspect streams generically.
+/// Base of every stream. Holds the complete ring-buffer bookkeeping — all of
+/// it is independent of the item type, so Commit(), occupancy queries, and
+/// traffic stats are NON-virtual: the engine's per-cycle commit loop and
+/// quiesce scans never pay a vtable dispatch. Only the item storage lives in
+/// the typed subclass.
 class StreamBase {
  public:
-  explicit StreamBase(std::string name) : name_(std::move(name)) {}
-  virtual ~StreamBase() = default;
+  StreamBase(std::string name, size_t capacity)
+      : capacity_(capacity), name_(std::move(name)) {
+    FPGADP_CHECK(capacity_ > 0);
+  }
+  virtual ~StreamBase() {
+    // Deregister from the commit queue (shared with the engine, so it is
+    // alive regardless of which side is destroyed first).
+    if (commit_queue_ != nullptr) {
+      auto& q = *commit_queue_;
+      q.erase(std::remove(q.begin(), q.end(), this), q.end());
+    }
+  }
 
   StreamBase(const StreamBase&) = delete;
   StreamBase& operator=(const StreamBase&) = delete;
 
   /// Makes writes performed during the current cycle visible to readers.
-  /// Called by the engine after all modules have ticked.
-  virtual void Commit() = 0;
+  /// Called by the engine after all modules have ticked. O(1): folds the
+  /// staged count into the committed count, never touches items.
+  void Commit() {
+    committed_count_ += staged_count_;
+    staged_count_ = 0;
+    has_staged_ = false;
+  }
 
   /// True iff any item is buffered (committed or staged).
-  virtual bool InFlight() const = 0;
+  bool InFlight() const { return committed_count_ + staged_count_ > 0; }
 
   /// Current occupancy, committed + staged items — what a depth probe on the
   /// physical FIFO would read. The engine samples this periodically when
   /// observability is enabled.
-  virtual size_t Depth() const = 0;
+  size_t Depth() const { return committed_count_ + staged_count_; }
 
   /// FIFO capacity, for occupancy-relative reporting.
-  virtual size_t Capacity() const = 0;
+  size_t Capacity() const { return capacity_; }
 
-  /// Lifetime item counts, exposed type-erased so the observability layer
+  /// Lifetime item counts, exposed on the base so the observability layer
   /// can export them without knowing T.
-  virtual uint64_t TotalPushed() const = 0;
-  virtual uint64_t TotalPopped() const = 0;
+  uint64_t TotalPushed() const { return total_pushed_; }
+  uint64_t TotalPopped() const { return total_popped_; }
+
+  /// Deepest occupancy (committed + staged — the same quantity backpressure
+  /// is computed from) ever observed; a full FIFO reports its capacity.
+  size_t high_watermark() const { return high_watermark_; }
+
+  /// True iff writes are staged and the next Commit() will publish them.
+  /// The engine's parallel commit shard keys off this flag.
+  bool has_staged() const { return has_staged_; }
 
   const std::string& name() const { return name_; }
 
@@ -64,11 +92,47 @@ class StreamBase {
   Module* consumer() const { return consumer_; }
   bool bind_conflict() const { return bind_conflict_; }
 
+ protected:
+  /// Called by the typed stream on the first staged item of a cycle: flags
+  /// the stream dirty and, when an engine registered its serial commit
+  /// queue, enqueues the stream so the commit phase touches only streams
+  /// that actually moved data. The queue pointer is nulled in parallel tick
+  /// mode (worker threads may not share a push) — the engine then falls
+  /// back to flag-checked iteration.
+  void NoteStaged() {
+    if (has_staged_) return;
+    has_staged_ = true;
+    if (commit_queue_ != nullptr) commit_queue_->push_back(this);
+  }
+
+  // Ring cursors and counts, maintained by the typed subclass. The ring
+  // layout is: head_pos_ points at the oldest committed item, followed by
+  // committed_count_ committed items, then staged_count_ staged items
+  // ending at tail_pos_ (one past the newest staged item).
+  size_t capacity_;
+  size_t head_pos_ = 0;
+  size_t tail_pos_ = 0;
+  size_t committed_count_ = 0;
+  size_t staged_count_ = 0;
+  uint64_t total_pushed_ = 0;
+  uint64_t total_popped_ = 0;
+  size_t high_watermark_ = 0;
+
  private:
+  friend class Engine;
+
   std::string name_;
   Module* producer_ = nullptr;
   Module* consumer_ = nullptr;
   bool bind_conflict_ = false;
+  bool has_staged_ = false;
+  /// Dirty-stream list shared with the registering engine (see
+  /// Engine::AddStream). Shared ownership makes stream/engine destruction
+  /// order-independent: a stream staged after its engine died pushes into a
+  /// vector nobody drains (bounded at one entry by has_staged_), and the
+  /// destructor above removes the stream from a queue its engine still
+  /// holds.
+  std::shared_ptr<std::vector<StreamBase*>> commit_queue_;
 };
 
 /// Bounded FIFO channel between two modules — the simulator analog of
@@ -79,36 +143,59 @@ class StreamBase {
 ///
 /// Capacity counts committed + staged items, so a full FIFO exerts
 /// backpressure on the producer within the same cycle it fills up.
+///
+/// Storage is a fixed-capacity ring buffer (see StreamBase for the cursor
+/// layout). Commit() publishes the staged run in O(1); items are written
+/// exactly once and never shuffled between containers.
+///
+/// Two data-plane APIs coexist:
+///  * per-item — CanWrite()/Write(), CanRead()/Read()/Peek() — one checked
+///    call per item, convenient for control-ish modules;
+///  * span-based burst — WritableSpan()/CommitWrite(n) and
+///    ReadableSpan()/ConsumeRead(n) — expose the contiguous run up to the
+///    ring wrap point, so a wide-lane stage moves a whole burst with one
+///    bounds check and one memcpy-shaped loop per cycle. A span never
+///    includes staged items (readers) or overflows capacity (writers), so
+///    the latch semantics above hold for bursts exactly as for items: data
+///    staged this cycle is not readable until after Commit(), regardless of
+///    which API staged it. Because a span ends at the wrap point, movers
+///    loop "span, consume, span, consume" until the span is empty or their
+///    per-cycle budget is spent (at most two iterations cover the ring).
+///    An empty WritableSpan is exactly the !CanWrite() condition, and an
+///    empty ReadableSpan exactly !CanRead() — the wrap clip never yields an
+///    empty span while slots/items remain.
 template <typename T>
 class Stream : public StreamBase {
  public:
   Stream(std::string name, size_t capacity)
-      : StreamBase(std::move(name)), capacity_(capacity) {
-    FPGADP_CHECK(capacity_ > 0);
-  }
+      : StreamBase(std::move(name), capacity), buf_(capacity) {}
 
-  /// True iff a Write() this cycle would not overflow the FIFO.
-  bool CanWrite() const { return buf_.size() + staged_.size() < capacity_; }
+  /// True iff `n` Write()s this cycle would not overflow the FIFO.
+  bool CanWrite(size_t n = 1) const {
+    return committed_count_ + staged_count_ + n <= capacity_;
+  }
 
   /// Enqueues `v`; caller must have checked CanWrite().
   void Write(T v) {
     FPGADP_CHECK(CanWrite());
-    staged_.push_back(std::move(v));
+    buf_[tail_pos_] = std::move(v);
+    if (++tail_pos_ == capacity_) tail_pos_ = 0;
+    ++staged_count_;
     ++total_pushed_;
-    // Watermark tracks true occupancy (committed + staged), the same
-    // quantity capacity/backpressure is computed from — so a full FIFO
-    // reports a watermark equal to its capacity.
-    high_watermark_ = std::max(high_watermark_, buf_.size() + staged_.size());
+    high_watermark_ =
+        std::max(high_watermark_, committed_count_ + staged_count_);
+    NoteStaged();
   }
 
-  /// True iff an item is available to Read() this cycle.
-  bool CanRead() const { return !buf_.empty(); }
+  /// True iff `n` items are available to Read() this cycle.
+  bool CanRead(size_t n = 1) const { return committed_count_ >= n; }
 
   /// Dequeues the oldest committed item; caller must have checked CanRead().
   T Read() {
     FPGADP_CHECK(CanRead());
-    T v = std::move(buf_.front());
-    buf_.pop_front();
+    T v = std::move(buf_[head_pos_]);
+    if (++head_pos_ == capacity_) head_pos_ = 0;
+    --committed_count_;
     ++total_popped_;
     return v;
   }
@@ -116,39 +203,61 @@ class Stream : public StreamBase {
   /// The oldest committed item without consuming it.
   const T& Peek() const {
     FPGADP_CHECK(CanRead());
-    return buf_.front();
+    return buf_[head_pos_];
+  }
+
+  /// Burst write: the contiguous run of free slots starting at the staging
+  /// cursor, clipped at the ring wrap. Fill a prefix, then CommitWrite(n).
+  /// Empty iff the FIFO is full; may be shorter than the free space when
+  /// the run wraps (call again after CommitWrite for the remainder).
+  std::span<T> WritableSpan() {
+    const size_t free_slots = capacity_ - committed_count_ - staged_count_;
+    return {buf_.data() + tail_pos_,
+            std::min(free_slots, capacity_ - tail_pos_)};
+  }
+
+  /// Stages the first `n` items of the current WritableSpan(). Items become
+  /// readable only after Commit(), exactly like Write().
+  void CommitWrite(size_t n) {
+    FPGADP_CHECK(n <= capacity_ - committed_count_ - staged_count_);
+    FPGADP_CHECK(n <= capacity_ - tail_pos_);
+    tail_pos_ += n;
+    if (tail_pos_ == capacity_) tail_pos_ = 0;
+    staged_count_ += n;
+    total_pushed_ += n;
+    high_watermark_ =
+        std::max(high_watermark_, committed_count_ + staged_count_);
+    if (n > 0) NoteStaged();
+  }
+
+  /// Burst read: the contiguous run of committed items starting at the
+  /// oldest, clipped at the ring wrap. Staged items are never included.
+  /// Consume a prefix with ConsumeRead(n).
+  std::span<const T> ReadableSpan() const {
+    return {buf_.data() + head_pos_,
+            std::min(committed_count_, capacity_ - head_pos_)};
+  }
+
+  /// Retires the first `n` items of the current ReadableSpan().
+  void ConsumeRead(size_t n) {
+    FPGADP_CHECK(n <= committed_count_);
+    FPGADP_CHECK(n <= capacity_ - head_pos_);
+    head_pos_ += n;
+    if (head_pos_ == capacity_) head_pos_ = 0;
+    committed_count_ -= n;
+    total_popped_ += n;
   }
 
   /// Number of committed (readable) items.
-  size_t Size() const { return buf_.size(); }
+  size_t Size() const { return committed_count_; }
   size_t capacity() const { return capacity_; }
-
-  void Commit() override {
-    if (!staged_.empty()) {
-      for (auto& v : staged_) buf_.push_back(std::move(v));
-      staged_.clear();
-    }
-  }
-
-  bool InFlight() const override { return !buf_.empty() || !staged_.empty(); }
-
-  size_t Depth() const override { return buf_.size() + staged_.size(); }
-  size_t Capacity() const override { return capacity_; }
-  uint64_t TotalPushed() const override { return total_pushed_; }
-  uint64_t TotalPopped() const override { return total_popped_; }
 
   /// Lifetime statistics, for occupancy analysis.
   uint64_t total_pushed() const { return total_pushed_; }
   uint64_t total_popped() const { return total_popped_; }
-  size_t high_watermark() const { return high_watermark_; }
 
  private:
-  size_t capacity_;
-  std::deque<T> buf_;
-  std::vector<T> staged_;
-  uint64_t total_pushed_ = 0;
-  uint64_t total_popped_ = 0;
-  size_t high_watermark_ = 0;
+  std::vector<T> buf_;  // fixed ring storage, allocated once
 };
 
 }  // namespace fpgadp::sim

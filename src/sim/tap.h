@@ -2,6 +2,7 @@
 #define FPGADP_SIM_TAP_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,22 +38,26 @@ class StreamTap : public Module {
   void Tick(Cycle cycle) override {
     // Exactly one item per cycle: the tap is a register slice, not a burst
     // mover. Draining more would compress the burst shapes it exists to
-    // record and let a tapped pipeline outrun an untapped one.
-    if (!in_->CanRead()) {
+    // record and let a tapped pipeline outrun an untapped one. Uses the
+    // span API as a length-1 burst so the move skips the per-item checks.
+    std::span<const T> src = in_->ReadableSpan();
+    if (src.empty()) {
       MarkStall(StallKind::kInputStarved);
       return;
     }
-    if (!out_->CanWrite()) {
+    std::span<T> dst = out_->WritableSpan();
+    if (dst.empty()) {
       MarkStall(StallKind::kOutputBlocked);
       return;
     }
-    T v = in_->Read();
-    if (events_.size() < max_events_) events_.push_back({cycle, v});
+    if (events_.size() < max_events_) events_.push_back({cycle, src[0]});
     ++forwarded_;
     if (trace_writer() != nullptr) {
       trace_writer()->Instant(trace_pid(), trace_tid(), name(), cycle);
     }
-    out_->Write(std::move(v));
+    dst[0] = src[0];
+    in_->ConsumeRead(1);
+    out_->CommitWrite(1);
     MarkBusy();
   }
 

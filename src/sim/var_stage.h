@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -42,19 +43,25 @@ class VarStage : public Module {
         MarkBusy();  // actively computing on the held item
         return;
       }
-      if (!out_->CanWrite()) {
+      std::span<Out> dst = out_->WritableSpan();
+      if (dst.empty()) {
         MarkStall(StallKind::kOutputBlocked);
         return;
       }
-      out_->Write(std::move(*pending_));
+      dst[0] = std::move(*pending_);
+      out_->CommitWrite(1);
       pending_.reset();
       holding_ = false;
       progressed = true;
     }
-    if (in_->CanRead()) {
-      In item = in_->Read();
+    // Length-1 burst: the stage is a single shared engine, so it accepts at
+    // most one item per cycle by design.
+    std::span<const In> src = in_->ReadableSpan();
+    if (!src.empty()) {
+      const In& item = src[0];
       const uint64_t cost = cost_(item);
       pending_ = fn_(item);
+      in_->ConsumeRead(1);
       ready_at_ = cycle + (cost > 0 ? cost : 1);
       holding_ = true;
       progressed = true;

@@ -1,0 +1,217 @@
+// Ring-buffer edge cases for the span-based Stream data plane: wrap
+// handling across Commit boundaries, exact-capacity bursts, interleaving
+// of the bulk and per-item APIs, and the span-emptiness invariants the
+// kernels' stall classification depends on.
+
+#include "src/sim/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace fpgadp::sim {
+namespace {
+
+// Drains everything currently committed, in order, via the span API.
+std::vector<int> DrainCommitted(Stream<int>& s) {
+  std::vector<int> out;
+  while (true) {
+    std::span<const int> src = s.ReadableSpan();
+    if (src.empty()) break;
+    out.insert(out.end(), src.begin(), src.end());
+    s.ConsumeRead(src.size());
+  }
+  return out;
+}
+
+TEST(StreamRingTest, CapacityOneBehavesAsSingleRegister) {
+  Stream<int> s("s", 1);
+  EXPECT_EQ(s.WritableSpan().size(), 1u);
+  EXPECT_TRUE(s.ReadableSpan().empty());
+
+  s.WritableSpan()[0] = 41;
+  s.CommitWrite(1);
+  EXPECT_TRUE(s.WritableSpan().empty()) << "staged item must fill capacity 1";
+  EXPECT_TRUE(s.ReadableSpan().empty()) << "staged item must not be readable";
+
+  s.Commit();
+  ASSERT_EQ(s.ReadableSpan().size(), 1u);
+  EXPECT_EQ(s.ReadableSpan()[0], 41);
+  EXPECT_TRUE(s.WritableSpan().empty()) << "committed item still occupies it";
+
+  s.ConsumeRead(1);
+  EXPECT_EQ(s.WritableSpan().size(), 1u);
+  EXPECT_TRUE(s.ReadableSpan().empty());
+  EXPECT_EQ(s.high_watermark(), 1u);
+}
+
+TEST(StreamRingTest, WraparoundAcrossCommitPreservesOrder) {
+  // Capacity 4; advance the cursors so a burst must split at the wrap, with
+  // a Commit() landing between the two halves — the "span, consume, span"
+  // pattern every converted kernel uses.
+  Stream<int> s("s", 4);
+  for (int i = 0; i < 3; ++i) s.Write(i);
+  s.Commit();
+  EXPECT_EQ(s.Read(), 0);
+  EXPECT_EQ(s.Read(), 1);  // head = 2, two free slots: positions 0 and 1
+
+  // The free run is clipped at the wrap: slots {3} then {0}.
+  std::span<int> w = s.WritableSpan();
+  ASSERT_EQ(w.size(), 1u) << "free run must clip at the ring wrap";
+  w[0] = 10;
+  s.CommitWrite(1);
+  s.Commit();
+
+  // After the wrap the staging cursor is back at slot 0, so the free run is
+  // the two leading slots; stage only one of them.
+  w = s.WritableSpan();
+  ASSERT_EQ(w.size(), 2u);
+  w[0] = 11;
+  s.CommitWrite(1);
+  s.Commit();
+
+  EXPECT_EQ(DrainCommitted(s), (std::vector<int>{2, 10, 11}));
+}
+
+TEST(StreamRingTest, BulkWriteOfExactlyRemainingCapacity) {
+  Stream<int> s("s", 8);
+  s.Write(100);
+  s.Write(101);
+  s.Commit();
+
+  std::span<int> w = s.WritableSpan();
+  ASSERT_EQ(w.size(), 6u) << "exactly the remaining capacity";
+  std::iota(w.begin(), w.end(), 0);
+  s.CommitWrite(6);
+  EXPECT_FALSE(s.CanWrite()) << "full including staged";
+  EXPECT_TRUE(s.WritableSpan().empty());
+  EXPECT_EQ(s.high_watermark(), 8u)
+      << "watermark must report capacity when full, staged included";
+
+  s.Commit();
+  EXPECT_EQ(DrainCommitted(s), (std::vector<int>{100, 101, 0, 1, 2, 3, 4, 5}));
+}
+
+TEST(StreamRingTest, InterleavedBulkAndSingleItemCalls) {
+  Stream<int> s("s", 6);
+  s.Write(1);                       // per-item
+  std::span<int> w = s.WritableSpan();
+  ASSERT_GE(w.size(), 2u);
+  w[0] = 2;
+  w[1] = 3;
+  s.CommitWrite(2);                 // bulk
+  s.Write(4);                       // per-item again
+  EXPECT_EQ(s.Depth(), 4u);
+  EXPECT_FALSE(s.CanRead()) << "all four are staged";
+
+  s.Commit();
+  ASSERT_TRUE(s.CanRead(2));
+  EXPECT_EQ(s.Read(), 1);           // per-item read
+  std::span<const int> r = s.ReadableSpan();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 2);
+  s.ConsumeRead(1);                 // bulk read
+  EXPECT_EQ(s.Read(), 3);
+  EXPECT_EQ(s.Peek(), 4);
+  EXPECT_EQ(s.Read(), 4);
+  EXPECT_EQ(s.total_pushed(), 4u);
+  EXPECT_EQ(s.total_popped(), 4u);
+}
+
+TEST(StreamRingTest, PeekMatchesSpanHeadAfterWrap) {
+  Stream<int> s("s", 3);
+  s.Write(7);
+  s.Write(8);
+  s.Commit();
+  EXPECT_EQ(s.Read(), 7);
+  s.Write(9);  // staged at the wrap position
+  s.Commit();
+  // Oldest committed item is 8, regardless of where the ring wrapped.
+  EXPECT_EQ(s.Peek(), 8);
+  ASSERT_FALSE(s.ReadableSpan().empty());
+  EXPECT_EQ(s.ReadableSpan()[0], 8);
+  EXPECT_EQ(s.Read(), 8);
+  EXPECT_EQ(s.Peek(), 9);
+}
+
+TEST(StreamRingTest, SpanEmptinessMatchesPerItemGates) {
+  // The stall-classification contract: WritableSpan().empty() iff
+  // !CanWrite() and ReadableSpan().empty() iff !CanRead(), at every
+  // occupancy and cursor alignment a capacity-4 ring can reach.
+  for (size_t preload = 0; preload < 4; ++preload) {
+    Stream<int> s("s", 4);
+    // Rotate the cursors to `preload` before testing.
+    for (size_t i = 0; i < preload; ++i) s.Write(int(i));
+    s.Commit();
+    for (size_t i = 0; i < preload; ++i) (void)s.Read();
+
+    for (size_t fill = 0; fill <= 4; ++fill) {
+      EXPECT_EQ(s.WritableSpan().empty(), !s.CanWrite())
+          << "preload " << preload << " fill " << fill;
+      if (fill < 4) s.Write(int(fill));
+    }
+    s.Commit();
+    for (size_t left = 4; left > 0; --left) {
+      EXPECT_EQ(s.ReadableSpan().empty(), !s.CanRead())
+          << "preload " << preload << " left " << left;
+      (void)s.Read();
+    }
+    EXPECT_TRUE(s.ReadableSpan().empty());
+    EXPECT_EQ(s.ReadableSpan().empty(), !s.CanRead());
+  }
+}
+
+TEST(StreamRingTest, CommitWriteZeroDoesNotDirtyTheStream) {
+  Stream<int> s("s", 4);
+  s.CommitWrite(0);
+  EXPECT_FALSE(s.has_staged()) << "empty burst must not mark the stream dirty";
+  EXPECT_EQ(s.Depth(), 0u);
+  EXPECT_EQ(s.high_watermark(), 0u);
+  s.Write(5);
+  EXPECT_TRUE(s.has_staged());
+}
+
+TEST(StreamRingTest, SustainedWrapStress) {
+  // Push/pop through several full revolutions of a small ring with a mix of
+  // burst sizes; contents and order must match a reference queue.
+  Stream<int> s("s", 5);
+  std::vector<int> expect, got;
+  int next = 0;
+  for (int round = 0; round < 100; ++round) {
+    const size_t want = 1 + size_t(round) % 5;
+    size_t written = 0;
+    while (written < want) {
+      std::span<int> w = s.WritableSpan();
+      if (w.empty()) break;
+      const size_t n = std::min(want - written, w.size());
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = next;
+        expect.push_back(next);
+        ++next;
+      }
+      s.CommitWrite(n);
+      written += n;
+    }
+    s.Commit();
+    const size_t drain = 1 + size_t(round * 3) % 5;
+    size_t drained = 0;
+    while (drained < drain) {
+      std::span<const int> r = s.ReadableSpan();
+      if (r.empty()) break;
+      const size_t n = std::min(drain - drained, r.size());
+      got.insert(got.end(), r.begin(), r.begin() + ptrdiff_t(n));
+      s.ConsumeRead(n);
+      drained += n;
+    }
+  }
+  const std::vector<int> tail = DrainCommitted(s);
+  got.insert(got.end(), tail.begin(), tail.end());
+  expect.resize(got.size());  // some writes were clipped by backpressure
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(s.total_popped(), got.size());
+}
+
+}  // namespace
+}  // namespace fpgadp::sim

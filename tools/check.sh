@@ -7,9 +7,13 @@
 #
 # Tests run per label tier — unit (fast, always-on), property (randomized
 # differential suites), golden (cycle-baseline lockdown, see
-# tests/golden/cycles.json) — with per-tier wall-clock timing so a slow
-# tier is visible at a glance. The golden tier runs on BOTH presets: a
-# cycle count that drifts only under sanitizers is still a bug.
+# tests/golden/cycles.json), perf (benchmark smoke runs, e.g.
+# bench_sim_throughput --smoke, which re-checks the golden line-rate
+# cycle count through the bench path) — with per-tier wall-clock timing so
+# a slow tier is visible at a glance. The golden tier runs on BOTH presets:
+# a cycle count that drifts only under sanitizers is still a bug. The perf
+# tier runs on the default preset only — sanitizer timings are not
+# representative, and its correctness content is already covered there.
 #
 # The asan preset (see CMakePresets.json) configures into build-asan/ with
 # FPGADP_SANITIZE=ON, so sanitized and regular build trees never collide.
@@ -29,7 +33,11 @@ for preset in "${PRESETS[@]}"; do
   cmake --preset "$preset"
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$JOBS"
-  for label in "${LABELS[@]}"; do
+  tiers=("${LABELS[@]}")
+  if [[ "$preset" == "default" ]]; then
+    tiers+=(perf)
+  fi
+  for label in "${tiers[@]}"; do
     echo "=== [$preset] test: -L $label ==="
     start=$SECONDS
     ctest --preset "$preset" -j "$JOBS" -L "$label"
@@ -37,4 +45,4 @@ for preset in "${PRESETS[@]}"; do
   done
 done
 
-echo "All presets green: ${PRESETS[*]} (tiers: ${LABELS[*]})"
+echo "All presets green: ${PRESETS[*]} (tiers: ${LABELS[*]} + perf on default)"

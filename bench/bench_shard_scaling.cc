@@ -1,0 +1,251 @@
+// Scale-out sharding benchmark: the same ANNS top-k and smart-KVS multiget
+// workloads served by 1/2/4/8 virtual FPGA shards through the scatter-gather
+// layer (src/shard/). Throughput is measured in *simulated* time — requests
+// per simulated second at the fabric clock — which is what the sharding
+// layer actually changes; host wall-clock is reported alongside.
+//
+// Two hard guarantees are asserted, mirroring bench_sim_throughput:
+//   * every (workload, shard count) reports bit-identical simulated cycles
+//    across serial, threaded, and no-fast-forward engine modes, and
+//   * ANNS throughput at 4 shards is >= 3x the 1-shard baseline (>= 2x in
+//     --smoke, whose smaller corpus leaves less work to parallelize).
+//
+// Results are dumped to BENCH_shard_scaling.json (override with
+// --json=<file>). Flags: --smoke, plus the bench_common set.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/anns/dataset.h"
+#include "src/anns/ivf.h"
+#include "src/common/table_printer.h"
+#include "src/shard/partitioner.h"
+#include "src/shard/shard.h"
+#include "src/shard/workloads.h"
+
+namespace fpgadp {
+namespace {
+
+struct Mode {
+  std::string name;
+  uint32_t threads = 1;
+  bool fast_forward = true;
+};
+
+struct RunResult {
+  uint64_t cycles = 0;
+  uint64_t requests = 0;
+  double wall_sec = 0;
+};
+
+struct Sizes {
+  size_t anns_base = 40000;
+  size_t anns_dim = 32;
+  size_t anns_nlist = 64;
+  size_t anns_nprobe = 16;
+  size_t anns_queries = 64;
+  size_t kvs_keys = 4096;
+  size_t kvs_multigets = 32;
+  size_t kvs_keys_per_get = 256;
+};
+
+double Now();
+
+/// Runs `cluster` to quiescence under `mode`, requiring every submitted
+/// request to finalize un-degraded (the fabric is loss-free here).
+uint64_t DrainCluster(shard::ShardCluster& cluster, size_t expected,
+                      const Mode& mode, double* wall_sec) {
+  cluster.engine().SetThreads(mode.threads);
+  cluster.engine().SetFastForward(mode.fast_forward);
+  const double t0 = Now();
+  auto cycles = cluster.Run();
+  *wall_sec = Now() - t0;
+  if (!cycles.ok()) {
+    std::cerr << "FAIL: cluster did not quiesce: " << cycles.status() << "\n";
+    std::exit(1);
+  }
+  size_t finalized = 0;
+  shard::PartialOutcome out;
+  while (cluster.PollOutcome(&out)) {
+    if (!out.status.ok()) {
+      std::cerr << "FAIL: degraded gather on a loss-free fabric: "
+                << out.status << "\n";
+      std::exit(1);
+    }
+    ++finalized;
+  }
+  if (finalized != expected) {
+    std::cerr << "FAIL: " << finalized << "/" << expected
+              << " requests finalized\n";
+    std::exit(1);
+  }
+  return cycles.value();
+}
+
+RunResult RunAnns(const anns::Dataset& data, const anns::IvfPqIndex& index,
+                  const Sizes& sizes, uint32_t shards, const Mode& mode) {
+  shard::AnnsTopKWorkload::Config wc;
+  wc.nprobe = sizes.anns_nprobe;
+  wc.k = 10;
+  shard::AnnsTopKWorkload wl(&index, shard::Partitioner::Hash(shards), wc);
+  shard::ShardCluster::Config cc;
+  cc.num_shards = shards;
+  shard::ShardCluster cluster(&wl, cc);
+  const size_t n = std::min(sizes.anns_queries, data.num_queries());
+  for (size_t q = 0; q < n; ++q) cluster.Submit(wl.AddQuery(data.QueryVector(q)));
+  RunResult r;
+  r.requests = n;
+  r.cycles = DrainCluster(cluster, n, mode, &r.wall_sec);
+  return r;
+}
+
+RunResult RunKvs(const Sizes& sizes, uint32_t shards, const Mode& mode) {
+  shard::KvsMultiGetWorkload::Config kc;
+  shard::KvsMultiGetWorkload wl(shard::Partitioner::Hash(shards), kc);
+  for (uint64_t key = 0; key < sizes.kvs_keys; ++key) {
+    wl.Load(key, key * 31 + 5);
+  }
+  shard::ShardCluster::Config cc;
+  cc.num_shards = shards;
+  shard::ShardCluster cluster(&wl, cc);
+  uint64_t next_key = 1;
+  for (size_t g = 0; g < sizes.kvs_multigets; ++g) {
+    std::vector<uint64_t> keys;
+    keys.reserve(sizes.kvs_keys_per_get);
+    for (size_t i = 0; i < sizes.kvs_keys_per_get; ++i) {
+      keys.push_back(next_key);
+      next_key = (next_key * 2862933555777941757ull + 3037000493ull) %
+                 sizes.kvs_keys;
+    }
+    cluster.Submit(wl.AddMultiGet(std::move(keys)));
+  }
+  RunResult r;
+  r.requests = sizes.kvs_multigets;
+  r.cycles = DrainCluster(cluster, sizes.kvs_multigets, mode, &r.wall_sec);
+  return r;
+}
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+}  // namespace fpgadp
+
+int main(int argc, char** argv) {
+  using namespace fpgadp;
+  bench::Session session(argc, argv);
+  session.SetDefaultJsonPath("BENCH_shard_scaling.json");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  Sizes sizes;
+  if (smoke) {
+    sizes = {8000, 16, 32, 8, 16, 1024, 8, 64};
+  }
+
+  std::cout << "=== scale-out sharding across virtual FPGAs"
+            << (smoke ? " (smoke)" : "") << " ===\n";
+
+  anns::DatasetSpec spec;
+  spec.num_base = sizes.anns_base;
+  spec.num_queries = sizes.anns_queries;
+  spec.dim = sizes.anns_dim;
+  spec.num_clusters = sizes.anns_nlist / 2;
+  spec.cluster_stddev = 0.3f;
+  spec.seed = 29;
+  const anns::Dataset data = anns::MakeDataset(spec);
+  anns::IvfPqIndex::Options iopts;
+  iopts.nlist = sizes.anns_nlist;
+  iopts.pq.m = 8;
+  iopts.pq.ksub = 32;
+  iopts.pq.train_iters = 6;
+  auto index = anns::IvfPqIndex::Build(data.base, data.dim, iopts);
+  if (!index.ok()) {
+    std::cerr << "FAIL: index build: " << index.status() << "\n";
+    return 1;
+  }
+
+  const double clock_hz = net::Fabric::Config{}.clock_hz;
+  const uint32_t nthreads = session.threads() > 1 ? session.threads() : 4;
+  const std::vector<Mode> modes = {
+      {"serial", 1, true},
+      {"noff", 1, false},
+      {"thr" + std::to_string(nthreads), nthreads, true},
+  };
+  const std::vector<uint32_t> shard_counts = {1, 2, 4, 8};
+
+  TablePrinter t({"workload", "shards", "mode", "sim cycles", "requests",
+                  "req/sim-sec", "scaling", "wall ms"});
+  bool ok = true;
+  std::map<std::string, double> serial_tput;  // workload -> 1-shard baseline
+  std::map<std::string, double> scaling_at;   // workload.shards -> scaling
+
+  for (const std::string& workload : {std::string("anns"), std::string("kvs")}) {
+    for (uint32_t shards : shard_counts) {
+      uint64_t first_cycles = 0;
+      for (const Mode& mode : modes) {
+        const RunResult r =
+            workload == "anns"
+                ? RunAnns(data, *index, sizes, shards, mode)
+                : RunKvs(sizes, shards, mode);
+        if (first_cycles == 0) {
+          first_cycles = r.cycles;
+        } else if (r.cycles != first_cycles) {
+          std::cerr << "FAIL: " << workload << " x" << shards << " mode "
+                    << mode.name << " changed the cycle count (" << r.cycles
+                    << " vs " << first_cycles
+                    << ") — engine modes must be pure\n";
+          ok = false;
+        }
+        const double sim_sec = double(r.cycles) / clock_hz;
+        const double tput = double(r.requests) / sim_sec;
+        if (mode.name == "serial" && shards == 1) {
+          serial_tput[workload] = tput;
+        }
+        const double scaling = tput / serial_tput[workload];
+        if (mode.name == "serial") {
+          scaling_at[workload + "." + std::to_string(shards)] = scaling;
+        }
+        t.AddRow({workload, std::to_string(shards), mode.name,
+                  TablePrinter::FmtCount(r.cycles),
+                  TablePrinter::FmtCount(r.requests),
+                  TablePrinter::Fmt(tput, 0), TablePrinter::Fmt(scaling, 2),
+                  TablePrinter::Fmt(r.wall_sec * 1e3, 2)});
+        session.AddResult(
+            workload + ".s" + std::to_string(shards) + "." + mode.name,
+            {{"shards", double(shards)},
+             {"cycles", double(r.cycles)},
+             {"requests", double(r.requests)},
+             {"req_per_sim_sec", tput},
+             {"scaling_vs_1shard", scaling},
+             {"wall_sec", r.wall_sec}});
+      }
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\n(cycle counts asserted identical across serial / threaded "
+               "/ no-fast-forward modes; scaling is per simulated second)\n";
+
+  const double want = smoke ? 2.0 : 3.0;
+  const double got = scaling_at["anns.4"];
+  if (got < want) {
+    std::cerr << "FAIL: ANNS at 4 shards scaled only " << got << "x (want >= "
+              << want << "x)\n";
+    ok = false;
+  } else {
+    std::cout << "[scaling] anns x4 = " << got << "x (>= " << want
+              << "x required)\n";
+  }
+  return ok ? 0 : 1;
+}

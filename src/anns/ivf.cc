@@ -72,18 +72,13 @@ std::vector<uint32_t> IvfPqIndex::SelectProbes(const float* query,
   return probes;
 }
 
-std::vector<Neighbor> IvfPqIndex::Search(const float* query,
-                                         const SearchParams& params) const {
-  FPGADP_CHECK(params.k > 0);
-  FPGADP_CHECK(params.rerank == 0 || has_stored_vectors());
-  // With refinement, the ADC stage gathers a larger candidate pool.
-  const size_t pool_k =
-      params.rerank > 0 ? params.rerank * params.k : params.k;
-  const std::vector<uint32_t> probes = SelectProbes(query, params.nprobe);
+std::vector<Neighbor> IvfPqIndex::SearchLists(
+    const float* query, const std::vector<uint32_t>& lists, size_t k) const {
+  FPGADP_CHECK(k > 0);
   using Entry = std::pair<float, uint32_t>;
-  std::priority_queue<Entry> heap;  // max-heap of the best pool_k
+  std::priority_queue<Entry> heap;  // max-heap of the best k
   std::vector<float> residual_query(dim_);
-  for (uint32_t c : probes) {
+  for (uint32_t c : lists) {
     const List& list = lists_[c];
     if (list.ids.empty()) continue;
     // Residual of the query against this list's centroid.
@@ -93,7 +88,7 @@ std::vector<Neighbor> IvfPqIndex::Search(const float* query,
     const size_t m = pq_.m();
     for (size_t i = 0; i < list.ids.size(); ++i) {
       const float d = pq_.AdcDistance(lut, list.codes.data() + i * m);
-      if (heap.size() < pool_k) {
+      if (heap.size() < k) {
         heap.emplace(d, list.ids[i]);
       } else if (d < heap.top().first) {
         heap.pop();
@@ -108,6 +103,18 @@ std::vector<Neighbor> IvfPqIndex::Search(const float* query,
     heap.pop();
   }
   std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Neighbor> IvfPqIndex::Search(const float* query,
+                                         const SearchParams& params) const {
+  FPGADP_CHECK(params.k > 0);
+  FPGADP_CHECK(params.rerank == 0 || has_stored_vectors());
+  // With refinement, the ADC stage gathers a larger candidate pool.
+  const size_t pool_k =
+      params.rerank > 0 ? params.rerank * params.k : params.k;
+  std::vector<Neighbor> out =
+      SearchLists(query, SelectProbes(query, params.nprobe), pool_k);
   if (params.rerank > 0) {
     // Refinement: exact distances over the ADC candidate pool.
     for (Neighbor& nb : out) {

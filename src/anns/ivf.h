@@ -57,6 +57,15 @@ class IvfPqIndex {
   std::vector<Neighbor> Search(const float* query,
                                const SearchParams& params) const;
 
+  /// ADC scan restricted to the given inverted lists: per-list residual
+  /// LUTs, heap-select the `k` closest codes, sorted by (distance, id).
+  /// Search() is SearchLists() over SelectProbes(); a sharded deployment
+  /// calls it per shard and merges, since each candidate's distance depends
+  /// only on its own list's LUT.
+  std::vector<Neighbor> SearchLists(const float* query,
+                                    const std::vector<uint32_t>& lists,
+                                    size_t k) const;
+
   /// Number of PQ codes that `Search` with `nprobe` would scan for `query`
   /// (the accelerator's work measure).
   uint64_t CodesScanned(const float* query, size_t nprobe) const;

@@ -1,10 +1,21 @@
 #include "src/kvs/smart_kvs.h"
 
 #include "src/common/check.h"
+#include "src/common/units.h"
 #include "src/relational/sketches.h"
 #include "src/sim/engine.h"
 
 namespace fpgadp::kvs {
+
+uint64_t SmartNicKvs::DramLatencyCycles(const Config& config) {
+  return NanosToCycles(config.dram_latency_ns, config.clock_hz);
+}
+
+double SmartNicKvs::DramCyclesPerOp(const Config& config) {
+  // One 64-byte bucket line per op at the channel's bus bandwidth — the
+  // same access_granularity the internal MemoryChannel is configured with.
+  return 64.0 * config.clock_hz / config.dram_bytes_per_sec;
+}
 
 SmartNicKvs::SmartNicKvs(std::string name, uint32_t node_id,
                          net::Fabric* fabric, const Config& config)

@@ -45,6 +45,13 @@ class SmartNicKvs : public sim::Module {
   SmartNicKvs(std::string name, uint32_t node_id, net::Fabric* fabric,
               const Config& config);
 
+  /// Fill latency of the NIC DRAM pipeline, in kernel cycles — what the
+  /// first bucket access of a batch waits.
+  static uint64_t DramLatencyCycles(const Config& config);
+  /// Pipelined bus occupancy of one 64-byte bucket access, in kernel
+  /// cycles (fractional: the bus retires more than one line per cycle).
+  static double DramCyclesPerOp(const Config& config);
+
   /// Registers the NIC and its internal DRAM channel with `engine`.
   void RegisterWith(sim::Engine& engine);
 

@@ -41,7 +41,8 @@ FaultInjector::Decision FaultInjector::OnPacket(sim::Cycle cycle,
     const Entry& e = schedule_[i];
     if (fired_[i] || cycle < e.cycle) continue;
     if ((e.src != kAnyNode && e.src != packet.src) ||
-        (e.dst != kAnyNode && e.dst != packet.dst)) {
+        (e.dst != kAnyNode && e.dst != packet.dst) ||
+        (e.op_filter >= 0 && e.op_filter != int(packet.kind))) {
       continue;
     }
     fired_[i] = true;

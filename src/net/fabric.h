@@ -94,12 +94,16 @@ class FaultInjector {
   };
 
   /// One scheduled fault: fires on the first packet matching (src, dst) —
-  /// kAnyNode matches everything — picked up at or after `cycle`.
+  /// kAnyNode matches everything — picked up at or after `cycle`. When
+  /// `op_filter` is set, only packets of that OpKind match, so a fault can
+  /// target e.g. an offload response without hitting the RDMA ACKs sharing
+  /// the link.
   struct Entry {
     sim::Cycle cycle = 0;
     uint32_t src = kAnyNode;
     uint32_t dst = kAnyNode;
     FaultKind kind = FaultKind::kDrop;
+    int op_filter = -1;  ///< -1 = any; else an OpKind value.
   };
 
   /// What the fabric should do with one packet.

@@ -1,0 +1,44 @@
+#include "src/shard/partitioner.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/relational/sketches.h"
+
+namespace fpgadp::shard {
+
+Partitioner Partitioner::Hash(uint32_t num_shards) {
+  FPGADP_CHECK(num_shards > 0);
+  return Partitioner(PartitionScheme::kHash, num_shards, {});
+}
+
+Partitioner Partitioner::RoundRobin(uint32_t num_shards) {
+  FPGADP_CHECK(num_shards > 0);
+  return Partitioner(PartitionScheme::kRoundRobin, num_shards, {});
+}
+
+Partitioner Partitioner::Range(std::vector<uint64_t> upper_bounds) {
+  FPGADP_CHECK(!upper_bounds.empty());
+  for (size_t i = 1; i < upper_bounds.size(); ++i) {
+    FPGADP_CHECK(upper_bounds[i - 1] < upper_bounds[i]);
+  }
+  const uint32_t n = static_cast<uint32_t>(upper_bounds.size());
+  return Partitioner(PartitionScheme::kRange, n, std::move(upper_bounds));
+}
+
+uint32_t Partitioner::ShardOf(uint64_t key) const {
+  switch (scheme_) {
+    case PartitionScheme::kHash:
+      return static_cast<uint32_t>(rel::Hash64(key) % num_shards_);
+    case PartitionScheme::kRoundRobin:
+      return static_cast<uint32_t>(key % num_shards_);
+    case PartitionScheme::kRange: {
+      const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), key);
+      if (it == bounds_.end()) return num_shards_ - 1;
+      return static_cast<uint32_t>(it - bounds_.begin());
+    }
+  }
+  return 0;
+}
+
+}  // namespace fpgadp::shard

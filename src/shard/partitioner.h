@@ -1,0 +1,54 @@
+#ifndef FPGADP_SHARD_PARTITIONER_H_
+#define FPGADP_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fpgadp::shard {
+
+/// How a Partitioner maps keys to shards.
+enum class PartitionScheme : uint8_t {
+  kHash = 0,        ///< Hash64(key) % n — balanced for arbitrary key sets.
+  kRoundRobin = 1,  ///< key % n — balanced for dense id spaces (IVF lists).
+  kRange = 2,       ///< Upper-bound table — ordered key ranges per shard.
+};
+
+/// Maps a 64-bit key (a KV key, a join key, an IVF list id) to one of N
+/// shards — the split a scale-out deployment applies before any packet
+/// leaves the coordinator. Deterministic and stateless, so the coordinator,
+/// the shard servers, and a test oracle all agree on ownership without
+/// exchanging metadata.
+class Partitioner {
+ public:
+  /// Hash partitioning over Hash64(key); the default for KVS keys and join
+  /// keys, where the key distribution is arbitrary.
+  static Partitioner Hash(uint32_t num_shards);
+
+  /// Round-robin over the raw key value; the right split for dense id
+  /// spaces such as IVF list ids, where hashing would only shuffle an
+  /// already-uniform assignment.
+  static Partitioner RoundRobin(uint32_t num_shards);
+
+  /// Range partitioning: shard i owns keys <= upper_bounds[i] (and shard
+  /// n-1 additionally owns everything above the last bound). Bounds must be
+  /// strictly increasing and non-empty.
+  static Partitioner Range(std::vector<uint64_t> upper_bounds);
+
+  uint32_t ShardOf(uint64_t key) const;
+
+  uint32_t num_shards() const { return num_shards_; }
+  PartitionScheme scheme() const { return scheme_; }
+
+ private:
+  Partitioner(PartitionScheme scheme, uint32_t num_shards,
+              std::vector<uint64_t> bounds)
+      : scheme_(scheme), num_shards_(num_shards), bounds_(std::move(bounds)) {}
+
+  PartitionScheme scheme_;
+  uint32_t num_shards_;
+  std::vector<uint64_t> bounds_;  ///< kRange only.
+};
+
+}  // namespace fpgadp::shard
+
+#endif  // FPGADP_SHARD_PARTITIONER_H_

@@ -1,0 +1,400 @@
+#include "src/shard/shard.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/obs/metrics.h"
+
+namespace fpgadp::shard {
+
+namespace {
+
+/// Shard `s` lives at fabric node 1 + s; the coordinator owns node 0.
+constexpr uint32_t kCoordinatorNode = 0;
+
+uint32_t ShardNode(uint32_t shard) { return 1 + shard; }
+
+}  // namespace
+
+const char* SubOutcomeName(SubOutcome outcome) {
+  switch (outcome) {
+    case SubOutcome::kPending: return "pending";
+    case SubOutcome::kDone: return "done";
+    case SubOutcome::kRejected: return "rejected";
+    case SubOutcome::kFailed: return "failed";
+    case SubOutcome::kTimedOut: return "timed_out";
+  }
+  return "unknown";
+}
+
+ShardCoordinator::ShardCoordinator(std::string name, Workload* workload,
+                                   net::RdmaEndpoint* endpoint,
+                                   uint32_t num_shards, const Config& config)
+    : sim::Module(std::move(name)), workload_(workload), endpoint_(endpoint),
+      num_shards_(num_shards), config_(config) {
+  FPGADP_CHECK(workload_ != nullptr);
+  FPGADP_CHECK(endpoint_ != nullptr);
+  FPGADP_CHECK(num_shards_ > 0);
+  FPGADP_CHECK(config_.window > 0);
+  shard_queue_.resize(num_shards_);
+  in_flight_.assign(num_shards_, 0);
+  queue_hwm_.assign(num_shards_, 0);
+}
+
+void ShardCoordinator::Submit(uint64_t request_id) {
+  FPGADP_CHECK(active_.find(request_id) == active_.end());
+  const std::vector<SubRequest> subs = workload_->Scatter(request_id);
+  FPGADP_CHECK(!subs.empty());
+  Active a;
+  a.subs.reserve(subs.size());
+  for (const SubRequest& sr : subs) {
+    FPGADP_CHECK(sr.shard < num_shards_);
+    Sub sub;
+    sub.shard = sr.shard;
+    sub.bytes = sr.request_bytes;
+    sub.tag = next_tag_++;
+    tag_map_[sub.tag] = {request_id, a.subs.size()};
+    shard_queue_[sr.shard].push_back({request_id, a.subs.size()});
+    ++total_queued_;
+    queue_hwm_[sr.shard] =
+        std::max(queue_hwm_[sr.shard], shard_queue_[sr.shard].size());
+    a.subs.push_back(sub);
+  }
+  active_.emplace(request_id, std::move(a));
+}
+
+bool ShardCoordinator::PollOutcome(PartialOutcome* out) {
+  if (outcomes_.empty()) return false;
+  *out = std::move(outcomes_.front());
+  outcomes_.pop_front();
+  return true;
+}
+
+void ShardCoordinator::ResolveSub(uint64_t request_id, size_t sub_index,
+                                  SubOutcome outcome, sim::Cycle cycle) {
+  const auto it = active_.find(request_id);
+  if (it == active_.end()) return;
+  Active& a = it->second;
+  Sub& sub = a.subs[sub_index];
+  if (sub.outcome != SubOutcome::kPending) return;
+  sub.outcome = outcome;
+  ++a.resolved;
+  tag_map_.erase(sub.tag);
+  if (sub.sent) --in_flight_[sub.shard];
+  if (a.resolved == a.subs.size()) Finalize(request_id, a, cycle);
+}
+
+void ShardCoordinator::Finalize(uint64_t request_id, Active& a,
+                                sim::Cycle cycle) {
+  PartialOutcome out;
+  out.request_id = request_id;
+  out.completed_at = cycle;
+  out.slices.reserve(a.subs.size());
+  uint32_t failed = 0, rejected = 0, timed_out = 0;
+  for (const Sub& sub : a.subs) {
+    out.slices.push_back({sub.shard, sub.outcome});
+    switch (sub.outcome) {
+      case SubOutcome::kDone: ++out.shards_done; break;
+      case SubOutcome::kFailed: ++failed; break;
+      case SubOutcome::kRejected: ++rejected; break;
+      case SubOutcome::kTimedOut: ++timed_out; break;
+      case SubOutcome::kPending: break;
+    }
+  }
+  if (out.shards_done == out.shards_total()) {
+    out.status = Status::OK();
+  } else {
+    const std::string detail =
+        name() + ": request " + std::to_string(request_id) + ": " +
+        std::to_string(out.shards_done) + "/" +
+        std::to_string(out.shards_total()) + " slices done (" +
+        std::to_string(failed) + " failed, " + std::to_string(rejected) +
+        " rejected, " + std::to_string(timed_out) + " timed out)";
+    // Failure ranking mirrors accl::PartialOutcome: a dead shard outranks
+    // a missed deadline outranks load shedding.
+    if (failed > 0) {
+      out.status = Status::Unavailable(detail);
+    } else if (timed_out > 0) {
+      out.status = Status::Timeout(detail);
+    } else {
+      out.status = Status::ResourceExhausted(detail);
+    }
+  }
+  ++gathers_completed_;
+  if (out.degraded()) ++gathers_degraded_;
+  workload_->Merge(request_id, out);
+  outcomes_.push_back(std::move(out));
+  active_.erase(request_id);
+}
+
+bool ShardCoordinator::PumpQueues(sim::Cycle) {
+  bool progressed = false;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    auto& q = shard_queue_[s];
+    while (!q.empty()) {
+      const auto [request_id, sub_index] = q.front();
+      const auto it = active_.find(request_id);
+      if (it == active_.end() ||
+          it->second.subs[sub_index].outcome != SubOutcome::kPending) {
+        // The request finalized (deadline expiry) while this slice waited
+        // for window room; there is nobody left to serve it for.
+        q.pop_front();
+        --total_queued_;
+        progressed = true;
+        continue;
+      }
+      if (in_flight_[s] >= config_.window) break;
+      Sub& sub = it->second.subs[sub_index];
+      net::Packet p;
+      p.dst = ShardNode(s);
+      p.kind = net::OpKind::kOffloadReq;
+      p.tag = sub.tag;
+      p.user = request_id;
+      p.bytes = sub.bytes;
+      endpoint_->PostPacket(p);
+      sub.sent = true;
+      ++in_flight_[s];
+      q.pop_front();
+      --total_queued_;
+      progressed = true;
+    }
+  }
+  return progressed;
+}
+
+void ShardCoordinator::Tick(sim::Cycle cycle) {
+  bool progressed = false;
+
+  // Arm deadlines for requests scattered since the last tick.
+  if (config_.gather_deadline_cycles > 0) {
+    for (auto& [id, a] : active_) {
+      if (a.deadline == 0) a.deadline = cycle + config_.gather_deadline_cycles;
+    }
+  }
+
+  // Transport verdicts: a slice whose request packet exhausted the retry
+  // cap resolves kFailed (successful offload sends complete silently).
+  net::Completion comp;
+  while (endpoint_->PollCompletion(&comp)) {
+    progressed = true;
+    if (comp.status == StatusCode::kOk) continue;
+    const auto it = tag_map_.find(comp.tag);
+    if (it == tag_map_.end()) continue;
+    ResolveSub(it->second.first, it->second.second, SubOutcome::kFailed,
+               cycle);
+  }
+
+  // Responses: merged slices and admission rejections.
+  net::Packet p;
+  while (endpoint_->PollRecv(&p)) {
+    progressed = true;
+    if (p.kind != net::OpKind::kOffloadResp) continue;
+    const auto it = tag_map_.find(p.tag);
+    if (it == tag_map_.end()) {
+      ++late_responses_;  // its gather already finalized under the deadline
+      continue;
+    }
+    ResolveSub(it->second.first, it->second.second,
+               p.user2 == 1 ? SubOutcome::kRejected : SubOutcome::kDone,
+               cycle);
+  }
+
+  // Expire gathers past their deadline: pending slices resolve kTimedOut
+  // and the request degrades instead of stalling the cluster.
+  for (auto it = active_.begin(); it != active_.end();) {
+    const uint64_t request_id = it->first;
+    Active& a = it->second;
+    ++it;  // Finalize erases the entry
+    if (a.deadline == 0 || cycle < a.deadline) continue;
+    for (Sub& sub : a.subs) {
+      if (sub.outcome != SubOutcome::kPending) continue;
+      sub.outcome = SubOutcome::kTimedOut;
+      ++a.resolved;
+      tag_map_.erase(sub.tag);
+      if (sub.sent) --in_flight_[sub.shard];
+      // An unsent slice still sits in its shard queue; PumpQueues drops it.
+    }
+    Finalize(request_id, a, cycle);
+    progressed = true;
+  }
+
+  if (PumpQueues(cycle)) progressed = true;
+
+  if (progressed) {
+    MarkBusy();
+  } else if (!active_.empty()) {
+    ++gather_stall_cycles_;
+    MarkStall(sim::StallKind::kInputStarved);
+  }
+}
+
+sim::Cycle ShardCoordinator::NextEventCycle(sim::Cycle now) const {
+  if (endpoint_->completions_available() > 0 ||
+      endpoint_->recv_available() > 0) {
+    return now;
+  }
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (!shard_queue_[s].empty() && in_flight_[s] < config_.window) {
+      return now;
+    }
+  }
+  sim::Cycle earliest = sim::kNoEventCycle;
+  for (const auto& [id, a] : active_) {
+    if (a.deadline == 0) {
+      // Unarmed with a deadline configured: the next tick arms it.
+      if (config_.gather_deadline_cycles > 0) return now;
+      continue;
+    }
+    earliest = std::min(earliest, a.deadline);
+  }
+  return earliest > now ? earliest : now;
+}
+
+void ShardCoordinator::AttributeSkip(sim::Cycle from, sim::Cycle to) {
+  if (active_.empty()) return;  // idle backfill
+  const uint64_t n = to - from;
+  gather_stall_cycles_ += n;
+  MarkStallN(sim::StallKind::kInputStarved, n);
+}
+
+void ShardCoordinator::ExportCustomMetrics(
+    obs::MetricsRegistry& registry) const {
+  const std::string base = "shard." + name();
+  registry.GetGauge(base + ".gathers_completed")
+      ->Set(static_cast<double>(gathers_completed_));
+  registry.GetGauge(base + ".gathers_degraded")
+      ->Set(static_cast<double>(gathers_degraded_));
+  registry.GetGauge(base + ".late_responses")
+      ->Set(static_cast<double>(late_responses_));
+  registry.GetGauge(base + ".gather_stall_cycles")
+      ->Set(static_cast<double>(gather_stall_cycles_));
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    registry.GetGauge(base + ".queue_hwm.shard" + std::to_string(s))
+        ->Set(static_cast<double>(queue_hwm_[s]));
+  }
+}
+
+ShardServer::ShardServer(std::string name, uint32_t shard_id,
+                         Workload* workload, net::RdmaEndpoint* endpoint,
+                         const Config& config)
+    : sim::Module(std::move(name)), shard_id_(shard_id), workload_(workload),
+      endpoint_(endpoint), config_(config) {
+  FPGADP_CHECK(workload_ != nullptr);
+  FPGADP_CHECK(endpoint_ != nullptr);
+  FPGADP_CHECK(config_.max_queue > 0);
+}
+
+void ShardServer::Tick(sim::Cycle cycle) {
+  bool progressed = false;
+
+  // Retire the slice in service: its occupancy elapsed, the reply ships.
+  if (busy_ && cycle >= done_at_) {
+    endpoint_->PostPacket(pending_resp_);
+    busy_ = false;
+    progressed = true;
+  }
+
+  // Admit or shed arrivals.
+  net::Packet p;
+  while (endpoint_->PollRecv(&p)) {
+    progressed = true;
+    if (p.kind != net::OpKind::kOffloadReq) continue;
+    if (queue_.size() >= config_.max_queue) {
+      ++rejected_;
+      net::Packet busy_resp;
+      busy_resp.dst = p.src;
+      busy_resp.kind = net::OpKind::kOffloadResp;
+      busy_resp.tag = p.tag;
+      busy_resp.user = p.user;
+      busy_resp.user2 = 1;  // admission-rejected
+      endpoint_->PostPacket(busy_resp);
+    } else {
+      queue_.push_back(p);
+      queue_hwm_ = std::max(queue_hwm_, queue_.size());
+    }
+  }
+
+  // Start the next slice.
+  if (!busy_ && !queue_.empty()) {
+    const net::Packet req = queue_.front();
+    queue_.pop_front();
+    const Service svc = workload_->Serve(shard_id_, req.user);
+    const uint64_t cycles = std::max<uint64_t>(1, svc.compute_cycles);
+    busy_ = true;
+    done_at_ = cycle + cycles;
+    service_cycles_ += cycles;
+    ++served_;
+    pending_resp_ = net::Packet{};
+    pending_resp_.dst = req.src;
+    pending_resp_.kind = net::OpKind::kOffloadResp;
+    pending_resp_.tag = req.tag;
+    pending_resp_.user = req.user;
+    pending_resp_.bytes = svc.response_bytes;
+    progressed = true;
+  }
+
+  // Drain transport completions. A response that exhausts its retry cap
+  // surfaces in the endpoint's failed() latch; the coordinator's gather
+  // deadline covers the loss.
+  net::Completion comp;
+  while (endpoint_->PollCompletion(&comp)) progressed = true;
+
+  if (busy_ || progressed) MarkBusy();
+}
+
+sim::Cycle ShardServer::NextEventCycle(sim::Cycle now) const {
+  if (endpoint_->recv_available() > 0 ||
+      endpoint_->completions_available() > 0) {
+    return now;
+  }
+  if (busy_) return done_at_ > now ? done_at_ : now;
+  if (!queue_.empty()) return now;
+  return sim::kNoEventCycle;
+}
+
+void ShardServer::AttributeSkip(sim::Cycle from, sim::Cycle to) {
+  if (busy_) MarkBusyN(to - from);
+}
+
+void ShardServer::ExportCustomMetrics(obs::MetricsRegistry& registry) const {
+  const std::string base = "shard." + name();
+  registry.GetGauge(base + ".served")->Set(static_cast<double>(served_));
+  registry.GetGauge(base + ".rejected")->Set(static_cast<double>(rejected_));
+  registry.GetGauge(base + ".service_cycles")
+      ->Set(static_cast<double>(service_cycles_));
+  registry.GetGauge(base + ".queue_hwm")
+      ->Set(static_cast<double>(queue_hwm_));
+}
+
+ShardCluster::ShardCluster(Workload* workload, const Config& config)
+    : config_(config), engine_(config.fabric.clock_hz),
+      fabric_("fabric", 1 + config.num_shards, config.fabric) {
+  FPGADP_CHECK(workload != nullptr);
+  FPGADP_CHECK(config_.num_shards > 0);
+  fabric_.RegisterWith(engine_);
+  coordinator_ep_ = std::make_unique<net::RdmaEndpoint>(
+      "coord.ep", kCoordinatorNode, &fabric_, config_.reliability);
+  engine_.AddModule(coordinator_ep_.get());
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    server_eps_.push_back(std::make_unique<net::RdmaEndpoint>(
+        "shard" + std::to_string(s) + ".ep", ShardNode(s), &fabric_,
+        config_.reliability));
+    engine_.AddModule(server_eps_.back().get());
+  }
+  coordinator_ = std::make_unique<ShardCoordinator>(
+      "coord", workload, coordinator_ep_.get(), config_.num_shards,
+      config_.coordinator);
+  engine_.AddModule(coordinator_.get());
+  for (uint32_t s = 0; s < config_.num_shards; ++s) {
+    servers_.push_back(std::make_unique<ShardServer>(
+        "shard" + std::to_string(s), s, workload, server_eps_[s].get(),
+        config_.server));
+    engine_.AddModule(servers_.back().get());
+  }
+}
+
+void ShardCluster::set_fault_injector(net::FaultInjector* injector) {
+  fabric_.set_fault_injector(injector);
+}
+
+}  // namespace fpgadp::shard

@@ -1,0 +1,304 @@
+#ifndef FPGADP_SHARD_SHARD_H_
+#define FPGADP_SHARD_SHARD_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/net/fabric.h"
+#include "src/net/rdma.h"
+#include "src/sim/engine.h"
+#include "src/sim/module.h"
+
+namespace fpgadp::shard {
+
+/// One slice of a scattered request: the work one shard serves. The
+/// workload names the shard and the wire size of the slice (query vector,
+/// key batch, partition payload); functional contents stay in process
+/// memory, as everywhere else in the repo.
+struct SubRequest {
+  uint32_t shard = 0;
+  uint64_t request_bytes = 0;
+};
+
+/// Shard-side service facts for one slice: how long the shard's pipeline is
+/// occupied and how many payload bytes the reply carries back.
+struct Service {
+  uint64_t compute_cycles = 1;
+  uint64_t response_bytes = 0;
+};
+
+/// How one slice of a gather ended.
+enum class SubOutcome : uint8_t {
+  kPending = 0,   ///< Not resolved yet (never appears in a finalized gather).
+  kDone = 1,      ///< Response received and merged.
+  kRejected = 2,  ///< Shard admission queue full; shard answered "busy".
+  kFailed = 3,    ///< RDMA retry cap exhausted (dead shard / dead link).
+  kTimedOut = 4,  ///< Gather deadline expired before the response.
+};
+
+/// Returns a stable lowercase name for `outcome` ("done", "rejected", ...).
+const char* SubOutcomeName(SubOutcome outcome);
+
+/// Degradation report for one gathered request — the serving-layer analogue
+/// of accl::PartialOutcome: which shards contributed and why the others did
+/// not. `status` is OK only when every slice merged; a degraded gather
+/// still carries the merged partial result in the workload.
+struct PartialOutcome {
+  /// One slice, in scatter order.
+  struct Slice {
+    uint32_t shard = 0;
+    SubOutcome outcome = SubOutcome::kPending;
+  };
+
+  uint64_t request_id = 0;
+  std::vector<Slice> slices;
+  uint32_t shards_done = 0;      ///< Slices that resolved kDone.
+  sim::Cycle completed_at = 0;   ///< Cycle the gather finalized.
+  Status status;                 ///< OK, Unavailable, ResourceExhausted, Timeout.
+
+  uint32_t shards_total() const {
+    return static_cast<uint32_t>(slices.size());
+  }
+  bool degraded() const { return shards_done != shards_total(); }
+};
+
+/// The application half of the serving layer. The coordinator and servers
+/// own everything workload-agnostic — scatter windows, wire timing,
+/// admission, failure detection, gather deadlines — and call back here for
+/// the three things only the workload knows: how a request splits across
+/// shards, what serving one slice costs, and how the partials merge.
+///
+/// Scatter() runs on the submitting thread, outside any engine tick, so it
+/// may do heavy precomputation (HashJoinWorkload runs nested pipeline
+/// simulations there). Serve() and Merge() run inside module Tick()s: they
+/// must be functional-only — no nested engines, no metrics lookups.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Splits `request_id` into per-shard slices. At most one slice per
+  /// shard; must not be empty.
+  virtual std::vector<SubRequest> Scatter(uint64_t request_id) = 0;
+
+  /// Serves the slice of `request_id` owned by `shard`: computes the
+  /// functional partial result and returns its cost.
+  virtual Service Serve(uint32_t shard, uint64_t request_id) = 0;
+
+  /// Combines the partial results of the slices that resolved kDone (see
+  /// `outcome.slices`) into the request's final result.
+  virtual void Merge(uint64_t request_id, const PartialOutcome& outcome) = 0;
+};
+
+/// Scatter-gather front end, one per cluster, at fabric node 0. Submit()
+/// splits a request via Workload::Scatter and queues one sub-request per
+/// shard; the tick loop ships them through an RdmaEndpoint under a
+/// per-shard admission window, collects responses and transport failures,
+/// enforces the gather deadline, and finalizes each request into a
+/// PartialOutcome (merging via Workload::Merge).
+///
+/// Failure semantics: a slice resolves kFailed when the endpoint's retry
+/// cap expires (dead shard or dead link — lossy fabric only), kRejected
+/// when the shard sheds it at admission, and kTimedOut when the gather
+/// deadline fires first (the only defense against responses lost after the
+/// shard served them). A degraded gather never stalls the others: it
+/// finalizes with whatever slices completed.
+class ShardCoordinator : public sim::Module {
+ public:
+  struct Config {
+    /// Sub-requests in flight per shard before further ones queue at the
+    /// coordinator (the admission window).
+    uint32_t window = 4;
+    /// Cycles after scatter at which an incomplete gather degrades into a
+    /// PartialOutcome. 0 waits forever — only safe on a loss-free fabric.
+    uint64_t gather_deadline_cycles = 0;
+  };
+
+  ShardCoordinator(std::string name, Workload* workload,
+                   net::RdmaEndpoint* endpoint, uint32_t num_shards,
+                   const Config& config);
+
+  /// Scatters one request. Call before Run() or between runs, never from a
+  /// module Tick (Workload::Scatter may run nested simulations).
+  void Submit(uint64_t request_id);
+
+  /// Pops one finalized gather, oldest first.
+  bool PollOutcome(PartialOutcome* out);
+
+  void Tick(sim::Cycle cycle) override;
+  bool Idle() const override { return active_.empty() && total_queued_ == 0; }
+  sim::Cycle NextEventCycle(sim::Cycle now) const override;
+  void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
+
+  uint64_t gathers_completed() const { return gathers_completed_; }
+  uint64_t gathers_degraded() const { return gathers_degraded_; }
+  /// Responses that arrived after their gather finalized (deadline races).
+  uint64_t late_responses() const { return late_responses_; }
+  /// Cycles spent with gathers outstanding and nothing arriving — the
+  /// fan-in stall the obs layer attributes as input starvation.
+  uint64_t gather_stall_cycles() const { return gather_stall_cycles_; }
+  /// Deepest coordinator-side send queue ever observed for `shard`.
+  size_t queue_high_watermark(uint32_t shard) const {
+    return queue_hwm_[shard];
+  }
+
+ protected:
+  /// A skipped window is exactly a run of no-progress ticks: gathers
+  /// outstanding wait on fan-in (starved), otherwise the module is idle
+  /// (backfilled). Mirrors the serial Tick classification bit-for-bit.
+  void AttributeSkip(sim::Cycle from, sim::Cycle to) override;
+
+ private:
+  /// One slice of an active request.
+  struct Sub {
+    uint32_t shard = 0;
+    uint64_t bytes = 0;
+    uint64_t tag = 0;  ///< Assigned at Submit; keys tag_map_.
+    bool sent = false;
+    SubOutcome outcome = SubOutcome::kPending;
+  };
+
+  /// One scattered request awaiting its gather.
+  struct Active {
+    std::vector<Sub> subs;
+    uint32_t resolved = 0;
+    sim::Cycle deadline = 0;  ///< 0 = unarmed (armed on the next tick).
+  };
+
+  void ResolveSub(uint64_t request_id, size_t sub_index, SubOutcome outcome,
+                  sim::Cycle cycle);
+  void Finalize(uint64_t request_id, Active& active, sim::Cycle cycle);
+  /// Ships queued slices while windows have room; lazily drops entries
+  /// whose request finalized (deadline expiry) in the meantime.
+  bool PumpQueues(sim::Cycle cycle);
+
+  Workload* workload_;
+  net::RdmaEndpoint* endpoint_;
+  uint32_t num_shards_;
+  Config config_;
+
+  std::map<uint64_t, Active> active_;
+  std::vector<std::deque<std::pair<uint64_t, size_t>>> shard_queue_;
+  std::vector<uint32_t> in_flight_;  ///< Sent, unresolved slices per shard.
+  size_t total_queued_ = 0;
+  std::map<uint64_t, std::pair<uint64_t, size_t>> tag_map_;  ///< tag -> slice.
+  uint64_t next_tag_ = 1;
+  std::deque<PartialOutcome> outcomes_;
+
+  uint64_t gathers_completed_ = 0;
+  uint64_t gathers_degraded_ = 0;
+  uint64_t late_responses_ = 0;
+  uint64_t gather_stall_cycles_ = 0;
+  std::vector<size_t> queue_hwm_;
+};
+
+/// One simulated FPGA instance serving its shard of the workload, at fabric
+/// node 1 + shard_id. Sub-requests arrive as kOffloadReq packets; each is
+/// either admitted into a bounded queue or immediately answered "busy"
+/// (user2 = 1), so an overloaded shard sheds load instead of stalling the
+/// cluster. The pipeline serves one slice at a time: Workload::Serve names
+/// the occupancy, and the response ships when it elapses.
+class ShardServer : public sim::Module {
+ public:
+  struct Config {
+    /// Admitted sub-requests waiting behind the pipeline; arrivals beyond
+    /// this are rejected.
+    uint32_t max_queue = 16;
+  };
+
+  ShardServer(std::string name, uint32_t shard_id, Workload* workload,
+              net::RdmaEndpoint* endpoint, const Config& config);
+
+  void Tick(sim::Cycle cycle) override;
+  bool Idle() const override { return !busy_ && queue_.empty(); }
+  sim::Cycle NextEventCycle(sim::Cycle now) const override;
+  void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
+
+  uint64_t served() const { return served_; }
+  uint64_t rejected() const { return rejected_; }
+  /// Cycles the serving pipeline was occupied.
+  uint64_t service_cycles() const { return service_cycles_; }
+  size_t queue_high_watermark() const { return queue_hwm_; }
+  uint32_t shard_id() const { return shard_id_; }
+
+ protected:
+  /// A skipped window while the pipeline crunches is busy time; an empty
+  /// server is idle (backfilled). Mirrors the serial Tick classification.
+  void AttributeSkip(sim::Cycle from, sim::Cycle to) override;
+
+ private:
+  uint32_t shard_id_;
+  Workload* workload_;
+  net::RdmaEndpoint* endpoint_;
+  Config config_;
+
+  std::deque<net::Packet> queue_;
+  bool busy_ = false;
+  sim::Cycle done_at_ = 0;
+  net::Packet pending_resp_;
+
+  uint64_t served_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t service_cycles_ = 0;
+  size_t queue_hwm_ = 0;
+};
+
+/// Wires a whole scale-out deployment together: a fabric of 1 + num_shards
+/// nodes, an RdmaEndpoint per node, the coordinator at node 0 and one
+/// ShardServer per shard — everything registered on one engine, ready to
+/// Submit() and Run(). The workload outlives the cluster.
+///
+///   shard::AnnsTopKWorkload wl(&index, partitioner, wl_config);
+///   shard::ShardCluster cluster(&wl, {.num_shards = 4});
+///   cluster.Submit(wl.AddQuery(q));
+///   auto cycles = cluster.Run();
+///   while (cluster.PollOutcome(&outcome)) ...
+class ShardCluster {
+ public:
+  struct Config {
+    uint32_t num_shards = 4;
+    net::Fabric::Config fabric;
+    ShardCoordinator::Config coordinator;
+    ShardServer::Config server;
+    net::RdmaEndpoint::Reliability reliability;
+  };
+
+  ShardCluster(Workload* workload, const Config& config);
+
+  /// Attaches a fault injector to the fabric (lossy mode). Must be called
+  /// before any request is submitted.
+  void set_fault_injector(net::FaultInjector* injector);
+
+  void Submit(uint64_t request_id) { coordinator_->Submit(request_id); }
+  Result<sim::Cycle> Run(uint64_t max_cycles = 1ull << 32) {
+    return engine_.Run(max_cycles);
+  }
+  bool PollOutcome(PartialOutcome* out) {
+    return coordinator_->PollOutcome(out);
+  }
+
+  sim::Engine& engine() { return engine_; }
+  net::Fabric& fabric() { return fabric_; }
+  ShardCoordinator& coordinator() { return *coordinator_; }
+  ShardServer& server(uint32_t shard) { return *servers_[shard]; }
+  uint32_t num_shards() const { return config_.num_shards; }
+
+ private:
+  Config config_;
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  std::unique_ptr<net::RdmaEndpoint> coordinator_ep_;
+  std::vector<std::unique_ptr<net::RdmaEndpoint>> server_eps_;
+  std::unique_ptr<ShardCoordinator> coordinator_;
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+};
+
+}  // namespace fpgadp::shard
+
+#endif  // FPGADP_SHARD_SHARD_H_

@@ -1,0 +1,263 @@
+#include "src/shard/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace fpgadp::shard {
+
+namespace {
+
+/// (distance, id) ascending — the exact order IvfPqIndex::Search returns,
+/// so a sharded merge is indistinguishable from a single-node scan.
+bool NeighborLess(const anns::Neighbor& a, const anns::Neighbor& b) {
+  return a.distance < b.distance ||
+         (a.distance == b.distance && a.id < b.id);
+}
+
+}  // namespace
+
+AnnsTopKWorkload::AnnsTopKWorkload(const anns::IvfPqIndex* index,
+                                   Partitioner partitioner,
+                                   const Config& config)
+    : index_(index), partitioner_(std::move(partitioner)), config_(config) {
+  FPGADP_CHECK(index_ != nullptr);
+  FPGADP_CHECK(config_.k > 0);
+  FPGADP_CHECK(config_.nprobe > 0);
+  FPGADP_CHECK(config_.scan_lanes > 0);
+}
+
+uint64_t AnnsTopKWorkload::AddQuery(const float* query) {
+  queries_.insert(queries_.end(), query, query + index_->dim());
+  return queries_.size() / index_->dim() - 1;
+}
+
+const float* AnnsTopKWorkload::Query(uint64_t request_id) const {
+  return queries_.data() + request_id * index_->dim();
+}
+
+const std::vector<anns::Neighbor>& AnnsTopKWorkload::result(
+    uint64_t request_id) const {
+  return results_.at(request_id);
+}
+
+std::vector<SubRequest> AnnsTopKWorkload::Scatter(uint64_t request_id) {
+  const std::vector<uint32_t> probes =
+      index_->SelectProbes(Query(request_id), config_.nprobe);
+  std::map<uint32_t, std::vector<uint32_t>> by_shard;
+  for (uint32_t list : probes) {
+    by_shard[partitioner_.ShardOf(list)].push_back(list);
+  }
+  std::vector<SubRequest> subs;
+  subs.reserve(by_shard.size());
+  for (auto& [shard, lists] : by_shard) {
+    SubRequest sr;
+    sr.shard = shard;
+    // The query vector plus the probed list ids travel to the shard.
+    sr.request_bytes = index_->dim() * sizeof(float) +
+                       lists.size() * sizeof(uint32_t);
+    plan_[{request_id, shard}] = std::move(lists);
+    subs.push_back(sr);
+  }
+  return subs;
+}
+
+Service AnnsTopKWorkload::Serve(uint32_t shard, uint64_t request_id) {
+  const std::vector<uint32_t>& lists = plan_.at({request_id, shard});
+  std::vector<anns::Neighbor> partial =
+      index_->SearchLists(Query(request_id), lists, config_.k);
+  uint64_t codes = 0;
+  for (uint32_t list : lists) codes += index_->list(list).ids.size();
+  Service svc;
+  // FANNS-shaped shard cost: one LUT build per probed list, then the ADC
+  // scan retires scan_lanes codes per cycle.
+  svc.compute_cycles =
+      uint64_t(config_.lut_cycles_per_list) * lists.size() +
+      (codes + config_.scan_lanes - 1) / config_.scan_lanes;
+  svc.response_bytes = partial.size() * sizeof(anns::Neighbor);
+  partials_[{request_id, shard}] = std::move(partial);
+  return svc;
+}
+
+void AnnsTopKWorkload::Merge(uint64_t request_id,
+                             const PartialOutcome& outcome) {
+  std::vector<anns::Neighbor> merged;
+  for (const PartialOutcome::Slice& slice : outcome.slices) {
+    const auto key = std::make_pair(request_id, slice.shard);
+    if (slice.outcome == SubOutcome::kDone) {
+      const auto it = partials_.find(key);
+      if (it != partials_.end()) {
+        merged.insert(merged.end(), it->second.begin(), it->second.end());
+      }
+    }
+    partials_.erase(key);
+    plan_.erase(key);
+  }
+  std::sort(merged.begin(), merged.end(), NeighborLess);
+  if (merged.size() > config_.k) merged.resize(config_.k);
+  results_[request_id] = std::move(merged);
+}
+
+KvsMultiGetWorkload::KvsMultiGetWorkload(Partitioner partitioner,
+                                         const Config& config)
+    : partitioner_(std::move(partitioner)), config_(config) {
+  stores_.resize(partitioner_.num_shards());
+}
+
+void KvsMultiGetWorkload::Load(uint64_t key, uint64_t value) {
+  stores_[partitioner_.ShardOf(key)][key] = value;
+}
+
+uint64_t KvsMultiGetWorkload::AddMultiGet(std::vector<uint64_t> keys) {
+  FPGADP_CHECK(!keys.empty());
+  requests_.push_back(std::move(keys));
+  return requests_.size() - 1;
+}
+
+const std::vector<KvsMultiGetWorkload::GetResult>&
+KvsMultiGetWorkload::result(uint64_t request_id) const {
+  return results_.at(request_id);
+}
+
+std::vector<SubRequest> KvsMultiGetWorkload::Scatter(uint64_t request_id) {
+  std::map<uint32_t, std::vector<uint64_t>> by_shard;
+  for (uint64_t key : requests_[request_id]) {
+    by_shard[partitioner_.ShardOf(key)].push_back(key);
+  }
+  std::vector<SubRequest> subs;
+  subs.reserve(by_shard.size());
+  for (auto& [shard, keys] : by_shard) {
+    SubRequest sr;
+    sr.shard = shard;
+    sr.request_bytes = keys.size() * uint64_t(config_.key_bytes);
+    plan_[{request_id, shard}] = std::move(keys);
+    subs.push_back(sr);
+  }
+  return subs;
+}
+
+Service KvsMultiGetWorkload::Serve(uint32_t shard, uint64_t request_id) {
+  const std::vector<uint64_t>& keys = plan_.at({request_id, shard});
+  auto& hits = partials_[{request_id, shard}];
+  const auto& store = stores_[shard];
+  for (uint64_t key : keys) {
+    const auto it = store.find(key);
+    if (it != store.end()) hits.emplace(key, it->second);
+  }
+  Service svc;
+  // The NIC DRAM pipeline fills once, then retires one bucket line per op
+  // at bus occupancy — the same facts SmartNicKvs charges per request.
+  svc.compute_cycles =
+      kvs::SmartNicKvs::DramLatencyCycles(config_.nic) +
+      uint64_t(std::ceil(double(keys.size()) *
+                         kvs::SmartNicKvs::DramCyclesPerOp(config_.nic)));
+  svc.response_bytes = keys.size() * 8 +
+                       uint64_t(hits.size()) * config_.nic.value_bytes;
+  return svc;
+}
+
+void KvsMultiGetWorkload::Merge(uint64_t request_id,
+                                const PartialOutcome& outcome) {
+  std::map<uint32_t, SubOutcome> shard_outcome;
+  for (const PartialOutcome::Slice& slice : outcome.slices) {
+    shard_outcome[slice.shard] = slice.outcome;
+  }
+  std::vector<GetResult> merged;
+  merged.reserve(requests_[request_id].size());
+  for (uint64_t key : requests_[request_id]) {
+    const uint32_t shard = partitioner_.ShardOf(key);
+    GetResult r;
+    r.key = key;
+    const auto oc = shard_outcome.find(shard);
+    r.served = oc != shard_outcome.end() && oc->second == SubOutcome::kDone;
+    if (r.served) {
+      const auto& hits = partials_[{request_id, shard}];
+      const auto hit = hits.find(key);
+      if (hit != hits.end()) {
+        r.hit = true;
+        r.value = hit->second;
+      }
+    }
+    merged.push_back(r);
+  }
+  for (const PartialOutcome::Slice& slice : outcome.slices) {
+    partials_.erase({request_id, slice.shard});
+    plan_.erase({request_id, slice.shard});
+  }
+  results_[request_id] = std::move(merged);
+}
+
+HashJoinWorkload::HashJoinWorkload(const rel::Table* build,
+                                   const rel::Table* probe,
+                                   const rel::JoinSpec& spec,
+                                   Partitioner partitioner,
+                                   const Config& config)
+    : build_(build), probe_(probe), spec_(spec),
+      partitioner_(std::move(partitioner)), config_(config) {
+  FPGADP_CHECK(build_ != nullptr);
+  FPGADP_CHECK(probe_ != nullptr);
+}
+
+std::vector<SubRequest> HashJoinWorkload::Scatter(uint64_t request_id) {
+  FPGADP_CHECK(request_id == 0);
+  const uint32_t n = partitioner_.num_shards();
+  build_parts_.assign(n, rel::Table(build_->schema()));
+  probe_parts_.assign(n, rel::Table(probe_->schema()));
+  for (const rel::Row& r : build_->rows()) {
+    build_parts_[partitioner_.ShardOf(uint64_t(r.Get(spec_.left_key)))]
+        .Append(r);
+  }
+  for (const rel::Row& r : probe_->rows()) {
+    probe_parts_[partitioner_.ShardOf(uint64_t(r.Get(spec_.right_key)))]
+        .Append(r);
+  }
+
+  // The joined schema: left's fields then right's, truncated the way
+  // HashJoinCpu/HashJoinFpga truncate (kMaxColumns-wide tuples).
+  std::vector<rel::Field> fields = build_->schema().fields();
+  for (const rel::Field& f : probe_->schema().fields()) {
+    if (fields.size() >= rel::kMaxColumns) break;
+    fields.push_back(f);
+  }
+  const rel::Schema out_schema{fields};
+  result_ = rel::Table(out_schema);
+
+  // Each shard's local build+probe runs here as a nested pipeline
+  // simulation (Scatter executes outside any engine tick), so Serve only
+  // replays the precomputed cost from inside the cluster.
+  outputs_.assign(n, rel::Table(out_schema));
+  services_.assign(n, Service{});
+  std::vector<SubRequest> subs;
+  subs.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (build_parts_[s].num_rows() == 0 || probe_parts_[s].num_rows() == 0) {
+      services_[s] = Service{1, 0};  // no matches possible, pipeline no-op
+    } else {
+      auto stats = rel::HashJoinFpga(build_parts_[s], probe_parts_[s], spec_,
+                                     config_.fpga);
+      FPGADP_CHECK(stats.ok());
+      services_[s] = Service{stats->cycles, stats->output.total_bytes()};
+      outputs_[s] = std::move(stats->output);
+    }
+    SubRequest sr;
+    sr.shard = s;
+    sr.request_bytes =
+        build_parts_[s].total_bytes() + probe_parts_[s].total_bytes();
+    subs.push_back(sr);
+  }
+  return subs;
+}
+
+Service HashJoinWorkload::Serve(uint32_t shard, uint64_t) {
+  return services_[shard];
+}
+
+void HashJoinWorkload::Merge(uint64_t, const PartialOutcome& outcome) {
+  for (const PartialOutcome::Slice& slice : outcome.slices) {
+    if (slice.outcome != SubOutcome::kDone) continue;
+    for (const rel::Row& r : outputs_[slice.shard].rows()) result_.Append(r);
+  }
+}
+
+}  // namespace fpgadp::shard

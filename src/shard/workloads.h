@@ -1,0 +1,170 @@
+#ifndef FPGADP_SHARD_WORKLOADS_H_
+#define FPGADP_SHARD_WORKLOADS_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/anns/ivf.h"
+#include "src/kvs/smart_kvs.h"
+#include "src/relational/cpu_executor.h"
+#include "src/relational/fpga_executor.h"
+#include "src/relational/table.h"
+#include "src/shard/partitioner.h"
+#include "src/shard/shard.h"
+
+namespace fpgadp::shard {
+
+/// Sharded ANNS top-k over one IvfPqIndex (the FANNS scale-out story): the
+/// coordinator runs coarse probe selection, the partitioner splits the
+/// probed list ids across shards, each shard scans only its lists
+/// (IvfPqIndex::SearchLists), and the gather merges the per-shard top-k by
+/// (distance, id) — exactly the single-node Search result, because every
+/// candidate's ADC distance depends only on its own list's LUT.
+///
+/// A degraded gather merges the slices that completed: recall drops, the
+/// query still answers.
+class AnnsTopKWorkload : public Workload {
+ public:
+  struct Config {
+    size_t nprobe = 8;
+    size_t k = 10;
+    /// PQ codes the shard's scan pipeline retires per cycle (FANNS scan
+    /// lanes).
+    uint32_t scan_lanes = 8;
+    /// Cycles to build one probed list's residual LUT.
+    uint32_t lut_cycles_per_list = 32;
+  };
+
+  AnnsTopKWorkload(const anns::IvfPqIndex* index, Partitioner partitioner,
+                   const Config& config);
+
+  /// Registers a query (copies dim floats) and returns its request id.
+  uint64_t AddQuery(const float* query);
+
+  /// Merged neighbors of a finalized request, closest first.
+  const std::vector<anns::Neighbor>& result(uint64_t request_id) const;
+
+  std::vector<SubRequest> Scatter(uint64_t request_id) override;
+  Service Serve(uint32_t shard, uint64_t request_id) override;
+  void Merge(uint64_t request_id, const PartialOutcome& outcome) override;
+
+ private:
+  const float* Query(uint64_t request_id) const;
+
+  const anns::IvfPqIndex* index_;
+  Partitioner partitioner_;
+  Config config_;
+  std::vector<float> queries_;  ///< Flat, dim floats per request.
+  /// Probed list ids per (request, shard), fixed at Scatter.
+  std::map<std::pair<uint64_t, uint32_t>, std::vector<uint32_t>> plan_;
+  std::map<std::pair<uint64_t, uint32_t>, std::vector<anns::Neighbor>>
+      partials_;
+  std::map<uint64_t, std::vector<anns::Neighbor>> results_;
+};
+
+/// Sharded smart-KVS multi-get (the KV-Direct model scaled out): keys are
+/// hash-partitioned across shards, each shard serves its batch from its own
+/// store at the NIC DRAM pipeline's cost (SmartNicKvs timing statics), and
+/// the gather reassembles values in request key order. Keys of a slice that
+/// failed or timed out come back with served = false — the union merge
+/// degrades per shard, never all-or-nothing.
+class KvsMultiGetWorkload : public Workload {
+ public:
+  struct Config {
+    /// Timing source: the NIC pipeline each shard runs.
+    kvs::SmartNicKvs::Config nic;
+    /// Wire bytes per key in a multi-get request.
+    uint32_t key_bytes = 16;
+  };
+
+  struct GetResult {
+    uint64_t key = 0;
+    bool served = false;  ///< False when the owning slice did not resolve.
+    bool hit = false;
+    uint64_t value = 0;
+  };
+
+  KvsMultiGetWorkload(Partitioner partitioner, const Config& config);
+
+  /// Preloads a key into its owning shard's store (no simulated time, like
+  /// farview::MemoryNode::LoadTable).
+  void Load(uint64_t key, uint64_t value);
+
+  /// Registers a multi-get and returns its request id.
+  uint64_t AddMultiGet(std::vector<uint64_t> keys);
+
+  /// Per-key results of a finalized request, in the submitted key order.
+  const std::vector<GetResult>& result(uint64_t request_id) const;
+
+  size_t store_size(uint32_t shard) const { return stores_[shard].size(); }
+
+  std::vector<SubRequest> Scatter(uint64_t request_id) override;
+  Service Serve(uint32_t shard, uint64_t request_id) override;
+  void Merge(uint64_t request_id, const PartialOutcome& outcome) override;
+
+ private:
+  Partitioner partitioner_;
+  Config config_;
+  std::vector<std::unordered_map<uint64_t, uint64_t>> stores_;  ///< Per shard.
+  std::vector<std::vector<uint64_t>> requests_;  ///< Request id -> keys.
+  std::map<std::pair<uint64_t, uint32_t>, std::vector<uint64_t>> plan_;
+  std::map<std::pair<uint64_t, uint32_t>,
+           std::unordered_map<uint64_t, uint64_t>>
+      partials_;  ///< Hits per (request, shard).
+  std::map<uint64_t, std::vector<GetResult>> results_;
+};
+
+/// Partitioned hash join (the classic scale-out build+probe): both sides
+/// are hash-partitioned on their join keys, each shard runs its partition
+/// pair through the repo's pipelined HashJoinFpga — as nested simulations
+/// at Scatter time, outside any engine tick — and the gather unions the
+/// per-shard match sets. Co-partitioning makes the union exactly the
+/// single-node join. One workload instance models one join request.
+class HashJoinWorkload : public Workload {
+ public:
+  struct Config {
+    rel::FpgaOptions fpga;
+  };
+
+  HashJoinWorkload(const rel::Table* build, const rel::Table* probe,
+                   const rel::JoinSpec& spec, Partitioner partitioner,
+                   const Config& config);
+
+  /// The single request this workload serves; pass to ShardCluster::Submit.
+  uint64_t request_id() const { return 0; }
+
+  /// The unioned join output (populated by Merge; partial under
+  /// degradation). Row order is shard-major and deterministic.
+  const rel::Table& result() const { return result_; }
+
+  /// Build/probe rows routed to `shard`.
+  size_t build_rows(uint32_t shard) const {
+    return build_parts_[shard].num_rows();
+  }
+  size_t probe_rows(uint32_t shard) const {
+    return probe_parts_[shard].num_rows();
+  }
+
+  std::vector<SubRequest> Scatter(uint64_t request_id) override;
+  Service Serve(uint32_t shard, uint64_t request_id) override;
+  void Merge(uint64_t request_id, const PartialOutcome& outcome) override;
+
+ private:
+  const rel::Table* build_;
+  const rel::Table* probe_;
+  rel::JoinSpec spec_;
+  Partitioner partitioner_;
+  Config config_;
+  std::vector<rel::Table> build_parts_;
+  std::vector<rel::Table> probe_parts_;
+  std::vector<rel::Table> outputs_;   ///< Per-shard local join results.
+  std::vector<Service> services_;     ///< Per-shard precomputed costs.
+  rel::Table result_;
+};
+
+}  // namespace fpgadp::shard
+
+#endif  // FPGADP_SHARD_WORKLOADS_H_

@@ -20,6 +20,8 @@
 
 #include "gtest/gtest.h"
 #include "src/accl/collectives.h"
+#include "src/anns/dataset.h"
+#include "src/anns/ivf.h"
 #include "src/device/device.h"
 #include "src/microrec/cartesian.h"
 #include "src/microrec/engine.h"
@@ -29,6 +31,9 @@
 #include "src/relational/fpga_executor.h"
 #include "src/relational/program.h"
 #include "src/relational/table.h"
+#include "src/shard/partitioner.h"
+#include "src/shard/shard.h"
+#include "src/shard/workloads.h"
 #include "src/sim/engine.h"
 
 #ifndef FPGADP_GOLDEN_DIR
@@ -167,9 +172,44 @@ uint64_t AcclBroadcastScenario() {
   return stats.ok() ? stats->cycles : 0;
 }
 
+/// bench_shard_scaling's shape at small fixed size: 12 ANNS top-k queries
+/// scattered across a 4-shard cluster over the loss-free fabric, gathered
+/// and merged by the coordinator.
+uint64_t ShardAnnsScenario() {
+  anns::DatasetSpec spec;
+  spec.num_base = 2048;
+  spec.num_queries = 12;
+  spec.dim = 16;
+  spec.num_clusters = 8;
+  spec.cluster_stddev = 0.3f;
+  spec.seed = 41;
+  const anns::Dataset data = anns::MakeDataset(spec);
+  anns::IvfPqIndex::Options opts;
+  opts.nlist = 16;
+  opts.pq.m = 4;
+  opts.pq.ksub = 32;
+  opts.pq.train_iters = 6;
+  auto index = anns::IvfPqIndex::Build(data.base, data.dim, opts);
+  EXPECT_TRUE(index.ok()) << index.status();
+  if (!index.ok()) return 0;
+  shard::AnnsTopKWorkload::Config wc;
+  wc.nprobe = 8;
+  wc.k = 10;
+  shard::AnnsTopKWorkload wl(&*index, shard::Partitioner::Hash(4), wc);
+  shard::ShardCluster::Config cc;
+  cc.num_shards = 4;
+  shard::ShardCluster cluster(&wl, cc);
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    cluster.Submit(wl.AddQuery(data.QueryVector(q)));
+  }
+  auto cycles = cluster.Run();
+  EXPECT_TRUE(cycles.ok()) << cycles.status();
+  return cycles.ok() ? cycles.value() : 0;
+}
+
 const std::vector<std::string> kScenarios = {
-    "rdma_64x4k",  "rdma_1x1m",   "line_rate_filter",
-    "hash_join",   "hbm_scaling", "accl_broadcast",
+    "rdma_64x4k",  "rdma_1x1m",   "line_rate_filter", "hash_join",
+    "hbm_scaling", "accl_broadcast", "shard_anns",
 };
 
 uint64_t RunScenario(const std::string& name, const RunOpts& opts) {
@@ -180,6 +220,7 @@ uint64_t RunScenario(const std::string& name, const RunOpts& opts) {
   if (name == "hash_join") return HashJoinScenario();
   if (name == "hbm_scaling") return MicroRecScenario();
   if (name == "accl_broadcast") return AcclBroadcastScenario();
+  if (name == "shard_anns") return ShardAnnsScenario();
   ADD_FAILURE() << "unknown scenario " << name;
   return 0;
 }

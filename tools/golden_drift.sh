@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Golden-drift gate: proves the current build still reproduces every locked
+# cycle baseline in tests/golden/cycles.json, through BOTH paths that read
+# it — the golden test tier and bench_sim_throughput --smoke. On drift it
+# fails loudly with a per-scenario diff (got vs want), so a CI log shows at
+# a glance which timing model moved.
+#
+#   tools/golden_drift.sh [build_dir]   # default: build
+#
+# Run after building the given tree (tools/check.sh or the CI build step).
+# If the drift is an *intentional* timing-model change, regenerate with
+# tools/update_goldens.sh and explain why in the commit message.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+GOLDEN=tests/golden/cycles.json
+
+if [[ ! -x "$BUILD_DIR/tests/golden_cycles_test" ]]; then
+  echo "error: $BUILD_DIR/tests/golden_cycles_test not built" >&2
+  exit 2
+fi
+
+ok=1
+
+echo "=== golden-drift gate: test tier ($BUILD_DIR) ==="
+if ! "$BUILD_DIR/tests/golden_cycles_test"; then
+  ok=0
+  # Reproduce the current counts into a scratch copy of the baseline and
+  # diff, so the log names every drifted scenario. The real baseline is
+  # restored untouched.
+  cp "$GOLDEN" "$GOLDEN.want"
+  if FPGADP_UPDATE_GOLDENS=1 "$BUILD_DIR/tests/golden_cycles_test" \
+      --gtest_filter='GoldenCycles.MatchesBaseline' >/dev/null; then
+    mv "$GOLDEN" "$GOLDEN.got"
+    mv "$GOLDEN.want" "$GOLDEN"
+    echo "--- cycle drift (-want / +got) ---" >&2
+    diff -u "$GOLDEN" "$GOLDEN.got" >&2 || true
+    rm -f "$GOLDEN.got"
+  else
+    mv "$GOLDEN.want" "$GOLDEN"
+    echo "--- scenarios failed outright; no diff available ---" >&2
+  fi
+fi
+
+echo "=== golden-drift gate: bench path ==="
+if ! "$BUILD_DIR/bench/bench_sim_throughput" --smoke \
+    --json="$BUILD_DIR/BENCH_sim_throughput_drift.json"; then
+  ok=0
+  echo "--- bench_sim_throughput --smoke diverged from $GOLDEN ---" >&2
+fi
+
+if [[ $ok -ne 1 ]]; then
+  echo "FAILED: golden cycle baselines drifted — see diff above." >&2
+  echo "If intentional, run tools/update_goldens.sh and say why in the commit." >&2
+  exit 1
+fi
+echo "golden-drift gate green: all baselines reproduced ($GOLDEN)"

@@ -1,5 +1,6 @@
 #include "bench/bench_common.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -54,15 +55,48 @@ void Session::SetDefaultJsonPath(const std::string& path) {
 
 namespace {
 
-/// Minimal JSON string escaping for row/field names (quotes, backslashes).
+/// RFC 8259 string escaping for row/field names: quote, backslash, and
+/// every control character below 0x20 (named escapes where JSON has them,
+/// \u00XX otherwise). Scenario names built from user flags or file paths
+/// can legally contain tabs and newlines; emitting those raw produced
+/// files strict parsers reject.
 std::string JsonEscape(const std::string& s) {
+  static const char kHex[] = "0123456789abcdef";
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          out += "\\u00";
+          out.push_back(kHex[u >> 4]);
+          out.push_back(kHex[u & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+      }
+    }
   }
   return out;
+}
+
+/// Writes one numeric field value. JSON has no NaN/Infinity literals;
+/// streaming them raw ("nan", "inf") silently corrupts the whole file, so
+/// non-finite values degrade to null — absent, but parseable.
+void WriteJsonNumber(std::ostream& os, double value) {
+  if (std::isfinite(value)) {
+    os << value;
+  } else {
+    os << "null";
+  }
 }
 
 }  // namespace
@@ -86,7 +120,8 @@ Session::~Session() {
         out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
             << JsonEscape(results_[i].name) << "\"";
         for (const auto& [key, value] : results_[i].fields) {
-          out << ", \"" << JsonEscape(key) << "\": " << value;
+          out << ", \"" << JsonEscape(key) << "\": ";
+          WriteJsonNumber(out, value);
         }
         out << "}";
       }

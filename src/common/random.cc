@@ -64,6 +64,12 @@ double Rng::NextGaussian() {
   return r * std::cos(theta);
 }
 
+double Rng::NextExponential(double mean) {
+  FPGADP_CHECK(mean > 0.0);
+  // 1 - NextDouble() is in (0, 1], so the log is finite and <= 0.
+  return -mean * std::log(1.0 - NextDouble());
+}
+
 int64_t Rng::NextInt(int64_t lo, int64_t hi) {
   FPGADP_CHECK(lo <= hi);
   return lo + static_cast<int64_t>(

@@ -26,6 +26,11 @@ class Rng {
   /// Standard normal via Box-Muller.
   double NextGaussian();
 
+  /// Exponential with the given mean (inverse-CDF). The building block for
+  /// Poisson arrival processes: successive draws are i.i.d. inter-arrival
+  /// gaps. `mean` must be > 0; the result is in [0, inf).
+  double NextExponential(double mean);
+
   /// Uniform in [lo, hi] inclusive.
   int64_t NextInt(int64_t lo, int64_t hi);
 

@@ -1,0 +1,87 @@
+#include "src/obs/latency_histogram.h"
+
+#include <bit>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace fpgadp::obs {
+
+LatencyHistogram::LatencyHistogram(uint32_t sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_count_(uint64_t{1} << sub_bucket_bits) {
+  FPGADP_CHECK(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+  // One exact range [0, sub_count) plus one sub_count-wide group per
+  // possible leading-bit position above it covers all of uint64.
+  counts_.assign((64 - sub_bucket_bits + 1) * sub_count_, 0);
+}
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) const {
+  if (value < sub_count_) return static_cast<size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - static_cast<int>(sub_bucket_bits_);
+  // (value >> shift) is in [sub_count, 2*sub_count): the octave's linear
+  // sub-bucket. Group 0 is the exact range; group (shift + 1) holds
+  // octave msb.
+  return static_cast<size_t>(shift + 1) * sub_count_ +
+         static_cast<size_t>((value >> shift) - sub_count_);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) const {
+  if (index < sub_count_) return index;
+  const uint64_t group = index / sub_count_;   // >= 1
+  const uint64_t sub = index % sub_count_;
+  const uint64_t shift = group - 1;
+  return ((sub_count_ + sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  ++counts_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  FPGADP_CHECK(sub_bucket_bits_ == other.sub_bucket_bits_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // The ceil(q * count)-th observation in ascending order (1-based), so
+  // Quantile(1.0) is the last one and Quantile(0.5) the median's bucket.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (rank < count_ &&
+      static_cast<double>(rank) < q * static_cast<double>(count_)) {
+    ++rank;
+  }
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      const uint64_t bound = BucketUpperBound(i);
+      return bound > max_ ? max_ : bound;
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::ostringstream os;
+  os << "count " << count_ << " mean " << mean() << " p50 " << p50()
+     << " p99 " << p99() << " p999 " << p999() << " max " << max_;
+  return os.str();
+}
+
+}  // namespace fpgadp::obs

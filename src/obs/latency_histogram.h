@@ -1,0 +1,83 @@
+#ifndef FPGADP_OBS_LATENCY_HISTOGRAM_H_
+#define FPGADP_OBS_LATENCY_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpgadp::obs {
+
+/// Fixed-bucket log-scale histogram for latency distributions measured in
+/// integer sim cycles, HdrHistogram-style: every power-of-two octave is
+/// split into 2^sub_bucket_bits linear sub-buckets, so the bucket a value
+/// lands in bounds it within a relative error of 2^-sub_bucket_bits
+/// (6.25% at the default 4 bits) across the full uint64 range — no
+/// configuration of an expected maximum, no overflow bucket smearing the
+/// tail. Values below one full octave (v < 2^bits) are recorded exactly.
+///
+/// This is the serving layer's per-request-class latency record
+/// (src/serve/): cheap O(1) insert, deterministic quantile extraction
+/// (p50/p99/p999 report the landing bucket's inclusive upper bound, never
+/// an interpolation, so equal event streams produce bit-equal summaries),
+/// and mergeable — Merge() adds another histogram's counts bucket-for-
+/// bucket, which is how per-class histograms roll up into a fleet-wide
+/// one. Contrast obs::Histogram (metrics.h): that one takes arbitrary
+/// caller-chosen bounds and serves low-resolution occupancy tracking;
+/// this one owns its geometry so histograms are always merge-compatible
+/// at equal sub_bucket_bits.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(uint32_t sub_bucket_bits = 4);
+
+  /// Records one latency observation (cycles).
+  void Record(uint64_t value);
+
+  /// Adds `other`'s counts into this histogram. Both must have been built
+  /// with the same sub_bucket_bits (checked).
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  /// Min/max observed values, exact (not bucket bounds); 0 when empty.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value bounding quantile `q` in [0, 1] from above: the inclusive upper
+  /// bound of the bucket holding the ceil(q * count)-th observation,
+  /// clamped to the observed max. 0 when empty. Never underestimates the
+  /// true quantile by more than the bucket's relative width.
+  uint64_t Quantile(double q) const;
+
+  uint64_t p50() const { return Quantile(0.50); }
+  uint64_t p99() const { return Quantile(0.99); }
+  uint64_t p999() const { return Quantile(0.999); }
+
+  uint32_t sub_bucket_bits() const { return sub_bucket_bits_; }
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Inclusive upper bound of bucket `index` (the value Quantile reports
+  /// when the quantile lands there).
+  uint64_t BucketUpperBound(size_t index) const;
+
+  /// One-line summary: count/mean/p50/p99/p999/max.
+  std::string ToString() const;
+
+ private:
+  size_t BucketIndex(uint64_t value) const;
+
+  uint32_t sub_bucket_bits_;
+  uint64_t sub_count_;  ///< 2^sub_bucket_bits, sub-buckets per octave.
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+  uint64_t max_ = 0;
+};
+
+}  // namespace fpgadp::obs
+
+#endif  // FPGADP_OBS_LATENCY_HISTOGRAM_H_

@@ -12,6 +12,11 @@ Partitioner Partitioner::Hash(uint32_t num_shards) {
   return Partitioner(PartitionScheme::kHash, num_shards, {});
 }
 
+Partitioner Partitioner::Modulo(uint32_t num_shards) {
+  FPGADP_CHECK(num_shards > 0);
+  return Partitioner(PartitionScheme::kModulo, num_shards, {});
+}
+
 Partitioner Partitioner::RoundRobin(uint32_t num_shards) {
   FPGADP_CHECK(num_shards > 0);
   return Partitioner(PartitionScheme::kRoundRobin, num_shards, {});
@@ -26,12 +31,14 @@ Partitioner Partitioner::Range(std::vector<uint64_t> upper_bounds) {
   return Partitioner(PartitionScheme::kRange, n, std::move(upper_bounds));
 }
 
-uint32_t Partitioner::ShardOf(uint64_t key) const {
+uint32_t Partitioner::ShardOf(uint64_t key) {
   switch (scheme_) {
     case PartitionScheme::kHash:
       return static_cast<uint32_t>(rel::Hash64(key) % num_shards_);
-    case PartitionScheme::kRoundRobin:
+    case PartitionScheme::kModulo:
       return static_cast<uint32_t>(key % num_shards_);
+    case PartitionScheme::kRoundRobin:
+      return static_cast<uint32_t>(cursor_++ % num_shards_);
     case PartitionScheme::kRange: {
       const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), key);
       if (it == bounds_.end()) return num_shards_ - 1;

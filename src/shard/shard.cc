@@ -36,14 +36,60 @@ ShardCoordinator::ShardCoordinator(std::string name, Workload* workload,
   FPGADP_CHECK(endpoint_ != nullptr);
   FPGADP_CHECK(num_shards_ > 0);
   FPGADP_CHECK(config_.window > 0);
+  FPGADP_CHECK(config_.feasibility_headroom_pct > 0 &&
+               config_.feasibility_headroom_pct <= 100);
   shard_queue_.resize(num_shards_);
   in_flight_.assign(num_shards_, 0);
   queue_hwm_.assign(num_shards_, 0);
+  svc_est_x16_.assign(num_shards_,
+                      config_.initial_service_estimate_cycles << 4);
+  pending_cost_.assign(num_shards_, 0);
+  wire_est_ = config_.initial_wire_estimate_cycles;
 }
 
 void ShardCoordinator::Submit(uint64_t request_id) {
-  FPGADP_CHECK(active_.find(request_id) == active_.end());
   const std::vector<SubRequest> subs = workload_->Scatter(request_id);
+  Enqueue(request_id, subs);
+}
+
+uint64_t ShardCoordinator::EstimateFor(const SubRequest& sub) const {
+  return sub.est_service_cycles > 0 ? sub.est_service_cycles
+                                    : svc_est_x16_[sub.shard] >> 4;
+}
+
+bool ShardCoordinator::TrySubmit(uint64_t request_id,
+                                 const std::vector<SubRequest>& subs,
+                                 sim::Cycle now, uint64_t deadline_budget_cycles) {
+  (void)now;  // budgets are relative; `now` documents the caller's clock
+  switch (config_.admission) {
+    case AdmissionPolicy::kQueueDepth:
+      if (config_.max_pending > 0 && active_.size() >= config_.max_pending) {
+        ++ingress_shed_;
+        return false;
+      }
+      break;
+    case AdmissionPolicy::kDeadlineFeasible: {
+      const uint64_t budget =
+          deadline_budget_cycles * config_.feasibility_headroom_pct / 100;
+      for (const SubRequest& sr : subs) {
+        FPGADP_CHECK(sr.shard < num_shards_);
+        const uint64_t eta =
+            wire_est_ + pending_cost_[sr.shard] + EstimateFor(sr);
+        if (eta > budget) {
+          ++ingress_shed_;
+          return false;
+        }
+      }
+      break;
+    }
+  }
+  Enqueue(request_id, subs);
+  return true;
+}
+
+void ShardCoordinator::Enqueue(uint64_t request_id,
+                               const std::vector<SubRequest>& subs) {
+  FPGADP_CHECK(active_.find(request_id) == active_.end());
   FPGADP_CHECK(!subs.empty());
   Active a;
   a.subs.reserve(subs.size());
@@ -53,6 +99,8 @@ void ShardCoordinator::Submit(uint64_t request_id) {
     sub.shard = sr.shard;
     sub.bytes = sr.request_bytes;
     sub.tag = next_tag_++;
+    sub.est_cycles = EstimateFor(sr);
+    pending_cost_[sr.shard] += sub.est_cycles;
     tag_map_[sub.tag] = {request_id, a.subs.size()};
     shard_queue_[sr.shard].push_back({request_id, a.subs.size()});
     ++total_queued_;
@@ -61,6 +109,25 @@ void ShardCoordinator::Submit(uint64_t request_id) {
     a.subs.push_back(sub);
   }
   active_.emplace(request_id, std::move(a));
+}
+
+void ShardCoordinator::ObserveService(uint32_t shard, uint64_t service_cycles,
+                                      uint64_t rtt_cycles) {
+  // Integer EWMA, alpha = 1/8, in 4-bit fixed point: deterministic across
+  // platforms and cheap enough for the response path.
+  const int64_t obs_x16 = static_cast<int64_t>(service_cycles << 4);
+  int64_t est = static_cast<int64_t>(svc_est_x16_[shard]);
+  est += (obs_x16 - est) / 8;
+  svc_est_x16_[shard] = static_cast<uint64_t>(est < 16 ? 16 : est);
+  // rtt - service still contains shard queue wait; taking the minimum over
+  // responses converges on the uncongested wire round trip (the queue term
+  // is costed separately via pending_cost_).
+  const uint64_t wire =
+      rtt_cycles > service_cycles ? rtt_cycles - service_cycles : 0;
+  if (!wire_seen_ || wire < wire_est_) {
+    wire_est_ = wire;
+    wire_seen_ = true;
+  }
 }
 
 bool ShardCoordinator::PollOutcome(PartialOutcome* out) {
@@ -81,6 +148,8 @@ void ShardCoordinator::ResolveSub(uint64_t request_id, size_t sub_index,
   ++a.resolved;
   tag_map_.erase(sub.tag);
   if (sub.sent) --in_flight_[sub.shard];
+  pending_cost_[sub.shard] -= std::min(pending_cost_[sub.shard],
+                                       sub.est_cycles);
   if (a.resolved == a.subs.size()) Finalize(request_id, a, cycle);
 }
 
@@ -127,7 +196,7 @@ void ShardCoordinator::Finalize(uint64_t request_id, Active& a,
   active_.erase(request_id);
 }
 
-bool ShardCoordinator::PumpQueues(sim::Cycle) {
+bool ShardCoordinator::PumpQueues(sim::Cycle cycle) {
   bool progressed = false;
   for (uint32_t s = 0; s < num_shards_; ++s) {
     auto& q = shard_queue_[s];
@@ -153,6 +222,7 @@ bool ShardCoordinator::PumpQueues(sim::Cycle) {
       p.bytes = sub.bytes;
       endpoint_->PostPacket(p);
       sub.sent = true;
+      sub.sent_at = cycle;
       ++in_flight_[s];
       q.pop_front();
       --total_queued_;
@@ -184,7 +254,9 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
                cycle);
   }
 
-  // Responses: merged slices and admission rejections.
+  // Responses: merged slices and admission rejections. Bit 0 of user2
+  // flags a shard-side rejection; otherwise user2 >> 1 reports the slice's
+  // service cycles, which feeds the admission estimator.
   net::Packet p;
   while (endpoint_->PollRecv(&p)) {
     progressed = true;
@@ -194,9 +266,16 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
       ++late_responses_;  // its gather already finalized under the deadline
       continue;
     }
+    const bool busy = (p.user2 & 1) != 0;
+    if (!busy) {
+      const auto ait = active_.find(it->second.first);
+      if (ait != active_.end()) {
+        const Sub& sub = ait->second.subs[it->second.second];
+        ObserveService(sub.shard, p.user2 >> 1, cycle - sub.sent_at);
+      }
+    }
     ResolveSub(it->second.first, it->second.second,
-               p.user2 == 1 ? SubOutcome::kRejected : SubOutcome::kDone,
-               cycle);
+               busy ? SubOutcome::kRejected : SubOutcome::kDone, cycle);
   }
 
   // Expire gathers past their deadline: pending slices resolve kTimedOut
@@ -212,6 +291,8 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
       ++a.resolved;
       tag_map_.erase(sub.tag);
       if (sub.sent) --in_flight_[sub.shard];
+      pending_cost_[sub.shard] -= std::min(pending_cost_[sub.shard],
+                                           sub.est_cycles);
       // An unsent slice still sits in its shard queue; PumpQueues drops it.
     }
     Finalize(request_id, a, cycle);
@@ -268,6 +349,8 @@ void ShardCoordinator::ExportCustomMetrics(
       ->Set(static_cast<double>(late_responses_));
   registry.GetGauge(base + ".gather_stall_cycles")
       ->Set(static_cast<double>(gather_stall_cycles_));
+  registry.GetGauge(base + ".ingress_shed")
+      ->Set(static_cast<double>(ingress_shed_));
   for (uint32_t s = 0; s < num_shards_; ++s) {
     registry.GetGauge(base + ".queue_hwm.shard" + std::to_string(s))
         ->Set(static_cast<double>(queue_hwm_[s]));
@@ -329,6 +412,7 @@ void ShardServer::Tick(sim::Cycle cycle) {
     pending_resp_.kind = net::OpKind::kOffloadResp;
     pending_resp_.tag = req.tag;
     pending_resp_.user = req.user;
+    pending_resp_.user2 = cycles << 1;  // bit 0 clear = served; see shard.h
     pending_resp_.bytes = svc.response_bytes;
     progressed = true;
   }

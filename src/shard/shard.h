@@ -25,6 +25,11 @@ namespace fpgadp::shard {
 struct SubRequest {
   uint32_t shard = 0;
   uint64_t request_bytes = 0;
+  /// The workload's own estimate of Serve()'s compute_cycles for this
+  /// slice, used by deadline-feasibility admission to cost the queue ahead
+  /// of a candidate request. 0 = unknown; the coordinator falls back to its
+  /// per-shard EWMA of observed service times.
+  uint64_t est_service_cycles = 0;
 };
 
 /// Shard-side service facts for one slice: how long the shard's pipeline is
@@ -45,6 +50,24 @@ enum class SubOutcome : uint8_t {
 
 /// Returns a stable lowercase name for `outcome` ("done", "rejected", ...).
 const char* SubOutcomeName(SubOutcome outcome);
+
+/// How ShardCoordinator::TrySubmit decides to shed a request at ingress
+/// (Submit() bypasses admission entirely and always enqueues).
+enum class AdmissionPolicy : uint8_t {
+  /// Shed when the number of in-flight gathers reaches `max_pending` — the
+  /// classic bounded-queue front door. Blind to deadlines: under sustained
+  /// overload every admitted request still waits the full queue, so tail
+  /// latency is max_pending * service, SLO or not.
+  kQueueDepth = 0,
+  /// Shed when the request cannot finish inside its deadline budget given
+  /// the current per-shard backlog and service/wire estimates: for each
+  /// slice, ETA = wire_estimate + queued_cost(shard) + est(slice); any
+  /// slice with ETA > headroom% * deadline sheds the whole request. Admits
+  /// everything a deadline could tolerate and nothing it couldn't, so the
+  /// latency of *served* requests stays bounded near the SLO while excess
+  /// load turns into fast-fail sheds instead of queue time.
+  kDeadlineFeasible = 1,
+};
 
 /// Degradation report for one gathered request — the serving-layer analogue
 /// of accl::PartialOutcome: which shards contributed and why the others did
@@ -118,6 +141,22 @@ class ShardCoordinator : public sim::Module {
     /// Cycles after scatter at which an incomplete gather degrades into a
     /// PartialOutcome. 0 waits forever — only safe on a loss-free fabric.
     uint64_t gather_deadline_cycles = 0;
+    /// Ingress admission for TrySubmit() (Submit() never sheds).
+    AdmissionPolicy admission = AdmissionPolicy::kQueueDepth;
+    /// kQueueDepth: shed when this many gathers are already in flight.
+    /// 0 = unbounded (TrySubmit admits everything).
+    uint32_t max_pending = 0;
+    /// kDeadlineFeasible: seed for the per-shard service-time EWMA until
+    /// the first response reports a real measurement.
+    uint64_t initial_service_estimate_cycles = 64;
+    /// kDeadlineFeasible: assumed request+response wire time until the
+    /// first response pins it (thereafter the minimum observed
+    /// round-trip-minus-service, i.e. the uncongested wire estimate).
+    uint64_t initial_wire_estimate_cycles = 256;
+    /// kDeadlineFeasible: percentage of the deadline budget admission may
+    /// plan into. 100 fills the budget exactly; lower values keep headroom
+    /// for estimate error (service jitter, fabric contention).
+    uint32_t feasibility_headroom_pct = 100;
   };
 
   ShardCoordinator(std::string name, Workload* workload,
@@ -128,8 +167,23 @@ class ShardCoordinator : public sim::Module {
   /// module Tick (Workload::Scatter may run nested simulations).
   void Submit(uint64_t request_id);
 
+  /// Serving-path ingress: offers one request whose scatter plan was
+  /// precomputed outside any tick (so this IS tick-safe — the serving
+  /// front door calls it at arrival time from its own Tick). Runs the
+  /// configured AdmissionPolicy against `deadline_budget_cycles` (the
+  /// request's SLO, counted from `now`) and either enqueues every slice
+  /// (true) or sheds the whole request without touching coordinator state
+  /// (false; the caller owns shed accounting — no PartialOutcome is made).
+  bool TrySubmit(uint64_t request_id, const std::vector<SubRequest>& subs,
+                 sim::Cycle now, uint64_t deadline_budget_cycles);
+
   /// Pops one finalized gather, oldest first.
   bool PollOutcome(PartialOutcome* out);
+
+  /// Finalized gathers waiting in PollOutcome order. Front-door modules
+  /// consult this from NextEventCycle so fast-forward never skips past an
+  /// unpolled outcome.
+  size_t outcomes_available() const { return outcomes_.size(); }
 
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override { return active_.empty() && total_queued_ == 0; }
@@ -138,6 +192,16 @@ class ShardCoordinator : public sim::Module {
 
   uint64_t gathers_completed() const { return gathers_completed_; }
   uint64_t gathers_degraded() const { return gathers_degraded_; }
+  /// Requests TrySubmit refused at ingress under the admission policy.
+  uint64_t ingress_shed() const { return ingress_shed_; }
+  /// Current admission-relevant view of one shard: EWMA of reported
+  /// service cycles and the sum of estimated cycles queued or in flight.
+  uint64_t service_estimate(uint32_t shard) const {
+    return svc_est_x16_[shard] >> 4;
+  }
+  uint64_t queued_cost(uint32_t shard) const { return pending_cost_[shard]; }
+  /// Uncongested wire round-trip estimate (min observed rtt - service).
+  uint64_t wire_estimate() const { return wire_est_; }
   /// Responses that arrived after their gather finalized (deadline races).
   uint64_t late_responses() const { return late_responses_; }
   /// Cycles spent with gathers outstanding and nothing arriving — the
@@ -160,6 +224,10 @@ class ShardCoordinator : public sim::Module {
     uint32_t shard = 0;
     uint64_t bytes = 0;
     uint64_t tag = 0;  ///< Assigned at Submit; keys tag_map_.
+    /// Service estimate charged to pending_cost_ at enqueue; the same
+    /// amount is released on resolve (the EWMA may have moved meanwhile).
+    uint64_t est_cycles = 0;
+    sim::Cycle sent_at = 0;  ///< Cycle the slice shipped (valid iff sent).
     bool sent = false;
     SubOutcome outcome = SubOutcome::kPending;
   };
@@ -174,6 +242,16 @@ class ShardCoordinator : public sim::Module {
   void ResolveSub(uint64_t request_id, size_t sub_index, SubOutcome outcome,
                   sim::Cycle cycle);
   void Finalize(uint64_t request_id, Active& active, sim::Cycle cycle);
+  /// Shared Submit/TrySubmit tail: registers the request and queues every
+  /// slice (charging pending_cost_). Tick-safe; never calls the workload.
+  void Enqueue(uint64_t request_id, const std::vector<SubRequest>& subs);
+  /// The service estimate admission charges for one slice: the workload's
+  /// own figure when present, else the shard's EWMA.
+  uint64_t EstimateFor(const SubRequest& sub) const;
+  /// Folds a served slice's reported service time and observed round trip
+  /// into the per-shard EWMA and the wire floor.
+  void ObserveService(uint32_t shard, uint64_t service_cycles,
+                      uint64_t rtt_cycles);
   /// Ships queued slices while windows have room; lazily drops entries
   /// whose request finalized (deadline expiry) in the meantime.
   bool PumpQueues(sim::Cycle cycle);
@@ -195,15 +273,30 @@ class ShardCoordinator : public sim::Module {
   uint64_t gathers_degraded_ = 0;
   uint64_t late_responses_ = 0;
   uint64_t gather_stall_cycles_ = 0;
+  uint64_t ingress_shed_ = 0;
   std::vector<size_t> queue_hwm_;
+
+  // Admission state (kDeadlineFeasible): per-shard service EWMA in 4-bit
+  // fixed point (est = svc_est_x16_ >> 4), the estimated cycles sitting in
+  // each shard's queue + flight, and the min observed wire round trip. All
+  // integer arithmetic, so admission decisions are bit-deterministic.
+  std::vector<uint64_t> svc_est_x16_;
+  std::vector<uint64_t> pending_cost_;
+  uint64_t wire_est_ = 0;
+  bool wire_seen_ = false;
 };
 
 /// One simulated FPGA instance serving its shard of the workload, at fabric
 /// node 1 + shard_id. Sub-requests arrive as kOffloadReq packets; each is
-/// either admitted into a bounded queue or immediately answered "busy"
-/// (user2 = 1), so an overloaded shard sheds load instead of stalling the
-/// cluster. The pipeline serves one slice at a time: Workload::Serve names
-/// the occupancy, and the response ships when it elapses.
+/// either admitted into a bounded queue or immediately answered "busy", so
+/// an overloaded shard sheds load instead of stalling the cluster. The
+/// pipeline serves one slice at a time: Workload::Serve names the
+/// occupancy, and the response ships when it elapses.
+///
+/// Response wire encoding (user2): bit 0 set = admission-rejected ("busy");
+/// otherwise user2 >> 1 carries the slice's service cycles, which the
+/// coordinator folds into its per-shard service estimate for
+/// deadline-feasibility admission.
 class ShardServer : public sim::Module {
  public:
   struct Config {

@@ -1,0 +1,270 @@
+// Round-trips the bench Session's --json result writer through a strict
+// JSON parser. The writer historically escaped only quotes and backslashes
+// and streamed doubles raw, so a scenario name with a newline or a NaN
+// field silently produced a file no conforming parser would accept — this
+// test locks in RFC 8259 output: control characters escaped, non-finite
+// numbers degraded to null.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+
+namespace fpgadp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A deliberately strict, minimal JSON parser: objects, arrays, strings with
+// the RFC escapes, numbers, null. Anything else — raw control characters,
+// bare nan/inf tokens, trailing garbage — fails the parse.
+
+struct JsonValue {
+  enum Kind { kNull, kNumber, kString, kArray, kObject } kind = kNull;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class StrictParser {
+ public:
+  explicit StrictParser(const std::string& text) : s_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    JsonValue v;
+    if (!ParseValue(&v)) return std::nullopt;
+    SkipWs();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->string);
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out->kind = JsonValue::kNull;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::kObject;
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      SkipWs();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::kArray;
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->array.push_back(std::move(v));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // RFC 8259
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return false;
+          }
+          if (code > 0x7F) return false;  // ASCII is all the writer emits
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out->number = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    out->kind = JsonValue::kNumber;
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// The name every field of this test abuses: quotes, backslash, the named
+// control escapes, and a raw 0x01.
+const char kHostileName[] = "a \"b\"\\c\nnewline\ttab\rcr\x01ctrl\b\f";
+
+TEST(BenchJsonTest, HostileNamesAndNonFiniteValuesRoundTripStrictly) {
+  const std::string path =
+      ::testing::TempDir() + "/bench_json_test_out.json";
+  std::remove(path.c_str());
+  {
+    const std::string flag = "--json=" + path;
+    std::vector<char> flag_buf(flag.begin(), flag.end());
+    flag_buf.push_back('\0');
+    char prog[] = "bench_json_test";
+    char* argv[] = {prog, flag_buf.data()};
+    bench::Session session(2, argv);
+    session.AddResult(kHostileName, {{"nan_field", std::nan("")},
+                                     {"inf_field", HUGE_VAL},
+                                     {"neg_inf", -HUGE_VAL},
+                                     {kHostileName, 1.5}});
+    session.AddResult("plain", {{"cycles", 123456789.0}, {"neg", -2.25}});
+  }  // ~Session writes the file
+
+  const std::string text = ReadFile(path);
+  ASSERT_FALSE(text.empty());
+  auto parsed = StrictParser(text).Parse();
+  ASSERT_TRUE(parsed.has_value()) << "writer emitted invalid JSON:\n" << text;
+
+  const JsonValue* rows = parsed->Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->kind, JsonValue::kArray);
+  ASSERT_EQ(rows->array.size(), 2u);
+
+  const JsonValue& hostile = rows->array[0];
+  const JsonValue* name = hostile.Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string, kHostileName);  // byte-exact round trip
+  const JsonValue* hostile_field = hostile.Find(kHostileName);
+  ASSERT_NE(hostile_field, nullptr);
+  EXPECT_EQ(hostile_field->number, 1.5);
+  for (const char* field : {"nan_field", "inf_field", "neg_inf"}) {
+    const JsonValue* v = hostile.Find(field);
+    ASSERT_NE(v, nullptr) << field;
+    EXPECT_EQ(v->kind, JsonValue::kNull) << field;
+  }
+
+  const JsonValue& plain = rows->array[1];
+  EXPECT_EQ(plain.Find("name")->string, "plain");
+  EXPECT_EQ(plain.Find("cycles")->number, 123456789.0);
+  EXPECT_EQ(plain.Find("neg")->number, -2.25);
+  const JsonValue* wall = parsed->Find("wall_clock_sec");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->kind, JsonValue::kNumber);
+}
+
+TEST(BenchJsonTest, EmptyResultSetStillParses) {
+  const std::string path =
+      ::testing::TempDir() + "/bench_json_test_empty.json";
+  std::remove(path.c_str());
+  {
+    const std::string flag = "--json=" + path;
+    std::vector<char> flag_buf(flag.begin(), flag.end());
+    flag_buf.push_back('\0');
+    char prog[] = "bench_json_test";
+    char* argv[] = {prog, flag_buf.data()};
+    bench::Session session(2, argv);
+  }
+  auto parsed = StrictParser(ReadFile(path)).Parse();
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* rows = parsed->Find("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_TRUE(rows->array.empty());
+}
+
+}  // namespace
+}  // namespace fpgadp

@@ -53,6 +53,26 @@ TEST(RngTest, GaussianMoments) {
   EXPECT_NEAR(var, 1.0, 0.03);
 }
 
+TEST(RngTest, ExponentialMomentsAndDeterminism) {
+  Rng rng(17);
+  const int n = 200000;
+  const double mean = 750.0;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextExponential(mean);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+    sq += v * v;
+  }
+  // Exponential(mean): E[X] = mean, Var[X] = mean^2.
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+  EXPECT_NEAR(sq / n - (sum / n) * (sum / n), mean * mean, mean * mean * 0.05);
+  Rng a(29), b(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextExponential(3.0), b.NextExponential(3.0));
+  }
+}
+
 TEST(RngTest, NextIntInclusiveRange) {
   Rng rng(13);
   bool saw_lo = false, saw_hi = false;

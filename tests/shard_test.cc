@@ -23,7 +23,7 @@ namespace {
 // Partitioner
 
 TEST(PartitionerTest, HashCoversAllShardsDeterministically) {
-  const Partitioner p = Partitioner::Hash(4);
+  Partitioner p = Partitioner::Hash(4);
   std::set<uint32_t> seen;
   for (uint64_t key = 0; key < 1000; ++key) {
     const uint32_t s = p.ShardOf(key);
@@ -34,17 +34,38 @@ TEST(PartitionerTest, HashCoversAllShardsDeterministically) {
   EXPECT_EQ(seen.size(), 4u);
 }
 
-TEST(PartitionerTest, RoundRobinCycles) {
-  const Partitioner p = Partitioner::RoundRobin(3);
+TEST(PartitionerTest, ModuloMapsKeyValue) {
+  Partitioner p = Partitioner::Modulo(3);
   EXPECT_EQ(p.ShardOf(0), 0u);
   EXPECT_EQ(p.ShardOf(1), 1u);
   EXPECT_EQ(p.ShardOf(2), 2u);
   EXPECT_EQ(p.ShardOf(3), 0u);
+  EXPECT_EQ(p.ShardOf(3), 0u);  // stateless: same key, same shard
+}
+
+TEST(PartitionerTest, ModuloSkewsOnStridedKeys) {
+  // The failure mode that motivated a true round-robin scheme: all-even
+  // keys on two shards land entirely on shard 0 under modulo.
+  Partitioner p = Partitioner::Modulo(2);
+  for (uint64_t key = 0; key < 100; key += 2) {
+    EXPECT_EQ(p.ShardOf(key), 0u);
+  }
+}
+
+TEST(PartitionerTest, RoundRobinCyclesInCallOrderIgnoringKeys) {
+  Partitioner p = Partitioner::RoundRobin(3);
+  // Identical (and adversarially strided) keys still cycle the shards.
+  EXPECT_EQ(p.ShardOf(42), 0u);
+  EXPECT_EQ(p.ShardOf(42), 1u);
+  EXPECT_EQ(p.ShardOf(42), 2u);
+  EXPECT_EQ(p.ShardOf(42), 0u);
+  EXPECT_EQ(p.ShardOf(1000), 1u);
+  EXPECT_EQ(p.ShardOf(2000), 2u);
 }
 
 TEST(PartitionerTest, RangeRespectsBounds) {
   // Shard 0 owns [0, 10], shard 1 owns (10, 100], shard 2 the rest.
-  const Partitioner p = Partitioner::Range({10, 100, 1000});
+  Partitioner p = Partitioner::Range({10, 100, 1000});
   EXPECT_EQ(p.num_shards(), 3u);
   EXPECT_EQ(p.ShardOf(0), 0u);
   EXPECT_EQ(p.ShardOf(10), 0u);

@@ -24,7 +24,11 @@
 // A second sweep repeats two load points over a lossy fabric (1% packet
 // drop through the fault injector) to show the knee under retransmissions.
 // Results go to BENCH_serving_slo.json (override with --json=<file>).
-// Flags: --smoke, plus the bench_common set.
+// Flags: --smoke, --gather=<flat|tree|switch> (default flat; tree and
+// switch route gathers through the hierarchical response path of
+// src/shard/gather.h — with fanout-1 requests the tree is degenerate, so
+// this mostly exercises the merged-form wire protocol under load), plus
+// the bench_common set.
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +43,7 @@
 #include "src/serve/arrival.h"
 #include "src/serve/front_door.h"
 #include "src/serve/synthetic.h"
+#include "src/shard/gather.h"
 #include "src/shard/shard.h"
 
 namespace fpgadp {
@@ -70,6 +75,7 @@ struct RunConfig {
   size_t num_requests = 2000;
   uint64_t seed = 7;
   uint64_t fault_seed = 1;
+  shard::GatherConfig gather;  // Response-path topology (--gather=).
 };
 
 /// Everything a run reports, in full, so mode invariance can be asserted on
@@ -107,6 +113,7 @@ RunOut RunOne(const RunConfig& rc, const Mode& mode) {
 
   shard::ShardCluster::Config cc;
   cc.num_shards = kShards;
+  cc.gather = rc.gather;
   // Lossy runs need the gather deadline as the backstop for responses lost
   // after the retry cap; loss-free runs can wait forever.
   cc.coordinator.gather_deadline_cycles = rc.drop_rate > 0 ? 50000 : 0;
@@ -182,8 +189,22 @@ int main(int argc, char** argv) {
   bench::Session session(argc, argv);
   session.SetDefaultJsonPath("BENCH_serving_slo.json");
   bool smoke = false;
+  std::string gather_flag = "flat";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--gather=", 9) == 0) gather_flag = argv[i] + 9;
+  }
+  shard::GatherConfig gather;
+  if (!shard::ParseGatherTopology(gather_flag, &gather.topology)) {
+    std::cerr << "FAIL: unknown --gather=" << gather_flag
+              << " (want flat|tree|switch)\n";
+    return 1;
+  }
+  if (gather.topology != shard::GatherTopology::kFlat) {
+    gather.coordinator_ports = 2;
+    // Lossy sweeps run under this config too: a lost child contribution
+    // must not wedge its tree ancestors past the gather deadline.
+    gather.merge_timeout_cycles = 4000;
   }
 
   const size_t num_requests = smoke ? 500 : 2000;
@@ -204,7 +225,9 @@ int main(int argc, char** argv) {
   };
 
   std::cout << "=== serving front door: tail latency vs offered load"
-            << (smoke ? " (smoke)" : "") << " ===\n"
+            << (smoke ? " (smoke)" : "")
+            << (gather_flag == "flat" ? "" : " [gather=" + gather_flag + "]")
+            << " ===\n"
             << "interactive: svc ~" << kInteractiveSvc << "cy slo "
             << kInteractiveSlo << "cy (" << kInteractiveWeight * 100
             << "%)  batch: svc ~" << kBatchSvc << "cy slo " << kBatchSlo
@@ -247,6 +270,7 @@ int main(int argc, char** argv) {
         rc.kind = sweep.kind;
         rc.num_requests = num_requests;
         rc.fault_seed = session.fault_seed();
+        rc.gather = gather;
 
         RunOut first;
         for (size_t m = 0; m < modes.size(); ++m) {
@@ -276,9 +300,12 @@ int main(int argc, char** argv) {
                   TablePrinter::FmtCount(ic.violations),
                   TablePrinter::FmtCount(bc.p99)});
 
-        const std::string row_name = sweep.traffic + "." + policy + ".r" +
-                                     FmtRho(rho) +
-                                     (sweep.drop > 0 ? ".fault" : "");
+        // Row names keep their historical shape under the default flat
+        // gather so BENCH_serving_slo.json stays diffable across commits.
+        const std::string row_name =
+            sweep.traffic + "." + policy + ".r" + FmtRho(rho) +
+            (sweep.drop > 0 ? ".fault" : "") +
+            (gather_flag == "flat" ? "" : "." + gather_flag);
         session.AddResult(
             row_name,
             {{"rho", rho},

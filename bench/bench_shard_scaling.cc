@@ -1,17 +1,33 @@
 // Scale-out sharding benchmark: the same ANNS top-k and smart-KVS multiget
 // workloads served by 1/2/4/8 virtual FPGA shards through the scatter-gather
-// layer (src/shard/). Throughput is measured in *simulated* time — requests
-// per simulated second at the fabric clock — which is what the sharding
-// layer actually changes; host wall-clock is reported alongside.
+// layer (src/shard/), under a sweep of gather topologies (src/shard/gather.h):
 //
-// Two hard guarantees are asserted, mirroring bench_sim_throughput:
-//   * every (workload, shard count) reports bit-identical simulated cycles
-//    across serial, threaded, and no-fast-forward engine modes, and
-//   * ANNS throughput at 4 shards is >= 3x the 1-shard baseline (>= 2x in
-//     --smoke, whose smaller corpus leaves less work to parallelize).
+//   flat    every shard replies straight to the single coordinator port —
+//           the E22 incumbent, whose ingress is the fan-in wall;
+//   flat4   flat gather over min(4, shards) coordinator ports — the
+//           strengthened baseline: more aggregate ingress line rate, same
+//           one-packet-per-shard protocol;
+//   tree    responses climb a binary tree per port, interior shards
+//           partial-merging children before forwarding;
+//   switch  responses are combined inside the fabric by the switch's
+//           per-port aggregation engine (net::AggregatingSwitch).
+//
+// Throughput is measured in *simulated* time — requests per simulated second
+// at the fabric clock — which is what the sharding layer actually changes;
+// host wall-clock is reported alongside.
+//
+// Three hard guarantees are asserted:
+//   * every (workload, gather, shard count) reports bit-identical simulated
+//     cycles across serial, threaded, and no-fast-forward engine modes,
+//   * ANNS throughput at 4 shards (flat) is >= 3x the 1-shard baseline
+//     (>= 2x in --smoke, whose smaller corpus leaves less to parallelize),
+//   * KVS multiget at 8 shards breaks the fan-in wall: tree or switch gather
+//     is >= 2x the single-port flat throughput (>= 1.5x in --smoke, which
+//     runs fewer multigets and so amortizes fixed costs less).
 //
 // Results are dumped to BENCH_shard_scaling.json (override with
-// --json=<file>). Flags: --smoke, plus the bench_common set.
+// --json=<file>). Flags: --smoke, --gather=<flat|flat4|tree|switch|all>
+// (default all), plus the bench_common set.
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +41,7 @@
 #include "src/anns/dataset.h"
 #include "src/anns/ivf.h"
 #include "src/common/table_printer.h"
+#include "src/shard/gather.h"
 #include "src/shard/partitioner.h"
 #include "src/shard/shard.h"
 #include "src/shard/workloads.h"
@@ -56,6 +73,27 @@ struct Sizes {
 };
 
 double Now();
+
+/// The gather topologies the bench sweeps. `flat` is the incumbent every
+/// other setup's speedup is measured against.
+const std::vector<std::string> kGatherNames = {"flat", "flat4", "tree",
+                                               "switch"};
+
+shard::GatherConfig MakeGather(const std::string& name, uint32_t shards) {
+  shard::GatherConfig g;
+  const uint32_t ports = std::min<uint32_t>(4, shards);
+  if (name == "flat4") {
+    g.coordinator_ports = ports;
+  } else if (name == "tree") {
+    g.topology = shard::GatherTopology::kTree;
+    g.coordinator_ports = ports;
+    g.fanout = 2;
+  } else if (name == "switch") {
+    g.topology = shard::GatherTopology::kSwitch;
+    g.coordinator_ports = ports;
+  }
+  return g;
+}
 
 /// Runs `cluster` to quiescence under `mode`, requiring every submitted
 /// request to finalize un-degraded (the fabric is loss-free here).
@@ -89,13 +127,15 @@ uint64_t DrainCluster(shard::ShardCluster& cluster, size_t expected,
 }
 
 RunResult RunAnns(const anns::Dataset& data, const anns::IvfPqIndex& index,
-                  const Sizes& sizes, uint32_t shards, const Mode& mode) {
+                  const Sizes& sizes, uint32_t shards,
+                  const shard::GatherConfig& gather, const Mode& mode) {
   shard::AnnsTopKWorkload::Config wc;
   wc.nprobe = sizes.anns_nprobe;
   wc.k = 10;
   shard::AnnsTopKWorkload wl(&index, shard::Partitioner::Hash(shards), wc);
   shard::ShardCluster::Config cc;
   cc.num_shards = shards;
+  cc.gather = gather;
   shard::ShardCluster cluster(&wl, cc);
   const size_t n = std::min(sizes.anns_queries, data.num_queries());
   for (size_t q = 0; q < n; ++q) cluster.Submit(wl.AddQuery(data.QueryVector(q)));
@@ -105,7 +145,8 @@ RunResult RunAnns(const anns::Dataset& data, const anns::IvfPqIndex& index,
   return r;
 }
 
-RunResult RunKvs(const Sizes& sizes, uint32_t shards, const Mode& mode) {
+RunResult RunKvs(const Sizes& sizes, uint32_t shards,
+                 const shard::GatherConfig& gather, const Mode& mode) {
   shard::KvsMultiGetWorkload::Config kc;
   shard::KvsMultiGetWorkload wl(shard::Partitioner::Hash(shards), kc);
   for (uint64_t key = 0; key < sizes.kvs_keys; ++key) {
@@ -113,6 +154,7 @@ RunResult RunKvs(const Sizes& sizes, uint32_t shards, const Mode& mode) {
   }
   shard::ShardCluster::Config cc;
   cc.num_shards = shards;
+  cc.gather = gather;
   shard::ShardCluster cluster(&wl, cc);
   uint64_t next_key = 1;
   for (size_t g = 0; g < sizes.kvs_multigets; ++g) {
@@ -145,13 +187,28 @@ int main(int argc, char** argv) {
   bench::Session session(argc, argv);
   session.SetDefaultJsonPath("BENCH_shard_scaling.json");
   bool smoke = false;
+  std::string gather_flag = "all";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--gather=", 9) == 0) gather_flag = argv[i] + 9;
+  }
+  std::vector<std::string> gathers;
+  if (gather_flag == "all") {
+    gathers = kGatherNames;
+  } else if (std::find(kGatherNames.begin(), kGatherNames.end(),
+                       gather_flag) != kGatherNames.end()) {
+    gathers = {gather_flag};
+  } else {
+    std::cerr << "FAIL: unknown --gather=" << gather_flag
+              << " (want flat|flat4|tree|switch|all)\n";
+    return 1;
   }
 
   Sizes sizes;
   if (smoke) {
-    sizes = {8000, 16, 32, 8, 16, 1024, 8, 64};
+    // kvs_keys_per_get stays at the full-size 256: the fan-in assertion
+    // needs responses big enough to serialize through the incumbent port.
+    sizes = {8000, 16, 32, 8, 16, 1024, 8, 256};
   }
 
   std::cout << "=== scale-out sharding across virtual FPGAs"
@@ -185,60 +242,84 @@ int main(int argc, char** argv) {
   };
   const std::vector<uint32_t> shard_counts = {1, 2, 4, 8};
 
-  TablePrinter t({"workload", "shards", "mode", "sim cycles", "requests",
-                  "req/sim-sec", "scaling", "wall ms"});
+  TablePrinter t({"workload", "gather", "shards", "mode", "sim cycles",
+                  "requests", "req/sim-sec", "scaling", "vs flat", "wall ms"});
   bool ok = true;
-  std::map<std::string, double> serial_tput;  // workload -> 1-shard baseline
-  std::map<std::string, double> scaling_at;   // workload.shards -> scaling
+  std::map<std::string, double> serial_tput;  // workload.gather -> 1-shard
+  std::map<std::string, double> scaling_at;   // workload.gather.shards
+  std::map<std::string, double> flat_tput;    // workload.shards -> flat tput
+  std::map<std::string, double> vs_flat_at;   // workload.gather.shards
 
   for (const std::string& workload : {std::string("anns"), std::string("kvs")}) {
-    for (uint32_t shards : shard_counts) {
-      uint64_t first_cycles = 0;
-      for (const Mode& mode : modes) {
-        const RunResult r =
-            workload == "anns"
-                ? RunAnns(data, *index, sizes, shards, mode)
-                : RunKvs(sizes, shards, mode);
-        if (first_cycles == 0) {
-          first_cycles = r.cycles;
-        } else if (r.cycles != first_cycles) {
-          std::cerr << "FAIL: " << workload << " x" << shards << " mode "
-                    << mode.name << " changed the cycle count (" << r.cycles
-                    << " vs " << first_cycles
-                    << ") — engine modes must be pure\n";
-          ok = false;
+    for (const std::string& gather_name : gathers) {
+      for (uint32_t shards : shard_counts) {
+        const shard::GatherConfig gather = MakeGather(gather_name, shards);
+        uint64_t first_cycles = 0;
+        for (const Mode& mode : modes) {
+          const RunResult r =
+              workload == "anns"
+                  ? RunAnns(data, *index, sizes, shards, gather, mode)
+                  : RunKvs(sizes, shards, gather, mode);
+          if (first_cycles == 0) {
+            first_cycles = r.cycles;
+          } else if (r.cycles != first_cycles) {
+            std::cerr << "FAIL: " << workload << "/" << gather_name << " x"
+                      << shards << " mode " << mode.name
+                      << " changed the cycle count (" << r.cycles << " vs "
+                      << first_cycles << ") — engine modes must be pure\n";
+            ok = false;
+          }
+          const double sim_sec = double(r.cycles) / clock_hz;
+          const double tput = double(r.requests) / sim_sec;
+          const std::string wg = workload + "." + gather_name;
+          if (mode.name == "serial" && shards == 1) {
+            serial_tput[wg] = tput;
+          }
+          const double scaling = tput / serial_tput[wg];
+          const std::string ws = workload + "." + std::to_string(shards);
+          if (mode.name == "serial" && gather_name == "flat") {
+            flat_tput[ws] = tput;
+          }
+          // The flat incumbent always runs first (kGatherNames order), so
+          // its baseline is in the map by the time any other setup reads it.
+          const double vs_flat =
+              flat_tput.count(ws) ? tput / flat_tput[ws] : 1.0;
+          if (mode.name == "serial") {
+            scaling_at[wg + "." + std::to_string(shards)] = scaling;
+            vs_flat_at[wg + "." + std::to_string(shards)] = vs_flat;
+          }
+          t.AddRow({workload, gather_name, std::to_string(shards), mode.name,
+                    TablePrinter::FmtCount(r.cycles),
+                    TablePrinter::FmtCount(r.requests),
+                    TablePrinter::Fmt(tput, 0), TablePrinter::Fmt(scaling, 2),
+                    TablePrinter::Fmt(vs_flat, 2),
+                    TablePrinter::Fmt(r.wall_sec * 1e3, 2)});
+          session.AddResult(
+              wg + ".s" + std::to_string(shards) + "." + mode.name,
+              {{"shards", double(shards)},
+               {"cycles", double(r.cycles)},
+               {"requests", double(r.requests)},
+               {"req_per_sim_sec", tput},
+               {"scaling_vs_1shard", scaling},
+               {"speedup_vs_flat", vs_flat},
+               {"wall_sec", r.wall_sec}});
         }
-        const double sim_sec = double(r.cycles) / clock_hz;
-        const double tput = double(r.requests) / sim_sec;
-        if (mode.name == "serial" && shards == 1) {
-          serial_tput[workload] = tput;
-        }
-        const double scaling = tput / serial_tput[workload];
-        if (mode.name == "serial") {
-          scaling_at[workload + "." + std::to_string(shards)] = scaling;
-        }
-        t.AddRow({workload, std::to_string(shards), mode.name,
-                  TablePrinter::FmtCount(r.cycles),
-                  TablePrinter::FmtCount(r.requests),
-                  TablePrinter::Fmt(tput, 0), TablePrinter::Fmt(scaling, 2),
-                  TablePrinter::Fmt(r.wall_sec * 1e3, 2)});
-        session.AddResult(
-            workload + ".s" + std::to_string(shards) + "." + mode.name,
-            {{"shards", double(shards)},
-             {"cycles", double(r.cycles)},
-             {"requests", double(r.requests)},
-             {"req_per_sim_sec", tput},
-             {"scaling_vs_1shard", scaling},
-             {"wall_sec", r.wall_sec}});
       }
     }
   }
   t.Print(std::cout);
   std::cout << "\n(cycle counts asserted identical across serial / threaded "
-               "/ no-fast-forward modes; scaling is per simulated second)\n";
+               "/ no-fast-forward modes; scaling is per simulated second; "
+               "vs-flat compares to single-port flat at equal shards)\n";
+
+  if (std::find(gathers.begin(), gathers.end(), "flat") == gathers.end()) {
+    std::cout << "[note] --gather=" << gather_flag
+              << " skips the flat incumbent; speedup assertions skipped\n";
+    return ok ? 0 : 1;
+  }
 
   const double want = smoke ? 2.0 : 3.0;
-  const double got = scaling_at["anns.4"];
+  const double got = scaling_at["anns.flat.4"];
   if (got < want) {
     std::cerr << "FAIL: ANNS at 4 shards scaled only " << got << "x (want >= "
               << want << "x)\n";
@@ -246,6 +327,33 @@ int main(int argc, char** argv) {
   } else {
     std::cout << "[scaling] anns x4 = " << got << "x (>= " << want
               << "x required)\n";
+  }
+
+  // The fan-in wall: flat KVS throughput is pinned to the coordinator's
+  // single ingress port no matter how many shards serve. Hierarchical
+  // gather must break it — tree or switch at 8 shards >= 2x flat (1.5x in
+  // smoke, which amortizes fixed per-run costs over fewer multigets).
+  if (gathers.size() > 1) {
+    const double kvs_want = smoke ? 1.5 : 2.0;
+    double kvs_best = 0;
+    std::string kvs_best_name;
+    for (const std::string& g : {std::string("tree"), std::string("switch")}) {
+      const auto it = vs_flat_at.find("kvs." + g + ".8");
+      if (it == vs_flat_at.end()) continue;
+      if (it->second > kvs_best) {
+        kvs_best = it->second;
+        kvs_best_name = g;
+      }
+    }
+    if (kvs_best < kvs_want) {
+      std::cerr << "FAIL: KVS at 8 shards reached only " << kvs_best
+                << "x flat under hierarchical gather (want >= " << kvs_want
+                << "x) — the fan-in wall stands\n";
+      ok = false;
+    } else {
+      std::cout << "[fan-in] kvs x8 " << kvs_best_name << " = " << kvs_best
+                << "x flat (>= " << kvs_want << "x required)\n";
+    }
   }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,97 @@
+#include "src/net/agg_switch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace fpgadp::net {
+
+AggregatingSwitch::AggregatingSwitch(const Config& config, MergeSizer sizer)
+    : config_(config), sizer_(std::move(sizer)) {
+  FPGADP_CHECK(sizer_ != nullptr);
+}
+
+void AggregatingSwitch::Arm(uint64_t request_id, uint32_t port,
+                            uint64_t member_mask) {
+  FPGADP_CHECK(member_mask != 0);
+  const auto key = std::make_pair(request_id, port);
+  FPGADP_CHECK(groups_.find(key) == groups_.end());
+  Group g;
+  g.member_mask = member_mask;
+  groups_.emplace(key, g);
+}
+
+void AggregatingSwitch::Disarm(uint64_t request_id) {
+  for (auto it = groups_.lower_bound({request_id, 0});
+       it != groups_.end() && it->first.first == request_id;) {
+    held_ -= it->second.absorbed;
+    it = groups_.erase(it);
+  }
+}
+
+void AggregatingSwitch::KillPort(uint32_t port) {
+  dead_ports_.insert(port);
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (it->first.second == port) {
+      held_ -= it->second.absorbed;
+      dropped_dead_port_ += it->second.absorbed;
+      it->second.absorbed = 0;
+      // The group stays armed (Wants keeps matching) so straggler
+      // responses are consumed and dropped, not misdelivered to the dead
+      // port; Disarm cleans it up when the gather finalizes.
+    }
+    ++it;
+  }
+}
+
+bool AggregatingSwitch::Wants(const Packet& p) const {
+  if (p.kind != OpKind::kOffloadResp) return false;
+  return groups_.find({p.user, p.dst}) != groups_.end();
+}
+
+std::optional<AggregatingSwitch::Released> AggregatingSwitch::Offer(
+    sim::Cycle at, const Packet& p) {
+  const auto it = groups_.find({p.user, p.dst});
+  FPGADP_CHECK(it != groups_.end());
+  if (dead_ports_.count(p.dst) > 0) {
+    ++dropped_dead_port_;
+    return std::nullopt;
+  }
+  Group& g = it->second;
+  const uint64_t contrib = (p.addr | p.user2) & g.member_mask;
+  if (contrib == 0 ||
+      (contrib & (g.done_mask | g.rejected_mask)) == contrib) {
+    ++duplicates_ignored_;  // lossy retransmit already folded in
+    return std::nullopt;
+  }
+  g.done_mask |= p.addr & g.member_mask;
+  g.rejected_mask |= p.user2 & g.member_mask;
+  g.concat_bytes += p.bytes;
+  ++g.absorbed;
+  ++held_;
+  ++combines_;
+  // The combiner is a serialized pipeline: each response occupies it for
+  // combine_cycles_per_resp once the response is inside the switch.
+  g.combine_free =
+      std::max(g.combine_free, at) + config_.combine_cycles_per_resp;
+  if ((g.done_mask | g.rejected_mask) != g.member_mask) return std::nullopt;
+  Released rel;
+  rel.ready_at = g.combine_free;
+  rel.packet.src = p.src;  // the last contributor; upper layers ignore it
+  rel.packet.dst = p.dst;
+  rel.packet.kind = OpKind::kOffloadResp;
+  rel.packet.user = it->first.first;
+  rel.packet.addr = g.done_mask;
+  rel.packet.user2 = g.rejected_mask;
+  rel.packet.bytes = sizer_(it->first.first, g.done_mask, g.concat_bytes);
+  // seq stays 0: the merged packet is switch-originated and unsequenced.
+  FPGADP_CHECK(rel.packet.bytes <= g.concat_bytes);
+  bytes_elided_ += g.concat_bytes - rel.packet.bytes;
+  held_ -= g.absorbed;
+  ++releases_;
+  groups_.erase(it);
+  return rel;
+}
+
+}  // namespace fpgadp::net

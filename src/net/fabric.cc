@@ -4,6 +4,7 @@
 #include <span>
 
 #include "src/common/check.h"
+#include "src/net/agg_switch.h"
 #include "src/common/units.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -151,9 +152,10 @@ void Fabric::AttributeSkip(sim::Cycle from, sim::Cycle to) {
       rx_busy_cycles_[p] += std::min<uint64_t>(n, rx_free_[p] - from);
     }
   }
-  // The serial ticks mark busy while anything is in flight (on the wire or
-  // in receive serialization) and idle otherwise.
-  if (in_flight_ > 0) MarkBusyN(n);
+  // The serial ticks mark busy while anything is in flight (on the wire,
+  // in receive serialization, or held in a switch combiner) and idle
+  // otherwise.
+  if (!Idle()) MarkBusyN(n);
 }
 
 void Fabric::RegisterWith(sim::Engine& engine) {
@@ -221,6 +223,40 @@ void Fabric::Tick(sim::Cycle cycle) {
             TraceFault(cycle, FaultKind::kDelay, p);
           }
         }
+        // In-network aggregation: an armed response is consumed by the
+        // switch's per-port combiner right here — it pays no receive-port
+        // serialization. Only the combined packet (released when the group
+        // completes) goes through the port. The switch terminates the
+        // reliability protocol for absorbed packets: the fabric acks (or
+        // nacks, for corrupted payloads) on the combiner's behalf, and the
+        // merged packet travels unsequenced.
+        if (agg_switch_ != nullptr && agg_switch_->Wants(p)) {
+          progressed = true;
+          if (p.corrupt) {
+            if (p.seq != 0) {
+              InjectControl(cycle, OpKind::kRdmaNack, p.dst, p.src, p.seq);
+            }
+            continue;
+          }
+          if (p.seq != 0) {
+            InjectControl(cycle, OpKind::kRdmaAck, p.dst, p.src, p.seq);
+          }
+          const sim::Cycle at_switch =
+              tx_start + wire_latency_cycles_ + extra_delay;
+          for (int copy = 0; copy < (duplicate ? 2 : 1); ++copy) {
+            if (!agg_switch_->Wants(p)) break;  // first copy closed the group
+            auto released = agg_switch_->Offer(at_switch, p);
+            if (!released.has_value()) continue;
+            const Packet& m = released->packet;
+            const uint64_t mser = SerializationCycles(m.bytes);
+            const sim::Cycle mrx_start =
+                std::max<sim::Cycle>(released->ready_at, rx_free_[m.dst]);
+            rx_free_[m.dst] = mrx_start + mser;
+            arriving_[m.dst].push({mrx_start + mser, m});
+            ++in_flight_;
+          }
+          continue;
+        }
         // Cut-through switching: the receive port streams the packet while
         // the sender is still serializing it, so an uncontended transfer
         // costs ser + wire, not 2x ser. The rx port is still a serialized
@@ -271,11 +307,30 @@ void Fabric::Tick(sim::Cycle cycle) {
   }
   if (progressed) {
     MarkBusy();
-  } else if (in_flight_ > 0) {
-    MarkBusy();  // packets still serializing or on the wire
+  } else if (!Idle()) {
+    MarkBusy();  // packets on the wire / held in the switch combiners
   } else {
     MarkStall(sim::StallKind::kIdle);  // no traffic offered
   }
+}
+
+bool Fabric::Idle() const {
+  return in_flight_ == 0 &&
+         (agg_switch_ == nullptr || agg_switch_->held_responses() == 0);
+}
+
+void Fabric::InjectControl(sim::Cycle cycle, OpKind kind, uint32_t src,
+                           uint32_t dst, uint64_t seq) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.kind = kind;
+  p.seq = seq;
+  // Same timing as an endpoint-originated control packet: one cycle of
+  // pickup, the wire, header-only serialization on the control lane.
+  arriving_[dst].push(
+      {cycle + 1 + wire_latency_cycles_ + SerializationCycles(0), p});
+  ++in_flight_;
 }
 
 void Fabric::SampleTraceCounters(obs::TraceCounterSink& sink) {

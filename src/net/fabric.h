@@ -14,6 +14,8 @@
 
 namespace fpgadp::net {
 
+class AggregatingSwitch;
+
 /// RDMA-style operation kinds carried on the wire.
 enum class OpKind : uint8_t {
   kSend = 0,      ///< Two-sided send (consumed by a matching receive).
@@ -200,8 +202,16 @@ class Fabric : public sim::Module {
   /// corrupted, duplicated, delayed, or lost to link flaps.
   bool lossy() const { return injector_ != nullptr; }
 
+  /// Attaches (or detaches, with nullptr) an in-network aggregation engine
+  /// (see agg_switch.h). Armed responses are consumed inside the switch —
+  /// they never occupy the destination's receive port — and the combined
+  /// packet is released through it instead. Attach before traffic is
+  /// offered, for the same reason as set_fault_injector.
+  void set_agg_switch(AggregatingSwitch* agg) { agg_switch_ = agg; }
+  AggregatingSwitch* agg_switch() const { return agg_switch_; }
+
   void Tick(sim::Cycle cycle) override;
-  bool Idle() const override { return in_flight_ == 0; }
+  bool Idle() const override;
 
   /// With the ports quiet (all streams empty is the caller's precondition)
   /// the fabric next acts when the earliest queued arrival finishes its
@@ -244,8 +254,14 @@ class Fabric : public sim::Module {
   /// Emits a fault marker on this module's trace track, if tracing.
   void TraceFault(sim::Cycle cycle, FaultKind kind, const Packet& packet);
 
+  /// Injects a switch-originated link-level control packet (ack/nack on
+  /// behalf of the aggregation engine) on the prioritized control lane.
+  void InjectControl(sim::Cycle cycle, OpKind kind, uint32_t src,
+                     uint32_t dst, uint64_t seq);
+
   Config config_;
   FaultInjector* injector_ = nullptr;
+  AggregatingSwitch* agg_switch_ = nullptr;
   double bytes_per_cycle_;
   uint64_t wire_latency_cycles_;
   std::vector<std::unique_ptr<sim::Stream<Packet>>> egress_;

@@ -218,6 +218,15 @@ void RdmaEndpoint::HandleArrival(sim::Cycle cycle, Packet p) {
     }
     return;
   }
+  if (p.seq == 0) {
+    // Unsequenced datagram: switch-originated packets (an AggregatingSwitch
+    // releases its combined responses with seq 0) bypass the ack/window
+    // machinery — the switch already terminated the protocol for the
+    // responses it absorbed. Endpoint-originated data always carries a seq
+    // on a lossy fabric, so this lane never captures peer traffic.
+    if (!p.corrupt) Dispatch(cycle, p);
+    return;
+  }
   // Sequenced data packet.
   if (p.corrupt) {
     Packet nack;

@@ -1,0 +1,81 @@
+#include "src/shard/gather.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace fpgadp::shard {
+
+const char* GatherTopologyName(GatherTopology topology) {
+  switch (topology) {
+    case GatherTopology::kFlat: return "flat";
+    case GatherTopology::kTree: return "tree";
+    case GatherTopology::kSwitch: return "switch";
+  }
+  return "unknown";
+}
+
+bool ParseGatherTopology(const std::string& text, GatherTopology* out) {
+  if (text == "flat") { *out = GatherTopology::kFlat; return true; }
+  if (text == "tree") { *out = GatherTopology::kTree; return true; }
+  if (text == "switch") { *out = GatherTopology::kSwitch; return true; }
+  return false;
+}
+
+GatherPlan::GatherPlan(const GatherConfig& config, uint32_t num_shards)
+    : config_(config), num_shards_(num_shards) {
+  FPGADP_CHECK(num_shards_ > 0);
+  FPGADP_CHECK(config_.coordinator_ports > 0);
+  if (config_.topology != GatherTopology::kFlat) {
+    // Merged responses carry per-shard coverage as 64-bit masks on the wire
+    // (Packet::addr / Packet::user2).
+    FPGADP_CHECK(num_shards_ <= 64);
+  }
+  if (config_.topology == GatherTopology::kTree) {
+    FPGADP_CHECK(config_.fanout > 0);
+  }
+}
+
+void GatherPlan::Arm(uint64_t request_id,
+                     const std::vector<uint32_t>& shards) {
+  FPGADP_CHECK(config_.topology == GatherTopology::kTree);
+  FPGADP_CHECK(!shards.empty());
+  FPGADP_CHECK(routes_.find(request_id) == routes_.end());
+  FPGADP_CHECK(std::is_sorted(shards.begin(), shards.end()));
+  std::map<uint32_t, Role>& route = routes_[request_id];
+  // One heap-shaped fanout-ary tree per coordinator port, over the port's
+  // members in ascending shard order.
+  for (uint32_t port = 0; port < ports(); ++port) {
+    std::vector<uint32_t> group;
+    for (uint32_t s : shards) {
+      if (PortOf(s) == port) group.push_back(s);
+    }
+    for (size_t i = 0; i < group.size(); ++i) {
+      Role role;
+      if (i == 0) {
+        role.parent = kToCoordinator;
+        role.port = port;
+      } else {
+        role.parent = group[(i - 1) / config_.fanout];
+      }
+      const size_t first_child = i * config_.fanout + 1;
+      for (size_t c = first_child;
+           c < first_child + config_.fanout && c < group.size(); ++c) {
+        ++role.expected_children;
+      }
+      route[group[i]] = role;
+    }
+  }
+}
+
+void GatherPlan::Release(uint64_t request_id) { routes_.erase(request_id); }
+
+const GatherPlan::Role* GatherPlan::RoleOf(uint64_t request_id,
+                                           uint32_t shard) const {
+  const auto it = routes_.find(request_id);
+  if (it == routes_.end()) return nullptr;
+  const auto rit = it->second.find(shard);
+  return rit == it->second.end() ? nullptr : &rit->second;
+}
+
+}  // namespace fpgadp::shard

@@ -1,0 +1,127 @@
+#ifndef FPGADP_SHARD_GATHER_H_
+#define FPGADP_SHARD_GATHER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fpgadp::shard {
+
+/// How shard responses travel back to the coordinator.
+enum class GatherTopology : uint8_t {
+  /// Every shard replies straight to the coordinator port its request came
+  /// from. The E22 incumbent: all response bytes serialize through the
+  /// coordinator's ingress port(s) — the fan-in wall.
+  kFlat = 0,
+  /// Responses climb a k-ary tree rooted at each coordinator port: interior
+  /// shards partial-merge their children's responses with their own before
+  /// forwarding (top-k of top-k's, multi-get concat), so the coordinator
+  /// receives one merged packet per subtree instead of one per shard.
+  kTree = 1,
+  /// Responses are combined inside the switch by a per-port aggregation
+  /// engine (net::AggregatingSwitch): shards reply as in flat gather, but
+  /// the packets never occupy the coordinator's receive port — only the
+  /// single combined response per port does.
+  kSwitch = 2,
+};
+
+/// Returns a stable lowercase name for `topology` ("flat", "tree", "switch").
+const char* GatherTopologyName(GatherTopology topology);
+
+/// Parses "flat" / "tree" / "switch" (as spelled by GatherTopologyName);
+/// returns false on anything else.
+bool ParseGatherTopology(const std::string& text, GatherTopology* out);
+
+/// Gather-path shape of one ShardCluster. Also owns the cluster's node
+/// numbering, because the coordinator's port count determines it.
+struct GatherConfig {
+  GatherTopology topology = GatherTopology::kFlat;
+  /// Coordinator ingress ports (one RdmaEndpoint / QP each). Port p owns
+  /// fabric node p; shard s talks to port s % coordinator_ports. More ports
+  /// multiply the coordinator's aggregate line rate — the strengthened flat
+  /// baseline of E24.
+  uint32_t coordinator_ports = 1;
+  /// kTree: children per interior node.
+  uint32_t fanout = 2;
+  /// kTree: cycles an interior shard's merge engine spends folding in one
+  /// child response (its own partial is already in the pipeline).
+  uint64_t merge_cycles_per_input = 4;
+  /// kTree: cycles after which an interior node forwards whatever subset of
+  /// its children has arrived, so a dead child degrades its own subtree
+  /// instead of wedging every ancestor. 0 waits forever — only safe on a
+  /// loss-free fabric, where every child contribution always arrives.
+  uint64_t merge_timeout_cycles = 0;
+  /// kSwitch: cycles the switch's per-port combiner spends folding in one
+  /// response.
+  uint64_t switch_combine_cycles = 8;
+};
+
+/// The routing half of hierarchical gather: which fabric node each shard's
+/// response goes to, and how many child contributions an interior shard
+/// must fold in before forwarding. Shared by the coordinator (which arms a
+/// route per request at scatter and releases it at finalize) and every
+/// ShardServer (which looks its role up when a slice completes).
+///
+/// Routes are per request because a request may touch any subset of shards
+/// (a multi-get's keys rarely cover all of them). Participants are grouped
+/// by their coordinator port (shard % ports); each group forms one
+/// array-heap-shaped `fanout`-ary tree over its members in ascending shard
+/// order — child i's parent is member (i-1)/fanout — whose root forwards
+/// the group's merged response to the group's port.
+///
+/// Thread-safety: none needed. ShardCoordinator is not parallel-safe, so
+/// any engine containing one ticks serially (see sim::Engine); the plan is
+/// only touched from coordinator and server Tick()s.
+class GatherPlan {
+ public:
+  /// Sentinel parent: forward to the coordinator port, not a shard.
+  static constexpr uint32_t kToCoordinator = 0xffffffffu;
+
+  /// A shard's place in one request's gather tree.
+  struct Role {
+    uint32_t parent = kToCoordinator;  ///< Shard id, or kToCoordinator.
+    uint32_t port = 0;  ///< Destination port when parent == kToCoordinator.
+    uint32_t expected_children = 0;  ///< Contributions to fold in.
+  };
+
+  GatherPlan(const GatherConfig& config, uint32_t num_shards);
+
+  GatherTopology topology() const { return config_.topology; }
+  uint32_t ports() const { return config_.coordinator_ports; }
+  uint32_t num_shards() const { return num_shards_; }
+  const GatherConfig& config() const { return config_; }
+
+  // Node numbering: coordinator ports occupy fabric nodes [0, ports);
+  // shard s lives at ports + s. With one port this is the historical
+  // layout (coordinator at node 0, shard s at 1 + s).
+  uint32_t num_nodes() const { return ports() + num_shards_; }
+  uint32_t ShardNode(uint32_t shard) const { return ports() + shard; }
+  uint32_t PortNode(uint32_t port) const { return port; }
+  /// Coordinator port serving `shard` (request egress and, in flat and
+  /// switch gather, response ingress).
+  uint32_t PortOf(uint32_t shard) const {
+    return shard % config_.coordinator_ports;
+  }
+
+  /// kTree only: builds the request's gather tree over `shards` (sorted,
+  /// unique). Must run before the first slice ships.
+  void Arm(uint64_t request_id, const std::vector<uint32_t>& shards);
+  /// Drops a finalized request's route; stale lookups return nullptr and
+  /// the holder discards its orphaned merge state.
+  void Release(uint64_t request_id);
+  /// The shard's role in `request_id`'s tree, or nullptr when the request
+  /// is unarmed / released / does not involve the shard.
+  const Role* RoleOf(uint64_t request_id, uint32_t shard) const;
+
+  size_t armed_requests() const { return routes_.size(); }
+
+ private:
+  GatherConfig config_;
+  uint32_t num_shards_;
+  std::map<uint64_t, std::map<uint32_t, Role>> routes_;
+};
+
+}  // namespace fpgadp::shard
+
+#endif  // FPGADP_SHARD_GATHER_H_

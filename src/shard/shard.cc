@@ -3,18 +3,10 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/net/agg_switch.h"
 #include "src/obs/metrics.h"
 
 namespace fpgadp::shard {
-
-namespace {
-
-/// Shard `s` lives at fabric node 1 + s; the coordinator owns node 0.
-constexpr uint32_t kCoordinatorNode = 0;
-
-uint32_t ShardNode(uint32_t shard) { return 1 + shard; }
-
-}  // namespace
 
 const char* SubOutcomeName(SubOutcome outcome) {
   switch (outcome) {
@@ -28,12 +20,19 @@ const char* SubOutcomeName(SubOutcome outcome) {
 }
 
 ShardCoordinator::ShardCoordinator(std::string name, Workload* workload,
-                                   net::RdmaEndpoint* endpoint,
+                                   std::vector<net::RdmaEndpoint*> endpoints,
+                                   GatherPlan* plan,
+                                   net::AggregatingSwitch* agg_switch,
                                    uint32_t num_shards, const Config& config)
-    : sim::Module(std::move(name)), workload_(workload), endpoint_(endpoint),
+    : sim::Module(std::move(name)), workload_(workload),
+      endpoints_(std::move(endpoints)), plan_(plan), agg_switch_(agg_switch),
       num_shards_(num_shards), config_(config) {
   FPGADP_CHECK(workload_ != nullptr);
-  FPGADP_CHECK(endpoint_ != nullptr);
+  FPGADP_CHECK(plan_ != nullptr);
+  FPGADP_CHECK(endpoints_.size() == plan_->ports());
+  for (net::RdmaEndpoint* ep : endpoints_) FPGADP_CHECK(ep != nullptr);
+  FPGADP_CHECK((agg_switch_ != nullptr) ==
+               (plan_->topology() == GatherTopology::kSwitch));
   FPGADP_CHECK(num_shards_ > 0);
   FPGADP_CHECK(config_.window > 0);
   FPGADP_CHECK(config_.feasibility_headroom_pct > 0 &&
@@ -107,6 +106,24 @@ void ShardCoordinator::Enqueue(uint64_t request_id,
     queue_hwm_[sr.shard] =
         std::max(queue_hwm_[sr.shard], shard_queue_[sr.shard].size());
     a.subs.push_back(sub);
+  }
+  // Arm the response path before the first slice can ship.
+  if (plan_->topology() == GatherTopology::kTree) {
+    std::vector<uint32_t> shards;
+    shards.reserve(a.subs.size());
+    for (const Sub& sub : a.subs) shards.push_back(sub.shard);
+    std::sort(shards.begin(), shards.end());
+    plan_->Arm(request_id, shards);
+  } else if (agg_switch_ != nullptr) {
+    std::vector<uint64_t> masks(plan_->ports(), 0);
+    for (const Sub& sub : a.subs) {
+      masks[plan_->PortOf(sub.shard)] |= 1ull << sub.shard;
+    }
+    for (uint32_t port = 0; port < plan_->ports(); ++port) {
+      if (masks[port] != 0) {
+        agg_switch_->Arm(request_id, plan_->PortNode(port), masks[port]);
+      }
+    }
   }
   active_.emplace(request_id, std::move(a));
 }
@@ -194,6 +211,10 @@ void ShardCoordinator::Finalize(uint64_t request_id, Active& a,
   workload_->Merge(request_id, out);
   outcomes_.push_back(std::move(out));
   active_.erase(request_id);
+  // Tear down the response path: interior shards drop orphaned merge state
+  // on their next lookup, and the switch frees any held partial group.
+  if (plan_->topology() == GatherTopology::kTree) plan_->Release(request_id);
+  if (agg_switch_ != nullptr) agg_switch_->Disarm(request_id);
 }
 
 bool ShardCoordinator::PumpQueues(sim::Cycle cycle) {
@@ -215,12 +236,12 @@ bool ShardCoordinator::PumpQueues(sim::Cycle cycle) {
       if (in_flight_[s] >= config_.window) break;
       Sub& sub = it->second.subs[sub_index];
       net::Packet p;
-      p.dst = ShardNode(s);
+      p.dst = plan_->ShardNode(s);
       p.kind = net::OpKind::kOffloadReq;
       p.tag = sub.tag;
       p.user = request_id;
       p.bytes = sub.bytes;
-      endpoint_->PostPacket(p);
+      endpoints_[plan_->PortOf(s)]->PostPacket(p);
       sub.sent = true;
       sub.sent_at = cycle;
       ++in_flight_[s];
@@ -230,6 +251,37 @@ bool ShardCoordinator::PumpQueues(sim::Cycle cycle) {
     }
   }
   return progressed;
+}
+
+void ShardCoordinator::HandleMergedResponse(const net::Packet& p,
+                                            sim::Cycle cycle) {
+  const uint64_t request_id = p.user;
+  const auto it = active_.find(request_id);
+  if (it == active_.end()) {
+    ++late_responses_;  // its gather already finalized under the deadline
+    return;
+  }
+  // Collect before resolving: the last ResolveSub may finalize the request
+  // and erase the Active entry out from under an in-place iteration.
+  std::vector<std::pair<size_t, SubOutcome>> resolutions;
+  const Active& a = it->second;
+  for (size_t i = 0; i < a.subs.size(); ++i) {
+    const Sub& sub = a.subs[i];
+    if (sub.outcome != SubOutcome::kPending) continue;
+    const uint64_t bit = 1ull << sub.shard;
+    if ((p.addr & bit) != 0) {
+      resolutions.push_back({i, SubOutcome::kDone});
+    } else if ((p.user2 & bit) != 0) {
+      resolutions.push_back({i, SubOutcome::kRejected});
+    }
+  }
+  if (resolutions.empty()) {
+    ++late_responses_;  // straggler re-covering already-resolved slices
+    return;
+  }
+  for (const auto& [index, outcome] : resolutions) {
+    ResolveSub(request_id, index, outcome, cycle);
+  }
 }
 
 void ShardCoordinator::Tick(sim::Cycle cycle) {
@@ -244,38 +296,47 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
 
   // Transport verdicts: a slice whose request packet exhausted the retry
   // cap resolves kFailed (successful offload sends complete silently).
-  net::Completion comp;
-  while (endpoint_->PollCompletion(&comp)) {
-    progressed = true;
-    if (comp.status == StatusCode::kOk) continue;
-    const auto it = tag_map_.find(comp.tag);
-    if (it == tag_map_.end()) continue;
-    ResolveSub(it->second.first, it->second.second, SubOutcome::kFailed,
-               cycle);
+  for (net::RdmaEndpoint* ep : endpoints_) {
+    net::Completion comp;
+    while (ep->PollCompletion(&comp)) {
+      progressed = true;
+      if (comp.status == StatusCode::kOk) continue;
+      const auto it = tag_map_.find(comp.tag);
+      if (it == tag_map_.end()) continue;
+      ResolveSub(it->second.first, it->second.second, SubOutcome::kFailed,
+                 cycle);
+    }
   }
 
-  // Responses: merged slices and admission rejections. Bit 0 of user2
-  // flags a shard-side rejection; otherwise user2 >> 1 reports the slice's
-  // service cycles, which feeds the admission estimator.
-  net::Packet p;
-  while (endpoint_->PollRecv(&p)) {
-    progressed = true;
-    if (p.kind != net::OpKind::kOffloadResp) continue;
-    const auto it = tag_map_.find(p.tag);
-    if (it == tag_map_.end()) {
-      ++late_responses_;  // its gather already finalized under the deadline
-      continue;
-    }
-    const bool busy = (p.user2 & 1) != 0;
-    if (!busy) {
-      const auto ait = active_.find(it->second.first);
-      if (ait != active_.end()) {
-        const Sub& sub = ait->second.subs[it->second.second];
-        ObserveService(sub.shard, p.user2 >> 1, cycle - sub.sent_at);
+  // Responses. Flat gather: one tagged response per slice — bit 0 of user2
+  // flags a shard-side rejection, otherwise user2 >> 1 reports the slice's
+  // service cycles, which feeds the admission estimator. Tree / switch
+  // gather: merged-form responses resolve every slice their masks cover.
+  for (net::RdmaEndpoint* ep : endpoints_) {
+    net::Packet p;
+    while (ep->PollRecv(&p)) {
+      progressed = true;
+      if (p.kind != net::OpKind::kOffloadResp) continue;
+      if (merged_responses()) {
+        HandleMergedResponse(p, cycle);
+        continue;
       }
+      const auto it = tag_map_.find(p.tag);
+      if (it == tag_map_.end()) {
+        ++late_responses_;  // its gather already finalized under the deadline
+        continue;
+      }
+      const bool busy = (p.user2 & 1) != 0;
+      if (!busy) {
+        const auto ait = active_.find(it->second.first);
+        if (ait != active_.end()) {
+          const Sub& sub = ait->second.subs[it->second.second];
+          ObserveService(sub.shard, p.user2 >> 1, cycle - sub.sent_at);
+        }
+      }
+      ResolveSub(it->second.first, it->second.second,
+                 busy ? SubOutcome::kRejected : SubOutcome::kDone, cycle);
     }
-    ResolveSub(it->second.first, it->second.second,
-               busy ? SubOutcome::kRejected : SubOutcome::kDone, cycle);
   }
 
   // Expire gathers past their deadline: pending slices resolve kTimedOut
@@ -310,9 +371,10 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
 }
 
 sim::Cycle ShardCoordinator::NextEventCycle(sim::Cycle now) const {
-  if (endpoint_->completions_available() > 0 ||
-      endpoint_->recv_available() > 0) {
-    return now;
+  for (const net::RdmaEndpoint* ep : endpoints_) {
+    if (ep->completions_available() > 0 || ep->recv_available() > 0) {
+      return now;
+    }
   }
   for (uint32_t s = 0; s < num_shards_; ++s) {
     if (!shard_queue_[s].empty() && in_flight_[s] < config_.window) {
@@ -359,38 +421,147 @@ void ShardCoordinator::ExportCustomMetrics(
 
 ShardServer::ShardServer(std::string name, uint32_t shard_id,
                          Workload* workload, net::RdmaEndpoint* endpoint,
-                         const Config& config)
+                         const GatherPlan* plan, const Config& config)
     : sim::Module(std::move(name)), shard_id_(shard_id), workload_(workload),
-      endpoint_(endpoint), config_(config) {
+      endpoint_(endpoint), plan_(plan), config_(config) {
   FPGADP_CHECK(workload_ != nullptr);
   FPGADP_CHECK(endpoint_ != nullptr);
   FPGADP_CHECK(config_.max_queue > 0);
 }
 
+ShardServer::MergeState& ShardServer::TouchMerge(uint64_t request_id,
+                                                 sim::Cycle cycle) {
+  auto it = merges_.find(request_id);
+  if (it == merges_.end()) {
+    MergeState m;
+    const uint64_t timeout = plan_->config().merge_timeout_cycles;
+    if (timeout > 0) m.timeout_at = cycle + timeout;
+    it = merges_.emplace(request_id, m).first;
+  }
+  return it->second;
+}
+
+void ShardServer::MaybeEmit(uint64_t request_id, sim::Cycle cycle) {
+  const auto it = merges_.find(request_id);
+  if (it == merges_.end()) return;
+  const GatherPlan::Role* role = plan_->RoleOf(request_id, shard_id_);
+  if (role == nullptr) {
+    // The gather finalized (deadline expiry) and released its route;
+    // nobody upstream is listening anymore.
+    ++stale_merges_dropped_;
+    merges_.erase(it);
+    return;
+  }
+  if (!it->second.own_resolved ||
+      it->second.children_seen < role->expected_children) {
+    return;
+  }
+  EmitMerge(request_id, it->second, cycle);
+}
+
+void ShardServer::EmitMerge(uint64_t request_id, MergeState& m,
+                            sim::Cycle cycle) {
+  const GatherPlan::Role* role = plan_->RoleOf(request_id, shard_id_);
+  if (role == nullptr) {
+    ++stale_merges_dropped_;
+    merges_.erase(request_id);
+    return;
+  }
+  net::Packet up;
+  up.dst = role->parent == GatherPlan::kToCoordinator
+               ? plan_->PortNode(role->port)
+               : plan_->ShardNode(role->parent);
+  up.kind = net::OpKind::kOffloadResp;
+  up.user = request_id;
+  up.addr = m.done_mask;
+  up.user2 = m.rejected_mask;
+  up.bytes = m.done_mask == 0 ? 0
+                              : workload_->MergedBytes(request_id, m.done_mask,
+                                                       m.concat_bytes);
+  // The merge engine pays per child folded in; its own partial is already
+  // in the pipeline, so a leaf forwards with no extra delay.
+  const sim::Cycle at =
+      cycle + plan_->config().merge_cycles_per_input * m.children_seen;
+  if (at <= cycle) {
+    endpoint_->PostPacket(up);
+  } else {
+    emits_.push_back({at, up});
+  }
+  ++merges_forwarded_;
+  merges_.erase(request_id);
+}
+
 void ShardServer::Tick(sim::Cycle cycle) {
   bool progressed = false;
+  const GatherTopology topo = topology();
 
-  // Retire the slice in service: its occupancy elapsed, the reply ships.
-  if (busy_ && cycle >= done_at_) {
-    endpoint_->PostPacket(pending_resp_);
-    busy_ = false;
-    progressed = true;
+  // Post merged packets whose merge-cost delay elapsed (tree gather).
+  for (size_t i = 0; i < emits_.size();) {
+    if (emits_[i].at <= cycle) {
+      endpoint_->PostPacket(emits_[i].packet);
+      emits_.erase(emits_.begin() + static_cast<ptrdiff_t>(i));
+      progressed = true;
+    } else {
+      ++i;
+    }
   }
 
-  // Admit or shed arrivals.
+  // Retire the slice in service: its occupancy elapsed, so the reply ships
+  // (flat / switch gather) or folds into the subtree merge (tree gather).
+  if (busy_ && cycle >= done_at_) {
+    busy_ = false;
+    progressed = true;
+    if (topo == GatherTopology::kTree) {
+      MergeState& m = TouchMerge(pending_resp_.user, cycle);
+      m.done_mask |= 1ull << shard_id_;
+      m.concat_bytes += pending_resp_.bytes;
+      m.own_resolved = true;
+      MaybeEmit(pending_resp_.user, cycle);
+    } else {
+      endpoint_->PostPacket(pending_resp_);
+    }
+  }
+
+  // Admit or shed request arrivals; fold child contributions (tree gather
+  // interior nodes) into their request's merge state.
   net::Packet p;
   while (endpoint_->PollRecv(&p)) {
     progressed = true;
+    if (p.kind == net::OpKind::kOffloadResp) {
+      // Only tree-gather interior nodes receive responses: a child
+      // subtree's merged contribution.
+      if (topo != GatherTopology::kTree) continue;
+      MergeState& m = TouchMerge(p.user, cycle);
+      m.done_mask |= p.addr;
+      m.rejected_mask |= p.user2;
+      m.concat_bytes += p.bytes;
+      ++m.children_seen;
+      MaybeEmit(p.user, cycle);
+      continue;
+    }
     if (p.kind != net::OpKind::kOffloadReq) continue;
     if (queue_.size() >= config_.max_queue) {
       ++rejected_;
-      net::Packet busy_resp;
-      busy_resp.dst = p.src;
-      busy_resp.kind = net::OpKind::kOffloadResp;
-      busy_resp.tag = p.tag;
-      busy_resp.user = p.user;
-      busy_resp.user2 = 1;  // admission-rejected
-      endpoint_->PostPacket(busy_resp);
+      if (topo == GatherTopology::kTree) {
+        // The rejection rides up the tree in the mask; the node still
+        // merges and forwards its children's results.
+        MergeState& m = TouchMerge(p.user, cycle);
+        m.rejected_mask |= 1ull << shard_id_;
+        m.own_resolved = true;
+        MaybeEmit(p.user, cycle);
+      } else {
+        net::Packet busy_resp;
+        busy_resp.dst = p.src;
+        busy_resp.kind = net::OpKind::kOffloadResp;
+        busy_resp.tag = p.tag;
+        busy_resp.user = p.user;
+        if (topo == GatherTopology::kSwitch) {
+          busy_resp.user2 = 1ull << shard_id_;  // merged-form rejected mask
+        } else {
+          busy_resp.user2 = 1;  // admission-rejected
+        }
+        endpoint_->PostPacket(busy_resp);
+      }
     } else {
       queue_.push_back(p);
       queue_hwm_ = std::max(queue_hwm_, queue_.size());
@@ -402,18 +573,36 @@ void ShardServer::Tick(sim::Cycle cycle) {
     const net::Packet req = queue_.front();
     queue_.pop_front();
     const Service svc = workload_->Serve(shard_id_, req.user);
-    const uint64_t cycles = std::max<uint64_t>(1, svc.compute_cycles);
+    const uint64_t cycles_needed = std::max<uint64_t>(1, svc.compute_cycles);
     busy_ = true;
-    done_at_ = cycle + cycles;
-    service_cycles_ += cycles;
+    done_at_ = cycle + cycles_needed;
+    service_cycles_ += cycles_needed;
     ++served_;
     pending_resp_ = net::Packet{};
-    pending_resp_.dst = req.src;
     pending_resp_.kind = net::OpKind::kOffloadResp;
-    pending_resp_.tag = req.tag;
     pending_resp_.user = req.user;
-    pending_resp_.user2 = cycles << 1;  // bit 0 clear = served; see shard.h
     pending_resp_.bytes = svc.response_bytes;
+    if (topo == GatherTopology::kFlat) {
+      pending_resp_.dst = req.src;
+      pending_resp_.tag = req.tag;
+      pending_resp_.user2 = cycles_needed << 1;  // bit 0 clear = served
+    } else if (topo == GatherTopology::kSwitch) {
+      pending_resp_.dst = req.src;
+      pending_resp_.addr = 1ull << shard_id_;  // merged-form done mask
+    }
+    // Tree gather: the destination (parent or port) is resolved at emit.
+    progressed = true;
+  }
+
+  // Force partial forwards whose merge timeout expired: a dead child costs
+  // its subtree, never the ancestors (tree gather on a lossy fabric).
+  for (auto it = merges_.begin(); it != merges_.end();) {
+    const uint64_t request_id = it->first;
+    MergeState& m = it->second;
+    ++it;  // EmitMerge erases the entry
+    if (m.timeout_at == 0 || cycle < m.timeout_at) continue;
+    ++merge_timeouts_;
+    EmitMerge(request_id, m, cycle);
     progressed = true;
   }
 
@@ -431,9 +620,18 @@ sim::Cycle ShardServer::NextEventCycle(sim::Cycle now) const {
       endpoint_->completions_available() > 0) {
     return now;
   }
-  if (busy_) return done_at_ > now ? done_at_ : now;
-  if (!queue_.empty()) return now;
-  return sim::kNoEventCycle;
+  if (!busy_ && !queue_.empty()) return now;
+  sim::Cycle earliest = sim::kNoEventCycle;
+  if (busy_) earliest = done_at_ > now ? done_at_ : now;
+  for (const PendingEmit& e : emits_) {
+    earliest = std::min(earliest, e.at > now ? e.at : now);
+  }
+  for (const auto& [id, m] : merges_) {
+    if (m.timeout_at > 0) {
+      earliest = std::min(earliest, m.timeout_at > now ? m.timeout_at : now);
+    }
+  }
+  return earliest;
 }
 
 void ShardServer::AttributeSkip(sim::Cycle from, sim::Cycle to) {
@@ -448,36 +646,68 @@ void ShardServer::ExportCustomMetrics(obs::MetricsRegistry& registry) const {
       ->Set(static_cast<double>(service_cycles_));
   registry.GetGauge(base + ".queue_hwm")
       ->Set(static_cast<double>(queue_hwm_));
+  if (plan_ != nullptr && plan_->topology() == GatherTopology::kTree) {
+    registry.GetGauge(base + ".merges_forwarded")
+        ->Set(static_cast<double>(merges_forwarded_));
+    registry.GetGauge(base + ".merge_timeouts")
+        ->Set(static_cast<double>(merge_timeouts_));
+    registry.GetGauge(base + ".stale_merges_dropped")
+        ->Set(static_cast<double>(stale_merges_dropped_));
+  }
 }
 
 ShardCluster::ShardCluster(Workload* workload, const Config& config)
-    : config_(config), engine_(config.fabric.clock_hz),
-      fabric_("fabric", 1 + config.num_shards, config.fabric) {
+    : config_(config), plan_(config.gather, config.num_shards),
+      engine_(config.fabric.clock_hz),
+      fabric_("fabric", plan_.num_nodes(), config.fabric) {
   FPGADP_CHECK(workload != nullptr);
   FPGADP_CHECK(config_.num_shards > 0);
+  if (plan_.topology() == GatherTopology::kSwitch) {
+    net::AggregatingSwitch::Config sc;
+    sc.combine_cycles_per_resp = config_.gather.switch_combine_cycles;
+    agg_switch_ = std::make_unique<net::AggregatingSwitch>(
+        sc, [workload](uint64_t request_id, uint64_t done_mask,
+                       uint64_t concat_bytes) {
+          return workload->MergedBytes(request_id, done_mask, concat_bytes);
+        });
+    fabric_.set_agg_switch(agg_switch_.get());
+  }
   fabric_.RegisterWith(engine_);
-  coordinator_ep_ = std::make_unique<net::RdmaEndpoint>(
-      "coord.ep", kCoordinatorNode, &fabric_, config_.reliability);
-  engine_.AddModule(coordinator_ep_.get());
+  for (uint32_t port = 0; port < plan_.ports(); ++port) {
+    coordinator_eps_.push_back(std::make_unique<net::RdmaEndpoint>(
+        port == 0 ? "coord.ep" : "coord.ep" + std::to_string(port),
+        plan_.PortNode(port), &fabric_, config_.reliability));
+    engine_.AddModule(coordinator_eps_.back().get());
+  }
   for (uint32_t s = 0; s < config_.num_shards; ++s) {
     server_eps_.push_back(std::make_unique<net::RdmaEndpoint>(
-        "shard" + std::to_string(s) + ".ep", ShardNode(s), &fabric_,
+        "shard" + std::to_string(s) + ".ep", plan_.ShardNode(s), &fabric_,
         config_.reliability));
     engine_.AddModule(server_eps_.back().get());
   }
+  std::vector<net::RdmaEndpoint*> eps;
+  eps.reserve(coordinator_eps_.size());
+  for (auto& ep : coordinator_eps_) eps.push_back(ep.get());
   coordinator_ = std::make_unique<ShardCoordinator>(
-      "coord", workload, coordinator_ep_.get(), config_.num_shards,
-      config_.coordinator);
+      "coord", workload, std::move(eps), &plan_, agg_switch_.get(),
+      config_.num_shards, config_.coordinator);
   engine_.AddModule(coordinator_.get());
   for (uint32_t s = 0; s < config_.num_shards; ++s) {
     servers_.push_back(std::make_unique<ShardServer>(
         "shard" + std::to_string(s), s, workload, server_eps_[s].get(),
-        config_.server));
+        &plan_, config_.server));
     engine_.AddModule(servers_.back().get());
   }
 }
 
+ShardCluster::~ShardCluster() = default;
+
 void ShardCluster::set_fault_injector(net::FaultInjector* injector) {
+  if (injector != nullptr && plan_.topology() == GatherTopology::kTree) {
+    // A lost child contribution would otherwise wedge its ancestors'
+    // merges forever.
+    FPGADP_CHECK(config_.gather.merge_timeout_cycles > 0);
+  }
   fabric_.set_fault_injector(injector);
 }
 

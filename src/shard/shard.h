@@ -13,8 +13,13 @@
 #include "src/common/status.h"
 #include "src/net/fabric.h"
 #include "src/net/rdma.h"
+#include "src/shard/gather.h"
 #include "src/sim/engine.h"
 #include "src/sim/module.h"
+
+namespace fpgadp::net {
+class AggregatingSwitch;
+}  // namespace fpgadp::net
 
 namespace fpgadp::shard {
 
@@ -117,21 +122,49 @@ class Workload {
   /// Combines the partial results of the slices that resolved kDone (see
   /// `outcome.slices`) into the request's final result.
   virtual void Merge(uint64_t request_id, const PartialOutcome& outcome) = 0;
+
+  /// Wire bytes of one partial-merged response covering the kDone shards in
+  /// `done_mask` (bit s = shard s), given the concatenated size of its
+  /// inputs. Hierarchical and in-network gather call this wherever partial
+  /// merges happen (interior shards, switch combiners); the default —
+  /// concatenation conserves bytes — is exact for multi-get and join, while
+  /// shrinking merges (top-k keeps k of everything) override it. Runs
+  /// inside module Tick()s: functional-only, like Serve and Merge.
+  virtual uint64_t MergedBytes(uint64_t request_id, uint64_t done_mask,
+                               uint64_t concat_bytes) {
+    (void)request_id;
+    (void)done_mask;
+    return concat_bytes;
+  }
 };
 
-/// Scatter-gather front end, one per cluster, at fabric node 0. Submit()
-/// splits a request via Workload::Scatter and queues one sub-request per
-/// shard; the tick loop ships them through an RdmaEndpoint under a
-/// per-shard admission window, collects responses and transport failures,
-/// enforces the gather deadline, and finalizes each request into a
-/// PartialOutcome (merging via Workload::Merge).
+/// Scatter-gather front end, one per cluster, owning fabric nodes
+/// [0, ports) — one RdmaEndpoint (QP) per ingress port. Submit() splits a
+/// request via Workload::Scatter and queues one sub-request per shard; the
+/// tick loop ships them through the shard's port under a per-shard
+/// admission window, collects responses and transport failures, enforces
+/// the gather deadline, and finalizes each request into a PartialOutcome
+/// (merging via Workload::Merge).
+///
+/// The GatherPlan names the response path. Flat gather keeps the historical
+/// per-slice protocol (one tagged response per shard). Tree and switch
+/// gather receive merged-form responses — `user` = request id, `addr` =
+/// done-shard mask, `user2` = rejected-shard mask — one per subtree root or
+/// switch combine group; rejections ride up in the mask instead of as
+/// separate busy replies, and the per-shard service EWMA is not updated
+/// (per-slice timing is aggregated away; configure the initial estimates
+/// when combining merged gather with deadline-feasibility admission).
 ///
 /// Failure semantics: a slice resolves kFailed when the endpoint's retry
 /// cap expires (dead shard or dead link — lossy fabric only), kRejected
 /// when the shard sheds it at admission, and kTimedOut when the gather
 /// deadline fires first (the only defense against responses lost after the
 /// shard served them). A degraded gather never stalls the others: it
-/// finalizes with whatever slices completed.
+/// finalizes with whatever slices completed. Under tree gather a dead
+/// interior shard degrades exactly its subtree: the coordinator's send
+/// retry cap fails the dead slice, its descendants time out (their merged
+/// contributions died with the parent), and its ancestors forward partial
+/// merges after the plan's merge timeout.
 class ShardCoordinator : public sim::Module {
  public:
   struct Config {
@@ -159,9 +192,15 @@ class ShardCoordinator : public sim::Module {
     uint32_t feasibility_headroom_pct = 100;
   };
 
+  /// `endpoints[p]` is the QP on fabric node p — one per coordinator port
+  /// (plan->ports() of them). `plan` routes responses (never null; a
+  /// default-constructed GatherPlan is flat single-port). `agg_switch` is
+  /// only set for switch gather: the coordinator arms a combine group per
+  /// (request, port) at scatter and disarms it at finalize.
   ShardCoordinator(std::string name, Workload* workload,
-                   net::RdmaEndpoint* endpoint, uint32_t num_shards,
-                   const Config& config);
+                   std::vector<net::RdmaEndpoint*> endpoints,
+                   GatherPlan* plan, net::AggregatingSwitch* agg_switch,
+                   uint32_t num_shards, const Config& config);
 
   /// Scatters one request. Call before Run() or between runs, never from a
   /// module Tick (Workload::Scatter may run nested simulations).
@@ -255,9 +294,17 @@ class ShardCoordinator : public sim::Module {
   /// Ships queued slices while windows have room; lazily drops entries
   /// whose request finalized (deadline expiry) in the meantime.
   bool PumpQueues(sim::Cycle cycle);
+  /// Resolves the slices a merged-form response's masks cover (tree and
+  /// switch gather).
+  void HandleMergedResponse(const net::Packet& p, sim::Cycle cycle);
+  bool merged_responses() const {
+    return plan_->topology() != GatherTopology::kFlat;
+  }
 
   Workload* workload_;
-  net::RdmaEndpoint* endpoint_;
+  std::vector<net::RdmaEndpoint*> endpoints_;
+  GatherPlan* plan_;
+  net::AggregatingSwitch* agg_switch_;
   uint32_t num_shards_;
   Config config_;
 
@@ -287,16 +334,24 @@ class ShardCoordinator : public sim::Module {
 };
 
 /// One simulated FPGA instance serving its shard of the workload, at fabric
-/// node 1 + shard_id. Sub-requests arrive as kOffloadReq packets; each is
-/// either admitted into a bounded queue or immediately answered "busy", so
-/// an overloaded shard sheds load instead of stalling the cluster. The
+/// node ports + shard_id. Sub-requests arrive as kOffloadReq packets; each
+/// is either admitted into a bounded queue or immediately answered "busy",
+/// so an overloaded shard sheds load instead of stalling the cluster. The
 /// pipeline serves one slice at a time: Workload::Serve names the
 /// occupancy, and the response ships when it elapses.
 ///
-/// Response wire encoding (user2): bit 0 set = admission-rejected ("busy");
-/// otherwise user2 >> 1 carries the slice's service cycles, which the
-/// coordinator folds into its per-shard service estimate for
-/// deadline-feasibility admission.
+/// Flat-gather response wire encoding (user2): bit 0 set =
+/// admission-rejected ("busy"); otherwise user2 >> 1 carries the slice's
+/// service cycles, which the coordinator folds into its per-shard service
+/// estimate for deadline-feasibility admission.
+///
+/// Under tree gather the server doubles as an interior merge node: its own
+/// result and its children's merged contributions (arriving as merged-form
+/// kOffloadResp packets) fold into one upstream packet per request, emitted
+/// after the plan's per-input merge cost — and, on a lossy fabric, after at
+/// most the merge timeout, so a silent child costs its subtree but not the
+/// ancestors. Under switch gather the server just replies in merged form
+/// (single-shard masks); the combining happens in-fabric.
 class ShardServer : public sim::Module {
  public:
   struct Config {
@@ -305,11 +360,16 @@ class ShardServer : public sim::Module {
     uint32_t max_queue = 16;
   };
 
+  /// `plan` may be null for standalone use: flat gather, coordinator at
+  /// node 0.
   ShardServer(std::string name, uint32_t shard_id, Workload* workload,
-              net::RdmaEndpoint* endpoint, const Config& config);
+              net::RdmaEndpoint* endpoint, const GatherPlan* plan,
+              const Config& config);
 
   void Tick(sim::Cycle cycle) override;
-  bool Idle() const override { return !busy_ && queue_.empty(); }
+  bool Idle() const override {
+    return !busy_ && queue_.empty() && merges_.empty() && emits_.empty();
+  }
   sim::Cycle NextEventCycle(sim::Cycle now) const override;
   void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
 
@@ -319,6 +379,12 @@ class ShardServer : public sim::Module {
   uint64_t service_cycles() const { return service_cycles_; }
   size_t queue_high_watermark() const { return queue_hwm_; }
   uint32_t shard_id() const { return shard_id_; }
+  /// Tree gather: merged packets forwarded upstream, partial forwards
+  /// forced by the merge timeout, and orphaned merge states dropped
+  /// because the gather had already finalized.
+  uint64_t merges_forwarded() const { return merges_forwarded_; }
+  uint64_t merge_timeouts() const { return merge_timeouts_; }
+  uint64_t stale_merges_dropped() const { return stale_merges_dropped_; }
 
  protected:
   /// A skipped window while the pipeline crunches is busy time; an empty
@@ -326,26 +392,61 @@ class ShardServer : public sim::Module {
   void AttributeSkip(sim::Cycle from, sim::Cycle to) override;
 
  private:
+  /// Accumulating merge state for one request's subtree (tree gather).
+  struct MergeState {
+    uint64_t done_mask = 0;
+    uint64_t rejected_mask = 0;
+    uint64_t concat_bytes = 0;
+    uint32_t children_seen = 0;
+    bool own_resolved = false;
+    sim::Cycle timeout_at = 0;  ///< 0 = no timeout armed.
+  };
+  /// A merged packet waiting out its merge-cost delay before posting.
+  struct PendingEmit {
+    sim::Cycle at = 0;
+    net::Packet packet;
+  };
+
+  GatherTopology topology() const {
+    return plan_ == nullptr ? GatherTopology::kFlat : plan_->topology();
+  }
+  /// Folds one contribution into the request's merge state (creating it,
+  /// and arming its timeout, on first touch).
+  MergeState& TouchMerge(uint64_t request_id, sim::Cycle cycle);
+  /// Emits the merged packet if the subtree is complete.
+  void MaybeEmit(uint64_t request_id, sim::Cycle cycle);
+  /// Builds and schedules the upstream merged packet, then drops the state.
+  void EmitMerge(uint64_t request_id, MergeState& m, sim::Cycle cycle);
+
   uint32_t shard_id_;
   Workload* workload_;
   net::RdmaEndpoint* endpoint_;
+  const GatherPlan* plan_;
   Config config_;
 
   std::deque<net::Packet> queue_;
   bool busy_ = false;
   sim::Cycle done_at_ = 0;
   net::Packet pending_resp_;
+  std::map<uint64_t, MergeState> merges_;  ///< By request id (tree gather).
+  std::vector<PendingEmit> emits_;
 
   uint64_t served_ = 0;
   uint64_t rejected_ = 0;
   uint64_t service_cycles_ = 0;
   size_t queue_hwm_ = 0;
+  uint64_t merges_forwarded_ = 0;
+  uint64_t merge_timeouts_ = 0;
+  uint64_t stale_merges_dropped_ = 0;
 };
 
-/// Wires a whole scale-out deployment together: a fabric of 1 + num_shards
-/// nodes, an RdmaEndpoint per node, the coordinator at node 0 and one
-/// ShardServer per shard — everything registered on one engine, ready to
-/// Submit() and Run(). The workload outlives the cluster.
+/// Wires a whole scale-out deployment together: a fabric of ports +
+/// num_shards nodes, an RdmaEndpoint per node, the coordinator on nodes
+/// [0, ports) and one ShardServer per shard — everything registered on one
+/// engine, ready to Submit() and Run(). The workload outlives the cluster.
+/// The default GatherConfig (flat, one port) reproduces the historical
+/// topology bit-for-bit; `gather` selects tree or switch aggregation and
+/// the coordinator's ingress port count (see gather.h).
 ///
 ///   shard::AnnsTopKWorkload wl(&index, partitioner, wl_config);
 ///   shard::ShardCluster cluster(&wl, {.num_shards = 4});
@@ -357,15 +458,19 @@ class ShardCluster {
   struct Config {
     uint32_t num_shards = 4;
     net::Fabric::Config fabric;
+    GatherConfig gather;
     ShardCoordinator::Config coordinator;
     ShardServer::Config server;
     net::RdmaEndpoint::Reliability reliability;
   };
 
   ShardCluster(Workload* workload, const Config& config);
+  ~ShardCluster();
 
   /// Attaches a fault injector to the fabric (lossy mode). Must be called
-  /// before any request is submitted.
+  /// before any request is submitted. Tree gather on a lossy fabric
+  /// requires a merge timeout (a lost child contribution would otherwise
+  /// wedge its ancestors forever).
   void set_fault_injector(net::FaultInjector* injector);
 
   void Submit(uint64_t request_id) { coordinator_->Submit(request_id); }
@@ -381,12 +486,17 @@ class ShardCluster {
   ShardCoordinator& coordinator() { return *coordinator_; }
   ShardServer& server(uint32_t shard) { return *servers_[shard]; }
   uint32_t num_shards() const { return config_.num_shards; }
+  const GatherPlan& gather_plan() const { return plan_; }
+  /// The in-fabric combiner; null unless gather.topology == kSwitch.
+  net::AggregatingSwitch* agg_switch() { return agg_switch_.get(); }
 
  private:
   Config config_;
+  GatherPlan plan_;
   sim::Engine engine_;
   net::Fabric fabric_;
-  std::unique_ptr<net::RdmaEndpoint> coordinator_ep_;
+  std::unique_ptr<net::AggregatingSwitch> agg_switch_;
+  std::vector<std::unique_ptr<net::RdmaEndpoint>> coordinator_eps_;
   std::vector<std::unique_ptr<net::RdmaEndpoint>> server_eps_;
   std::unique_ptr<ShardCoordinator> coordinator_;
   std::vector<std::unique_ptr<ShardServer>> servers_;

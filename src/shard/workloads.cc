@@ -80,6 +80,15 @@ Service AnnsTopKWorkload::Serve(uint32_t shard, uint64_t request_id) {
   return svc;
 }
 
+uint64_t AnnsTopKWorkload::MergedBytes(uint64_t request_id,
+                                       uint64_t done_mask,
+                                       uint64_t concat_bytes) {
+  (void)request_id;
+  (void)done_mask;
+  return std::min<uint64_t>(concat_bytes,
+                            config_.k * sizeof(anns::Neighbor));
+}
+
 void AnnsTopKWorkload::Merge(uint64_t request_id,
                              const PartialOutcome& outcome) {
   std::vector<anns::Neighbor> merged;

@@ -50,6 +50,11 @@ class AnnsTopKWorkload : public Workload {
   std::vector<SubRequest> Scatter(uint64_t request_id) override;
   Service Serve(uint32_t shard, uint64_t request_id) override;
   void Merge(uint64_t request_id, const PartialOutcome& outcome) override;
+  /// Top-k is a shrinking merge: however many shard partials fold together,
+  /// the merged response never carries more than k neighbors — hierarchical
+  /// gather shrinks ANNS bytes at every interior node.
+  uint64_t MergedBytes(uint64_t request_id, uint64_t done_mask,
+                       uint64_t concat_bytes) override;
 
  private:
   const float* Query(uint64_t request_id) const;

@@ -174,8 +174,9 @@ uint64_t AcclBroadcastScenario() {
 
 /// bench_shard_scaling's shape at small fixed size: 12 ANNS top-k queries
 /// scattered across a 4-shard cluster over the loss-free fabric, gathered
-/// and merged by the coordinator.
-uint64_t ShardAnnsScenario() {
+/// and merged by the coordinator via `gather` (flat single-port by
+/// default; shard_anns_tree locks the hierarchical-merge timing).
+uint64_t ShardAnnsScenario(const shard::GatherConfig& gather) {
   anns::DatasetSpec spec;
   spec.num_base = 2048;
   spec.num_queries = 12;
@@ -198,6 +199,7 @@ uint64_t ShardAnnsScenario() {
   shard::AnnsTopKWorkload wl(&*index, shard::Partitioner::Hash(4), wc);
   shard::ShardCluster::Config cc;
   cc.num_shards = 4;
+  cc.gather = gather;
   shard::ShardCluster cluster(&wl, cc);
   for (size_t q = 0; q < data.num_queries(); ++q) {
     cluster.Submit(wl.AddQuery(data.QueryVector(q)));
@@ -207,9 +209,34 @@ uint64_t ShardAnnsScenario() {
   return cycles.ok() ? cycles.value() : 0;
 }
 
+/// 8 multi-gets of 48 keys over a 4-shard KVS cluster gathered through the
+/// in-switch combiner on 2 coordinator ports — locks the AggregatingSwitch
+/// timing model (combine pipeline, release serialization).
+uint64_t ShardKvsSwitchScenario() {
+  shard::KvsMultiGetWorkload::Config kc;
+  shard::KvsMultiGetWorkload wl(shard::Partitioner::Hash(4), kc);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (key % 5 != 0) wl.Load(key, key * 13 + 1);
+  }
+  shard::ShardCluster::Config cc;
+  cc.num_shards = 4;
+  cc.gather.topology = shard::GatherTopology::kSwitch;
+  cc.gather.coordinator_ports = 2;
+  shard::ShardCluster cluster(&wl, cc);
+  for (uint64_t r = 0; r < 8; ++r) {
+    std::vector<uint64_t> keys;
+    for (uint64_t i = 0; i < 48; ++i) keys.push_back((r * 331 + i * 7) % 1000);
+    cluster.Submit(wl.AddMultiGet(std::move(keys)));
+  }
+  auto cycles = cluster.Run();
+  EXPECT_TRUE(cycles.ok()) << cycles.status();
+  return cycles.ok() ? cycles.value() : 0;
+}
+
 const std::vector<std::string> kScenarios = {
-    "rdma_64x4k",  "rdma_1x1m",   "line_rate_filter", "hash_join",
-    "hbm_scaling", "accl_broadcast", "shard_anns",
+    "rdma_64x4k",  "rdma_1x1m",      "line_rate_filter", "hash_join",
+    "hbm_scaling", "accl_broadcast", "shard_anns",       "shard_anns_tree",
+    "shard_kvs_switch",
 };
 
 uint64_t RunScenario(const std::string& name, const RunOpts& opts) {
@@ -220,7 +247,14 @@ uint64_t RunScenario(const std::string& name, const RunOpts& opts) {
   if (name == "hash_join") return HashJoinScenario();
   if (name == "hbm_scaling") return MicroRecScenario();
   if (name == "accl_broadcast") return AcclBroadcastScenario();
-  if (name == "shard_anns") return ShardAnnsScenario();
+  if (name == "shard_anns") return ShardAnnsScenario(shard::GatherConfig{});
+  if (name == "shard_anns_tree") {
+    shard::GatherConfig gather;
+    gather.topology = shard::GatherTopology::kTree;
+    gather.fanout = 2;
+    return ShardAnnsScenario(gather);
+  }
+  if (name == "shard_kvs_switch") return ShardKvsSwitchScenario();
   ADD_FAILURE() << "unknown scenario " << name;
   return 0;
 }

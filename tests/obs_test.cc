@@ -272,6 +272,66 @@ TEST(TraceTest, FabricPublishesIncastCounters) {
   EXPECT_GT(fabric.rx_busy_cycles(1), 0u);
 }
 
+TEST(TraceTest, IncastDepthAndPortOccupancyPinnedForFourToOne) {
+  // Four senders, one receiver, one 4 KiB packet each, offered in the same
+  // cycle — the canonical fan-in the gather work optimizes away. This pins
+  // the observability the optimization is judged by: the receiver's
+  // arriving queue (incast_depth) holds all four packets while its single
+  // rx port serializes them one after another.
+  net::Fabric fabric("fab", 5, net::Fabric::Config{});
+  Engine e;
+  fabric.RegisterWith(e);
+  VectorSink<net::Packet> drain("drain", &fabric.ingress(4));
+  e.AddModule(&drain);
+  // 4096 B + 64 B header at 62.5 B/cycle = 67 serialization cycles.
+  const uint64_t kSer = fabric.SerializationCycles(4096);
+  EXPECT_EQ(kSer, 67u);
+  for (uint32_t src = 0; src < 4; ++src) {
+    net::Packet p;
+    p.src = src;
+    p.dst = 4;
+    p.bytes = 4096;
+    fabric.egress(src).Write(p);
+  }
+  size_t max_incast = 0;
+  std::vector<sim::Cycle> delivery_cycles;
+  uint64_t delivered = 0;
+  while (delivered < 4 && e.now() < 100000) {
+    e.Step();
+    max_incast = std::max(max_incast, fabric.incast_depth(4));
+    if (fabric.packets_delivered() > delivered) {
+      delivered = fabric.packets_delivered();
+      delivery_cycles.push_back(e.now());
+    }
+  }
+  e.FlushObservers();
+  ASSERT_EQ(delivered, 4u);
+  // All four packets sat in the receiver's arriving queue at once.
+  EXPECT_EQ(max_incast, 4u);
+  EXPECT_EQ(fabric.incast_depth(4), 0u);  // fully drained
+  // Each sender's tx port serialized exactly its own packet; the receiver's
+  // rx port serialized all four, back to back.
+  for (uint32_t src = 0; src < 4; ++src) {
+    EXPECT_EQ(fabric.tx_busy_cycles(src), kSer) << "src " << src;
+    EXPECT_EQ(fabric.rx_busy_cycles(src), 0u) << "src " << src;
+  }
+  EXPECT_EQ(fabric.tx_busy_cycles(4), 0u);
+  // rx occupancy uses reservation semantics: the port counts busy from the
+  // pickup tick (cycle 1) through its reserved horizon — the 200-cycle wire
+  // lead time plus four back-to-back serializations.
+  EXPECT_EQ(fabric.rx_busy_cycles(4), 1u + 200u + 4 * kSer);
+  // Deliveries are spaced by exactly one rx serialization: the port, not
+  // the wire, is the bottleneck — the fan-in wall in one assertion.
+  ASSERT_EQ(delivery_cycles.size(), 4u);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(delivery_cycles[i] - delivery_cycles[i - 1], kSer)
+        << "delivery " << i;
+  }
+  // The first delivery pays tx serialization + wire latency (200 cycles)
+  // + rx serialization after pickup.
+  EXPECT_GE(delivery_cycles[0], 200u + kSer);
+}
+
 // ---------------------------------------------------------------------------
 // Metrics export from engine runs.
 

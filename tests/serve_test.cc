@@ -149,6 +149,73 @@ TEST(LatencyHistogramTest, EmptyHistogramIsAllZeros) {
   EXPECT_EQ(h.mean(), 0.0);
 }
 
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentityBothWays) {
+  obs::LatencyHistogram full, empty;
+  for (uint64_t v : {3ull, 90ull, 4097ull}) full.Record(v);
+  const uint64_t count = full.count(), sum = full.sum();
+  // Folding an empty histogram in must not disturb the extrema (the empty
+  // side's sentinel min is ~0ull and its max is 0 — neither may leak).
+  full.Merge(empty);
+  EXPECT_EQ(full.count(), count);
+  EXPECT_EQ(full.sum(), sum);
+  EXPECT_EQ(full.min(), 3u);
+  EXPECT_EQ(full.max(), 4097u);
+  // And an empty histogram absorbing a full one becomes its exact copy.
+  empty.Merge(full);
+  EXPECT_EQ(empty.count(), count);
+  EXPECT_EQ(empty.sum(), sum);
+  EXPECT_EQ(empty.min(), 3u);
+  EXPECT_EQ(empty.max(), 4097u);
+  EXPECT_EQ(empty.bucket_counts(), full.bucket_counts());
+  EXPECT_EQ(empty.p99(), full.p99());
+}
+
+TEST(LatencyHistogramTest, MergeSaturatedTopBucketStaysExact) {
+  // The very top of the uint64 range lands in the last sub-bucket of the
+  // last octave; merging histograms saturated there must neither overflow
+  // the bucket index nor lose the clamp-to-observed-max in Quantile.
+  const uint64_t top = ~uint64_t{0};
+  obs::LatencyHistogram a, b;
+  a.Record(top);
+  a.Record(top - 1);
+  b.Record(top);
+  b.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), top);
+  // The bucket's nominal upper bound would overshoot uint64; the quantile
+  // must clamp to the observed max instead of wrapping.
+  EXPECT_EQ(a.Quantile(1.0), top);
+  EXPECT_EQ(a.p999(), top);
+  const auto& counts = a.bucket_counts();
+  EXPECT_EQ(counts.back(), 3u) << "both top observations share the last "
+                                  "sub-bucket of the last octave";
+}
+
+TEST(LatencyHistogramTest, MergeDisjointRangesReflectsTheUnion) {
+  // Mismatched recordings — one histogram all-fast, one all-slow — merged:
+  // the union's quantiles must straddle the gap, not average across it.
+  obs::LatencyHistogram fast, slow;
+  for (uint64_t v = 1; v <= 100; ++v) fast.Record(v);
+  for (uint64_t v = 100000; v < 100100; ++v) slow.Record(v);
+  fast.Merge(slow);
+  EXPECT_EQ(fast.count(), 200u);
+  EXPECT_EQ(fast.min(), 1u);
+  EXPECT_EQ(fast.max(), 100099u);
+  EXPECT_LE(fast.p50(), 107u);      // median still in the fast mode
+  EXPECT_GE(fast.p99(), 100000u);   // tail entirely in the slow mode
+}
+
+TEST(LatencyHistogramDeathTest, MergeRejectsMismatchedGeometry) {
+  obs::LatencyHistogram four(4), five(5);
+  four.Record(10);
+  five.Record(10);
+  // Different sub_bucket_bits means incompatible bucket layouts; merging
+  // them silently would scramble every quantile.
+  EXPECT_DEATH(four.Merge(five), "sub_bucket_bits");
+}
+
 // ---------------------------------------------------------------------------
 // Admission at the coordinator
 

@@ -29,6 +29,13 @@
 // src/shard/gather.h — with fanout-1 requests the tree is degenerate, so
 // this mostly exercises the merged-form wire protocol under load), plus
 // the bench_common set.
+//
+// --failover switches to the E25 replication/recovery sweep instead: for
+// each (policy, rho) a baseline R=1 run, an R=2 run (replication
+// overhead), and an R=2 run where shard 1's primary permanently loses its
+// links mid-run — asserting exactly one promotion, zero degraded results,
+// and tail recovery within the documented budget. Emits
+// BENCH_failover.json.
 
 #include <cstdio>
 #include <cstring>
@@ -76,6 +83,10 @@ struct RunConfig {
   uint64_t seed = 7;
   uint64_t fault_seed = 1;
   shard::GatherConfig gather;  // Response-path topology (--gather=).
+  // --failover sweep: replicated cluster, optionally with shard 1's primary
+  // losing both link directions permanently at `flap_cycle`.
+  uint32_t replication = 1;
+  uint64_t flap_cycle = 0;  // 0 = no scheduled fault.
 };
 
 /// Everything a run reports, in full, so mode invariance can be asserted on
@@ -97,9 +108,15 @@ struct ClassOut {
 struct RunOut {
   uint64_t cycles = 0;
   ClassOut cls[2];  // [0] interactive, [1] batch.
+  uint64_t failovers = 0;
+  // Completion cycle of the last SLO-violating request finishing at or
+  // after the scheduled flap, minus the flap cycle (0 when the tail never
+  // left the SLO): how long the outage was visible in the latency stream.
+  uint64_t recovery_cycles = 0;
 
   bool operator==(const RunOut& o) const {
-    return cycles == o.cycles && cls[0] == o.cls[0] && cls[1] == o.cls[1];
+    return cycles == o.cycles && cls[0] == o.cls[0] && cls[1] == o.cls[1] &&
+           failovers == o.failovers && recovery_cycles == o.recovery_cycles;
   }
 };
 
@@ -124,13 +141,30 @@ RunOut RunOne(const RunConfig& rc, const Mode& mode) {
     cc.coordinator.admission = shard::AdmissionPolicy::kDeadlineFeasible;
     cc.coordinator.feasibility_headroom_pct = 80;
   }
+  if (rc.replication > 1) {
+    cc.replica.replication_factor = rc.replication;
+    cc.replica.beacon_interval_cycles = 600;
+    cc.replica.beacon_timeout_cycles = 1500;
+    cc.reliability.rto_cycles = 300;
+    cc.reliability.max_retries = 2;
+  }
   shard::ShardCluster cluster(&wl, cc);
 
   net::FaultInjector::Config fc;
   fc.seed = rc.fault_seed;
   fc.drop_rate = rc.drop_rate;
+  if (rc.flap_cycle > 0) fc.flap_down_cycles = 1u << 30;  // Permanent death.
   net::FaultInjector injector(fc);
-  if (rc.drop_rate > 0) cluster.set_fault_injector(&injector);
+  if (rc.flap_cycle > 0) {
+    const uint32_t victim = cluster.gather_plan().ReplicaNode(1, 0);
+    injector.Schedule({rc.flap_cycle, victim, net::FaultInjector::kAnyNode,
+                       net::FaultKind::kLinkFlap});
+    injector.Schedule({rc.flap_cycle, net::FaultInjector::kAnyNode, victim,
+                       net::FaultKind::kLinkFlap});
+  }
+  if (rc.drop_rate > 0 || rc.flap_cycle > 0) {
+    cluster.set_fault_injector(&injector);
+  }
 
   serve::FrontDoor::Config fd;
   fd.arrivals.kind = rc.kind;
@@ -146,6 +180,8 @@ RunOut RunOne(const RunConfig& rc, const Mode& mode) {
         return wl.AddRequest(cls == 0 ? kInteractiveSvc : kBatchSvc);
       },
       fd);
+  std::vector<serve::FrontDoor::CompletionRecord> completions;
+  if (rc.flap_cycle > 0) door.set_completion_log(&completions);
   cluster.engine().AddModule(&door);
   cluster.engine().SetThreads(mode.threads);
   cluster.engine().SetFastForward(mode.fast_forward);
@@ -165,6 +201,16 @@ RunOut RunOne(const RunConfig& rc, const Mode& mode) {
 
   RunOut out;
   out.cycles = cycles.value();
+  out.failovers = cluster.coordinator().failovers();
+  if (rc.flap_cycle > 0) {
+    const uint64_t slos[2] = {kInteractiveSlo, kBatchSlo};
+    for (const auto& rec : completions) {
+      if (rec.completed_at >= rc.flap_cycle &&
+          rec.latency_cycles > slos[rec.class_index]) {
+        out.recovery_cycles = rec.completed_at - rc.flap_cycle;
+      }
+    }
+  }
   for (size_t c = 0; c < 2; ++c) {
     const serve::ClassStats& s = door.class_stats(c);
     out.cls[c] = {s.latency.count(), s.latency.sum(),   s.latency.p50(),
@@ -184,15 +230,164 @@ std::string FmtRho(double rho) {
 }  // namespace
 }  // namespace fpgadp
 
+namespace fpgadp {
+namespace {
+
+/// The E25 recovery budget: transport detection (rto 300 ladder, 2 retries:
+/// 300 + 600 + 1200 = 2100) or beacon silence (timeout 1500 + interval
+/// 600 = 2100), whichever fires first, plus replay RTT and the drain of
+/// arrivals queued behind the outage. Documented in EXPERIMENTS.md E25;
+/// tests/chaos_test.cc holds the same machinery to 4000 cycles at a tighter
+/// 2500-cycle SLO — the serving mix here carries batch requests, so the
+/// drain term is larger.
+constexpr uint64_t kRecoveryBudget = 8000;
+
+/// --failover: replication/failover sweep instead of the admission sweep.
+/// For each (policy, rho): a baseline R=1 run, an R=2 run (replication
+/// overhead), and an R=2 run where shard 1's primary permanently dies
+/// mid-run (recovery). Results go to BENCH_failover.json.
+int RunFailoverSweep(bench::Session& session, bool smoke,
+                     const std::vector<Mode>& modes) {
+  const size_t num_requests = smoke ? 500 : 2000;
+  const uint64_t flap = smoke ? 15000 : 50000;
+  const std::vector<double> loads =
+      smoke ? std::vector<double>{0.8} : std::vector<double>{0.5, 0.8};
+
+  std::cout << "=== serving under failover: replication and recovery"
+            << (smoke ? " (smoke)" : "") << " ===\n"
+            << "R=2, beacons 600/1500, rto 300 x2 retries; primary of shard "
+               "1 dies at cycle "
+            << flap << "\n\n";
+
+  TablePrinter t({"policy", "rho", "variant", "sim cycles", "int p99",
+                  "int viol", "shed", "failovers", "recovery", "overhead"});
+  bool ok = true;
+
+  struct Variant {
+    std::string name;
+    uint32_t replication;
+    uint64_t flap_cycle;
+  };
+  const std::vector<Variant> variants = {
+      {"base", 1, 0}, {"repl", 2, 0}, {"fault", 2, flap}};
+
+  for (const std::string& policy : {std::string("qd"), std::string("slo")}) {
+    for (double rho : loads) {
+      uint64_t base_cycles = 0;
+      for (const Variant& v : variants) {
+        RunConfig rc;
+        rc.policy = policy;
+        rc.rho = rho;
+        rc.num_requests = num_requests;
+        rc.replication = v.replication;
+        rc.flap_cycle = v.flap_cycle;
+
+        RunOut first;
+        for (size_t m = 0; m < modes.size(); ++m) {
+          const RunOut r = RunOne(rc, modes[m]);
+          if (m == 0) {
+            first = r;
+          } else if (!(r == first)) {
+            std::cerr << "FAIL: failover/" << policy << "/rho " << FmtRho(rho)
+                      << "/" << v.name << " mode " << modes[m].name
+                      << " changed the results — engine modes must be pure\n";
+            ok = false;
+          }
+        }
+        if (v.name == "base") base_cycles = first.cycles;
+        const double overhead_pct =
+            base_cycles == 0
+                ? 0.0
+                : 100.0 * (double(first.cycles) - double(base_cycles)) /
+                      double(base_cycles);
+
+        const ClassOut& ic = first.cls[0];
+        const ClassOut& bc = first.cls[1];
+        t.AddRow({policy, FmtRho(rho), v.name,
+                  TablePrinter::FmtCount(first.cycles),
+                  TablePrinter::FmtCount(ic.p99),
+                  TablePrinter::FmtCount(ic.violations),
+                  TablePrinter::FmtCount(ic.shed + bc.shed),
+                  TablePrinter::FmtCount(first.failovers),
+                  TablePrinter::FmtCount(first.recovery_cycles),
+                  TablePrinter::Fmt(overhead_pct, 1) + "%"});
+        session.AddResult(
+            "failover." + policy + ".r" + FmtRho(rho) + "." + v.name,
+            {{"rho", rho},
+             {"replication", double(v.replication)},
+             {"flap_cycle", double(v.flap_cycle)},
+             {"cycles", double(first.cycles)},
+             {"offered", double(ic.offered + bc.offered)},
+             {"shed", double(ic.shed + bc.shed)},
+             {"interactive_p99", double(ic.p99)},
+             {"interactive_slo_violations", double(ic.violations)},
+             {"interactive_degraded", double(ic.degraded)},
+             {"batch_p99", double(bc.p99)},
+             {"failovers", double(first.failovers)},
+             {"recovery_cycles", double(first.recovery_cycles)},
+             {"replication_overhead_pct", overhead_pct}});
+
+        // Hard guarantees per variant. Fault-free runs must not promote;
+        // the fault run must promote exactly once, lose nothing, and have
+        // its tail back under the SLO within the documented budget.
+        if (v.flap_cycle == 0 && first.failovers != 0) {
+          std::cerr << "FAIL: " << policy << "/" << v.name
+                    << " promoted without a fault\n";
+          ok = false;
+        }
+        if (first.cls[0].degraded + first.cls[1].degraded != 0) {
+          std::cerr << "FAIL: " << policy << "/" << v.name << " completed "
+                    << first.cls[0].degraded + first.cls[1].degraded
+                    << " degraded requests\n";
+          ok = false;
+        }
+        if (v.flap_cycle > 0) {
+          if (first.failovers != 1) {
+            std::cerr << "FAIL: " << policy << "/rho " << FmtRho(rho)
+                      << " fault run promoted " << first.failovers
+                      << " times (want exactly 1)\n";
+            ok = false;
+          }
+          if (first.recovery_cycles > kRecoveryBudget) {
+            std::cerr << "FAIL: " << policy << "/rho " << FmtRho(rho)
+                      << " tail stayed over SLO for " << first.recovery_cycles
+                      << " cycles after the flap (budget " << kRecoveryBudget
+                      << ")\n";
+            ok = false;
+          }
+        }
+      }
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\n(all rows asserted bit-identical across serial / threaded "
+               "/ no-fast-forward engine modes; recovery budget "
+            << kRecoveryBudget << " cycles, see EXPERIMENTS.md E25)\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fpgadp
+
 int main(int argc, char** argv) {
   using namespace fpgadp;
   bench::Session session(argc, argv);
-  session.SetDefaultJsonPath("BENCH_serving_slo.json");
   bool smoke = false;
+  bool failover = false;
   std::string gather_flag = "flat";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--failover") == 0) failover = true;
     if (std::strncmp(argv[i], "--gather=", 9) == 0) gather_flag = argv[i] + 9;
+  }
+  session.SetDefaultJsonPath(failover ? "BENCH_failover.json"
+                                      : "BENCH_serving_slo.json");
+  if (failover) {
+    const uint32_t nt = session.threads() > 1 ? session.threads() : 4;
+    return RunFailoverSweep(session, smoke,
+                            {{"serial", 1, true},
+                             {"noff", 1, false},
+                             {"thr" + std::to_string(nt), nt, true}});
   }
   shard::GatherConfig gather;
   if (!shard::ParseGatherTopology(gather_flag, &gather.topology)) {

@@ -27,10 +27,14 @@
 //
 // Results are dumped to BENCH_shard_scaling.json (override with
 // --json=<file>). Flags: --smoke, --gather=<flat|flat4|tree|switch|all>
-// (default all), plus the bench_common set.
+// (default all), --replication=<R> (default 1: every shard gets R-1 warm
+// standbys with health beacons — the E25 replication-overhead axis; row
+// names gain a ".repR" suffix so the default JSON stays diffable), plus
+// the bench_common set.
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -126,8 +130,19 @@ uint64_t DrainCluster(shard::ShardCluster& cluster, size_t expected,
   return cycles.value();
 }
 
+/// Fills in the replication axis (--replication=R): R-1 warm standbys per
+/// shard, with the beacon cadence the failover tests use. Beacons stop at
+/// quiescence, so the measured cost is the wire contention they add while
+/// requests are in flight.
+void ApplyReplication(shard::ShardCluster::Config& cc, uint32_t replication) {
+  if (replication <= 1) return;
+  cc.replica.replication_factor = replication;
+  cc.replica.beacon_interval_cycles = 600;
+  cc.replica.beacon_timeout_cycles = 1500;
+}
+
 RunResult RunAnns(const anns::Dataset& data, const anns::IvfPqIndex& index,
-                  const Sizes& sizes, uint32_t shards,
+                  const Sizes& sizes, uint32_t shards, uint32_t replication,
                   const shard::GatherConfig& gather, const Mode& mode) {
   shard::AnnsTopKWorkload::Config wc;
   wc.nprobe = sizes.anns_nprobe;
@@ -136,6 +151,7 @@ RunResult RunAnns(const anns::Dataset& data, const anns::IvfPqIndex& index,
   shard::ShardCluster::Config cc;
   cc.num_shards = shards;
   cc.gather = gather;
+  ApplyReplication(cc, replication);
   shard::ShardCluster cluster(&wl, cc);
   const size_t n = std::min(sizes.anns_queries, data.num_queries());
   for (size_t q = 0; q < n; ++q) cluster.Submit(wl.AddQuery(data.QueryVector(q)));
@@ -145,7 +161,7 @@ RunResult RunAnns(const anns::Dataset& data, const anns::IvfPqIndex& index,
   return r;
 }
 
-RunResult RunKvs(const Sizes& sizes, uint32_t shards,
+RunResult RunKvs(const Sizes& sizes, uint32_t shards, uint32_t replication,
                  const shard::GatherConfig& gather, const Mode& mode) {
   shard::KvsMultiGetWorkload::Config kc;
   shard::KvsMultiGetWorkload wl(shard::Partitioner::Hash(shards), kc);
@@ -155,6 +171,7 @@ RunResult RunKvs(const Sizes& sizes, uint32_t shards,
   shard::ShardCluster::Config cc;
   cc.num_shards = shards;
   cc.gather = gather;
+  ApplyReplication(cc, replication);
   shard::ShardCluster cluster(&wl, cc);
   uint64_t next_key = 1;
   for (size_t g = 0; g < sizes.kvs_multigets; ++g) {
@@ -188,9 +205,18 @@ int main(int argc, char** argv) {
   session.SetDefaultJsonPath("BENCH_shard_scaling.json");
   bool smoke = false;
   std::string gather_flag = "all";
+  uint32_t replication = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strncmp(argv[i], "--gather=", 9) == 0) gather_flag = argv[i] + 9;
+    if (std::strncmp(argv[i], "--replication=", 14) == 0) {
+      replication = std::strtoul(argv[i] + 14, nullptr, 10);
+      if (replication < 1 || replication > 4) {
+        std::cerr << "FAIL: --replication wants 1..4, got " << argv[i] + 14
+                  << "\n";
+        return 1;
+      }
+    }
   }
   std::vector<std::string> gathers;
   if (gather_flag == "all") {
@@ -212,7 +238,11 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "=== scale-out sharding across virtual FPGAs"
-            << (smoke ? " (smoke)" : "") << " ===\n";
+            << (smoke ? " (smoke)" : "")
+            << (replication > 1
+                    ? " [R=" + std::to_string(replication) + " replicas]"
+                    : "")
+            << " ===\n";
 
   anns::DatasetSpec spec;
   spec.num_base = sizes.anns_base;
@@ -258,8 +288,9 @@ int main(int argc, char** argv) {
         for (const Mode& mode : modes) {
           const RunResult r =
               workload == "anns"
-                  ? RunAnns(data, *index, sizes, shards, gather, mode)
-                  : RunKvs(sizes, shards, gather, mode);
+                  ? RunAnns(data, *index, sizes, shards, replication, gather,
+                            mode)
+                  : RunKvs(sizes, shards, replication, gather, mode);
           if (first_cycles == 0) {
             first_cycles = r.cycles;
           } else if (r.cycles != first_cycles) {
@@ -295,8 +326,11 @@ int main(int argc, char** argv) {
                     TablePrinter::Fmt(vs_flat, 2),
                     TablePrinter::Fmt(r.wall_sec * 1e3, 2)});
           session.AddResult(
-              wg + ".s" + std::to_string(shards) + "." + mode.name,
+              wg + ".s" + std::to_string(shards) + "." + mode.name +
+                  (replication > 1 ? ".rep" + std::to_string(replication)
+                                   : ""),
               {{"shards", double(shards)},
+               {"replication", double(replication)},
                {"cycles", double(r.cycles)},
                {"requests", double(r.requests)},
                {"req_per_sim_sec", tput},

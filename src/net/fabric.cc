@@ -192,8 +192,11 @@ void Fabric::Tick(sim::Cycle cycle) {
         // ride a prioritized control lane, as RC hardware acks do: they skip
         // the port's data backlog instead of queueing behind megabytes of
         // payload, so they cannot starve the very timers they feed.
-        const bool control =
-            p.kind == OpKind::kRdmaAck || p.kind == OpKind::kRdmaNack;
+        // Health beacons share the lane: a liveness probe queued behind a
+        // data backlog would time out its own sender.
+        const bool control = p.kind == OpKind::kRdmaAck ||
+                             p.kind == OpKind::kRdmaNack ||
+                             p.kind == OpKind::kHealthBeacon;
         const uint64_t ser = SerializationCycles(p.bytes);
         const sim::Cycle tx_start =
             control ? cycle + 1 : std::max<sim::Cycle>(cycle + 1, tx_free_[n]);

@@ -31,6 +31,10 @@ enum class OpKind : uint8_t {
   kTcpAck = 10,     ///< TCP session layer: cumulative ACK (header-only).
   kRdmaAck = 11,    ///< Link-level ACK for a sequenced packet (lossy mode).
   kRdmaNack = 12,   ///< Link-level NACK: payload CRC failed, resend now.
+  kHealthBeacon = 13,  ///< Shard liveness beacon (replica -> coordinator port).
+  kMigrateStart = 14,  ///< Coordinator -> source shard: begin streaming a range.
+  kMigrateChunk = 15,  ///< Source -> target shard: one chunk of migrated state.
+  kMigrateDone = 16,   ///< Target -> coordinator: all chunk bytes received.
 };
 
 /// A message on the fabric. `bytes` is payload size; the fabric adds the
@@ -234,6 +238,11 @@ class Fabric : public sim::Module {
   uint64_t rx_busy_cycles(uint32_t node) const { return rx_busy_cycles_[node]; }
   /// Packets currently queued for receive at `node` — the incast depth.
   size_t incast_depth(uint32_t node) const { return arriving_[node].size(); }
+
+  /// One-way wire + switch latency in cycles. Periodic background traffic
+  /// (health beacons) must be spaced further apart than this, or the wire
+  /// never drains and the engine cannot quiesce.
+  uint64_t wire_latency_cycles() const { return wire_latency_cycles_; }
 
   const Config& config() const { return config_; }
 

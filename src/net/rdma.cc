@@ -10,7 +10,11 @@ namespace {
 /// Link-level control packets are never sequenced (acking an ack would
 /// recurse forever); everything else carries a per-destination seq.
 bool IsSequenced(OpKind kind) {
-  return kind != OpKind::kRdmaAck && kind != OpKind::kRdmaNack;
+  // Health beacons ride unreliable-datagram semantics: no sequence number,
+  // no retransmission. Losing one is the signal — the receiver's timeout
+  // detects silence; retrying would mask exactly the failure it reports.
+  return kind != OpKind::kRdmaAck && kind != OpKind::kRdmaNack &&
+         kind != OpKind::kHealthBeacon;
 }
 
 }  // namespace
@@ -165,9 +169,14 @@ void RdmaEndpoint::Dispatch(sim::Cycle cycle, const Packet& p) {
     case OpKind::kTcpAck:
     case OpKind::kRdmaAck:
     case OpKind::kRdmaNack:
+    case OpKind::kHealthBeacon:
+    case OpKind::kMigrateStart:
+    case OpKind::kMigrateChunk:
+    case OpKind::kMigrateDone:
       // TCP kinds only appear when a TcpStack owns the port; surfacing
       // them in the receive queue keeps misconfigurations observable.
       // (kRdmaAck/kRdmaNack are consumed before Dispatch in lossy mode.)
+      // Beacon and migration kinds are consumed by the shard layer.
       rq_.push_back(p);
       break;
   }

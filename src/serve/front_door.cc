@@ -82,6 +82,11 @@ void FrontDoor::Tick(sim::Cycle cycle) {
     if (latency > config_.classes[req.class_index].slo_cycles) {
       ++cs.slo_violations;
     }
+    if (completion_log_ != nullptr) {
+      completion_log_->push_back(
+          {outcome.completed_at, latency, req.class_index,
+           outcome.degraded()});
+    }
     if (next_unscheduled_ < requests_.size()) {
       ScheduleArrival(next_unscheduled_++, cycle);  // Closed-loop client.
     }

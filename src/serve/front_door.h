@@ -100,6 +100,21 @@ class FrontDoor : public sim::Module {
   uint64_t total_shed() const { return total_shed_; }
   uint64_t total_completed() const { return total_completed_; }
 
+  /// Test hook: every completion is appended to `log` in finalize order.
+  /// Histograms aggregate time away; the chaos tier needs the time series
+  /// to assert that p99 *returns* under the SLO within a recovery budget
+  /// after a fault, not just that the run-wide tail looks healthy. Null
+  /// (default) disables recording.
+  struct CompletionRecord {
+    sim::Cycle completed_at = 0;
+    uint64_t latency_cycles = 0;
+    uint32_t class_index = 0;
+    bool degraded = false;
+  };
+  void set_completion_log(std::vector<CompletionRecord>* log) {
+    completion_log_ = log;
+  }
+
  private:
   /// One precomputed request: identity, class, scatter plan, and (once
   /// known) its arrival cycle.
@@ -128,6 +143,7 @@ class FrontDoor : public sim::Module {
   size_t next_unscheduled_ = 0;
 
   std::vector<ClassStats> stats_;
+  std::vector<CompletionRecord>* completion_log_ = nullptr;
   uint64_t total_offered_ = 0;
   uint64_t total_admitted_ = 0;
   uint64_t total_shed_ = 0;

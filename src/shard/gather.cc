@@ -22,10 +22,17 @@ bool ParseGatherTopology(const std::string& text, GatherTopology* out) {
   return false;
 }
 
-GatherPlan::GatherPlan(const GatherConfig& config, uint32_t num_shards)
-    : config_(config), num_shards_(num_shards) {
+GatherPlan::GatherPlan(const GatherConfig& config, uint32_t num_shards,
+                       uint32_t replicas)
+    : config_(config), num_shards_(num_shards), replicas_(replicas) {
   FPGADP_CHECK(num_shards_ > 0);
   FPGADP_CHECK(config_.coordinator_ports > 0);
+  FPGADP_CHECK(replicas_ > 0);
+  if (replicas_ > 1) {
+    // Tree and switch gather address peers by shard id; replica routing is
+    // only defined for the flat response path.
+    FPGADP_CHECK(config_.topology == GatherTopology::kFlat);
+  }
   if (config_.topology != GatherTopology::kFlat) {
     // Merged responses carry per-shard coverage as 64-bit masks on the wire
     // (Packet::addr / Packet::user2).

@@ -85,18 +85,27 @@ class GatherPlan {
     uint32_t expected_children = 0;  ///< Contributions to fold in.
   };
 
-  GatherPlan(const GatherConfig& config, uint32_t num_shards);
+  /// `replicas` is the per-shard replication factor R: every shard gets R
+  /// fabric nodes, one per replica. R > 1 requires flat topology (tree and
+  /// switch gather route by shard id, not by replica).
+  GatherPlan(const GatherConfig& config, uint32_t num_shards,
+             uint32_t replicas = 1);
 
   GatherTopology topology() const { return config_.topology; }
   uint32_t ports() const { return config_.coordinator_ports; }
   uint32_t num_shards() const { return num_shards_; }
+  uint32_t replicas() const { return replicas_; }
   const GatherConfig& config() const { return config_; }
 
   // Node numbering: coordinator ports occupy fabric nodes [0, ports);
-  // shard s lives at ports + s. With one port this is the historical
-  // layout (coordinator at node 0, shard s at 1 + s).
-  uint32_t num_nodes() const { return ports() + num_shards_; }
-  uint32_t ShardNode(uint32_t shard) const { return ports() + shard; }
+  // replica r of shard s lives at ports + r * num_shards + s, so the R=1
+  // layout is the historical one (coordinator at node 0, shard s at 1 + s)
+  // and growing R appends whole replica tiers without renumbering anything.
+  uint32_t num_nodes() const { return ports() + replicas_ * num_shards_; }
+  uint32_t ReplicaNode(uint32_t shard, uint32_t replica) const {
+    return ports() + replica * num_shards_ + shard;
+  }
+  uint32_t ShardNode(uint32_t shard) const { return ReplicaNode(shard, 0); }
   uint32_t PortNode(uint32_t port) const { return port; }
   /// Coordinator port serving `shard` (request egress and, in flat and
   /// switch gather, response ingress).
@@ -119,6 +128,7 @@ class GatherPlan {
  private:
   GatherConfig config_;
   uint32_t num_shards_;
+  uint32_t replicas_;
   std::map<uint64_t, std::map<uint32_t, Role>> routes_;
 };
 

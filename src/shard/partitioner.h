@@ -51,6 +51,23 @@ class Partitioner {
   /// cursor; the stateless schemes never mutate.
   uint32_t ShardOf(uint64_t key);
 
+  /// Ownership lookup without side effects: identical to ShardOf for the
+  /// stateless schemes, CHECK-fails for kRoundRobin (round-robin placement
+  /// is call-order state, not key ownership — a second lookup would lie).
+  uint32_t OwnerOf(uint64_t key) const;
+
+  /// kRange only: reassigns every key in [lo, hi] (inclusive) to `to`.
+  /// Splits the segment table at the range edges, so repeated migrations
+  /// can carve arbitrary ownership maps out of the initial contiguous
+  /// ranges. The original bounds are untouched until the first move, which
+  /// keeps an unmigrated partitioner bit-identical to the historical one.
+  void MoveRange(uint64_t lo, uint64_t hi, uint32_t to);
+
+  /// kRange only: true when every key in [lo, hi] is currently owned by
+  /// `shard` — the precondition a MigrationPlan must satisfy (state can
+  /// only stream out of the shard that actually holds it).
+  bool RangeOwnedBy(uint64_t lo, uint64_t hi, uint32_t shard) const;
+
   uint32_t num_shards() const { return num_shards_; }
   PartitionScheme scheme() const { return scheme_; }
 
@@ -59,10 +76,17 @@ class Partitioner {
               std::vector<uint64_t> bounds)
       : scheme_(scheme), num_shards_(num_shards), bounds_(std::move(bounds)) {}
 
+  /// kRange: expands the implicit bound->index ownership into explicit
+  /// segments (owners_ parallel to bounds_, final bound UINT64_MAX) the
+  /// first time a range moves.
+  void MaterializeSegments();
+
   PartitionScheme scheme_;
   uint32_t num_shards_;
   uint64_t cursor_ = 0;           ///< kRoundRobin only.
-  std::vector<uint64_t> bounds_;  ///< kRange only.
+  std::vector<uint64_t> bounds_;  ///< kRange: inclusive segment upper bounds.
+  std::vector<uint32_t> owners_;  ///< kRange: segment owners; empty until the
+                                  ///< first MoveRange (identity mapping).
 };
 
 }  // namespace fpgadp::shard

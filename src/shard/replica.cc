@@ -1,0 +1,191 @@
+#include "src/shard/replica.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/obs/metrics.h"
+
+namespace fpgadp::shard {
+
+const char* MigrationPhaseName(MigrationPhase phase) {
+  switch (phase) {
+    case MigrationPhase::kCopy: return "copy";
+    case MigrationPhase::kDrain: return "drain";
+    case MigrationPhase::kDone: return "done";
+    case MigrationPhase::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+ReplicaSet::ReplicaSet(uint32_t num_shards, uint32_t replication_factor)
+    : num_shards_(num_shards), replication_factor_(replication_factor) {
+  FPGADP_CHECK(num_shards_ > 0);
+  FPGADP_CHECK(replication_factor_ > 0);
+  primary_.assign(num_shards_, 0);
+  alive_.assign(size_t{num_shards_} * replication_factor_, 1);
+  last_beacon_.assign(size_t{num_shards_} * replication_factor_, 0);
+}
+
+size_t ReplicaSet::Index(uint32_t shard, uint32_t replica) const {
+  FPGADP_CHECK(shard < num_shards_);
+  FPGADP_CHECK(replica < replication_factor_);
+  return size_t{shard} * replication_factor_ + replica;
+}
+
+uint32_t ReplicaSet::Primary(uint32_t shard) const {
+  FPGADP_CHECK(shard < num_shards_);
+  return primary_[shard];
+}
+
+bool ReplicaSet::alive(uint32_t shard, uint32_t replica) const {
+  return alive_[Index(shard, replica)] != 0;
+}
+
+uint32_t ReplicaSet::alive_count(uint32_t shard) const {
+  uint32_t n = 0;
+  for (uint32_t r = 0; r < replication_factor_; ++r) {
+    if (alive(shard, r)) ++n;
+  }
+  return n;
+}
+
+bool ReplicaSet::CanPromote(uint32_t shard) const {
+  for (uint32_t r = 0; r < replication_factor_; ++r) {
+    if (r != primary_[shard] && alive(shard, r)) return true;
+  }
+  return false;
+}
+
+bool ReplicaSet::Promote(uint32_t shard) {
+  const uint32_t old = primary_[shard];
+  for (uint32_t step = 1; step < replication_factor_; ++step) {
+    const uint32_t r = (old + step) % replication_factor_;
+    if (!alive(shard, r)) continue;
+    alive_[Index(shard, old)] = 0;
+    primary_[shard] = r;
+    ++promotions_;
+    return true;
+  }
+  return false;
+}
+
+void ReplicaSet::MarkDead(uint32_t shard, uint32_t replica) {
+  alive_[Index(shard, replica)] = 0;
+}
+
+void ReplicaSet::ObserveBeacon(uint32_t shard, uint32_t replica,
+                               sim::Cycle cycle) {
+  last_beacon_[Index(shard, replica)] =
+      std::max(last_beacon_[Index(shard, replica)], cycle);
+}
+
+sim::Cycle ReplicaSet::last_beacon(uint32_t shard, uint32_t replica) const {
+  return last_beacon_[Index(shard, replica)];
+}
+
+ElasticState::ElasticState(const ReplicaConfig& cfg, uint32_t num_shards)
+    : config(cfg), replicas(num_shards, cfg.replication_factor) {
+  if (config.beacon_timeout_cycles > 0) {
+    FPGADP_CHECK(config.beacon_interval_cycles > 0);
+    // A timeout inside two intervals would declare a healthy replica dead
+    // the moment one beacon queues behind a data burst.
+    FPGADP_CHECK(config.beacon_timeout_cycles >=
+                 2 * config.beacon_interval_cycles);
+  }
+}
+
+Migration* ElasticState::Find(uint64_t seq) {
+  for (Migration& m : migrations) {
+    if (m.seq == seq) return &m;
+  }
+  return nullptr;
+}
+
+Migration* ElasticState::ActiveCopyFrom(uint32_t shard) {
+  for (Migration& m : migrations) {
+    if (m.phase == MigrationPhase::kCopy && m.plan.source == shard) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+bool ElasticState::Busy(uint32_t shard) const {
+  for (const Migration& m : migrations) {
+    if (m.phase != MigrationPhase::kCopy &&
+        m.phase != MigrationPhase::kDrain) {
+      continue;
+    }
+    if (m.plan.source == shard || m.plan.target == shard) return true;
+  }
+  return false;
+}
+
+Autoscaler::Decision Autoscaler::Evaluate(
+    const obs::MetricsRegistry& registry, const std::string& coord_name,
+    const std::string& fabric_name, uint32_t num_shards,
+    uint32_t coordinator_ports, uint64_t elapsed_cycles) const {
+  Decision d;
+  const std::string coord_base = "shard." + coord_name;
+  const auto gauge = [&](const std::string& key) -> double {
+    const obs::Gauge* g = registry.FindGauge(key);
+    return g == nullptr ? 0.0 : g->value();
+  };
+
+  double max_queue_hwm = 0.0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    max_queue_hwm = std::max(
+        max_queue_hwm,
+        gauge(coord_base + ".queue_hwm.shard" + std::to_string(s)));
+  }
+  const double shed = gauge(coord_base + ".ingress_shed");
+  double max_port_util = 0.0;
+  if (elapsed_cycles > 0) {
+    for (uint32_t p = 0; p < coordinator_ports; ++p) {
+      const double busy = gauge("net." + fabric_name + ".port" +
+                                std::to_string(p) + ".rx_busy_cycles");
+      max_port_util =
+          std::max(max_port_util, busy / static_cast<double>(elapsed_cycles));
+    }
+  }
+
+  if (num_shards < config_.max_shards) {
+    if (shed >= config_.ingress_shed_high) {
+      d.action = Action::kAdd;
+      d.reason = "ingress_shed=" + std::to_string(shed);
+      return d;
+    }
+    if (max_queue_hwm >= config_.queue_hwm_high) {
+      d.action = Action::kAdd;
+      d.reason = "queue_hwm=" + std::to_string(max_queue_hwm);
+      return d;
+    }
+    if (max_port_util >= config_.port_util_high) {
+      d.action = Action::kAdd;
+      d.reason = "port_util=" + std::to_string(max_port_util);
+      return d;
+    }
+  }
+
+  if (num_shards > config_.min_shards && shed < 1.0 &&
+      max_port_util <= config_.port_util_low &&
+      max_queue_hwm <= config_.port_util_low * config_.queue_hwm_high) {
+    d.action = Action::kDrain;
+    d.reason = "idle: port_util=" + std::to_string(max_port_util);
+    // Drain the coldest shard: fewest slices served across its servers.
+    double coldest = -1.0;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      const double served =
+          gauge("shard.shard" + std::to_string(s) + ".served");
+      if (coldest < 0.0 || served < coldest) {
+        coldest = served;
+        d.shard = s;
+      }
+    }
+    return d;
+  }
+  return d;
+}
+
+}  // namespace fpgadp::shard

@@ -5,8 +5,16 @@
 #include "src/common/check.h"
 #include "src/net/agg_switch.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace fpgadp::shard {
+
+namespace {
+// Forwarded kOffloadReq marker (Packet::addr): bit 63 set, low bits = the
+// slice's original scatter shard. Ordinary flat-gather requests carry
+// addr = 0, so the flag cannot collide.
+constexpr uint64_t kForwardFlag = 1ull << 63;
+}  // namespace
 
 const char* SubOutcomeName(SubOutcome outcome) {
   switch (outcome) {
@@ -23,10 +31,11 @@ ShardCoordinator::ShardCoordinator(std::string name, Workload* workload,
                                    std::vector<net::RdmaEndpoint*> endpoints,
                                    GatherPlan* plan,
                                    net::AggregatingSwitch* agg_switch,
-                                   uint32_t num_shards, const Config& config)
+                                   uint32_t num_shards, const Config& config,
+                                   ElasticState* elastic)
     : sim::Module(std::move(name)), workload_(workload),
       endpoints_(std::move(endpoints)), plan_(plan), agg_switch_(agg_switch),
-      num_shards_(num_shards), config_(config) {
+      num_shards_(num_shards), config_(config), elastic_(elastic) {
   FPGADP_CHECK(workload_ != nullptr);
   FPGADP_CHECK(plan_ != nullptr);
   FPGADP_CHECK(endpoints_.size() == plan_->ports());
@@ -44,6 +53,12 @@ ShardCoordinator::ShardCoordinator(std::string name, Workload* workload,
                       config_.initial_service_estimate_cycles << 4);
   pending_cost_.assign(num_shards_, 0);
   wire_est_ = config_.initial_wire_estimate_cycles;
+  promo_until_.assign(num_shards_, 0);
+  if (elastic_ != nullptr) {
+    FPGADP_CHECK(elastic_->replicas.num_shards() == num_shards_);
+    FPGADP_CHECK(elastic_->replicas.replication_factor() ==
+                 plan_->replicas());
+  }
 }
 
 void ShardCoordinator::Submit(uint64_t request_id) {
@@ -59,7 +74,6 @@ uint64_t ShardCoordinator::EstimateFor(const SubRequest& sub) const {
 bool ShardCoordinator::TrySubmit(uint64_t request_id,
                                  const std::vector<SubRequest>& subs,
                                  sim::Cycle now, uint64_t deadline_budget_cycles) {
-  (void)now;  // budgets are relative; `now` documents the caller's clock
   switch (config_.admission) {
     case AdmissionPolicy::kQueueDepth:
       if (config_.max_pending > 0 && active_.size() >= config_.max_pending) {
@@ -72,8 +86,12 @@ bool ShardCoordinator::TrySubmit(uint64_t request_id,
           deadline_budget_cycles * config_.feasibility_headroom_pct / 100;
       for (const SubRequest& sr : subs) {
         FPGADP_CHECK(sr.shard < num_shards_);
-        const uint64_t eta =
-            wire_est_ + pending_cost_[sr.shard] + EstimateFor(sr);
+        // A shard inside its promotion window is replaying in-flight
+        // slices onto a cold standby; charge the remaining window so the
+        // front door sheds into the recovery gap instead of piling on.
+        const uint64_t eta = wire_est_ + pending_cost_[sr.shard] +
+                             EstimateFor(sr) +
+                             PromotionPenalty(sr.shard, now);
         if (eta > budget) {
           ++ingress_shed_;
           return false;
@@ -147,6 +165,145 @@ void ShardCoordinator::ObserveService(uint32_t shard, uint64_t service_cycles,
   }
 }
 
+uint64_t ShardCoordinator::PromotionPenalty(uint32_t shard,
+                                            sim::Cycle now) const {
+  if (elastic_ == nullptr || elastic_->config.promotion_penalty_cycles == 0) {
+    return 0;
+  }
+  return promo_until_[shard] > now ? promo_until_[shard] - now : 0;
+}
+
+uint32_t ShardCoordinator::PrimaryNode(uint32_t shard) const {
+  const uint32_t primary =
+      elastic_ == nullptr ? 0 : elastic_->replicas.Primary(shard);
+  return plan_->ReplicaNode(shard, primary);
+}
+
+bool ShardCoordinator::CanFailover(uint32_t shard) const {
+  return elastic_ != nullptr && elastic_->replicas.CanPromote(shard);
+}
+
+void ShardCoordinator::TraceElastic(const std::string& what,
+                                    sim::Cycle cycle) {
+  if (trace_writer() == nullptr) return;
+  trace_writer()->Instant(trace_pid(), trace_tid(), what, cycle);
+}
+
+void ShardCoordinator::FailoverShard(uint32_t shard, sim::Cycle cycle) {
+  ReplicaSet& replicas = elastic_->replicas;
+  const uint32_t old_primary = replicas.Primary(shard);
+  FPGADP_CHECK(replicas.Promote(shard));
+  ++failovers_;
+  TraceElastic("failover.shard" + std::to_string(shard) + " r" +
+                   std::to_string(old_primary) + "->r" +
+                   std::to_string(replicas.Primary(shard)),
+               cycle);
+  if (elastic_->config.promotion_penalty_cycles > 0) {
+    promo_until_[shard] = cycle + elastic_->config.promotion_penalty_cycles;
+  }
+  // Replay every sent, unresolved slice to the new primary under a fresh
+  // tag. The old tags die with the old primary: late completions and
+  // responses miss tag_map_ and drop, so at-least-once delivery can repeat
+  // Serve (idempotent per request id) but never double-resolve a slice.
+  const uint32_t node = PrimaryNode(shard);
+  for (auto& [request_id, a] : active_) {
+    for (size_t i = 0; i < a.subs.size(); ++i) {
+      Sub& sub = a.subs[i];
+      if (sub.shard != shard || !sub.sent ||
+          sub.outcome != SubOutcome::kPending) {
+        continue;
+      }
+      tag_map_.erase(sub.tag);
+      sub.tag = next_tag_++;
+      tag_map_[sub.tag] = {request_id, i};
+      sub.sent_at = cycle;  // the RTT estimator restarts with the replay
+      net::Packet p;
+      p.dst = node;
+      p.kind = net::OpKind::kOffloadReq;
+      p.tag = sub.tag;
+      p.user = request_id;
+      p.bytes = sub.bytes;
+      endpoints_[plan_->PortOf(shard)]->PostPacket(p);
+      ++replayed_slices_;
+    }
+  }
+}
+
+void ShardCoordinator::CheckBeacons(sim::Cycle cycle) {
+  const uint64_t timeout = elastic_->config.beacon_timeout_cycles;
+  ReplicaSet& replicas = elastic_->replicas;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    for (uint32_t r = 0; r < replicas.replication_factor(); ++r) {
+      if (!replicas.alive(s, r)) continue;
+      if (cycle < replicas.last_beacon(s, r) + timeout) continue;
+      ++beacon_timeouts_;
+      if (r == replicas.Primary(s) && replicas.CanPromote(s)) {
+        FailoverShard(s, cycle);
+      } else {
+        // A silent standby (or a primary with nothing left to promote to)
+        // is just marked dead; transport retry caps cover the rest.
+        replicas.MarkDead(s, r);
+        TraceElastic("beacon_dead.shard" + std::to_string(s) + " r" +
+                         std::to_string(r),
+                     cycle);
+      }
+    }
+  }
+}
+
+void ShardCoordinator::StartMigration(const MigrationPlan& plan,
+                                      sim::Cycle now) {
+  FPGADP_CHECK(elastic_ != nullptr);
+  FPGADP_CHECK(plan_->topology() == GatherTopology::kFlat);
+  FPGADP_CHECK(plan.source < num_shards_ && plan.target < num_shards_);
+  FPGADP_CHECK(plan.source != plan.target);
+  FPGADP_CHECK(plan.state_bytes > 0 && plan.chunk_bytes > 0);
+  FPGADP_CHECK(plan.range_lo <= plan.range_hi);
+  // One active migration per shard: overlapping copies out of / into the
+  // same store would race their flips.
+  FPGADP_CHECK(!elastic_->Busy(plan.source) && !elastic_->Busy(plan.target));
+  Migration m;
+  m.plan = plan;
+  m.seq = elastic_->next_migration_seq++;
+  m.started_at = now;
+  m.next_chunk_at = now;
+  elastic_->migrations.push_back(m);
+  net::Packet p;
+  p.dst = PrimaryNode(plan.source);
+  p.kind = net::OpKind::kMigrateStart;
+  p.user = m.seq;
+  endpoints_[plan_->PortOf(plan.source)]->PostPacket(p);
+  TraceElastic("migration.start seq" + std::to_string(m.seq) + " shard" +
+                   std::to_string(plan.source) + "->shard" +
+                   std::to_string(plan.target),
+               now);
+}
+
+void ShardCoordinator::HandleMigrateDone(const net::Packet& p,
+                                         sim::Cycle cycle) {
+  if (elastic_ == nullptr) return;
+  Migration* m = elastic_->Find(p.user);
+  if (m == nullptr || m->phase != MigrationPhase::kCopy) return;
+  // The flip point of the double-ownership window: from this tick on, new
+  // scatters route to the target; requests scattered before it reach the
+  // source, which forwards anything it no longer owns (SliceOwner).
+  workload_->CommitMigration(m->plan);
+  m->phase = MigrationPhase::kDrain;
+  m->flipped_at = cycle;
+  ++migrations_flipped_;
+  TraceElastic("migration.flip seq" + std::to_string(m->seq), cycle);
+  std::vector<uint64_t>& draining = migration_drain_[m->seq];
+  for (const auto& [request_id, a] : active_) {
+    draining.push_back(request_id);
+  }
+  if (draining.empty()) {
+    m->phase = MigrationPhase::kDone;
+    m->finished_at = cycle;
+    migration_drain_.erase(m->seq);
+    TraceElastic("migration.done seq" + std::to_string(m->seq), cycle);
+  }
+}
+
 bool ShardCoordinator::PollOutcome(PartialOutcome* out) {
   if (outcomes_.empty()) return false;
   *out = std::move(outcomes_.front());
@@ -211,6 +368,22 @@ void ShardCoordinator::Finalize(uint64_t request_id, Active& a,
   workload_->Merge(request_id, out);
   outcomes_.push_back(std::move(out));
   active_.erase(request_id);
+  // Drain bookkeeping: a kDrain migration completes when every request
+  // that was active at its flip has finalized.
+  for (auto it = migration_drain_.begin(); it != migration_drain_.end();) {
+    std::vector<uint64_t>& ids = it->second;
+    const auto pos = std::find(ids.begin(), ids.end(), request_id);
+    if (pos != ids.end()) ids.erase(pos);
+    if (ids.empty()) {
+      Migration* m = elastic_->Find(it->first);
+      m->phase = MigrationPhase::kDone;
+      m->finished_at = cycle;
+      TraceElastic("migration.done seq" + std::to_string(it->first), cycle);
+      it = migration_drain_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   // Tear down the response path: interior shards drop orphaned merge state
   // on their next lookup, and the switch frees any held partial group.
   if (plan_->topology() == GatherTopology::kTree) plan_->Release(request_id);
@@ -236,7 +409,7 @@ bool ShardCoordinator::PumpQueues(sim::Cycle cycle) {
       if (in_flight_[s] >= config_.window) break;
       Sub& sub = it->second.subs[sub_index];
       net::Packet p;
-      p.dst = plan_->ShardNode(s);
+      p.dst = PrimaryNode(s);
       p.kind = net::OpKind::kOffloadReq;
       p.tag = sub.tag;
       p.user = request_id;
@@ -295,7 +468,11 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
   }
 
   // Transport verdicts: a slice whose request packet exhausted the retry
-  // cap resolves kFailed (successful offload sends complete silently).
+  // cap resolves kFailed (successful offload sends complete silently) —
+  // unless the shard has a live standby, in which case the coordinator
+  // promotes it and replays instead of degrading. Tags from before a
+  // promotion were replaced by the replay, so a stale verdict for the old
+  // primary misses tag_map_ and is ignored.
   for (net::RdmaEndpoint* ep : endpoints_) {
     net::Completion comp;
     while (ep->PollCompletion(&comp)) {
@@ -303,9 +480,21 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
       if (comp.status == StatusCode::kOk) continue;
       const auto it = tag_map_.find(comp.tag);
       if (it == tag_map_.end()) continue;
-      ResolveSub(it->second.first, it->second.second, SubOutcome::kFailed,
-                 cycle);
+      const auto [request_id, sub_index] = it->second;
+      const auto ait = active_.find(request_id);
+      if (ait == active_.end()) continue;
+      const uint32_t shard = ait->second.subs[sub_index].shard;
+      if (CanFailover(shard)) {
+        FailoverShard(shard, cycle);  // replays this slice too
+      } else {
+        ResolveSub(request_id, sub_index, SubOutcome::kFailed, cycle);
+      }
     }
+  }
+
+  // Beacon liveness: promote away from primaries that went silent.
+  if (elastic_ != nullptr && elastic_->config.beacon_timeout_cycles > 0) {
+    CheckBeacons(cycle);
   }
 
   // Responses. Flat gather: one tagged response per slice — bit 0 of user2
@@ -316,6 +505,18 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
     net::Packet p;
     while (ep->PollRecv(&p)) {
       progressed = true;
+      if (p.kind == net::OpKind::kHealthBeacon) {
+        if (elastic_ != nullptr) {
+          elastic_->replicas.ObserveBeacon(
+              static_cast<uint32_t>(p.user), static_cast<uint32_t>(p.user2),
+              cycle);
+        }
+        continue;
+      }
+      if (p.kind == net::OpKind::kMigrateDone) {
+        HandleMigrateDone(p, cycle);
+        continue;
+      }
       if (p.kind != net::OpKind::kOffloadResp) continue;
       if (merged_responses()) {
         HandleMergedResponse(p, cycle);
@@ -390,6 +591,18 @@ sim::Cycle ShardCoordinator::NextEventCycle(sim::Cycle now) const {
     }
     earliest = std::min(earliest, a.deadline);
   }
+  // Beacon deadlines: fast-forward must land exactly on the cycle a silent
+  // primary would be declared dead, or serial and skipped runs diverge.
+  if (elastic_ != nullptr && elastic_->config.beacon_timeout_cycles > 0) {
+    const ReplicaSet& replicas = elastic_->replicas;
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      for (uint32_t r = 0; r < replicas.replication_factor(); ++r) {
+        if (!replicas.alive(s, r)) continue;
+        earliest = std::min(earliest, replicas.last_beacon(s, r) +
+                                          elastic_->config.beacon_timeout_cycles);
+      }
+    }
+  }
   return earliest > now ? earliest : now;
 }
 
@@ -417,16 +630,97 @@ void ShardCoordinator::ExportCustomMetrics(
     registry.GetGauge(base + ".queue_hwm.shard" + std::to_string(s))
         ->Set(static_cast<double>(queue_hwm_[s]));
   }
+  // Only an actually-elastic cluster (replicas or migrations) grows the
+  // gauge set; a plain R=1 cluster exports exactly the historical metrics.
+  if (elastic_ != nullptr &&
+      (plan_->replicas() > 1 || !elastic_->migrations.empty())) {
+    registry.GetGauge(base + ".failovers")
+        ->Set(static_cast<double>(failovers_));
+    registry.GetGauge(base + ".replayed_slices")
+        ->Set(static_cast<double>(replayed_slices_));
+    registry.GetGauge(base + ".beacon_timeouts")
+        ->Set(static_cast<double>(beacon_timeouts_));
+    registry.GetGauge(base + ".migrations_flipped")
+        ->Set(static_cast<double>(migrations_flipped_));
+    uint64_t done = 0, aborted = 0;
+    for (const Migration& m : elastic_->migrations) {
+      if (m.phase == MigrationPhase::kDone) ++done;
+      if (m.phase == MigrationPhase::kAborted) ++aborted;
+    }
+    registry.GetGauge(base + ".migrations_done")
+        ->Set(static_cast<double>(done));
+    registry.GetGauge(base + ".migrations_aborted")
+        ->Set(static_cast<double>(aborted));
+  }
 }
 
 ShardServer::ShardServer(std::string name, uint32_t shard_id,
                          Workload* workload, net::RdmaEndpoint* endpoint,
-                         const GatherPlan* plan, const Config& config)
+                         const GatherPlan* plan, const Config& config,
+                         uint32_t replica_index, ElasticState* elastic)
     : sim::Module(std::move(name)), shard_id_(shard_id), workload_(workload),
-      endpoint_(endpoint), plan_(plan), config_(config) {
+      endpoint_(endpoint), plan_(plan), config_(config),
+      replica_index_(replica_index), elastic_(elastic) {
   FPGADP_CHECK(workload_ != nullptr);
   FPGADP_CHECK(endpoint_ != nullptr);
   FPGADP_CHECK(config_.max_queue > 0);
+  if (elastic_ != nullptr && elastic_->config.beacon_interval_cycles > 0) {
+    FPGADP_CHECK(plan_ != nullptr);
+    next_beacon_at_ = elastic_->config.beacon_interval_cycles;
+  }
+}
+
+void ShardServer::TickBeacon(sim::Cycle cycle, bool* progressed) {
+  if (next_beacon_at_ == 0 || cycle < next_beacon_at_) return;
+  net::Packet b;
+  b.dst = plan_->PortNode(plan_->PortOf(shard_id_));
+  b.kind = net::OpKind::kHealthBeacon;
+  b.user = shard_id_;
+  b.user2 = replica_index_;
+  endpoint_->PostPacket(b);
+  ++beacons_sent_;
+  next_beacon_at_ = cycle + elastic_->config.beacon_interval_cycles;
+  *progressed = true;
+}
+
+void ShardServer::TickMigration(sim::Cycle cycle, bool* progressed) {
+  if (streaming_seq_ == 0) return;
+  Migration* m = elastic_->Find(streaming_seq_);
+  if (m == nullptr || m->phase != MigrationPhase::kCopy) {
+    streaming_seq_ = 0;  // flipped or aborted under us
+    return;
+  }
+  if (cycle < m->next_chunk_at) return;
+  // One paced chunk per interval: the copy pays real wire serialization,
+  // so it contends with serving traffic instead of teleporting state.
+  const uint64_t remaining = m->plan.state_bytes - m->bytes_streamed;
+  const uint64_t n = std::min(m->plan.chunk_bytes, remaining);
+  net::Packet c;
+  c.dst = plan_->ReplicaNode(m->plan.target,
+                             elastic_->replicas.Primary(m->plan.target));
+  c.kind = net::OpKind::kMigrateChunk;
+  c.user = m->seq;
+  c.bytes = n;
+  endpoint_->PostPacket(c);
+  m->bytes_streamed += n;
+  migrated_bytes_out_ += n;
+  if (m->bytes_streamed >= m->plan.state_bytes) {
+    streaming_seq_ = 0;
+  } else {
+    m->next_chunk_at = cycle + m->plan.chunk_interval_cycles;
+  }
+  *progressed = true;
+}
+
+void ShardServer::AbortMigration(sim::Cycle cycle) {
+  for (Migration& m : elastic_->migrations) {
+    if (m.phase != MigrationPhase::kCopy) continue;
+    if (m.plan.source != shard_id_ && m.plan.target != shard_id_) continue;
+    m.phase = MigrationPhase::kAborted;
+    m.finished_at = cycle;
+    if (streaming_seq_ == m.seq) streaming_seq_ = 0;
+    return;
+  }
 }
 
 ShardServer::MergeState& ShardServer::TouchMerge(uint64_t request_id,
@@ -495,6 +789,8 @@ void ShardServer::Tick(sim::Cycle cycle) {
   bool progressed = false;
   const GatherTopology topo = topology();
 
+  if (elastic_ != nullptr) TickBeacon(cycle, &progressed);
+
   // Post merged packets whose merge-cost delay elapsed (tree gather).
   for (size_t i = 0; i < emits_.size();) {
     if (emits_[i].at <= cycle) {
@@ -539,6 +835,33 @@ void ShardServer::Tick(sim::Cycle cycle) {
       MaybeEmit(p.user, cycle);
       continue;
     }
+    if (p.kind == net::OpKind::kMigrateStart) {
+      // This node is the source primary: begin streaming the range's state.
+      Migration* m = elastic_ == nullptr ? nullptr : elastic_->Find(p.user);
+      if (m != nullptr && m->phase == MigrationPhase::kCopy &&
+          !m->start_seen) {
+        m->start_seen = true;
+        m->next_chunk_at = cycle;
+        streaming_seq_ = m->seq;
+      }
+      continue;
+    }
+    if (p.kind == net::OpKind::kMigrateChunk) {
+      // This node is the target primary: count payload in; when the full
+      // state landed, tell the coordinator so it can flip ownership.
+      Migration* m = elastic_ == nullptr ? nullptr : elastic_->Find(p.user);
+      if (m != nullptr && m->phase == MigrationPhase::kCopy) {
+        m->bytes_received += p.bytes;
+        if (m->bytes_received >= m->plan.state_bytes) {
+          net::Packet done;
+          done.dst = plan_->PortNode(plan_->PortOf(m->plan.source));
+          done.kind = net::OpKind::kMigrateDone;
+          done.user = m->seq;
+          endpoint_->PostPacket(done);
+        }
+      }
+      continue;
+    }
     if (p.kind != net::OpKind::kOffloadReq) continue;
     if (queue_.size() >= config_.max_queue) {
       ++rejected_;
@@ -551,7 +874,11 @@ void ShardServer::Tick(sim::Cycle cycle) {
         MaybeEmit(p.user, cycle);
       } else {
         net::Packet busy_resp;
-        busy_resp.dst = p.src;
+        // A forwarded slice answers the coordinator that issued it, not the
+        // peer server that handed it over.
+        busy_resp.dst = (p.addr & kForwardFlag) != 0
+                            ? static_cast<uint32_t>(p.user2)
+                            : p.src;
         busy_resp.kind = net::OpKind::kOffloadResp;
         busy_resp.tag = p.tag;
         busy_resp.user = p.user;
@@ -572,26 +899,60 @@ void ShardServer::Tick(sim::Cycle cycle) {
   if (!busy_ && !queue_.empty()) {
     const net::Packet req = queue_.front();
     queue_.pop_front();
-    const Service svc = workload_->Serve(shard_id_, req.user);
-    const uint64_t cycles_needed = std::max<uint64_t>(1, svc.compute_cycles);
-    busy_ = true;
-    done_at_ = cycle + cycles_needed;
-    service_cycles_ += cycles_needed;
-    ++served_;
-    pending_resp_ = net::Packet{};
-    pending_resp_.kind = net::OpKind::kOffloadResp;
-    pending_resp_.user = req.user;
-    pending_resp_.bytes = svc.response_bytes;
-    if (topo == GatherTopology::kFlat) {
-      pending_resp_.dst = req.src;
-      pending_resp_.tag = req.tag;
-      pending_resp_.user2 = cycles_needed << 1;  // bit 0 clear = served
-    } else if (topo == GatherTopology::kSwitch) {
-      pending_resp_.dst = req.src;
-      pending_resp_.addr = 1ull << shard_id_;  // merged-form done mask
+    // A forwarded slice carries its original shard in addr and the issuing
+    // coordinator node in user2 (PostPacket overwrote src with the peer's).
+    uint32_t slice_shard = shard_id_;
+    uint32_t coord_node = req.src;
+    if ((req.addr & kForwardFlag) != 0) {
+      slice_shard = static_cast<uint32_t>(req.addr & ~kForwardFlag);
+      coord_node = static_cast<uint32_t>(req.user2);
     }
-    // Tree gather: the destination (parent or port) is resolved at emit.
-    progressed = true;
+    // Ownership is decided at serve start, not arrival: a slice that sat
+    // queued across a migration flip is handed to the new owner instead of
+    // served from state that just moved away.
+    uint32_t owner = slice_shard;
+    if (elastic_ != nullptr && topo == GatherTopology::kFlat) {
+      owner = workload_->SliceOwner(slice_shard, req.user);
+    }
+    if (owner != shard_id_) {
+      net::Packet fwd;
+      fwd.dst =
+          plan_->ReplicaNode(owner, elastic_->replicas.Primary(owner));
+      fwd.kind = net::OpKind::kOffloadReq;
+      fwd.tag = req.tag;
+      fwd.user = req.user;
+      fwd.addr = kForwardFlag | slice_shard;
+      fwd.user2 = coord_node;
+      fwd.bytes = req.bytes;
+      endpoint_->PostPacket(fwd);
+      ++forwarded_;
+      progressed = true;
+    } else {
+      const Service svc = workload_->Serve(slice_shard, req.user);
+      const uint64_t cycles_needed =
+          std::max<uint64_t>(1, svc.compute_cycles);
+      busy_ = true;
+      done_at_ = cycle + cycles_needed;
+      service_cycles_ += cycles_needed;
+      ++served_;
+      if (serve_log_ != nullptr) {
+        serve_log_->push_back({cycle, req.user, slice_shard});
+      }
+      pending_resp_ = net::Packet{};
+      pending_resp_.kind = net::OpKind::kOffloadResp;
+      pending_resp_.user = req.user;
+      pending_resp_.bytes = svc.response_bytes;
+      if (topo == GatherTopology::kFlat) {
+        pending_resp_.dst = coord_node;
+        pending_resp_.tag = req.tag;
+        pending_resp_.user2 = cycles_needed << 1;  // bit 0 clear = served
+      } else if (topo == GatherTopology::kSwitch) {
+        pending_resp_.dst = req.src;
+        pending_resp_.addr = 1ull << shard_id_;  // merged-form done mask
+      }
+      // Tree gather: the destination (parent or port) is resolved at emit.
+      progressed = true;
+    }
   }
 
   // Force partial forwards whose merge timeout expired: a dead child costs
@@ -606,11 +967,23 @@ void ShardServer::Tick(sim::Cycle cycle) {
     progressed = true;
   }
 
+  // Stream the next paced migration chunk (source primary only).
+  if (elastic_ != nullptr) TickMigration(cycle, &progressed);
+
   // Drain transport completions. A response that exhausts its retry cap
   // surfaces in the endpoint's failed() latch; the coordinator's gather
-  // deadline covers the loss.
+  // deadline covers the loss. A migration chunk (or the done notification)
+  // that dies on the wire aborts the copy: ownership never flips, so no
+  // state is lost.
   net::Completion comp;
-  while (endpoint_->PollCompletion(&comp)) progressed = true;
+  while (endpoint_->PollCompletion(&comp)) {
+    progressed = true;
+    if (elastic_ != nullptr && comp.status != StatusCode::kOk &&
+        (comp.kind == net::OpKind::kMigrateChunk ||
+         comp.kind == net::OpKind::kMigrateDone)) {
+      AbortMigration(cycle);
+    }
+  }
 
   if (busy_ || progressed) MarkBusy();
 }
@@ -629,6 +1002,20 @@ sim::Cycle ShardServer::NextEventCycle(sim::Cycle now) const {
   for (const auto& [id, m] : merges_) {
     if (m.timeout_at > 0) {
       earliest = std::min(earliest, m.timeout_at > now ? m.timeout_at : now);
+    }
+  }
+  // Fast-forward must land exactly on beacon posts and chunk pacing slots,
+  // or the skipped run diverges from the serial one.
+  if (next_beacon_at_ > 0) {
+    earliest =
+        std::min(earliest, next_beacon_at_ > now ? next_beacon_at_ : now);
+  }
+  if (streaming_seq_ != 0) {
+    for (const Migration& m : elastic_->migrations) {
+      if (m.seq == streaming_seq_ && m.phase == MigrationPhase::kCopy) {
+        earliest =
+            std::min(earliest, m.next_chunk_at > now ? m.next_chunk_at : now);
+      }
     }
   }
   return earliest;
@@ -654,14 +1041,35 @@ void ShardServer::ExportCustomMetrics(obs::MetricsRegistry& registry) const {
     registry.GetGauge(base + ".stale_merges_dropped")
         ->Set(static_cast<double>(stale_merges_dropped_));
   }
+  // Only an actually-elastic cluster grows the gauge set (same gate as the
+  // coordinator): a plain R=1 cluster exports exactly the historical keys.
+  if (elastic_ != nullptr &&
+      (plan_->replicas() > 1 || !elastic_->migrations.empty())) {
+    registry.GetGauge(base + ".forwarded")
+        ->Set(static_cast<double>(forwarded_));
+    registry.GetGauge(base + ".beacons_sent")
+        ->Set(static_cast<double>(beacons_sent_));
+    registry.GetGauge(base + ".migrated_bytes_out")
+        ->Set(static_cast<double>(migrated_bytes_out_));
+  }
 }
 
 ShardCluster::ShardCluster(Workload* workload, const Config& config)
-    : config_(config), plan_(config.gather, config.num_shards),
+    : config_(config),
+      plan_(config.gather, config.num_shards,
+            config.replica.replication_factor),
+      elastic_(config.replica, config.num_shards),
       engine_(config.fabric.clock_hz),
       fabric_("fabric", plan_.num_nodes(), config.fabric) {
   FPGADP_CHECK(workload != nullptr);
   FPGADP_CHECK(config_.num_shards > 0);
+  // A beacon wave must land before the next one launches, or the wire
+  // never drains and the engine cannot quiesce. Control packets fly for
+  // wire latency plus header serialization plus the tx-injection cycle.
+  FPGADP_CHECK(config_.replica.beacon_interval_cycles == 0 ||
+               config_.replica.beacon_interval_cycles >
+                   fabric_.wire_latency_cycles() +
+                       fabric_.SerializationCycles(0) + 1);
   if (plan_.topology() == GatherTopology::kSwitch) {
     net::AggregatingSwitch::Config sc;
     sc.combine_cycles_per_resp = config_.gather.switch_combine_cycles;
@@ -679,25 +1087,50 @@ ShardCluster::ShardCluster(Workload* workload, const Config& config)
         plan_.PortNode(port), &fabric_, config_.reliability));
     engine_.AddModule(coordinator_eps_.back().get());
   }
-  for (uint32_t s = 0; s < config_.num_shards; ++s) {
-    server_eps_.push_back(std::make_unique<net::RdmaEndpoint>(
-        "shard" + std::to_string(s) + ".ep", plan_.ShardNode(s), &fabric_,
-        config_.reliability));
-    engine_.AddModule(server_eps_.back().get());
+  // Replica-major to match servers_[r * num_shards + s] and the fabric
+  // node numbering; replica 0 keeps the historical "shardN" names so every
+  // existing metric key and trace row survives R=1 unchanged.
+  for (uint32_t r = 0; r < plan_.replicas(); ++r) {
+    for (uint32_t s = 0; s < config_.num_shards; ++s) {
+      const std::string suffix =
+          r == 0 ? std::to_string(s) : std::to_string(s) + ".r" +
+                                           std::to_string(r);
+      server_eps_.push_back(std::make_unique<net::RdmaEndpoint>(
+          "shard" + suffix + ".ep", plan_.ReplicaNode(s, r), &fabric_,
+          config_.reliability));
+      engine_.AddModule(server_eps_.back().get());
+    }
   }
   std::vector<net::RdmaEndpoint*> eps;
   eps.reserve(coordinator_eps_.size());
   for (auto& ep : coordinator_eps_) eps.push_back(ep.get());
   coordinator_ = std::make_unique<ShardCoordinator>(
       "coord", workload, std::move(eps), &plan_, agg_switch_.get(),
-      config_.num_shards, config_.coordinator);
+      config_.num_shards, config_.coordinator, &elastic_);
   engine_.AddModule(coordinator_.get());
-  for (uint32_t s = 0; s < config_.num_shards; ++s) {
-    servers_.push_back(std::make_unique<ShardServer>(
-        "shard" + std::to_string(s), s, workload, server_eps_[s].get(),
-        &plan_, config_.server));
-    engine_.AddModule(servers_.back().get());
+  for (uint32_t r = 0; r < plan_.replicas(); ++r) {
+    for (uint32_t s = 0; s < config_.num_shards; ++s) {
+      const std::string suffix =
+          r == 0 ? std::to_string(s) : std::to_string(s) + ".r" +
+                                           std::to_string(r);
+      servers_.push_back(std::make_unique<ShardServer>(
+          "shard" + suffix, s, workload,
+          server_eps_[size_t{r} * config_.num_shards + s].get(), &plan_,
+          config_.server, r, &elastic_));
+      engine_.AddModule(servers_.back().get());
+    }
   }
+}
+
+Autoscaler::Decision ShardCluster::EvaluateAutoscaler(
+    const Autoscaler& autoscaler) const {
+  obs::MetricsRegistry registry;
+  coordinator_->ExportCustomMetrics(registry);
+  for (const auto& server : servers_) server->ExportCustomMetrics(registry);
+  fabric_.ExportCustomMetrics(registry);
+  return autoscaler.Evaluate(registry, coordinator_->name(), fabric_.name(),
+                             config_.num_shards, plan_.ports(),
+                             engine_.now());
 }
 
 ShardCluster::~ShardCluster() = default;

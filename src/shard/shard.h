@@ -14,6 +14,7 @@
 #include "src/net/fabric.h"
 #include "src/net/rdma.h"
 #include "src/shard/gather.h"
+#include "src/shard/replica.h"
 #include "src/sim/engine.h"
 #include "src/sim/module.h"
 
@@ -136,6 +137,26 @@ class Workload {
     (void)done_mask;
     return concat_bytes;
   }
+
+  /// Live resharding: which shard currently owns the slice that was
+  /// scattered to `shard` for `request_id`. A server about to serve a slice
+  /// consults this; when the answer is another shard (the slice's key range
+  /// migrated after scatter), the server forwards the request there instead
+  /// of serving stale ownership. The default — nothing ever migrates —
+  /// returns `shard`, which keeps non-elastic workloads bit-identical.
+  /// Runs inside module Tick()s: functional-only, like Serve and Merge.
+  virtual uint32_t SliceOwner(uint32_t shard, uint64_t request_id) {
+    (void)request_id;
+    return shard;
+  }
+
+  /// Live resharding: atomically transfer ownership (partitioner ranges +
+  /// whatever per-shard state the workload keeps) for `plan`'s key range
+  /// from source to target. Called by the coordinator the moment the last
+  /// migrated byte lands — the flip point of the double-ownership window.
+  /// Runs inside the coordinator's Tick: functional-only, and must leave
+  /// every key owned by exactly one shard. Default: no per-shard state.
+  virtual void CommitMigration(const MigrationPlan& plan) { (void)plan; }
 };
 
 /// Scatter-gather front end, one per cluster, owning fabric nodes
@@ -196,11 +217,14 @@ class ShardCoordinator : public sim::Module {
   /// (plan->ports() of them). `plan` routes responses (never null; a
   /// default-constructed GatherPlan is flat single-port). `agg_switch` is
   /// only set for switch gather: the coordinator arms a combine group per
-  /// (request, port) at scatter and disarms it at finalize.
+  /// (request, port) at scatter and disarms it at finalize. `elastic` is
+  /// the cluster's shared replica/migration state; null (the default)
+  /// disables every elastic feature and preserves the R=1 path bit-for-bit.
   ShardCoordinator(std::string name, Workload* workload,
                    std::vector<net::RdmaEndpoint*> endpoints,
                    GatherPlan* plan, net::AggregatingSwitch* agg_switch,
-                   uint32_t num_shards, const Config& config);
+                   uint32_t num_shards, const Config& config,
+                   ElasticState* elastic = nullptr);
 
   /// Scatters one request. Call before Run() or between runs, never from a
   /// module Tick (Workload::Scatter may run nested simulations).
@@ -218,6 +242,20 @@ class ShardCoordinator : public sim::Module {
 
   /// Pops one finalized gather, oldest first.
   bool PollOutcome(PartialOutcome* out);
+
+  /// Live resharding: kicks off one key-range migration. Sends
+  /// kMigrateStart to the source's primary; the source streams
+  /// kMigrateChunk packets to the target while both keep serving, and when
+  /// the last byte lands the coordinator flips ownership
+  /// (Workload::CommitMigration) and drains requests scattered pre-flip.
+  /// Requires elastic state and flat gather. `now` stamps started_at
+  /// (pass engine.now() when calling between runs).
+  void StartMigration(const MigrationPlan& plan, sim::Cycle now = 0);
+
+  /// Admission's view of a recovering shard: the cycles left in `shard`'s
+  /// promotion window at `now` (0 once it closed, or when the penalty /
+  /// replication is off). Deadline-feasibility adds this to the slice ETA.
+  uint64_t PromotionPenalty(uint32_t shard, sim::Cycle now) const;
 
   /// Finalized gathers waiting in PollOutcome order. Front-door modules
   /// consult this from NextEventCycle so fast-forward never skips past an
@@ -250,6 +288,14 @@ class ShardCoordinator : public sim::Module {
   size_t queue_high_watermark(uint32_t shard) const {
     return queue_hwm_[shard];
   }
+  /// Primary promotions performed (transport-triggered + beacon-triggered).
+  uint64_t failovers() const { return failovers_; }
+  /// In-flight slices re-posted to a freshly promoted primary.
+  uint64_t replayed_slices() const { return replayed_slices_; }
+  /// Replicas declared dead because their health beacon went silent.
+  uint64_t beacon_timeouts() const { return beacon_timeouts_; }
+  /// Migrations whose ownership flip committed.
+  uint64_t migrations_flipped() const { return migrations_flipped_; }
 
  protected:
   /// A skipped window is exactly a run of no-progress ticks: gathers
@@ -281,6 +327,22 @@ class ShardCoordinator : public sim::Module {
   void ResolveSub(uint64_t request_id, size_t sub_index, SubOutcome outcome,
                   sim::Cycle cycle);
   void Finalize(uint64_t request_id, Active& active, sim::Cycle cycle);
+  /// True when `shard` still has a live standby to promote.
+  bool CanFailover(uint32_t shard) const;
+  /// Promotes `shard`'s next live replica and replays every sent,
+  /// unresolved slice to it under a fresh tag (the old tags die with the
+  /// old primary: late completions and responses miss tag_map_ and are
+  /// dropped, so at-least-once delivery never produces a second result).
+  void FailoverShard(uint32_t shard, sim::Cycle cycle);
+  /// Beacon liveness sweep: promotes away from a primary whose beacon
+  /// missed its deadline; marks silent standbys dead.
+  void CheckBeacons(sim::Cycle cycle);
+  /// kMigrateDone landed: commit the ownership flip and start the drain.
+  void HandleMigrateDone(const net::Packet& p, sim::Cycle cycle);
+  /// Emits a named trace instant when tracing is attached.
+  void TraceElastic(const std::string& what, sim::Cycle cycle);
+  /// The fabric node currently serving `shard` (its primary replica).
+  uint32_t PrimaryNode(uint32_t shard) const;
   /// Shared Submit/TrySubmit tail: registers the request and queues every
   /// slice (charging pending_cost_). Tick-safe; never calls the workload.
   void Enqueue(uint64_t request_id, const std::vector<SubRequest>& subs);
@@ -331,6 +393,17 @@ class ShardCoordinator : public sim::Module {
   std::vector<uint64_t> pending_cost_;
   uint64_t wire_est_ = 0;
   bool wire_seen_ = false;
+
+  // Elastic operations (all inert when elastic_ is null).
+  ElasticState* elastic_ = nullptr;
+  std::vector<sim::Cycle> promo_until_;  ///< Per-shard promotion window end.
+  /// Requests active at each migration's flip; the migration is kDone when
+  /// its set drains. Keyed by migration seq.
+  std::map<uint64_t, std::vector<uint64_t>> migration_drain_;
+  uint64_t failovers_ = 0;
+  uint64_t replayed_slices_ = 0;
+  uint64_t beacon_timeouts_ = 0;
+  uint64_t migrations_flipped_ = 0;
 };
 
 /// One simulated FPGA instance serving its shard of the workload, at fabric
@@ -361,14 +434,19 @@ class ShardServer : public sim::Module {
   };
 
   /// `plan` may be null for standalone use: flat gather, coordinator at
-  /// node 0.
+  /// node 0. `replica_index` places this server as replica r of its shard
+  /// (fabric node plan->ReplicaNode(shard_id, r)); `elastic` is the
+  /// cluster's shared replica/migration state — null disables beacons,
+  /// forwarding, and migration streaming (the historical server).
   ShardServer(std::string name, uint32_t shard_id, Workload* workload,
               net::RdmaEndpoint* endpoint, const GatherPlan* plan,
-              const Config& config);
+              const Config& config, uint32_t replica_index = 0,
+              ElasticState* elastic = nullptr);
 
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override {
-    return !busy_ && queue_.empty() && merges_.empty() && emits_.empty();
+    return !busy_ && queue_.empty() && merges_.empty() && emits_.empty() &&
+           streaming_seq_ == 0;
   }
   sim::Cycle NextEventCycle(sim::Cycle now) const override;
   void ExportCustomMetrics(obs::MetricsRegistry& registry) const override;
@@ -385,6 +463,24 @@ class ShardServer : public sim::Module {
   uint64_t merges_forwarded() const { return merges_forwarded_; }
   uint64_t merge_timeouts() const { return merge_timeouts_; }
   uint64_t stale_merges_dropped() const { return stale_merges_dropped_; }
+  uint32_t replica_index() const { return replica_index_; }
+  /// Slices re-routed to their post-migration owner at serve time (the
+  /// double-ownership window's forward path).
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t beacons_sent() const { return beacons_sent_; }
+  /// Migrated state bytes this server streamed out as the source.
+  uint64_t migrated_bytes_out() const { return migrated_bytes_out_; }
+
+  /// Test hook: every slice this server executes is appended to `log` as
+  /// {serve-start cycle, request id, slice shard}. Null (default) disables
+  /// recording; the property tier uses it to prove exactly-once execution
+  /// across a migration's double-ownership window.
+  struct ServedRecord {
+    sim::Cycle cycle = 0;
+    uint64_t request_id = 0;
+    uint32_t slice_shard = 0;
+  };
+  void set_serve_log(std::vector<ServedRecord>* log) { serve_log_ = log; }
 
  protected:
   /// A skipped window while the pipeline crunches is busy time; an empty
@@ -417,12 +513,21 @@ class ShardServer : public sim::Module {
   void MaybeEmit(uint64_t request_id, sim::Cycle cycle);
   /// Builds and schedules the upstream merged packet, then drops the state.
   void EmitMerge(uint64_t request_id, MergeState& m, sim::Cycle cycle);
+  /// Posts the periodic liveness beacon when elastic beacons are on.
+  void TickBeacon(sim::Cycle cycle, bool* progressed);
+  /// Streams the next paced migration chunk when this server is a source.
+  void TickMigration(sim::Cycle cycle, bool* progressed);
+  /// Aborts the active migration this server participates in (chunk or
+  /// done-notification hit the transport retry cap).
+  void AbortMigration(sim::Cycle cycle);
 
   uint32_t shard_id_;
   Workload* workload_;
   net::RdmaEndpoint* endpoint_;
   const GatherPlan* plan_;
   Config config_;
+  uint32_t replica_index_ = 0;
+  ElasticState* elastic_ = nullptr;
 
   std::deque<net::Packet> queue_;
   bool busy_ = false;
@@ -438,6 +543,14 @@ class ShardServer : public sim::Module {
   uint64_t merges_forwarded_ = 0;
   uint64_t merge_timeouts_ = 0;
   uint64_t stale_merges_dropped_ = 0;
+
+  // Elastic operations (all inert when elastic_ is null).
+  sim::Cycle next_beacon_at_ = 0;  ///< 0 = beacons off.
+  uint64_t streaming_seq_ = 0;     ///< Migration this node is streaming out.
+  uint64_t forwarded_ = 0;
+  uint64_t beacons_sent_ = 0;
+  uint64_t migrated_bytes_out_ = 0;
+  std::vector<ServedRecord>* serve_log_ = nullptr;
 };
 
 /// Wires a whole scale-out deployment together: a fabric of ports +
@@ -462,6 +575,10 @@ class ShardCluster {
     ShardCoordinator::Config coordinator;
     ShardServer::Config server;
     net::RdmaEndpoint::Reliability reliability;
+    /// Elastic operations: replication factor, health beacons, promotion
+    /// penalty. The defaults (R=1, no beacons) reproduce the historical
+    /// cluster bit-for-bit. R > 1 or migrations require flat gather.
+    ReplicaConfig replica;
   };
 
   ShardCluster(Workload* workload, const Config& config);
@@ -481,18 +598,37 @@ class ShardCluster {
     return coordinator_->PollOutcome(out);
   }
 
+  /// Live resharding entry point: validates and launches `plan` (stamped
+  /// with the engine's current cycle). Serving continues; Run() to let the
+  /// copy stream, flip, and drain.
+  void StartMigration(const MigrationPlan& plan) {
+    coordinator_->StartMigration(plan, engine_.now());
+  }
+
+  /// Exports every module's gauges into a fresh registry and asks the
+  /// autoscaler for a verdict. Call between runs (never mid-tick).
+  Autoscaler::Decision EvaluateAutoscaler(const Autoscaler& autoscaler) const;
+
   sim::Engine& engine() { return engine_; }
   net::Fabric& fabric() { return fabric_; }
   ShardCoordinator& coordinator() { return *coordinator_; }
+  /// Replica r of `shard` (servers_[r * num_shards + shard], mirroring the
+  /// fabric node numbering); the single-argument form is replica 0.
   ShardServer& server(uint32_t shard) { return *servers_[shard]; }
+  ShardServer& server(uint32_t shard, uint32_t replica) {
+    return *servers_[size_t{replica} * config_.num_shards + shard];
+  }
   uint32_t num_shards() const { return config_.num_shards; }
   const GatherPlan& gather_plan() const { return plan_; }
+  ElasticState& elastic() { return elastic_; }
+  const ElasticState& elastic() const { return elastic_; }
   /// The in-fabric combiner; null unless gather.topology == kSwitch.
   net::AggregatingSwitch* agg_switch() { return agg_switch_.get(); }
 
  private:
   Config config_;
   GatherPlan plan_;
+  ElasticState elastic_;
   sim::Engine engine_;
   net::Fabric fabric_;
   std::unique_ptr<net::AggregatingSwitch> agg_switch_;

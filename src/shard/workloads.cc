@@ -64,7 +64,14 @@ std::vector<SubRequest> AnnsTopKWorkload::Scatter(uint64_t request_id) {
 }
 
 Service AnnsTopKWorkload::Serve(uint32_t shard, uint64_t request_id) {
-  const std::vector<uint32_t>& lists = plan_.at({request_id, shard});
+  const auto plan_it = plan_.find({request_id, shard});
+  if (plan_it == plan_.end()) {
+    // Stale serve: the gather already finalized (deadline or failover
+    // replay raced a late response) and Merge released the plan. Nothing
+    // is listening; charge the minimum occupancy and move on.
+    return Service{1, 0};
+  }
+  const std::vector<uint32_t>& lists = plan_it->second;
   std::vector<anns::Neighbor> partial =
       index_->SearchLists(Query(request_id), lists, config_.k);
   uint64_t codes = 0;
@@ -108,6 +115,24 @@ void AnnsTopKWorkload::Merge(uint64_t request_id,
   results_[request_id] = std::move(merged);
 }
 
+uint32_t AnnsTopKWorkload::SliceOwner(uint32_t shard, uint64_t request_id) {
+  if (partitioner_.scheme() != PartitionScheme::kRange) return shard;
+  const auto it = plan_.find({request_id, shard});
+  if (it == plan_.end() || it->second.empty()) return shard;
+  const uint32_t owner = partitioner_.OwnerOf(it->second.front());
+  for (uint32_t list : it->second) {
+    if (partitioner_.OwnerOf(list) != owner) return shard;  // split slice
+  }
+  return owner;
+}
+
+void AnnsTopKWorkload::CommitMigration(const MigrationPlan& plan) {
+  FPGADP_CHECK(partitioner_.scheme() == PartitionScheme::kRange);
+  FPGADP_CHECK(
+      partitioner_.RangeOwnedBy(plan.range_lo, plan.range_hi, plan.source));
+  partitioner_.MoveRange(plan.range_lo, plan.range_hi, plan.target);
+}
+
 KvsMultiGetWorkload::KvsMultiGetWorkload(Partitioner partitioner,
                                          const Config& config)
     : partitioner_(std::move(partitioner)), config_(config) {
@@ -146,11 +171,24 @@ std::vector<SubRequest> KvsMultiGetWorkload::Scatter(uint64_t request_id) {
   return subs;
 }
 
+uint32_t KvsMultiGetWorkload::StoreOf(uint32_t shard, uint64_t key) const {
+  if (partitioner_.scheme() == PartitionScheme::kRoundRobin) return shard;
+  return partitioner_.OwnerOf(key);
+}
+
 Service KvsMultiGetWorkload::Serve(uint32_t shard, uint64_t request_id) {
-  const std::vector<uint64_t>& keys = plan_.at({request_id, shard});
+  const auto plan_it = plan_.find({request_id, shard});
+  if (plan_it == plan_.end()) {
+    // Stale serve after the gather finalized and released its plan (see
+    // AnnsTopKWorkload::Serve).
+    return Service{1, 0};
+  }
+  const std::vector<uint64_t>& keys = plan_it->second;
   auto& hits = partials_[{request_id, shard}];
-  const auto& store = stores_[shard];
   for (uint64_t key : keys) {
+    // Each key reads from the store that owns it under the current routing
+    // table — after a migration flip that may no longer be `shard`'s.
+    const auto& store = stores_[StoreOf(shard, key)];
     const auto it = store.find(key);
     if (it != store.end()) hits.emplace(key, it->second);
   }
@@ -172,10 +210,19 @@ void KvsMultiGetWorkload::Merge(uint64_t request_id,
   for (const PartialOutcome::Slice& slice : outcome.slices) {
     shard_outcome[slice.shard] = slice.outcome;
   }
+  // Each key's slice is the one Scatter put it in — recorded in the plan,
+  // NOT re-derived from the live partitioner, which may have flipped
+  // ownership mid-request during a migration.
+  std::unordered_map<uint64_t, uint32_t> key_slice;
+  for (const PartialOutcome::Slice& slice : outcome.slices) {
+    const auto it = plan_.find({request_id, slice.shard});
+    if (it == plan_.end()) continue;
+    for (uint64_t key : it->second) key_slice[key] = slice.shard;
+  }
   std::vector<GetResult> merged;
   merged.reserve(requests_[request_id].size());
   for (uint64_t key : requests_[request_id]) {
-    const uint32_t shard = partitioner_.ShardOf(key);
+    const uint32_t shard = key_slice.at(key);
     GetResult r;
     r.key = key;
     const auto oc = shard_outcome.find(shard);
@@ -195,6 +242,35 @@ void KvsMultiGetWorkload::Merge(uint64_t request_id,
     plan_.erase({request_id, slice.shard});
   }
   results_[request_id] = std::move(merged);
+}
+
+uint32_t KvsMultiGetWorkload::SliceOwner(uint32_t shard,
+                                         uint64_t request_id) {
+  if (partitioner_.scheme() != PartitionScheme::kRange) return shard;
+  const auto it = plan_.find({request_id, shard});
+  if (it == plan_.end() || it->second.empty()) return shard;
+  const uint32_t owner = partitioner_.OwnerOf(it->second.front());
+  for (uint64_t key : it->second) {
+    if (partitioner_.OwnerOf(key) != owner) return shard;  // split slice
+  }
+  return owner;
+}
+
+void KvsMultiGetWorkload::CommitMigration(const MigrationPlan& plan) {
+  FPGADP_CHECK(partitioner_.scheme() == PartitionScheme::kRange);
+  FPGADP_CHECK(
+      partitioner_.RangeOwnedBy(plan.range_lo, plan.range_hi, plan.source));
+  auto& src = stores_[plan.source];
+  auto& dst = stores_[plan.target];
+  for (auto it = src.begin(); it != src.end();) {
+    if (it->first >= plan.range_lo && it->first <= plan.range_hi) {
+      dst[it->first] = it->second;
+      it = src.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  partitioner_.MoveRange(plan.range_lo, plan.range_hi, plan.target);
 }
 
 HashJoinWorkload::HashJoinWorkload(const rel::Table* build,

@@ -55,6 +55,14 @@ class AnnsTopKWorkload : public Workload {
   /// gather shrinks ANNS bytes at every interior node.
   uint64_t MergedBytes(uint64_t request_id, uint64_t done_mask,
                        uint64_t concat_bytes) override;
+  /// Range-partitioned list ids support live resharding: a slice whose
+  /// probed lists all moved reports the new owner; mixed or non-range
+  /// slices stay put.
+  uint32_t SliceOwner(uint32_t shard, uint64_t request_id) override;
+  /// Re-homes [range_lo, range_hi] of the list-id space (range scheme
+  /// only). The index itself is immutable and shared; only the routing
+  /// table flips.
+  void CommitMigration(const MigrationPlan& plan) override;
 
  private:
   const float* Query(uint64_t request_id) const;
@@ -109,8 +117,18 @@ class KvsMultiGetWorkload : public Workload {
   std::vector<SubRequest> Scatter(uint64_t request_id) override;
   Service Serve(uint32_t shard, uint64_t request_id) override;
   void Merge(uint64_t request_id, const PartialOutcome& outcome) override;
+  /// Range-partitioned keys support live resharding (see AnnsTopKWorkload).
+  uint32_t SliceOwner(uint32_t shard, uint64_t request_id) override;
+  /// Moves the stored entries of [range_lo, range_hi] from the source
+  /// store to the target store and flips the routing table — the commit
+  /// half of a migration whose state already streamed over the fabric.
+  void CommitMigration(const MigrationPlan& plan) override;
 
  private:
+  /// The store actually holding `key` under the current routing table
+  /// (kRoundRobin has no key ownership; callers pass the serving shard).
+  uint32_t StoreOf(uint32_t shard, uint64_t key) const;
+
   Partitioner partitioner_;
   Config config_;
   std::vector<std::unordered_map<uint64_t, uint64_t>> stores_;  ///< Per shard.

@@ -233,10 +233,101 @@ uint64_t ShardKvsSwitchScenario() {
   return cycles.ok() ? cycles.value() : 0;
 }
 
+/// Locks the failover timing model end to end: 8 multi-gets over a
+/// 4-shard replicated (R=2) KVS cluster with health beacons, where shard
+/// 1's primary loses both link directions permanently at cycle 150 —
+/// mid-gather, so some slices are already in flight. The cycle count folds
+/// in the retry ladder (rto 300, 2 retries), the beacon machinery, the
+/// promotion, and the replay of every orphaned slice on the standby.
+uint64_t ShardKvsFailoverScenario() {
+  shard::KvsMultiGetWorkload::Config kc;
+  shard::KvsMultiGetWorkload wl(shard::Partitioner::Hash(4), kc);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (key % 5 != 0) wl.Load(key, key * 13 + 1);
+  }
+  shard::ShardCluster::Config cc;
+  cc.num_shards = 4;
+  cc.reliability.rto_cycles = 300;
+  cc.reliability.max_retries = 2;
+  cc.replica.replication_factor = 2;
+  cc.replica.beacon_interval_cycles = 600;
+  cc.replica.beacon_timeout_cycles = 1500;
+  shard::ShardCluster cluster(&wl, cc);
+
+  net::FaultInjector::Config fc;
+  fc.flap_down_cycles = 1u << 30;  // Permanent: the standby must take over.
+  net::FaultInjector injector(fc);
+  const uint32_t victim = cluster.gather_plan().ReplicaNode(1, 0);
+  injector.Schedule({150, victim, net::FaultInjector::kAnyNode,
+                     net::FaultKind::kLinkFlap});
+  injector.Schedule({150, net::FaultInjector::kAnyNode, victim,
+                     net::FaultKind::kLinkFlap});
+  cluster.set_fault_injector(&injector);
+
+  for (uint64_t r = 0; r < 8; ++r) {
+    std::vector<uint64_t> keys;
+    for (uint64_t i = 0; i < 48; ++i) keys.push_back((r * 331 + i * 7) % 1000);
+    cluster.Submit(wl.AddMultiGet(std::move(keys)));
+  }
+  auto cycles = cluster.Run();
+  EXPECT_TRUE(cycles.ok()) << cycles.status();
+  EXPECT_EQ(cluster.coordinator().failovers(), 1u);
+  return cycles.ok() ? cycles.value() : 0;
+}
+
+/// Locks the live-resharding timing model: the shard_anns dataset on a
+/// range partitioner over the 16 IVF lists, with lists 12..15 (shard 3's
+/// whole slice) migrating to shard 0 while the 12 queries serve. The cycle
+/// count folds in the paced kMigrateChunk stream, the ownership flip, the
+/// forward-at-dequeue path for slices scattered pre-flip, and the drain.
+uint64_t ShardAnnsReshardedScenario() {
+  anns::DatasetSpec spec;
+  spec.num_base = 2048;
+  spec.num_queries = 12;
+  spec.dim = 16;
+  spec.num_clusters = 8;
+  spec.cluster_stddev = 0.3f;
+  spec.seed = 41;
+  const anns::Dataset data = anns::MakeDataset(spec);
+  anns::IvfPqIndex::Options opts;
+  opts.nlist = 16;
+  opts.pq.m = 4;
+  opts.pq.ksub = 32;
+  opts.pq.train_iters = 6;
+  auto index = anns::IvfPqIndex::Build(data.base, data.dim, opts);
+  EXPECT_TRUE(index.ok()) << index.status();
+  if (!index.ok()) return 0;
+  shard::AnnsTopKWorkload::Config wc;
+  wc.nprobe = 8;
+  wc.k = 10;
+  shard::AnnsTopKWorkload wl(&*index, shard::Partitioner::Range({3, 7, 11, 15}),
+                             wc);
+  shard::ShardCluster::Config cc;
+  cc.num_shards = 4;
+  shard::ShardCluster cluster(&wl, cc);
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    cluster.Submit(wl.AddQuery(data.QueryVector(q)));
+  }
+  shard::MigrationPlan plan;
+  plan.source = 3;
+  plan.target = 0;
+  plan.range_lo = 12;
+  plan.range_hi = 15;
+  plan.state_bytes = 8192;
+  plan.chunk_bytes = 1024;
+  plan.chunk_interval_cycles = 16;
+  cluster.StartMigration(plan);
+  auto cycles = cluster.Run();
+  EXPECT_TRUE(cycles.ok()) << cycles.status();
+  EXPECT_EQ(cluster.coordinator().migrations_flipped(), 1u);
+  return cycles.ok() ? cycles.value() : 0;
+}
+
 const std::vector<std::string> kScenarios = {
-    "rdma_64x4k",  "rdma_1x1m",      "line_rate_filter", "hash_join",
-    "hbm_scaling", "accl_broadcast", "shard_anns",       "shard_anns_tree",
-    "shard_kvs_switch",
+    "rdma_64x4k",  "rdma_1x1m",      "line_rate_filter",
+    "hash_join",   "hbm_scaling",    "accl_broadcast",
+    "shard_anns",  "shard_anns_tree", "shard_kvs_switch",
+    "shard_kvs_failover", "shard_anns_resharded",
 };
 
 uint64_t RunScenario(const std::string& name, const RunOpts& opts) {
@@ -255,6 +346,8 @@ uint64_t RunScenario(const std::string& name, const RunOpts& opts) {
     return ShardAnnsScenario(gather);
   }
   if (name == "shard_kvs_switch") return ShardKvsSwitchScenario();
+  if (name == "shard_kvs_failover") return ShardKvsFailoverScenario();
+  if (name == "shard_anns_resharded") return ShardAnnsReshardedScenario();
   ADD_FAILURE() << "unknown scenario " << name;
   return 0;
 }

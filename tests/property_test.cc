@@ -20,7 +20,14 @@
 #include "src/relational/program.h"
 #include "src/relational/table.h"
 #include "src/shard/partitioner.h"
+#include "src/shard/replica.h"
+#include "src/shard/shard.h"
+#include "src/shard/workloads.h"
 #include "src/sim/engine.h"
+
+#include <iterator>
+#include <map>
+#include <set>
 
 namespace fpgadp {
 namespace {
@@ -358,6 +365,209 @@ TEST_P(SeededProperty, RoundRobinPartitionerBalancesAdversarialKeys) {
           << "n=" << n << " pattern=" << pattern << " total=" << total;
       EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), total);
     }
+  }
+}
+
+TEST_P(SeededProperty, ReshardingKeepsEveryKeyOwnedExactlyOnce) {
+  // Live-resharding ownership law: at every engine cycle of a migration —
+  // copy, flip, drain, or abort — every loaded key sits in exactly one
+  // shard's store, every multi-get answers from exactly one serving shard,
+  // and no slice is ever executed twice across the double-ownership window.
+  // Scenario 0 streams the copy to completion; scenario 1 severs the chunk
+  // stream mid-copy, which must abort the migration with ownership never
+  // flipping and no key lost.
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  for (int scenario = 0; scenario < 2; ++scenario) {
+    const uint32_t shards = 2 + uint32_t(rng.NextBounded(4));
+    const uint64_t space = 1ull << 16;
+    std::vector<uint64_t> bounds;
+    for (uint32_t s = 0; s + 1 < shards; ++s) {
+      bounds.push_back(space / shards * (s + 1) - 1);
+    }
+    bounds.push_back(space - 1);
+
+    shard::KvsMultiGetWorkload::Config kc;
+    shard::KvsMultiGetWorkload wl(shard::Partitioner::Range(bounds), kc);
+
+    const uint32_t source = uint32_t(rng.NextBounded(shards));
+    uint32_t target = uint32_t(rng.NextBounded(shards - 1));
+    if (target >= source) ++target;
+    const uint64_t src_lo = source == 0 ? 0 : bounds[source - 1] + 1;
+    const uint64_t src_hi = bounds[source];
+    shard::MigrationPlan mp;
+    mp.source = source;
+    mp.target = target;
+    mp.range_lo = src_lo + rng.NextBounded((src_hi - src_lo) / 2 + 1);
+    mp.range_hi = mp.range_lo + rng.NextBounded(src_hi - mp.range_lo + 1);
+    mp.state_bytes = 8192 + rng.NextBounded(16384);
+    mp.chunk_bytes = 1024;
+    mp.chunk_interval_cycles = 16;
+
+    // Adversarial keys: segment-boundary huggers (including the migrated
+    // range's own edges), shard-strided, powers of two, uniform random.
+    std::set<uint64_t> loaded;
+    const auto add = [&](uint64_t key) { loaded.insert(key % space); };
+    for (uint64_t b : bounds) {
+      add(b);
+      add(b + 1);
+      if (b > 0) add(b - 1);
+    }
+    add(mp.range_lo);
+    if (mp.range_lo > 0) add(mp.range_lo - 1);
+    add(mp.range_hi);
+    add(mp.range_hi + 1);
+    for (uint64_t i = 0; i < 40; ++i) add(i * shards * 257);
+    for (uint64_t i = 0; i < 16; ++i) add(uint64_t{1} << i);
+    for (int i = 0; i < 60; ++i) add(rng.Next() % space);
+    for (uint64_t key : loaded) wl.Load(key, key * 31 + 5);
+
+    shard::ShardCluster::Config cc;
+    cc.num_shards = shards;
+    cc.reliability.rto_cycles = 300;
+    cc.reliability.max_retries = 2;
+    shard::ShardCluster cluster(&wl, cc);
+    std::vector<std::vector<shard::ShardServer::ServedRecord>> logs(shards);
+    for (uint32_t s = 0; s < shards; ++s) {
+      cluster.server(s).set_serve_log(&logs[s]);
+    }
+
+    net::FaultInjector::Config fc;
+    fc.flap_down_cycles = 1u << 30;
+    net::FaultInjector injector(fc);
+    if (scenario == 1) cluster.set_fault_injector(&injector);
+
+    int last_phase = -1;
+    const auto step_until = [&](auto done) {
+      uint64_t guard = 0;
+      while (!done() && guard++ < (1u << 20)) {
+        cluster.engine().Step();
+        // Conservation at every cycle: the copy never duplicates or drops
+        // a stored key, and the ownership flip moves state atomically.
+        uint64_t total = 0;
+        for (uint32_t s = 0; s < shards; ++s) total += wl.store_size(s);
+        EXPECT_EQ(total, loaded.size());
+        const auto& ms = cluster.elastic().migrations;
+        if (!ms.empty()) {
+          // kCopy -> kDrain -> kDone, or kCopy -> kAborted; never backwards.
+          EXPECT_GE(int(ms[0].phase), last_phase);
+          last_phase = int(ms[0].phase);
+        }
+        if (::testing::Test::HasFailure()) return;
+      }
+      EXPECT_TRUE(done()) << "stalled at cycle " << cluster.engine().now();
+    };
+
+    const auto sample = [&](size_t n) {
+      std::vector<uint64_t> keys;
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextBounded(4) == 0) {
+          keys.push_back(space + rng.NextBounded(space));  // guaranteed miss
+        } else {
+          auto it = loaded.begin();
+          std::advance(it, rng.NextBounded(loaded.size()));
+          keys.push_back(*it);
+        }
+      }
+      return keys;
+    };
+
+    std::vector<uint64_t> ids;
+    std::map<uint64_t, shard::PartialOutcome> outcomes;
+    const auto submit = [&](std::vector<uint64_t> keys) {
+      ids.push_back(wl.AddMultiGet(std::move(keys)));
+      cluster.Submit(ids.back());
+    };
+    const auto all_resolved = [&] {
+      shard::PartialOutcome out;
+      while (cluster.PollOutcome(&out)) outcomes[out.request_id] = out;
+      return outcomes.size() == ids.size();
+    };
+
+    // Wave A is in flight (or freshly served) when the copy starts.
+    submit(sample(12));
+    submit(sample(12));
+    for (uint64_t i = rng.NextBounded(200); i > 0; --i) {
+      cluster.engine().Step();
+    }
+    cluster.StartMigration(mp);
+    if (scenario == 1) {
+      // Sever the chunk stream at a random point inside the copy window.
+      // The op filter arms the flap on a chunk specifically; the downed
+      // link then swallows every retransmission, so the source's retry cap
+      // must fire and abort the copy.
+      injector.Schedule({cluster.engine().now() + rng.NextBounded(300),
+                         cluster.gather_plan().ReplicaNode(source, 0),
+                         cluster.gather_plan().ReplicaNode(target, 0),
+                         net::FaultKind::kLinkFlap,
+                         int(net::OpKind::kMigrateChunk)});
+    }
+    // Wave B scatters under pre-flip ownership and resolves across it.
+    submit(sample(12));
+    submit(sample(12));
+    const auto terminal = [&] {
+      const auto& ms = cluster.elastic().migrations;
+      return !ms.empty() &&
+             (ms[0].phase == shard::MigrationPhase::kDone ||
+              ms[0].phase == shard::MigrationPhase::kAborted);
+    };
+    step_until([&] { return terminal() && all_resolved(); });
+    if (::testing::Test::HasFailure()) return;
+
+    const shard::Migration& m = cluster.elastic().migrations.at(0);
+    if (scenario == 0) {
+      EXPECT_EQ(m.phase, shard::MigrationPhase::kDone);
+      EXPECT_EQ(m.bytes_received, m.plan.state_bytes);
+      EXPECT_EQ(cluster.coordinator().migrations_flipped(), 1u);
+    } else {
+      EXPECT_EQ(m.phase, shard::MigrationPhase::kAborted);
+      EXPECT_EQ(cluster.coordinator().migrations_flipped(), 0u);
+      EXPECT_GE(injector.fault_count(net::FaultKind::kLinkFlap), 1u);
+    }
+
+    // Wave C sweeps every loaded key post-migration: each must answer from
+    // exactly one serving shard with its loaded value — whichever side of
+    // the flip (or abort) owns it now.
+    const std::vector<uint64_t> all_keys(loaded.begin(), loaded.end());
+    for (size_t at = 0; at < all_keys.size(); at += 32) {
+      submit({all_keys.begin() + at,
+              all_keys.begin() + std::min(at + 32, all_keys.size())});
+    }
+    step_until(all_resolved);
+    if (::testing::Test::HasFailure()) return;
+
+    uint64_t done_slices = 0;
+    for (uint64_t id : ids) {
+      const shard::PartialOutcome& out = outcomes.at(id);
+      EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+      done_slices += out.shards_done;
+      for (const auto& r : wl.result(id)) {
+        EXPECT_TRUE(r.served) << "key " << r.key;
+        if (r.key < space) {
+          EXPECT_TRUE(r.hit) << "key " << r.key;
+          EXPECT_EQ(r.value, r.key * 31 + 5) << "key " << r.key;
+        } else {
+          EXPECT_FALSE(r.hit) << "key " << r.key;
+        }
+      }
+    }
+
+    // Exactly-once execution across the double-ownership window: every
+    // finished slice ran on exactly one server, forwarded or not.
+    std::map<std::pair<uint64_t, uint32_t>, uint64_t> served;
+    uint64_t log_records = 0;
+    for (const auto& log : logs) {
+      log_records += log.size();
+      for (const auto& rec : log) ++served[{rec.request_id, rec.slice_shard}];
+    }
+    EXPECT_EQ(log_records, done_slices);
+    for (uint64_t id : ids) {
+      for (const auto& slice : outcomes.at(id).slices) {
+        EXPECT_EQ((served[{id, slice.shard}]), 1u)
+            << "request " << id << " slice shard " << slice.shard;
+      }
+    }
+    if (::testing::Test::HasFailure()) return;
   }
 }
 

@@ -440,5 +440,303 @@ TEST(ShardMetricsTest, ClusterExportsPerShardGauges) {
   EXPECT_GT(registry.GetGauge("shard.coord.gather_stall_cycles")->value(), 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Elastic operations: replica bookkeeping units.
+
+TEST(ReplicaSetTest, PromoteAdvancesCyclicallyAndKillsOldPrimary) {
+  ReplicaSet rs(2, 3);
+  EXPECT_EQ(rs.Primary(0), 0u);
+  EXPECT_EQ(rs.alive_count(0), 3u);
+  EXPECT_TRUE(rs.CanPromote(0));
+  EXPECT_TRUE(rs.Promote(0));
+  EXPECT_EQ(rs.Primary(0), 1u);
+  EXPECT_FALSE(rs.alive(0, 0));
+  EXPECT_EQ(rs.alive_count(0), 2u);
+  EXPECT_EQ(rs.Primary(1), 0u);  // other shards untouched
+  EXPECT_TRUE(rs.Promote(0));
+  EXPECT_EQ(rs.Primary(0), 2u);
+  // Last replica standing: nothing left to promote to.
+  EXPECT_FALSE(rs.CanPromote(0));
+  EXPECT_FALSE(rs.Promote(0));
+  EXPECT_EQ(rs.Primary(0), 2u);
+  EXPECT_EQ(rs.promotions(), 2u);
+}
+
+TEST(ReplicaSetTest, MarkDeadStandbyIsSkippedByPromote) {
+  ReplicaSet rs(1, 3);
+  rs.MarkDead(0, 1);
+  EXPECT_TRUE(rs.Promote(0));
+  EXPECT_EQ(rs.Primary(0), 2u);  // replica 1 was dead, scan skipped it
+}
+
+TEST(ReplicaSetTest, BeaconsAreMonotonic) {
+  ReplicaSet rs(1, 2);
+  rs.ObserveBeacon(0, 1, 500);
+  rs.ObserveBeacon(0, 1, 300);  // late delivery must not rewind liveness
+  EXPECT_EQ(rs.last_beacon(0, 1), 500u);
+}
+
+TEST(ElasticStateTest, BusyTracksLiveMigrationsOnly) {
+  ElasticState es(ReplicaConfig{}, 4);
+  EXPECT_FALSE(es.Busy(0));
+  Migration m;
+  m.plan = {/*source=*/0, /*target=*/2, 0, 10, 1 << 12};
+  m.seq = es.next_migration_seq++;
+  es.migrations.push_back(m);
+  EXPECT_TRUE(es.Busy(0));
+  EXPECT_TRUE(es.Busy(2));
+  EXPECT_FALSE(es.Busy(1));
+  EXPECT_EQ(es.ActiveCopyFrom(0), &es.migrations[0]);
+  es.migrations[0].phase = MigrationPhase::kDone;
+  EXPECT_FALSE(es.Busy(0));
+  EXPECT_EQ(es.ActiveCopyFrom(0), nullptr);
+}
+
+TEST(PartitionerTest, MoveRangeSplitsAndCoalescesSegments) {
+  // Shard 0 owns [0, 10], shard 1 (10, 100], shard 2 the rest.
+  Partitioner p = Partitioner::Range({10, 100, 1000});
+  EXPECT_TRUE(p.RangeOwnedBy(20, 60, 1));
+  EXPECT_FALSE(p.RangeOwnedBy(5, 60, 1));
+  p.MoveRange(20, 60, 2);
+  EXPECT_EQ(p.OwnerOf(19), 1u);
+  EXPECT_EQ(p.OwnerOf(20), 2u);
+  EXPECT_EQ(p.OwnerOf(60), 2u);
+  EXPECT_EQ(p.OwnerOf(61), 1u);
+  EXPECT_EQ(p.OwnerOf(100), 1u);
+  EXPECT_EQ(p.OwnerOf(101), 2u);
+  EXPECT_EQ(p.OwnerOf(1u << 20), 2u);  // tail above the last bound
+  EXPECT_TRUE(p.RangeOwnedBy(20, 60, 2));
+  // Move it back: the table re-coalesces to the original ownership.
+  p.MoveRange(20, 60, 1);
+  for (uint64_t k = 0; k <= 110; ++k) {
+    const uint32_t expected = k <= 10 ? 0u : (k <= 100 ? 1u : 2u);
+    EXPECT_EQ(p.OwnerOf(k), expected) << "key " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover differential: a replicated cluster that loses a primary mid-run
+// must deliver results id-identical to a fault-free run — across all three
+// workloads and every engine mode (mirrors gather_equivalence_test.cc).
+
+struct EngineMode {
+  uint32_t threads = 1;
+  bool fast_forward = true;
+};
+constexpr EngineMode kEngineModes[] = {{1, true}, {1, false}, {8, true}};
+
+uint64_t Lcg(uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return state >> 33;
+}
+
+struct FailoverPlan {
+  bool inject = false;       ///< false = fault-free reference run.
+  uint32_t victim_shard = 0; ///< Primary to kill (both link directions).
+  sim::Cycle death_cycle = 0;
+  EngineMode mode;
+};
+
+ShardCluster::Config ElasticConfig(uint32_t num_shards, bool replicated) {
+  ShardCluster::Config cc;
+  cc.num_shards = num_shards;
+  cc.reliability.rto_cycles = 300;
+  cc.reliability.max_retries = 2;
+  if (replicated) {
+    cc.replica.replication_factor = 2;
+    // Interval must exceed the control-packet flight time (~207 cycles at
+    // the default fabric config), or the wire never drains between waves.
+    cc.replica.beacon_interval_cycles = 600;
+    cc.replica.beacon_timeout_cycles = 1500;
+  }
+  return cc;
+}
+
+/// Runs `wl` with the given requests submitted; when fp.inject, the victim
+/// shard's primary drops off the fabric (both directions, permanently) at
+/// fp.death_cycle. Returns the per-request outcomes; asserts every slice
+/// resolved kDone when a standby existed.
+std::vector<PartialOutcome> RunWithFailover(Workload* wl,
+                                            const std::vector<uint64_t>& ids,
+                                            uint32_t num_shards,
+                                            const FailoverPlan& fp,
+                                            uint64_t* failovers) {
+  ShardCluster::Config cc = ElasticConfig(num_shards, fp.inject);
+  ShardCluster cluster(wl, cc);
+  cluster.engine().SetThreads(fp.mode.threads);
+  cluster.engine().SetFastForward(fp.mode.fast_forward);
+  net::FaultInjector::Config fc;
+  fc.flap_down_cycles = 1u << 30;  // the node never comes back
+  net::FaultInjector injector(fc);
+  if (fp.inject) {
+    const uint32_t node = cluster.gather_plan().ReplicaNode(fp.victim_shard, 0);
+    injector.Schedule({fp.death_cycle, node, net::FaultInjector::kAnyNode,
+                       net::FaultKind::kLinkFlap});
+    injector.Schedule({fp.death_cycle, net::FaultInjector::kAnyNode, node,
+                       net::FaultKind::kLinkFlap});
+    cluster.set_fault_injector(&injector);
+  }
+  for (uint64_t id : ids) cluster.Submit(id);
+  const auto cycles = cluster.Run();
+  EXPECT_TRUE(cycles.ok()) << cycles.status().ToString();
+  if (failovers != nullptr) *failovers = cluster.coordinator().failovers();
+  std::map<uint64_t, PartialOutcome> by_id;
+  PartialOutcome out;
+  while (cluster.PollOutcome(&out)) by_id[out.request_id] = out;
+  std::vector<PartialOutcome> outs;
+  for (uint64_t id : ids) {
+    EXPECT_EQ(by_id.count(id), 1u) << "request " << id << " never resolved";
+    outs.push_back(by_id[id]);
+  }
+  return outs;
+}
+
+TEST(FailoverEquivalenceTest, AnnsIdenticalWithDeadPrimary100Seeds) {
+  const anns::Dataset data = ShardDataset();
+  const anns::IvfPqIndex index = BuildShardIndex(data);
+  AnnsTopKWorkload::Config wc;
+  wc.nprobe = 8;
+  wc.k = 10;
+  uint64_t rng = 41;
+  size_t seeds_with_failover = 0;
+  for (uint32_t seed = 0; seed < 100; ++seed) {
+    const uint32_t shards = 2 + seed % 7;
+    FailoverPlan fp;
+    fp.mode = kEngineModes[seed % 3];
+    const std::vector<size_t> queries = {seed % data.num_queries(),
+                                         (seed * 7 + 3) % data.num_queries()};
+
+    AnnsTopKWorkload ref_wl(&index, Partitioner::Hash(shards), wc);
+    std::vector<uint64_t> ref_ids;
+    for (size_t q : queries) ref_ids.push_back(ref_wl.AddQuery(data.QueryVector(q)));
+    const auto ref = RunWithFailover(&ref_wl, ref_ids, shards, fp, nullptr);
+
+    fp.inject = true;
+    fp.victim_shard = seed % shards;
+    fp.death_cycle = 20 + Lcg(rng) % 1500;
+    AnnsTopKWorkload wl(&index, Partitioner::Hash(shards), wc);
+    std::vector<uint64_t> ids;
+    for (size_t q : queries) ids.push_back(wl.AddQuery(data.QueryVector(q)));
+    uint64_t failovers = 0;
+    const auto runs = RunWithFailover(&wl, ids, shards, fp, &failovers);
+    seeds_with_failover += failovers > 0 ? 1 : 0;
+
+    ASSERT_EQ(runs.size(), ref.size());
+    for (size_t q = 0; q < ids.size(); ++q) {
+      EXPECT_TRUE(runs[q].status.ok())
+          << "seed " << seed << " query " << q << " degraded despite standby: "
+          << runs[q].status.ToString();
+      const auto& expect = ref_wl.result(ref_ids[q]);
+      const auto& got = wl.result(ids[q]);
+      ASSERT_EQ(got.size(), expect.size()) << "seed " << seed;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expect[i].id)
+            << "seed " << seed << " query " << q << " rank " << i;
+        EXPECT_EQ(got[i].distance, expect[i].distance);
+      }
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The sweep must actually exercise recovery, not just schedule faults
+  // after quiesce.
+  EXPECT_GE(seeds_with_failover, 30u);
+}
+
+TEST(FailoverEquivalenceTest, KvsIdenticalWithDeadPrimary100Seeds) {
+  KvsMultiGetWorkload::Config kc;
+  uint64_t rng = 97;
+  size_t seeds_with_failover = 0;
+  for (uint32_t seed = 0; seed < 100; ++seed) {
+    const uint32_t shards = 2 + seed % 7;
+    FailoverPlan fp;
+    fp.mode = kEngineModes[seed % 3];
+    std::vector<std::vector<uint64_t>> batches(2);
+    for (auto& batch : batches) {
+      for (size_t i = 0; i < 24; ++i) batch.push_back(Lcg(rng) % 4096);
+    }
+
+    const auto load = [&](KvsMultiGetWorkload& wl) {
+      for (uint64_t key = 0; key < 4096; key += 3) wl.Load(key, key * 31 + 5);
+    };
+    KvsMultiGetWorkload ref_wl(Partitioner::Hash(shards), kc);
+    load(ref_wl);
+    std::vector<uint64_t> ref_ids;
+    for (const auto& b : batches) ref_ids.push_back(ref_wl.AddMultiGet(b));
+    const auto ref = RunWithFailover(&ref_wl, ref_ids, shards, fp, nullptr);
+
+    fp.inject = true;
+    fp.victim_shard = seed % shards;
+    // Multi-gets resolve fast; keep the death window tight so most seeds
+    // kill the primary while its slice is still outstanding.
+    fp.death_cycle = 5 + Lcg(rng) % 400;
+    KvsMultiGetWorkload wl(Partitioner::Hash(shards), kc);
+    load(wl);
+    std::vector<uint64_t> ids;
+    for (const auto& b : batches) ids.push_back(wl.AddMultiGet(b));
+    uint64_t failovers = 0;
+    const auto runs = RunWithFailover(&wl, ids, shards, fp, &failovers);
+    seeds_with_failover += failovers > 0 ? 1 : 0;
+
+    for (size_t r = 0; r < ids.size(); ++r) {
+      EXPECT_TRUE(runs[r].status.ok()) << "seed " << seed;
+      const auto& expect = ref_wl.result(ref_ids[r]);
+      const auto& got = wl.result(ids[r]);
+      ASSERT_EQ(got.size(), expect.size()) << "seed " << seed;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].key, expect[i].key) << "seed " << seed;
+        EXPECT_EQ(got[i].served, expect[i].served) << "seed " << seed;
+        EXPECT_EQ(got[i].hit, expect[i].hit) << "seed " << seed;
+        EXPECT_EQ(got[i].value, expect[i].value) << "seed " << seed;
+      }
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GE(seeds_with_failover, 30u);
+}
+
+TEST(FailoverEquivalenceTest, HashJoinIdenticalWithDeadPrimary100Seeds) {
+  // Smaller sweep per seed (the join runs nested pipeline simulations at
+  // Scatter), full coverage of victim/mode/death-cycle combinations.
+  rel::Table build(rel::Schema{{{"k"}, {"payload"}}});
+  for (int64_t i = 0; i < 120; ++i) {
+    rel::Row r;
+    r.Set(0, i);
+    r.Set(1, i * 11);
+    build.Append(r);
+  }
+  const rel::Table probe = MakeKeyedTable(600, 160, 9);
+  rel::JoinSpec spec;
+  spec.left_key = 0;
+  spec.right_key = 1;
+  HashJoinWorkload::Config jc;
+  uint64_t rng = 7;
+  size_t seeds_with_failover = 0;
+  for (uint32_t seed = 0; seed < 100; ++seed) {
+    const uint32_t shards = 2 + seed % 5;
+    FailoverPlan fp;
+    fp.mode = kEngineModes[seed % 3];
+
+    HashJoinWorkload ref_wl(&build, &probe, spec, Partitioner::Hash(shards),
+                            jc);
+    const auto ref = RunWithFailover(&ref_wl, {ref_wl.request_id()}, shards,
+                                     fp, nullptr);
+
+    fp.inject = true;
+    fp.victim_shard = seed % shards;
+    fp.death_cycle = 20 + Lcg(rng) % 1500;
+    HashJoinWorkload wl(&build, &probe, spec, Partitioner::Hash(shards), jc);
+    uint64_t failovers = 0;
+    const auto runs = RunWithFailover(&wl, {wl.request_id()}, shards, fp,
+                                      &failovers);
+    seeds_with_failover += failovers > 0 ? 1 : 0;
+
+    EXPECT_TRUE(runs[0].status.ok()) << "seed " << seed;
+    EXPECT_EQ(RowMultiset(wl.result()), RowMultiset(ref_wl.result()))
+        << "seed " << seed;
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GE(seeds_with_failover, 30u);
+}
+
 }  // namespace
 }  // namespace fpgadp::shard

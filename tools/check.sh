@@ -8,12 +8,14 @@
 #
 # Tests run per label tier — unit (fast, always-on), property (randomized
 # differential suites), golden (cycle-baseline lockdown, see
-# tests/golden/cycles.json), perf (benchmark smoke runs, e.g.
-# bench_sim_throughput --smoke, which re-checks the golden line-rate
-# cycle count through the bench path) — with per-tier wall-clock timing so
-# a slow tier is visible at a glance. The golden tier runs on BOTH presets:
-# a cycle count that drifts only under sanitizers is still a bug. The perf
-# tier runs on the default preset only — sanitizer timings are not
+# tests/golden/cycles.json), chaos (fault-recovery: scheduled link-flaps
+# under serving load, tail must recover within the documented budget),
+# perf (benchmark smoke runs, e.g. bench_sim_throughput --smoke, which
+# re-checks the golden line-rate cycle count through the bench path) —
+# with per-tier wall-clock timing so a slow tier is visible at a glance.
+# The golden and chaos tiers run on BOTH presets: a cycle count (or a
+# recovery path) that drifts only under sanitizers is still a bug. The
+# perf tier runs on the default preset only — sanitizer timings are not
 # representative, and its correctness content is already covered there.
 #
 # The asan preset (see CMakePresets.json) configures into build-asan/ with
@@ -52,7 +54,7 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-LABELS=(unit property golden)
+LABELS=(unit property golden chaos)
 FAILURES=()
 
 for preset in "${PRESETS[@]}"; do

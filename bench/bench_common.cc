@@ -29,6 +29,12 @@ Session::Session(int argc, char** argv)
       if (threads_ == 0) threads_ = 1;
     } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
       fast_forward_ = false;
+    } else if (std::strcmp(arg, "--engine=event") == 0) {
+      event_engine_ = true;
+      engine_flag_seen_ = true;
+    } else if (std::strcmp(arg, "--engine=tick") == 0) {
+      event_engine_ = false;
+      engine_flag_seen_ = true;
     }
   }
   if (!trace_path_.empty()) {
@@ -40,6 +46,14 @@ Session::Session(int argc, char** argv)
   // (ExecuteFpga, MicroRec, ACCL) inherit them without config plumbing.
   sim::SetDefaultEngineThreads(threads_);
   sim::SetDefaultFastForward(fast_forward_);
+  // An explicit --engine= flag overrides the FPGADP_ENGINE environment
+  // variable (already folded into the process default); no flag leaves the
+  // environment's choice standing.
+  if (engine_flag_seen_) {
+    sim::SetDefaultScheduling(event_engine_ ? sim::Scheduling::kEventDriven
+                                            : sim::Scheduling::kLevelTick);
+  }
+  event_engine_ = sim::DefaultScheduling() == sim::Scheduling::kEventDriven;
 }
 
 void Session::AddResult(const std::string& name,

@@ -40,6 +40,11 @@ namespace fpgadp::bench {
 ///                    Disable event-driven fast-forwarding in Engine::Run()
 ///                    (cycle counts are identical either way; this exists
 ///                    to measure the speedup and to debug hint bugs).
+///   --engine=MODE    Run() scheduler for every engine: "tick" (default,
+///                    the level-tick loop) or "event" (the event-driven
+///                    core). Cycle counts are bit-identical across modes;
+///                    the flag exists to measure simulator throughput.
+///                    Overrides the FPGADP_ENGINE environment variable.
 ///   --json=<file>    Dump every result row the bench recorded with
 ///                    AddResult(), plus the bench's total wall-clock, as a
 ///                    JSON file on exit — the machine-readable complement
@@ -72,6 +77,7 @@ class Session {
   /// they reach engines constructed deep inside pipeline helpers.
   uint32_t threads() const { return threads_; }
   bool fast_forward() const { return fast_forward_; }
+  bool event_engine() const { return event_engine_; }
 
   /// The registry --metrics dumps, for benches that want to add their own
   /// instruments; nullptr when --metrics is off.
@@ -109,6 +115,8 @@ class Session {
   double drop_rate_ = 0;
   uint32_t threads_ = 1;
   bool fast_forward_ = true;
+  bool event_engine_ = false;
+  bool engine_flag_seen_ = false;
 };
 
 }  // namespace fpgadp::bench

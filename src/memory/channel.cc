@@ -21,6 +21,7 @@ MemoryChannel::MemoryChannel(std::string name, sim::Stream<MemRequest>* req,
   req_->BindConsumer(this);
   resp_->BindProducer(this);
   SetParallelSafe();
+  SetEventSafe();
 }
 
 void MemoryChannel::AttributeSkip(sim::Cycle from, sim::Cycle to) {

@@ -127,6 +127,7 @@ Fabric::Fabric(std::string name, uint32_t num_nodes, const Config& config)
     ingress_.back()->BindProducer(this);
   }
   SetParallelSafe();
+  SetEventSafe();
 }
 
 sim::Cycle Fabric::NextEventCycle(sim::Cycle now) const {

@@ -31,13 +31,27 @@ RdmaEndpoint::RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric,
   fabric_->egress(node_id_).BindProducer(this);
   fabric_->ingress(node_id_).BindConsumer(this);
   SetParallelSafe();
+  // Event-safe: NextEventCycle covers posted work and retransmission
+  // timers, the ingress bind covers arrivals, and Post* self-wakes. A
+  // skipped endpoint has an empty outbox, no pending arrivals, and no
+  // timer due — cycles the serial tick would have spent idle.
+  SetEventSafe();
 }
 
 RdmaEndpoint::RdmaEndpoint(std::string name, uint32_t node_id, Fabric* fabric)
     : RdmaEndpoint(std::move(name), node_id, fabric, Reliability()) {}
 
+void RdmaEndpoint::NotifyDelivery() {
+  // Called immediately BEFORE a completion or received message is queued,
+  // so an event-driven settle of the listener attributes its skipped
+  // cycles against the pre-delivery queue state (the state every serial
+  // tick in that gap would have observed).
+  if (listener_ != nullptr) listener_->WakeUp();
+}
+
 void RdmaEndpoint::PostSend(uint32_t dst, uint64_t bytes, uint64_t tag,
                             uint64_t user) {
+  WakeUp();  // posted work ships next tick; arm a sleeping endpoint
   Packet p;
   p.src = node_id_;
   p.dst = dst;
@@ -50,6 +64,7 @@ void RdmaEndpoint::PostSend(uint32_t dst, uint64_t bytes, uint64_t tag,
 
 void RdmaEndpoint::PostRead(uint32_t dst, uint64_t addr, uint64_t bytes,
                             uint64_t tag) {
+  WakeUp();
   Packet p;
   p.src = node_id_;
   p.dst = dst;
@@ -63,6 +78,7 @@ void RdmaEndpoint::PostRead(uint32_t dst, uint64_t addr, uint64_t bytes,
 
 void RdmaEndpoint::PostWrite(uint32_t dst, uint64_t addr, uint64_t bytes,
                              uint64_t tag) {
+  WakeUp();
   Packet p;
   p.src = node_id_;
   p.dst = dst;
@@ -74,6 +90,7 @@ void RdmaEndpoint::PostWrite(uint32_t dst, uint64_t addr, uint64_t bytes,
 }
 
 void RdmaEndpoint::PostPacket(Packet p) {
+  WakeUp();
   p.src = node_id_;
   outbox_.push_back(p);
 }
@@ -105,6 +122,7 @@ void RdmaEndpoint::FailOp(sim::Cycle cycle, const Packet& p) {
         std::to_string(p.seq) + " after " +
         std::to_string(reliability_.max_retries) + " retries");
   }
+  NotifyDelivery();
   cq_.push_back(
       {p.tag, p.kind, p.dst, p.bytes, cycle, StatusCode::kUnavailable});
 }
@@ -145,6 +163,7 @@ void RdmaEndpoint::Dispatch(sim::Cycle cycle, const Packet& p) {
       break;
     }
     case OpKind::kReadResp:
+      NotifyDelivery();
       cq_.push_back({p.tag, OpKind::kReadResp, p.src, p.bytes, cycle});
       break;
     case OpKind::kWrite: {
@@ -158,6 +177,7 @@ void RdmaEndpoint::Dispatch(sim::Cycle cycle, const Packet& p) {
       break;
     }
     case OpKind::kWriteAck:
+      NotifyDelivery();
       cq_.push_back({p.tag, OpKind::kWriteAck, p.src, p.bytes, cycle});
       break;
     case OpKind::kSend:
@@ -177,6 +197,7 @@ void RdmaEndpoint::Dispatch(sim::Cycle cycle, const Packet& p) {
       // them in the receive queue keeps misconfigurations observable.
       // (kRdmaAck/kRdmaNack are consumed before Dispatch in lossy mode.)
       // Beacon and migration kinds are consumed by the shard layer.
+      NotifyDelivery();
       rq_.push_back(p);
       break;
   }
@@ -194,6 +215,7 @@ void RdmaEndpoint::HandleArrival(sim::Cycle cycle, Packet p) {
       const Packet& original = it->second.packet;
       if (original.kind == OpKind::kSend) {
         // RC send semantics on a lossy link: the message is known delivered.
+        NotifyDelivery();
         cq_.push_back(
             {original.tag, OpKind::kSend, original.dst, original.bytes, cycle});
       }
@@ -286,6 +308,7 @@ void RdmaEndpoint::Tick(sim::Cycle cycle) {
     eg.Write(p);
     if (!rel && p.kind == OpKind::kSend) {
       // Local send completion: the message left the NIC.
+      NotifyDelivery();
       cq_.push_back({p.tag, OpKind::kSend, p.dst, p.bytes, cycle});
     }
     progressed = true;

@@ -87,6 +87,13 @@ class RdmaEndpoint : public sim::Module {
   size_t recv_available() const { return rq_.size(); }
   uint32_t node_id() const { return node_id_; }
 
+  /// Registers the module that polls this endpoint's completion/receive
+  /// queues. Under event-driven scheduling the endpoint wakes it whenever a
+  /// tick is about to deliver a new completion or received message, so the
+  /// poller may sleep between deliveries. Optional: pollers that never
+  /// sleep (always-active modules) need no listener.
+  void SetWakeListener(sim::Module* listener) { listener_ = listener; }
+
   /// True once any op exhausted its retry cap; status() then carries
   /// Status::Unavailable for the first such op.
   bool failed() const { return !status_.ok(); }
@@ -129,6 +136,7 @@ class RdmaEndpoint : public sim::Module {
   };
 
   bool reliable() const { return fabric_->lossy(); }
+  void NotifyDelivery();
   void HandleArrival(sim::Cycle cycle, Packet p);
   void Dispatch(sim::Cycle cycle, const Packet& p);
   void CheckRetransmits(sim::Cycle cycle);
@@ -144,6 +152,7 @@ class RdmaEndpoint : public sim::Module {
   std::map<uint32_t, uint64_t> next_seq_;  ///< Per-destination tx sequence.
   std::map<std::pair<uint32_t, uint64_t>, Unacked> unacked_;  ///< (dst, seq).
   std::map<uint32_t, RecvWindow> recv_window_;  ///< Per-source dedup.
+  sim::Module* listener_ = nullptr;  ///< Woken before cq_/rq_ deliveries.
   Status status_;
   uint64_t retransmits_ = 0;
   uint64_t acks_sent_ = 0;

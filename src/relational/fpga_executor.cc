@@ -24,6 +24,7 @@ OpKernel::OpKernel(std::string name, sim::Stream<Beat>* in,
   in_->BindConsumer(this);
   out_->BindProducer(this);
   SetParallelSafe();
+  SetEventSafe();
 }
 
 void OpKernel::Tick(sim::Cycle cycle) {

@@ -46,6 +46,12 @@ ShardCoordinator::ShardCoordinator(std::string name, Workload* workload,
   FPGADP_CHECK(config_.window > 0);
   FPGADP_CHECK(config_.feasibility_headroom_pct > 0 &&
                config_.feasibility_headroom_pct <= 100);
+  // Event-safe: NextEventCycle covers queued slices, gather and beacon
+  // deadlines; the endpoints wake the coordinator on every delivery; and
+  // ingress (Submit / TrySubmit via Enqueue) self-wakes. A skipped window
+  // is a run of no-progress ticks, which AttributeSkip reproduces.
+  for (net::RdmaEndpoint* ep : endpoints_) ep->SetWakeListener(this);
+  SetEventSafe();
   shard_queue_.resize(num_shards_);
   in_flight_.assign(num_shards_, 0);
   queue_hwm_.assign(num_shards_, 0);
@@ -106,6 +112,10 @@ bool ShardCoordinator::TrySubmit(uint64_t request_id,
 
 void ShardCoordinator::Enqueue(uint64_t request_id,
                                const std::vector<SubRequest>& subs) {
+  // Wake BEFORE mutating: if the coordinator was sleeping, its skipped
+  // cycles are attributed against the pre-enqueue state the serial loop
+  // would have observed (see Module::WakeUp).
+  WakeUp();
   FPGADP_CHECK(active_.find(request_id) == active_.end());
   FPGADP_CHECK(!subs.empty());
   Active a;
@@ -366,6 +376,8 @@ void ShardCoordinator::Finalize(uint64_t request_id, Active& a,
   ++gathers_completed_;
   if (out.degraded()) ++gathers_degraded_;
   workload_->Merge(request_id, out);
+  // Wake the poller BEFORE the outcome lands (see Module::WakeUp).
+  if (outcome_listener_ != nullptr) outcome_listener_->WakeUp();
   outcomes_.push_back(std::move(out));
   active_.erase(request_id);
   // Drain bookkeeping: a kDrain migration completes when every request
@@ -664,6 +676,10 @@ ShardServer::ShardServer(std::string name, uint32_t shard_id,
   FPGADP_CHECK(workload_ != nullptr);
   FPGADP_CHECK(endpoint_ != nullptr);
   FPGADP_CHECK(config_.max_queue > 0);
+  // Event-safe: NextEventCycle covers the pipeline, merge timeouts, beacon
+  // posts and chunk pacing; the endpoint wakes the server on arrivals.
+  endpoint_->SetWakeListener(this);
+  SetEventSafe();
   if (elastic_ != nullptr && elastic_->config.beacon_interval_cycles > 0) {
     FPGADP_CHECK(plan_ != nullptr);
     next_beacon_at_ = elastic_->config.beacon_interval_cycles;

@@ -262,6 +262,13 @@ class ShardCoordinator : public sim::Module {
   /// unpolled outcome.
   size_t outcomes_available() const { return outcomes_.size(); }
 
+  /// Registers the module that polls finalized gathers (PollOutcome).
+  /// Under event-driven scheduling the coordinator wakes it whenever a
+  /// gather is about to finalize, so the poller may sleep in between.
+  void SetOutcomeListener(sim::Module* listener) {
+    outcome_listener_ = listener;
+  }
+
   void Tick(sim::Cycle cycle) override;
   bool Idle() const override { return active_.empty() && total_queued_ == 0; }
   sim::Cycle NextEventCycle(sim::Cycle now) const override;
@@ -377,6 +384,7 @@ class ShardCoordinator : public sim::Module {
   std::map<uint64_t, std::pair<uint64_t, size_t>> tag_map_;  ///< tag -> slice.
   uint64_t next_tag_ = 1;
   std::deque<PartialOutcome> outcomes_;
+  sim::Module* outcome_listener_ = nullptr;  ///< Woken before finalizes.
 
   uint64_t gathers_completed_ = 0;
   uint64_t gathers_degraded_ = 0;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/units.h"
@@ -14,6 +17,43 @@ namespace fpgadp::sim {
 namespace {
 uint32_t g_default_threads = 1;
 bool g_default_fast_forward = true;
+
+/// The scheduling default starts from the FPGADP_ENGINE environment variable
+/// so whole test tiers can sweep the scheduler (tools/check.sh runs the
+/// golden and chaos tiers under FPGADP_ENGINE=event) without a rebuild.
+Scheduling InitialScheduling() {
+  const char* env = std::getenv("FPGADP_ENGINE");
+  if (env != nullptr && std::strcmp(env, "event") == 0) {
+    return Scheduling::kEventDriven;
+  }
+  return Scheduling::kLevelTick;
+}
+Scheduling g_default_scheduling = InitialScheduling();
+
+/// Dependency levels (and event-mode armed sets) at or below this size tick
+/// inline on the coordinating thread: a ThreadPool dispatch plus its barrier
+/// costs far more than a handful of Tick() calls, which is exactly the
+/// incast.thr4 collapse E21 measured (~211k cycles/s vs 23M serial on a
+/// topology whose levels are almost all singletons).
+constexpr size_t kInlineTickThreshold = 4;
+
+/// Consecutive full-run-list event cycles before the event loop drops into
+/// its saturated (legacy-body) inner loop; see RunEventDriven.
+constexpr uint32_t kDenseStreakCycles = 8;
+
+/// Busy-probe window inside the saturated loop: every this-many cycles the
+/// loop samples the busy-cycle sum and exits back to per-module scheduling
+/// when the whole window accrued fewer busy-marks than one fully-busy cycle
+/// would; see RunEventDriven.
+constexpr uint32_t kSaturationLullCycles = 16;
+
+/// Min-heap order for the (cycle, module index) calendar entries.
+bool HeapLater(const std::pair<Cycle, size_t>& a,
+               const std::pair<Cycle, size_t>& b) {
+  return a.first > b.first;
+}
+
+constexpr size_t kNone = ~size_t{0};
 }  // namespace
 
 void SetDefaultEngineThreads(uint32_t n) {
@@ -22,11 +62,18 @@ void SetDefaultEngineThreads(uint32_t n) {
 uint32_t DefaultEngineThreads() { return g_default_threads; }
 void SetDefaultFastForward(bool on) { g_default_fast_forward = on; }
 bool DefaultFastForward() { return g_default_fast_forward; }
+void SetDefaultScheduling(Scheduling s) { g_default_scheduling = s; }
+Scheduling DefaultScheduling() { return g_default_scheduling; }
+
+void Module::WakeUp() {
+  if (engine_ != nullptr) engine_->WakeModule(engine_index_);
+}
 
 Engine::Engine(double clock_hz)
     : clock_hz_(clock_hz),
       fast_forward_(g_default_fast_forward),
-      threads_(g_default_threads) {}
+      threads_(g_default_threads),
+      scheduling_(g_default_scheduling) {}
 
 Engine::~Engine() {
   // Safety net for manually stepped harnesses that forget the final flush;
@@ -39,6 +86,13 @@ Engine::~Engine() {
 
 void Engine::AddModule(Module* module) {
   FPGADP_CHECK(module != nullptr);
+  // WakeUp() routes through this backpointer. Last registration wins: a
+  // module may be re-registered with a fresh engine after its previous one
+  // died (the dead engine cannot clear the pointer — modules routinely
+  // outlive engines and vice versa), but must never be live in two engines
+  // at once.
+  module->engine_ = this;
+  module->engine_index_ = modules_.size();
   modules_.push_back(module);
   schedule_dirty_ = true;
 }
@@ -56,8 +110,12 @@ void Engine::SetThreads(uint32_t n) {
 }
 
 void Engine::RebuildSchedule() {
+  // The module/stream set changed: settle any lazily-deferred event-mode
+  // attribution against the OLD set before the indices shift under it.
+  InvalidateEventState();
   schedule_dirty_ = false;
   levels_.clear();
+  module_level_.assign(modules_.size(), 0);
   parallel_tick_ = false;
   if (threads_ <= 1) {
     pool_.reset();
@@ -81,6 +139,22 @@ void Engine::RebuildSchedule() {
       s->commit_queue_ = commit_queue_;
       if (s->has_staged()) commit_queue_->push_back(s);
     }
+  }
+  // Cache each stream's endpoint registration indices so event-mode commit
+  // and drain edges arm the neighbour with one array write instead of a
+  // pointer lookup. A conflicted stream has an ambiguous endpoint set and
+  // gets none (RebuildEventState then demotes the engine to always-active).
+  std::unordered_map<const Module*, size_t> index;
+  index.reserve(modules_.size());
+  for (size_t i = 0; i < modules_.size(); ++i) index[modules_[i]] = i;
+  for (StreamBase* s : streams_) {
+    s->producer_index_ = StreamBase::kNoEndpoint;
+    s->consumer_index_ = StreamBase::kNoEndpoint;
+    if (s->bind_conflict()) continue;
+    const auto ip = index.find(s->producer());
+    const auto ic = index.find(s->consumer());
+    if (ip != index.end()) s->producer_index_ = ip->second;
+    if (ic != index.end()) s->consumer_index_ = ic->second;
   }
 }
 
@@ -124,6 +198,9 @@ bool Engine::TryBuildLevels() {
   for (size_t i = 0; i < modules_.size(); ++i) {
     levels_[level[i]].push_back(modules_[i]);
   }
+  // Keep the per-module level index so the event dispatcher can bucket an
+  // armed subset by level in O(armed).
+  module_level_ = std::move(level);
   return true;
 }
 
@@ -204,6 +281,10 @@ void Engine::EnsureProbeSlots() {
 void Engine::Step() {
   if (!observability_checked_) SetupObservability();
   if (schedule_dirty_) RebuildSchedule();
+  // Manual stepping always runs the legacy every-module path; settle any
+  // event-mode attribution first so AccountSkip never double-counts a cycle
+  // the legacy loop is about to FinalizeTick.
+  InvalidateEventState();
   TickAndCommit();
   if (trace_ || metrics_) ProbeStep();
   flushed_ = false;
@@ -222,9 +303,11 @@ void Engine::TickAndCommit() {
     // share no stream, so their Ticks are independent; the barrier between
     // levels reproduces serial registration-order visibility exactly.
     for (const auto& lvl : levels_) {
-      if (lvl.size() == 1) {
-        lvl[0]->Tick(now_);
-        lvl[0]->FinalizeTick();
+      if (lvl.size() <= kInlineTickThreshold) {
+        for (Module* m : lvl) {
+          m->Tick(now_);
+          m->FinalizeTick();
+        }
       } else {
         pool_->ParallelFor(lvl.size(), [&](size_t i) {
           lvl[i]->Tick(now_);
@@ -232,17 +315,22 @@ void Engine::TickAndCommit() {
         });
       }
     }
-    // Commit phase: per-stream state only, embarrassingly parallel. Only
-    // streams whose staged flag is set need the index fold (the serial
-    // dirty list is detached in this mode — worker pushes would race).
-    if (streams_.size() >= 8) {
-      pool_->ParallelFor(streams_.size(), [&](size_t i) {
-        if (streams_[i]->has_staged()) streams_[i]->Commit();
-      });
+    // Commit phase: per-stream state only, embarrassingly parallel. The
+    // serial dirty list is detached in this mode (worker pushes would
+    // race), so the coordinating thread scans the staged flags — and only
+    // dispatches the pool when enough streams actually staged a write. A
+    // commit is a handful of pointer updates; paying a pool barrier per
+    // cycle for one or two staged streams is the same tiny-level collapse
+    // the inline tick threshold above exists to avoid.
+    staged_streams_.clear();
+    for (StreamBase* s : streams_) {
+      if (s->has_staged()) staged_streams_.push_back(s);
+    }
+    if (staged_streams_.size() > 2 * kInlineTickThreshold) {
+      pool_->ParallelFor(staged_streams_.size(),
+                         [&](size_t i) { staged_streams_[i]->Commit(); });
     } else {
-      for (StreamBase* s : streams_) {
-        if (s->has_staged()) s->Commit();
-      }
+      for (StreamBase* s : staged_streams_) s->Commit();
     }
   } else {
     for (Module* m : modules_) {
@@ -352,10 +440,14 @@ bool Engine::QuiescedNow() const {
   return true;
 }
 
-Cycle Engine::EarliestEvent() const {
+Cycle Engine::GlobalNextEventCycle() const {
   Cycle earliest = kNoEventCycle;
   for (const Module* m : modules_) {
     const Cycle hint = m->NextEventCycle(now_);
+    FPGADP_DCHECK(hint == kNoEventCycle || hint == kAlwaysActive ||
+                  hint >= now_);
+    // An always-active module must be ticked every cycle: no skip at all.
+    if (hint == kAlwaysActive) return now_;
     if (hint < earliest) earliest = hint;
     if (earliest <= now_ + 1) break;  // no skip possible; stop scanning
   }
@@ -365,6 +457,13 @@ Cycle Engine::EarliestEvent() const {
 Result<Cycle> Engine::Run(uint64_t max_cycles) {
   if (!observability_checked_) SetupObservability();
   if (schedule_dirty_) RebuildSchedule();
+  // Observers force the legacy path: per-cycle span tracking and periodic
+  // sampling need every cycle visited, exactly like the fast-forward gate
+  // below. Everything else routes through the event scheduler when selected.
+  if (scheduling_ == Scheduling::kEventDriven && !trace_ && !metrics_) {
+    return RunEventDriven(max_cycles);
+  }
+  InvalidateEventState();
   const Cycle limit = now_ + max_cycles;
   // Fast-forward only when observers are off: per-cycle span tracking and
   // periodic sampling need every cycle, and observers must never perturb
@@ -399,7 +498,7 @@ Result<Cycle> Engine::Run(uint64_t max_cycles) {
         // earliest event hint: jump there (clamped to the cycle budget;
         // kNoEventCycle everywhere means a genuine deadlock, which runs
         // the budget out exactly as per-cycle ticking would).
-        const Cycle target = std::min(EarliestEvent(), limit);
+        const Cycle target = std::min(GlobalNextEventCycle(), limit);
         if (target > now_ + 1) {
           for (Module* m : modules_) m->AccountSkip(now_, target);
           now_ = target;
@@ -412,6 +511,538 @@ Result<Cycle> Engine::Run(uint64_t max_cycles) {
     flushed_ = false;
     ++now_;
   }
+  FlushObservers();
+  if (QuiescedNow()) return now_;
+  return Status::Timeout("engine did not quiesce within " +
+                         std::to_string(max_cycles) + " cycles");
+}
+
+// --- Event-driven core ------------------------------------------------------
+//
+// Correctness frame: the legacy loop ticks EVERY module EVERY visited cycle,
+// so extra ticks are always safe — the only dangerous direction is skipping
+// one. A module's tick may be skipped at cycle c only when it is certified
+// (SetEventSafe: an unarmed tick is a no-op except for stall attribution,
+// which AttributeSkip reproduces in closed form) AND nothing armed it for c.
+// Arming is over-approximate everywhere: residual committed items on a bound
+// input, any commit on a bound input, a drain of a full bound output, an
+// explicit WakeUp, or the module's own NextEventCycle hint each force a tick.
+
+void Engine::RebuildEventState() {
+  const size_t n = modules_.size();
+  next_run_.assign(n, kNoEventCycle);
+  accounted_.assign(n, now_);
+  heap_.clear();
+  heap_pops_.clear();
+  run_now_.clear();
+  run_next_.clear();
+  run_next_sorted_ = true;
+  qc_module_ = kNone;
+  qc_stream_ = kNone;
+  // A bind-conflicted stream has an ambiguous writer set, so its commit edge
+  // cannot be attributed to one endpoint pair; rather than risk a missed
+  // wake, demote every module to always-active (exact legacy behavior, just
+  // driven from the event loop).
+  bool edges_ok = true;
+  for (const StreamBase* s : streams_) {
+    if (s->bind_conflict()) {
+      edges_ok = false;
+      break;
+    }
+  }
+  always_active_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (!edges_ok || !modules_[i]->event_safe()) always_active_.push_back(i);
+  }
+  // Bound-input lists drive the post-tick residual re-arm (ReArmModule).
+  bound_inputs_.assign(n, {});
+  for (const StreamBase* s : streams_) {
+    if (s->consumer_index_ != StreamBase::kNoEndpoint) {
+      bound_inputs_[s->consumer_index_].push_back(s);
+    }
+  }
+  // Drain-edge plumbing is serial-only: a push from a worker thread would
+  // race. Parallel event mode relies on the certified-module contract that a
+  // blocked producer keeps its hint <= now (it re-arms itself every cycle).
+  for (StreamBase* s : streams_) {
+    s->drained_pending_ = false;
+    if (parallel_tick_) {
+      s->drain_queue_.reset();
+    } else {
+      s->drain_queue_ = drain_queue_;
+    }
+  }
+  drain_queue_->clear();
+  event_state_valid_ = true;
+}
+
+void Engine::InvalidateEventState() {
+  if (!event_state_valid_) return;
+  // accounted_ may be shorter than modules_ (AddModule since the last
+  // rebuild); new modules have no deferred event attribution to settle.
+  for (size_t i = 0; i < accounted_.size(); ++i) SettleTo(i, now_);
+  event_state_valid_ = false;
+  for (StreamBase* s : streams_) {
+    s->drain_queue_.reset();
+    s->drained_pending_ = false;
+  }
+  drain_queue_->clear();
+}
+
+void Engine::SettleTo(size_t i, Cycle to) {
+  if (accounted_[i] >= to) return;
+  modules_[i]->AccountSkip(accounted_[i], to);
+  accounted_[i] = to;
+}
+
+bool Engine::EventQuiesced() {
+  // Re-test the cached blocker first: in a steady-state run the same stream
+  // (or module) stays occupied for long stretches, making the full scan a
+  // once-per-phase cost instead of a per-cycle one. The stream check leads
+  // because InFlight() is a non-virtual load — the common per-cycle cost is
+  // then identical to the legacy loop's first stream probe — while Idle()
+  // is a virtual call.
+  if (qc_stream_ != kNone) {
+    if (streams_[qc_stream_]->InFlight()) return false;
+    qc_stream_ = kNone;
+  }
+  if (qc_module_ != kNone) {
+    if (!modules_[qc_module_]->Idle()) return false;
+    qc_module_ = kNone;
+  }
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i]->InFlight()) {
+      qc_stream_ = i;
+      return false;
+    }
+  }
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (!modules_[i]->Idle()) {
+      qc_module_ = i;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::BuildRunList(Cycle c) {
+  // Pop due calendar entries. The heap is lazy-delete: an entry is live iff
+  // it still matches next_run_, so re-arms never search the heap.
+  heap_pops_.clear();
+  while (!heap_.empty() && heap_.front().first <= c) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater);
+    const auto [cycle, idx] = heap_.back();
+    heap_.pop_back();
+    if (next_run_[idx] != cycle) continue;  // stale entry
+    // Nothing may be overdue: jumps target the heap head, so a live entry
+    // below c would mean a skipped armed tick.
+    FPGADP_DCHECK(cycle == c);
+    heap_pops_.push_back(idx);
+  }
+  // Fast path for dense flow-through phases: every armed module was armed
+  // for c by the previous cycle's in-order re-arms — the list is already
+  // sorted and deduped, so the run list is a pointer swap.
+  if (heap_pops_.empty() && always_active_.empty() && run_next_sorted_) {
+    std::swap(run_now_, run_next_);
+    run_next_.clear();
+    return;
+  }
+  run_now_.clear();
+  run_now_.insert(run_now_.end(), run_next_.begin(), run_next_.end());
+  run_now_.insert(run_now_.end(), heap_pops_.begin(), heap_pops_.end());
+  run_now_.insert(run_now_.end(), always_active_.begin(), always_active_.end());
+  std::sort(run_now_.begin(), run_now_.end());
+  run_now_.erase(std::unique(run_now_.begin(), run_now_.end()),
+                 run_now_.end());
+  run_next_.clear();
+  run_next_sorted_ = true;
+}
+
+void Engine::ArmNext(size_t i) {
+  // Always-active modules join every run list; arming them would leave a
+  // stale next_run_ behind (they never pass through ReArmModule to clear
+  // it). Their next_run_ stays kNoEventCycle forever.
+  if (!modules_[i]->event_safe()) return;
+  const Cycle nc = now_ + 1;
+  if (next_run_[i] == nc) return;  // already queued in run_next_
+  next_run_[i] = nc;
+  if (!run_next_.empty() && run_next_.back() > i) run_next_sorted_ = false;
+  run_next_.push_back(i);
+}
+
+void Engine::WakeModule(size_t t) {
+  // Wakes are meaningful only while event bookkeeping is live; the legacy
+  // loop ticks everyone anyway.
+  if (!event_state_valid_) return;
+  // Same reasoning inside a saturated phase: every module ticks every
+  // cycle, and the phase exit re-arms the world. (accounted_ is also stale
+  // there — settling against it would double-count genuinely ticked
+  // cycles.)
+  if (event_saturated_) return;
+  if (!modules_[t]->event_safe()) return;
+  if (event_dispatching_) {
+    const Cycle c = now_;
+    if (next_run_[t] == c) return;  // already runs (or ran) this cycle
+    if (t == current_ticking_index_) {
+      // Self-wake from inside the module's own Tick: its cycle-c accounting
+      // is handled by the dispatch loop; just ask for c+1.
+      ArmNext(t);
+      return;
+    }
+    if (t < current_ticking_index_) {
+      // The legacy loop ticked t BEFORE the in-flight module mutated it, so
+      // t's cycle c stays an unarmed no-op (settled via AttributeSkip using
+      // the pre-mutation state — wakers must call WakeUp() before the
+      // mutation, see Module::WakeUp) and t runs at c+1.
+      SettleTo(t, c + 1);
+      ArmNext(t);
+      return;
+    }
+    // t ticks AFTER the in-flight module in registration order, so the
+    // legacy loop makes the mutation visible to it this very cycle: arm it
+    // for c. If a next-cycle arm is already queued in run_next_, supersede
+    // it (leaving it would duplicate t once the c-tick re-arms); a c+1 arm
+    // living in the calendar heap instead (a timer hint from an earlier
+    // cycle) goes stale on its own when next_run_ is overwritten below.
+    if (next_run_[t] == c + 1) {
+      const auto it = std::find(run_next_.begin(), run_next_.end(), t);
+      if (it != run_next_.end()) run_next_.erase(it);
+    }
+    SettleTo(t, c);
+    next_run_[t] = c;
+    // run_now_ is sorted and the dispatch cursor sits at a lower index than
+    // t, so the insertion point is always after the cursor — the dispatch
+    // loop will reach t later this cycle.
+    run_now_.insert(std::lower_bound(run_now_.begin(), run_now_.end(), t), t);
+    return;
+  }
+  // Outside dispatch (harness Submit between runs): arm at now_. Run()
+  // re-seeds every certified module on entry anyway, so this is mostly
+  // belt-and-braces for state mutated between Run() calls.
+  if (next_run_[t] <= now_) return;  // already armed at or before now
+  SettleTo(t, now_);
+  next_run_[t] = now_;
+  heap_.emplace_back(now_, t);
+  std::push_heap(heap_.begin(), heap_.end(), HeapLater);
+}
+
+void Engine::ReArmModule(size_t i, Cycle c) {
+  // Residual committed items on a bound input mean the module has readable
+  // work next cycle: arm it without the virtual hint call. This is the hot
+  // re-arm path on dense flow-through pipelines.
+  for (const StreamBase* s : bound_inputs_[i]) {
+    if (s->committed_count_ > 0) {
+      ArmNext(i);
+      return;
+    }
+  }
+  const Cycle h = modules_[i]->NextEventCycle(c);
+  FPGADP_DCHECK(h == kNoEventCycle || h == kAlwaysActive || h >= c);
+  if (h == kNoEventCycle) return;  // sleeps until a wake edge
+  if (h == kAlwaysActive || h <= c + 1) {
+    ArmNext(i);
+    return;
+  }
+  if (next_run_[i] == c + 1) return;  // a wake already armed it sooner
+  next_run_[i] = h;
+  heap_.emplace_back(h, i);
+  std::push_heap(heap_.begin(), heap_.end(), HeapLater);
+}
+
+void Engine::SeedAllArmed() {
+  heap_.clear();
+  run_now_.clear();
+  run_next_.clear();
+  run_next_sorted_ = true;
+  size_t aa = 0;
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (aa < always_active_.size() && always_active_[aa] == i) {
+      ++aa;
+      next_run_[i] = kNoEventCycle;
+      continue;
+    }
+    next_run_[i] = now_;
+    run_next_.push_back(i);
+  }
+}
+
+void Engine::DispatchCycle(Cycle c) {
+  [[maybe_unused]] const obs::internal::TickPhaseGuard tick_guard;
+  event_dispatching_ = true;
+  if (parallel_tick_ && run_now_.size() > kInlineTickThreshold) {
+    // Level-parallel dispatch of the armed set. Re-arms run serially after
+    // each level barrier (the heap and run_next_ are not thread-safe);
+    // parallel-certified modules never call WakeUp, so workers only touch
+    // their own module plus accounted_[i].
+    if (level_buckets_.size() < levels_.size()) {
+      level_buckets_.resize(levels_.size());
+    }
+    for (auto& bucket : level_buckets_) bucket.clear();
+    for (size_t i : run_now_) level_buckets_[module_level_[i]].push_back(i);
+    for (auto& bucket : level_buckets_) {
+      if (bucket.empty()) continue;
+      if (bucket.size() <= kInlineTickThreshold) {
+        for (size_t i : bucket) {
+          if (accounted_[i] != c) SettleTo(i, c);
+          modules_[i]->Tick(c);
+          modules_[i]->FinalizeTick();
+          accounted_[i] = c + 1;
+        }
+      } else {
+        pool_->ParallelFor(bucket.size(), [&](size_t k) {
+          const size_t i = bucket[k];
+          if (accounted_[i] != c) SettleTo(i, c);
+          modules_[i]->Tick(c);
+          modules_[i]->FinalizeTick();
+          accounted_[i] = c + 1;
+        });
+      }
+      for (size_t i : bucket) {
+        if (modules_[i]->event_safe()) {
+          next_run_[i] = kNoEventCycle;
+          ReArmModule(i, c);
+        }
+      }
+    }
+  } else {
+    // Serial dispatch in registration order. run_now_ may GROW mid-loop
+    // (WakeModule inserts later-index targets past the cursor), so the size
+    // is re-read every iteration.
+    for (size_t cursor = 0; cursor < run_now_.size(); ++cursor) {
+      const size_t i = run_now_[cursor];
+      current_ticking_index_ = i;
+      if (accounted_[i] != c) SettleTo(i, c);
+      const bool certified = modules_[i]->event_safe();
+      // Clear the arm BEFORE ticking so a self-WakeUp during the tick is
+      // seen as a fresh request, and so a hintless sleeper never leaves a
+      // stale next_run_ that would swallow a later wake.
+      if (certified) next_run_[i] = kNoEventCycle;
+      modules_[i]->Tick(c);
+      modules_[i]->FinalizeTick();
+      accounted_[i] = c + 1;
+      if (certified) ReArmModule(i, c);
+    }
+  }
+  event_dispatching_ = false;
+  // Commit phase. Committed data becomes readable at c+1, so every commit
+  // arms the consumer — the stream edge that lets pure flow-through modules
+  // sleep with a kNoEventCycle hint.
+  if (parallel_tick_) {
+    // The serial dirty list is detached in parallel mode (worker pushes
+    // would race); scan the staged flags on the coordinating thread.
+    for (StreamBase* s : streams_) {
+      if (s->has_staged()) {
+        s->Commit();
+        if (s->consumer_index_ != StreamBase::kNoEndpoint) {
+          ArmNext(s->consumer_index_);
+        }
+      }
+    }
+  } else {
+    if (!commit_queue_->empty()) {
+      for (StreamBase* s : *commit_queue_) {
+        s->Commit();
+        if (s->consumer_index_ != StreamBase::kNoEndpoint) {
+          ArmNext(s->consumer_index_);
+        }
+      }
+      commit_queue_->clear();
+    }
+    // Drain edges: a stream that went full -> non-full this cycle re-opens
+    // a blocked producer's output path for c+1. Belt-and-braces on top of
+    // the blocked-producer hint contract.
+    if (!drain_queue_->empty()) {
+      for (StreamBase* s : *drain_queue_) {
+        s->drained_pending_ = false;
+        if (s->producer_index_ != StreamBase::kNoEndpoint) {
+          ArmNext(s->producer_index_);
+        }
+      }
+      drain_queue_->clear();
+    }
+  }
+}
+
+Result<Cycle> Engine::RunEventDriven(uint64_t max_cycles) {
+  const Cycle limit = now_ + max_cycles;
+  if (!event_state_valid_) RebuildEventState();
+  // Entry seeding: harnesses may have preloaded streams, committed them
+  // manually, swapped fault injectors, or submitted work without a wake
+  // since the last Run() — none of which a previous run's sleep decisions
+  // can know about. Arm every certified module once at now_ and drop the
+  // stale calendar; one no-op tick per module per Run() is
+  // attribution-identical by the event-safe contract, and timer re-arms
+  // repopulate the heap from fresh hints.
+  SeedAllArmed();
+  qc_module_ = kNone;
+  qc_stream_ = kNone;
+  dense_streak_ = 0;
+  while (now_ < limit) {
+    // Quiescence is checked every VISITED cycle, like the legacy loop; the
+    // gaps in between are provably frozen (unarmed certified modules do not
+    // tick, and Idle()/InFlight() are pure state functions), so no jump can
+    // overshoot the quiesce cycle.
+    if (EventQuiesced()) {
+      for (size_t i = 0; i < modules_.size(); ++i) SettleTo(i, now_);
+      FlushObservers();
+      return now_;
+    }
+    BuildRunList(now_);
+    if (run_now_.empty()) {
+      if (commit_queue_->empty()) {
+        // Nothing armed and nothing staged: state is frozen until the next
+        // calendar entry. Jump there (clamped to the budget; an empty heap
+        // is a genuine deadlock, which runs the budget out just as
+        // per-cycle ticking would). Attribution settles lazily.
+        const Cycle head = heap_.empty() ? kNoEventCycle : heap_.front().first;
+        now_ = std::min(head, limit);
+        dense_streak_ = 0;
+        continue;
+      }
+      // A harness staged writes between runs: dispatch a commit-only cycle
+      // so the commit edge arms the consumers.
+    } else if (fast_forward_ && !always_active_.empty() &&
+               run_now_.size() == always_active_.size()) {
+      // The run list is exactly the always-active set (it is always a
+      // subset). Those modules carry no event certification, so they can
+      // only be skipped under the legacy fast-forward conditions: every
+      // stream empty and every hint beyond now_+1.
+      bool streams_empty = true;
+      for (const StreamBase* s : streams_) {
+        if (s->InFlight()) {
+          streams_empty = false;
+          break;
+        }
+      }
+      if (streams_empty) {
+        Cycle target = heap_.empty() ? kNoEventCycle : heap_.front().first;
+        for (size_t i : always_active_) {
+          const Cycle hint = modules_[i]->NextEventCycle(now_);
+          FPGADP_DCHECK(hint == kNoEventCycle || hint == kAlwaysActive ||
+                        hint >= now_);
+          if (hint == kAlwaysActive) {
+            target = now_;
+            break;
+          }
+          if (hint < target) target = hint;
+          if (target <= now_ + 1) break;
+        }
+        if (target > now_ + 1) {
+          // The armed set re-forms at the target: always-active modules
+          // join every run list and the calendar entry that defined the
+          // target is still queued. (run_now_ is discarded, not consumed —
+          // nothing in it was de-armed.)
+          now_ = std::min(target, limit);
+          dense_streak_ = 0;
+          continue;
+        }
+      }
+    }
+    if (run_now_.size() == modules_.size()) {
+      // A full run list means the cycle costs exactly what the legacy loop
+      // charges, plus the arming bookkeeping on top — dispatching a full
+      // list is never cheaper than just ticking everyone. After a streak of
+      // such cycles (hysteresis: the phase exit below costs O(modules)),
+      // drop into a saturated inner loop that runs the legacy tick body
+      // with zero scheduling overhead. Leave it only on a sustained LULL:
+      // the loop samples the busy-cycle sum once per kSaturationLullCycles
+      // window and exits when a whole window accrued fewer busy-marks than
+      // a single fully-busy cycle would — a phase quiet enough that
+      // sleeping modules must pay. Scattered stall cycles inside a dense
+      // phase (a blocked producer, a memory channel waiting out latency)
+      // never trip it; exiting on the first such cycle made full-armed-
+      // but-stalling topologies (incast, memory-bound pipelines) thrash
+      // the O(modules) boundary every few cycles. Extra ticks are always
+      // safe, so the only cost of a late exit is wall-clock, never
+      // correctness.
+      //
+      // The streak counter resets on every jump: entry therefore follows a
+      // full *dispatched* cycle, which left accounted_[i] == now_ for every
+      // module — the fast loop's real per-cycle ticks keep attribution
+      // exact on their own, so no settling is pending while it runs.
+      if (dense_streak_ >= kDenseStreakCycles) {
+        event_saturated_ = true;
+        uint64_t prev_busy = 0;
+        for (const Module* m : modules_) prev_busy += m->busy_cycles();
+        uint32_t probe_in = kSaturationLullCycles;
+        // Hoisted out of the loop: nothing inside reads flushed_, and the
+        // streak that got us here already cleared it.
+        flushed_ = false;
+        std::vector<StreamBase*>* const cq = commit_queue_.get();
+        while (now_ < limit) {
+          // Inline quiesce check with the legacy loop's exact shape (first
+          // in-flight stream answers in one non-virtual load); an
+          // out-of-line EventQuiesced() call here measurably taxed the
+          // ~tens-of-ns cycle body on saturated dense pipelines.
+          bool streams_empty = true;
+          for (const StreamBase* s : streams_) {
+            if (s->InFlight()) {
+              streams_empty = false;
+              break;
+            }
+          }
+          if (streams_empty) {
+            bool all_idle = true;
+            for (const Module* m : modules_) {
+              if (!m->Idle()) {
+                all_idle = false;
+                break;
+              }
+            }
+            if (all_idle) break;
+          }
+          if (parallel_tick_) {
+            TickAndCommit();
+          } else {
+            // Serial TickAndCommit body inlined, commit queue deref
+            // hoisted: the saturated loop is the one place the engine
+            // spends whole phases in a ~tens-of-ns cycle body, so the
+            // call + mode branch + shared_ptr chase are worth shaving.
+            [[maybe_unused]] const obs::internal::TickPhaseGuard tick_guard;
+            for (Module* m : modules_) {
+              m->Tick(now_);
+              m->FinalizeTick();
+            }
+            if (!cq->empty()) {
+              for (StreamBase* s : *cq) s->Commit();
+              cq->clear();
+            }
+          }
+          ++now_;
+          if (--probe_in == 0) {
+            uint64_t busy = 0;
+            for (const Module* m : modules_) busy += m->busy_cycles();
+            if (busy - prev_busy < modules_.size()) break;
+            prev_busy = busy;
+            probe_in = kSaturationLullCycles;
+          }
+        }
+        event_saturated_ = false;
+        dense_streak_ = 0;
+        // Every fast-loop cycle was genuinely ticked and attributed by
+        // FinalizeTick, so attribution simply advances; arming restarts
+        // from a full seed, which also supersedes any drain edges recorded
+        // during the phase.
+        for (size_t i = 0; i < accounted_.size(); ++i) accounted_[i] = now_;
+        SeedAllArmed();
+        for (StreamBase* s : *drain_queue_) s->drained_pending_ = false;
+        drain_queue_->clear();
+        continue;
+      }
+      DispatchCycle(now_);
+      ++dense_streak_;
+      flushed_ = false;
+      ++now_;
+      continue;
+    }
+    dense_streak_ = 0;
+    DispatchCycle(now_);
+    flushed_ = false;
+    ++now_;
+  }
+  // Budget exhausted (or a jump clamped to it): settle every module through
+  // the final cycle, then classify exactly like the legacy loop.
+  for (size_t i = 0; i < modules_.size(); ++i) SettleTo(i, now_);
   FlushObservers();
   if (QuiescedNow()) return now_;
   return Status::Timeout("engine did not quiesce within " +

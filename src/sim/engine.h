@@ -26,15 +26,33 @@ struct TraceOptions {
 
 class ThreadPool;
 
+/// How Run() decides which modules to tick each cycle.
+///
+///  * kLevelTick — the legacy loop: every module ticks every visited cycle
+///    (fast-forward may skip whole cycles when every stream is empty).
+///  * kEventDriven — per-module activation: a module ticks only when armed
+///    (its own NextEventCycle hint, residual items on a bound input stream,
+///    a stream commit/drain edge, or an explicit WakeUp). Idle modules cost
+///    zero per cycle, fast-forward falls out naturally (the engine jumps to
+///    the event-queue head), and the mode composes with parallel tick.
+///    Bit-identical cycles and counters to kLevelTick by construction;
+///    modules not SetEventSafe() are ticked every visited cycle exactly as
+///    in the legacy loop.
+enum class Scheduling : uint8_t { kLevelTick, kEventDriven };
+
 /// Process-global defaults new engines are constructed with, so harness
 /// flags (e.g. bench_common's --threads) reach engines built deep inside
 /// pipeline helpers (ExecuteFpga, MicroRec, ACCL) without threading a knob
-/// through every config struct. Per-engine SetThreads/SetFastForward
-/// override them.
+/// through every config struct. Per-engine SetThreads/SetFastForward/
+/// SetScheduling override them. The scheduling default additionally reads
+/// the FPGADP_ENGINE environment variable once ("event" selects
+/// kEventDriven), so test tiers can sweep the scheduler without rebuilding.
 void SetDefaultEngineThreads(uint32_t n);
 uint32_t DefaultEngineThreads();
 void SetDefaultFastForward(bool on);
 bool DefaultFastForward();
+void SetDefaultScheduling(Scheduling s);
+Scheduling DefaultScheduling();
 
 /// Drives a set of modules and streams with a two-phase, cycle-stepped loop:
 /// each cycle every module Tick()s (reads are visible, writes staged), then
@@ -76,8 +94,17 @@ bool DefaultFastForward();
 ///    stream and are provably independent. Requires every module to be
 ///    parallel_safe(); one uncertified module (or a conflicting stream
 ///    binding) falls the engine back to the bit-identical serial path.
+///    Levels with at most a handful of armed modules run inline on the
+///    coordinating thread — a pool dispatch costs more than a few ticks.
 ///    Probes and quiesce checks stay on the coordinating thread, so all
 ///    observer state remains single-threaded.
+///
+///  * Event-driven scheduling (SetScheduling(Scheduling::kEventDriven)):
+///    Run() keeps a per-module activation state plus a calendar heap and
+///    ticks only armed modules; stream commit/drain edges and explicit
+///    WakeUp() calls re-arm sleepers, and cycles with no armed work are
+///    jumped over entirely. Composes with parallel tick (the armed set is
+///    dispatched level-by-level). See DESIGN.md "Event-driven core".
 class Engine {
  public:
   /// `clock_hz` is the modeled kernel clock, used only by reporting helpers.
@@ -111,6 +138,14 @@ class Engine {
   /// Enables/disables event-driven fast-forwarding inside Run().
   void SetFastForward(bool on) { fast_forward_ = on; }
   bool fast_forward() const { return fast_forward_; }
+
+  /// Selects the Run() scheduler (see Scheduling). Event-driven runs are
+  /// bit-identical to level-tick runs; the legacy path stays available for
+  /// differential testing (`--engine=` in benches). Attaching a trace
+  /// writer or metrics registry forces the legacy path for that engine —
+  /// per-cycle probes need every cycle — exactly like fast-forward.
+  void SetScheduling(Scheduling s) { scheduling_ = s; }
+  Scheduling scheduling() const { return scheduling_; }
 
   /// Advances exactly one cycle. Never fast-forwards, so manually stepped
   /// harnesses observe every cycle; see FlushObservers() for the probe
@@ -184,6 +219,8 @@ class Engine {
     uint64_t cycles_cursor = 0;
   };
 
+  friend class Module;  // Module::WakeUp forwards to WakeModule.
+
   void SetupObservability();
   void EnsureProbeSlots();
   void ProbeStep();
@@ -195,9 +232,52 @@ class Engine {
   /// One cycle's module ticks plus the stream commit phase, under the
   /// tick-phase metrics-lookup guard.
   void TickAndCommit();
-  /// Earliest NextEventCycle() over all modules; only meaningful when every
-  /// stream is empty.
-  Cycle EarliestEvent() const;
+  /// Earliest NextEventCycle() over all modules, clamped to now_ when any
+  /// module reports kAlwaysActive; only meaningful when every stream is
+  /// empty. DCHECKs that every hint is kNoEventCycle, kAlwaysActive, or a
+  /// cycle >= now_, so a buggy hint fails loud instead of silently
+  /// disabling fast-forward.
+  Cycle GlobalNextEventCycle() const;
+
+  // --- Event-driven core (Scheduling::kEventDriven) -----------------------
+
+  /// The event-mode Run() loop: builds each cycle's armed-module run list
+  /// from the calendar heap, the previous cycle's next-cycle arms, and the
+  /// always-active set; dispatches it (serially or level-parallel); and
+  /// jumps over cycles with no armed work.
+  Result<Cycle> RunEventDriven(uint64_t max_cycles);
+  /// (Re)allocates the per-module activation arrays and the per-stream
+  /// wake-edge plumbing; arms every event-certified module at now_.
+  void RebuildEventState();
+  /// Brings every module's skipped-cycle attribution up to now_ and drops
+  /// the event state. Called before any legacy-path stepping (Step, legacy
+  /// Run, schedule rebuild) so bucket totals are always settled whenever
+  /// event bookkeeping is not live.
+  void InvalidateEventState();
+  /// Lazily settles module `i`'s attribution through cycle `to` (exclusive).
+  void SettleTo(size_t i, Cycle to);
+  /// O(1)-amortized quiescence probe: re-tests the cached blocking
+  /// module/stream before falling back to the full scan.
+  bool EventQuiesced();
+  /// Pops the run list for cycle `c` into run_now_ (sorted, deduped).
+  void BuildRunList(Cycle c);
+  /// Arms every event-certified module at now_ and drops the calendar:
+  /// the event loop's entry seeding, also used to re-enter bookkeeping
+  /// after a saturated phase (see RunEventDriven).
+  void SeedAllArmed();
+  /// Ticks the armed modules of cycle `c` (serial or level-parallel with
+  /// small levels inlined), commits dirty streams, and arms stream edges.
+  void DispatchCycle(Cycle c);
+  /// Post-tick re-arm for a certified module: bound-input residual first
+  /// (no virtual call), then the NextEventCycle hint.
+  void ReArmModule(size_t i, Cycle c);
+  /// Arms module `i` for the cycle after the one being dispatched.
+  void ArmNext(size_t i);
+  /// Event-mode wake entry point (Module::WakeUp): arms the target while
+  /// preserving legacy registration-order visibility — a target whose index
+  /// precedes the in-flight tick is armed for the next cycle (the legacy
+  /// loop ticked it before the mutation), a later one for this cycle.
+  void WakeModule(size_t i);
 
   double clock_hz_;
   Cycle now_ = 0;
@@ -209,6 +289,7 @@ class Engine {
   std::unique_ptr<MetricsState> metrics_;
   bool fast_forward_ = true;
   uint32_t threads_ = 1;
+  Scheduling scheduling_ = Scheduling::kLevelTick;
   std::unique_ptr<ThreadPool> pool_;
   // Parallel tick schedule, rebuilt when the module/stream set changes:
   // levels_ partitions modules so that no two modules in one level share a
@@ -217,6 +298,56 @@ class Engine {
   bool schedule_dirty_ = true;
   bool parallel_tick_ = false;
   std::vector<std::vector<Module*>> levels_;
+  // Per-module level index (parallel to modules_), kept alongside levels_
+  // so the event dispatcher can bucket an armed set by level in O(armed).
+  std::vector<uint32_t> module_level_;
+
+  // --- Event-driven scheduler state (valid iff event_state_valid_) -------
+  //
+  // next_run_[i] is the single source of truth for module i's arming: the
+  // cycle it will next tick at, or kNoEventCycle when unarmed. The calendar
+  // heap_ is a lazy-delete min-heap of (cycle, index) pairs — an entry is
+  // live iff it still matches next_run_; re-arms simply push a second entry
+  // and the stale one is dropped (or deduped) at pop time. Arms for the
+  // cycle right after the one being dispatched accumulate in run_next_
+  // (sortedness tracked while building, sorted only when a wake broke the
+  // order), which becomes the seed of the next cycle's run list. Modules
+  // not event_safe() live in always_active_ and join every run list —
+  // exact legacy behavior for them. accounted_[i] is the cycle (exclusive)
+  // through which module i's stall attribution is settled; gaps settle
+  // lazily at the next tick, wake, or Run() exit.
+  bool event_state_valid_ = false;
+  bool event_dispatching_ = false;
+  // True while the event loop runs its saturated-phase inner loop (every
+  // module armed and busy): ticks run through the zero-overhead legacy body
+  // and wakes are dropped — everyone ticks every cycle anyway, and the
+  // re-seed on phase exit re-arms the world.
+  bool event_saturated_ = false;
+  // Consecutive event cycles whose run list was the full module set; the
+  // saturated fast path engages past a small threshold (hysteresis, so a
+  // workload that oscillates near density does not thrash the O(modules)
+  // phase-exit re-seed).
+  uint32_t dense_streak_ = 0;
+  size_t current_ticking_index_ = 0;
+  std::vector<Cycle> next_run_;
+  std::vector<Cycle> accounted_;
+  std::vector<std::pair<Cycle, size_t>> heap_;
+  std::vector<size_t> run_now_;
+  std::vector<size_t> run_next_;
+  bool run_next_sorted_ = true;
+  std::vector<size_t> heap_pops_;
+  std::vector<size_t> always_active_;
+  // Bound input streams per module (consumer side), for the residual-item
+  // re-arm check that avoids the virtual hint call on flow-through paths.
+  std::vector<std::vector<const StreamBase*>> bound_inputs_;
+  // Armed-set level buckets for event+parallel dispatch, reused per cycle.
+  std::vector<std::vector<size_t>> level_buckets_;
+  // Staged-stream scratch for the parallel-mode commit phase, reused per
+  // cycle so the staged-count threshold costs no allocation.
+  std::vector<StreamBase*> staged_streams_;
+  // Cached quiescence blocker (module / stream index; ~0 = none cached).
+  size_t qc_module_ = ~size_t{0};
+  size_t qc_stream_ = ~size_t{0};
   // Serial-mode dirty-stream list: streams push themselves here on their
   // first staged write of a cycle (StreamBase::NoteStaged) and the commit
   // phase drains it, so idle streams cost nothing. RebuildSchedule() shares
@@ -225,6 +356,11 @@ class Engine {
   // stream/engine destruction order irrelevant — harnesses destroy them in
   // both orders.
   std::shared_ptr<std::vector<StreamBase*>> commit_queue_ =
+      std::make_shared<std::vector<StreamBase*>>();
+  // Read-edge wake list: streams that went from full to non-full this cycle
+  // (StreamBase::NoteDrained) so the event scheduler can re-arm a blocked
+  // producer. Attached to streams only on the serial event-driven path.
+  std::shared_ptr<std::vector<StreamBase*>> drain_queue_ =
       std::make_shared<std::vector<StreamBase*>>();
 };
 

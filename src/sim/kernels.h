@@ -41,6 +41,7 @@ class VectorSource : public Module {
     FPGADP_CHECK(lanes_ > 0);
     out_->BindProducer(this);
     SetParallelSafe();
+    SetEventSafe();
   }
 
   void Tick(Cycle) override {
@@ -96,6 +97,7 @@ class VectorSink : public Module {
     FPGADP_CHECK(lanes_ > 0);
     in_->BindConsumer(this);
     SetParallelSafe();
+    SetEventSafe();
   }
 
   void Tick(Cycle) override {
@@ -157,6 +159,7 @@ class TransformKernel : public Module {
     in_->BindConsumer(this);
     out_->BindProducer(this);
     SetParallelSafe();
+    SetEventSafe();
   }
 
   void Tick(Cycle cycle) override {
@@ -275,6 +278,7 @@ class ReduceKernel : public Module {
     in_->BindConsumer(this);
     out_->BindProducer(this);
     SetParallelSafe();
+    SetEventSafe();
   }
 
   void Tick(Cycle cycle) override {
@@ -357,6 +361,7 @@ class DelayLine : public Module {
     in_->BindConsumer(this);
     out_->BindProducer(this);
     SetParallelSafe();
+    SetEventSafe();
   }
 
   void Tick(Cycle cycle) override {

@@ -1,6 +1,7 @@
 #ifndef FPGADP_SIM_MODULE_H_
 #define FPGADP_SIM_MODULE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -19,6 +20,15 @@ using Cycle = uint64_t;
 /// Sentinel NextEventCycle() value: the module has no self-scheduled future
 /// event — it only reacts to stream traffic (or is finished entirely).
 inline constexpr Cycle kNoEventCycle = ~Cycle{0};
+
+/// Sentinel NextEventCycle() value: the module declines to hint at all and
+/// must be ticked every cycle. This is the base-class default, so an
+/// un-audited module is *explicitly* always-active instead of silently
+/// returning "now" — the engine DCHECKs that every hint is one of the two
+/// sentinels or a cycle >= now, making a buggy hint fail loud.
+inline constexpr Cycle kAlwaysActive = ~Cycle{0} - 1;
+
+class Engine;
 
 /// Why a module made no forward progress in a cycle. Attribution follows the
 /// classic pipeline-stall taxonomy: waiting on an empty input FIFO, waiting
@@ -65,13 +75,21 @@ class Module {
   /// system is empty and stays empty until then. Timer- and latency-driven
   /// modules (memory channels, retransmission timers, delay lines) return
   /// their next deadline; purely reactive modules return kNoEventCycle. The
-  /// conservative default — "I might act next cycle" — disables skipping
-  /// past an uncertified module, so subclasses opt in explicitly.
+  /// conservative default — kAlwaysActive, "tick me every cycle" — disables
+  /// skipping past an un-audited module, so subclasses opt in explicitly.
   ///
   /// Contract: if every module's hint is > c for all cycles in [now, c],
   /// then ticking the system through [now, c) is a no-op except for stall
   /// attribution, which AccountSkip() reproduces in closed form.
-  virtual Cycle NextEventCycle(Cycle now) const { return now; }
+  ///
+  /// Event-driven scheduling additionally requires (for SetEventSafe
+  /// modules) that a hint <= now is returned whenever the module holds
+  /// output it could not deliver (full output stream), so a drained
+  /// consumer re-opens the path on the very next cycle.
+  virtual Cycle NextEventCycle(Cycle now) const {
+    (void)now;
+    return kAlwaysActive;
+  }
 
   /// Engine-driven bulk attribution for a fast-forwarded gap: accounts the
   /// `to - from` skipped cycles exactly as the per-cycle Tick()s would have
@@ -93,6 +111,24 @@ class Module {
   /// structures or into other modules directly must stay uncertified; one
   /// uncertified module drops the whole engine to the serial tick path.
   bool parallel_safe() const { return parallel_safe_; }
+
+  /// True iff the module is certified for event-driven scheduling: ticking
+  /// it while unarmed (no pending hint, no residual on a bound input stream,
+  /// no wakeup) is a no-op except for stall attribution, which AttributeSkip
+  /// reproduces. Uncertified modules are ticked every cycle even in event
+  /// mode — exact legacy behavior, never an approximation.
+  bool event_safe() const { return event_safe_; }
+
+  /// Requests a tick from the event-driven scheduler: at the current cycle
+  /// when called from inside another module's Tick() (the engine preserves
+  /// registration-order visibility), at the engine's current cycle
+  /// otherwise. No-op when the module is not registered with an engine or
+  /// the engine is not running event-driven. Modules whose state can be
+  /// mutated from *outside* their own Tick (completion queues filled by an
+  /// endpoint, outcomes published by a coordinator) call this — directly or
+  /// via a wake-listener hook — so the mutation never outruns the hint they
+  /// gave when they last ran.
+  void WakeUp();
 
   const std::string& name() const { return name_; }
 
@@ -182,11 +218,19 @@ class Module {
   /// the subclass constructor, after binding every stream the Tick touches.
   void SetParallelSafe() { parallel_safe_ = true; }
 
+  /// Certifies this module for event-driven scheduling (see event_safe()).
+  /// Call from the subclass constructor, after binding every stream the
+  /// Tick touches: the engine re-arms a certified module whenever a bound
+  /// input stream holds residual items, so binds double as wake edges.
+  void SetEventSafe() { event_safe_ = true; }
+
   obs::TraceWriter* trace_writer() const { return trace_writer_; }
   int trace_pid() const { return trace_pid_; }
   int trace_tid() const { return trace_tid_; }
 
  private:
+  friend class Engine;  // Sets the backpointer in AddModule.
+
   std::string name_;
   uint64_t busy_cycles_ = 0;
   uint64_t starved_cycles_ = 0;
@@ -195,6 +239,11 @@ class Module {
   uint64_t attributed_ = 0;
   uint64_t ticked_ = 0;
   bool parallel_safe_ = false;
+  bool event_safe_ = false;
+  /// Set by Engine::AddModule so WakeUp() can reach the scheduler. A module
+  /// belongs to at most one engine (AddModule enforces it).
+  Engine* engine_ = nullptr;
+  size_t engine_index_ = 0;
   obs::TraceWriter* trace_writer_ = nullptr;
   int trace_pid_ = 0;
   int trace_tid_ = 0;

@@ -33,6 +33,10 @@ class StreamBase {
       auto& q = *commit_queue_;
       q.erase(std::remove(q.begin(), q.end(), this), q.end());
     }
+    if (drain_queue_ != nullptr) {
+      auto& q = *drain_queue_;
+      q.erase(std::remove(q.begin(), q.end(), this), q.end());
+    }
   }
 
   StreamBase(const StreamBase&) = delete;
@@ -105,6 +109,19 @@ class StreamBase {
     if (commit_queue_ != nullptr) commit_queue_->push_back(this);
   }
 
+  /// Called by the typed stream when a read is about to free slots in a FULL
+  /// stream: the producer may be output-blocked, and the event-driven
+  /// scheduler must re-arm it for the next cycle (a read edge is the mirror
+  /// of the commit edge that wakes consumers). The drain queue is only
+  /// attached — like the commit queue — by an engine running the serial
+  /// event-driven path; the null check keeps the per-item read cost at one
+  /// predictable branch everywhere else.
+  void NoteDrained() {
+    if (drain_queue_ == nullptr || drained_pending_) return;
+    drained_pending_ = true;
+    drain_queue_->push_back(this);
+  }
+
   // Ring cursors and counts, maintained by the typed subclass. The ring
   // layout is: head_pos_ points at the oldest committed item, followed by
   // committed_count_ committed items, then staged_count_ staged items
@@ -133,6 +150,17 @@ class StreamBase {
   /// destructor above removes the stream from a queue its engine still
   /// holds.
   std::shared_ptr<std::vector<StreamBase*>> commit_queue_;
+  /// Was-full read notifications for the event-driven scheduler (see
+  /// NoteDrained). Same ownership story as the commit queue.
+  std::shared_ptr<std::vector<StreamBase*>> drain_queue_;
+  bool drained_pending_ = false;
+  /// Engine indices of the bound endpoints, cached by
+  /// Engine::RebuildSchedule so stream-edge wakeups are O(1) array arms
+  /// instead of pointer-to-index lookups. kNoEndpoint when unbound,
+  /// conflicted, or the endpoint module is registered with another engine.
+  static constexpr size_t kNoEndpoint = ~size_t{0};
+  size_t producer_index_ = kNoEndpoint;
+  size_t consumer_index_ = kNoEndpoint;
 };
 
 /// Bounded FIFO channel between two modules — the simulator analog of
@@ -193,6 +221,7 @@ class Stream : public StreamBase {
   /// Dequeues the oldest committed item; caller must have checked CanRead().
   T Read() {
     FPGADP_CHECK(CanRead());
+    if (committed_count_ + staged_count_ == capacity_) NoteDrained();
     T v = std::move(buf_[head_pos_]);
     if (++head_pos_ == capacity_) head_pos_ = 0;
     --committed_count_;
@@ -242,6 +271,7 @@ class Stream : public StreamBase {
   void ConsumeRead(size_t n) {
     FPGADP_CHECK(n <= committed_count_);
     FPGADP_CHECK(n <= capacity_ - head_pos_);
+    if (n > 0 && committed_count_ + staged_count_ == capacity_) NoteDrained();
     head_pos_ += n;
     if (head_pos_ == capacity_) head_pos_ = 0;
     committed_count_ -= n;

@@ -33,6 +33,11 @@ class StreamTap : public Module {
             size_t max_events = 4096)
       : Module(std::move(name)), in_(in), out_(out), max_events_(max_events) {
     FPGADP_CHECK(in_ != nullptr && out_ != nullptr);
+    in_->BindConsumer(this);
+    out_->BindProducer(this);
+    // Event-safe but NOT parallel-safe: the tap emits trace instants through
+    // a shared TraceWriter, which must stay on the coordinating thread.
+    SetEventSafe();
   }
 
   void Tick(Cycle cycle) override {
@@ -63,6 +68,13 @@ class StreamTap : public Module {
 
   bool Idle() const override { return true; }
 
+  /// Purely reactive: the tap only moves when its input has traffic, so the
+  /// commit edge on `in_` is the complete wake set.
+  Cycle NextEventCycle(Cycle now) const override {
+    (void)now;
+    return kNoEventCycle;
+  }
+
   const std::vector<Event>& events() const { return events_; }
   uint64_t forwarded() const { return forwarded_; }
 
@@ -74,6 +86,14 @@ class StreamTap : public Module {
       worst = std::max(worst, events_[i].cycle - events_[i - 1].cycle);
     }
     return worst;
+  }
+
+ protected:
+  void AttributeSkip(Cycle from, Cycle to) override {
+    // The tap is only ever skipped while its input is empty, where the
+    // per-cycle Tick marks input-starved (with traffic queued it is re-armed
+    // every cycle, including while output-blocked).
+    MarkStallN(StallKind::kInputStarved, to - from);
   }
 
  private:

@@ -34,6 +34,7 @@ class VarStage : public Module {
     in_->BindConsumer(this);
     out_->BindProducer(this);
     SetParallelSafe();
+    SetEventSafe();
   }
 
   void Tick(Cycle cycle) override {

@@ -24,11 +24,12 @@
 // A second sweep repeats two load points over a lossy fabric (1% packet
 // drop through the fault injector) to show the knee under retransmissions.
 // Results go to BENCH_serving_slo.json (override with --json=<file>).
-// Flags: --smoke, --gather=<flat|tree|switch> (default flat; tree and
+// Flags: --smoke, --gather=<flat|tree|switch|auto> (default flat; tree and
 // switch route gathers through the hierarchical response path of
 // src/shard/gather.h — with fanout-1 requests the tree is degenerate, so
-// this mostly exercises the merged-form wire protocol under load), plus
-// the bench_common set.
+// this mostly exercises the merged-form wire protocol under load; auto
+// hands the choice to the cost-model picker in src/shard/topology_planner.h,
+// fed by a short probe run's estimators), plus the bench_common set.
 //
 // --failover switches to the E25 replication/recovery sweep instead: for
 // each (policy, rho) a baseline R=1 run, an R=2 run (replication
@@ -52,6 +53,7 @@
 #include "src/serve/synthetic.h"
 #include "src/shard/gather.h"
 #include "src/shard/shard.h"
+#include "src/shard/topology_planner.h"
 
 namespace fpgadp {
 namespace {
@@ -227,6 +229,52 @@ std::string FmtRho(double rho) {
   return buf;
 }
 
+/// --gather=auto: a short single-port flat probe of the serving mix at
+/// moderate load feeds the coordinator's estimators to the cost-model
+/// picker. With fanout-1 requests every topology degenerates toward flat,
+/// and the picker should say so from the measurements alone.
+shard::GatherConfig PlanAutoServing(std::string* rationale) {
+  serve::SyntheticWorkload::Config wc;
+  wc.num_shards = kShards;
+  wc.fanout = 1;
+  wc.jitter_pct = 25;
+  wc.publish_estimates = true;
+  serve::SyntheticWorkload wl(wc);
+  shard::ShardCluster::Config cc;
+  cc.num_shards = kShards;  // Flat, single port: the probe incumbent.
+  shard::ShardCluster cluster(&wl, cc);
+
+  serve::FrontDoor::Config fd;
+  fd.arrivals.mean_interarrival_cycles = kMixMeanSvc / (kShards * 0.5);
+  fd.classes = {{"interactive", kInteractiveSlo, kInteractiveWeight},
+                {"batch", kBatchSlo, kBatchWeight}};
+  fd.num_requests = 200;
+  fd.seed = 7;
+  serve::FrontDoor door(
+      "front_door_probe", &cluster.coordinator(), &wl,
+      [&wl](uint32_t cls, size_t) {
+        return wl.AddRequest(cls == 0 ? kInteractiveSvc : kBatchSvc);
+      },
+      fd);
+  cluster.engine().AddModule(&door);
+  auto cycles = cluster.Run(1ull << 32);
+  if (!cycles.ok()) {
+    std::cerr << "FAIL: auto probe did not quiesce: " << cycles.status()
+              << "\n";
+    std::exit(1);
+  }
+  const shard::PlannerInputs in = shard::HarvestPlannerInputs(
+      cluster.coordinator(), wl, kShards, cycles.value());
+  const shard::TopologyDecision d = shard::TopologyPlanner::Choose(in);
+  *rationale = d.rationale;
+  shard::GatherConfig gather = d.gather;
+  if (gather.topology != shard::GatherTopology::kFlat) {
+    // Same lossy-sweep backstop the static non-flat configs carry.
+    gather.merge_timeout_cycles = 4000;
+  }
+  return gather;
+}
+
 }  // namespace
 }  // namespace fpgadp
 
@@ -390,12 +438,15 @@ int main(int argc, char** argv) {
                              {"thr" + std::to_string(nt), nt, true}});
   }
   shard::GatherConfig gather;
-  if (!shard::ParseGatherTopology(gather_flag, &gather.topology)) {
+  if (gather_flag == "auto") {
+    std::string rationale;
+    gather = PlanAutoServing(&rationale);
+    std::cout << "[auto] serving mix -> " << rationale << "\n";
+  } else if (!shard::ParseGatherTopology(gather_flag, &gather.topology)) {
     std::cerr << "FAIL: unknown --gather=" << gather_flag
-              << " (want flat|tree|switch)\n";
+              << " (want flat|tree|switch|auto)\n";
     return 1;
-  }
-  if (gather.topology != shard::GatherTopology::kFlat) {
+  } else if (gather.topology != shard::GatherTopology::kFlat) {
     gather.coordinator_ports = 2;
     // Lossy sweeps run under this config too: a lost child contribution
     // must not wedge its tree ancestors past the gather deadline.

@@ -10,7 +10,14 @@
 //   tree    responses climb a binary tree per port, interior shards
 //           partial-merging children before forwarding;
 //   switch  responses are combined inside the fabric by the switch's
-//           per-port aggregation engine (net::AggregatingSwitch).
+//           per-port aggregation engine (net::AggregatingSwitch);
+//   scatter tree gather both ways: requests ride the same per-port tree as
+//           multicast bundles (shared bytes cross the coordinator egress
+//           once per subtree), interior merges are pipelined, and ANNS
+//           balances probed lists across shards by modeled scan cost;
+//   auto    the cost-model picker (shard::TopologyPlanner) chooses the
+//           topology per (workload, shard count) from a short probe run's
+//           estimators — never hand-tuned per row.
 //
 // Throughput is measured in *simulated* time — requests per simulated second
 // at the fabric clock — which is what the sharding layer actually changes;
@@ -26,11 +33,12 @@
 //     runs fewer multigets and so amortizes fixed costs less).
 //
 // Results are dumped to BENCH_shard_scaling.json (override with
-// --json=<file>). Flags: --smoke, --gather=<flat|flat4|tree|switch|all>
-// (default all), --replication=<R> (default 1: every shard gets R-1 warm
-// standbys with health beacons — the E25 replication-overhead axis; row
-// names gain a ".repR" suffix so the default JSON stays diffable), plus
-// the bench_common set.
+// --json=<file>). Flags: --smoke,
+// --gather=<flat|flat4|tree|switch|scatter|auto|all> (default all),
+// --replication=<R> (default 1: every shard gets R-1 warm standbys with
+// health beacons — the E25 replication-overhead axis; row names gain a
+// ".repR" suffix so the default JSON stays diffable), plus the
+// bench_common set.
 
 #include <algorithm>
 #include <chrono>
@@ -48,6 +56,7 @@
 #include "src/shard/gather.h"
 #include "src/shard/partitioner.h"
 #include "src/shard/shard.h"
+#include "src/shard/topology_planner.h"
 #include "src/shard/workloads.h"
 
 namespace fpgadp {
@@ -79,9 +88,10 @@ struct Sizes {
 double Now();
 
 /// The gather topologies the bench sweeps. `flat` is the incumbent every
-/// other setup's speedup is measured against.
-const std::vector<std::string> kGatherNames = {"flat", "flat4", "tree",
-                                               "switch"};
+/// other setup's speedup is measured against. `auto` is resolved per
+/// (workload, shard count) by the cost-model planner before the mode loop.
+const std::vector<std::string> kGatherNames = {"flat",   "flat4",   "tree",
+                                               "switch", "scatter", "auto"};
 
 shard::GatherConfig MakeGather(const std::string& name, uint32_t shards) {
   shard::GatherConfig g;
@@ -95,9 +105,26 @@ shard::GatherConfig MakeGather(const std::string& name, uint32_t shards) {
   } else if (name == "switch") {
     g.topology = shard::GatherTopology::kSwitch;
     g.coordinator_ports = ports;
+  } else if (name == "scatter") {
+    // Tree both ways: multicast request bundles down, pipelined partial
+    // merges up. (ANNS additionally balances its scatter; see RunAnns.)
+    g.topology = shard::GatherTopology::kTree;
+    g.coordinator_ports = ports;
+    g.fanout = 2;
+    g.scatter = shard::ScatterMode::kTree;
+    g.pipelined_merge = true;
   }
   return g;
 }
+
+/// How --gather=auto resolves for one (workload, shard count): the picked
+/// gather shape plus the planner's balance recommendation (applied only by
+/// workloads that support re-homing slices, i.e. ANNS).
+struct AutoPlan {
+  shard::GatherConfig gather;
+  bool balance = false;
+  std::string rationale;
+};
 
 /// Runs `cluster` to quiescence under `mode`, requiring every submitted
 /// request to finalize un-degraded (the fabric is loss-free here).
@@ -143,10 +170,12 @@ void ApplyReplication(shard::ShardCluster::Config& cc, uint32_t replication) {
 
 RunResult RunAnns(const anns::Dataset& data, const anns::IvfPqIndex& index,
                   const Sizes& sizes, uint32_t shards, uint32_t replication,
-                  const shard::GatherConfig& gather, const Mode& mode) {
+                  const shard::GatherConfig& gather, bool balance,
+                  const Mode& mode) {
   shard::AnnsTopKWorkload::Config wc;
   wc.nprobe = sizes.anns_nprobe;
   wc.k = 10;
+  wc.balance_scatter = balance;
   shard::AnnsTopKWorkload wl(&index, shard::Partitioner::Hash(shards), wc);
   shard::ShardCluster::Config cc;
   cc.num_shards = shards;
@@ -196,6 +225,65 @@ double Now() {
       .count();
 }
 
+/// Harvests the planner's inputs from a drained probe cluster and asks
+/// TopologyPlanner to pick. The probe is a short single-port flat run of
+/// the same request class — what a deployment would observe before
+/// reconfiguring — so `auto` rows are planned from measurements, not from
+/// knowledge of the answer. Shared across workloads; `wl` is the probe's
+/// workload, `probe_request` any request id it served.
+AutoPlan FinishPlan(shard::ShardCluster& cluster, shard::Workload& wl,
+                    uint64_t probe_request, uint32_t shards,
+                    uint64_t probe_cycles) {
+  const shard::PlannerInputs in = shard::HarvestPlannerInputs(
+      cluster.coordinator(), wl, shards, probe_cycles, probe_request);
+  const shard::TopologyDecision d = shard::TopologyPlanner::Choose(in);
+  return {d.gather, d.balance_scatter, d.rationale};
+}
+
+AutoPlan PlanAutoAnns(const anns::Dataset& data, const anns::IvfPqIndex& index,
+                      const Sizes& sizes, uint32_t shards) {
+  shard::AnnsTopKWorkload::Config wc;
+  wc.nprobe = sizes.anns_nprobe;
+  wc.k = 10;
+  shard::AnnsTopKWorkload wl(&index, shard::Partitioner::Hash(shards), wc);
+  shard::ShardCluster::Config cc;
+  cc.num_shards = shards;
+  shard::ShardCluster cluster(&wl, cc);
+  const size_t n = std::min<size_t>(8, data.num_queries());
+  for (size_t q = 0; q < n; ++q) {
+    cluster.Submit(wl.AddQuery(data.QueryVector(q)));
+  }
+  double wall = 0;
+  const uint64_t cycles =
+      DrainCluster(cluster, n, Mode{"serial", 1, true}, &wall);
+  return FinishPlan(cluster, wl, 0, shards, cycles);
+}
+
+AutoPlan PlanAutoKvs(const Sizes& sizes, uint32_t shards) {
+  shard::KvsMultiGetWorkload::Config kc;
+  shard::KvsMultiGetWorkload wl(shard::Partitioner::Hash(shards), kc);
+  for (uint64_t key = 0; key < sizes.kvs_keys; ++key) wl.Load(key, key * 31 + 5);
+  shard::ShardCluster::Config cc;
+  cc.num_shards = shards;
+  shard::ShardCluster cluster(&wl, cc);
+  uint64_t next_key = 1;
+  const size_t n = 4;
+  for (size_t g = 0; g < n; ++g) {
+    std::vector<uint64_t> keys;
+    keys.reserve(sizes.kvs_keys_per_get);
+    for (size_t i = 0; i < sizes.kvs_keys_per_get; ++i) {
+      keys.push_back(next_key);
+      next_key = (next_key * 2862933555777941757ull + 3037000493ull) %
+                 sizes.kvs_keys;
+    }
+    cluster.Submit(wl.AddMultiGet(std::move(keys)));
+  }
+  double wall = 0;
+  const uint64_t cycles =
+      DrainCluster(cluster, n, Mode{"serial", 1, true}, &wall);
+  return FinishPlan(cluster, wl, 0, shards, cycles);
+}
+
 }  // namespace
 }  // namespace fpgadp
 
@@ -226,7 +314,7 @@ int main(int argc, char** argv) {
     gathers = {gather_flag};
   } else {
     std::cerr << "FAIL: unknown --gather=" << gather_flag
-              << " (want flat|flat4|tree|switch|all)\n";
+              << " (want flat|flat4|tree|switch|scatter|auto|all)\n";
     return 1;
   }
 
@@ -279,17 +367,34 @@ int main(int argc, char** argv) {
   std::map<std::string, double> scaling_at;   // workload.gather.shards
   std::map<std::string, double> flat_tput;    // workload.shards -> flat tput
   std::map<std::string, double> vs_flat_at;   // workload.gather.shards
+  std::map<std::string, double> tput_at;      // workload.gather.shards
 
   for (const std::string& workload : {std::string("anns"), std::string("kvs")}) {
     for (const std::string& gather_name : gathers) {
       for (uint32_t shards : shard_counts) {
-        const shard::GatherConfig gather = MakeGather(gather_name, shards);
+        shard::GatherConfig gather = MakeGather(gather_name, shards);
+        // The scatter row showcases every scatter-side lever at once; for
+        // ANNS that includes balanced list placement. `auto` applies
+        // balance only when the planner recommends it. The decision is
+        // made once, before the mode loop, so every engine mode runs the
+        // identical configuration (and must report identical cycles).
+        bool balance = gather_name == "scatter" && workload == "anns";
+        if (gather_name == "auto") {
+          const AutoPlan plan =
+              workload == "anns" ? PlanAutoAnns(data, *index, sizes, shards)
+                                 : PlanAutoKvs(sizes, shards);
+          gather = plan.gather;
+          balance = plan.balance && workload == "anns";
+          std::cout << "[auto] " << workload << " x" << shards << " -> "
+                    << plan.rationale << (balance ? " [balanced]" : "")
+                    << "\n";
+        }
         uint64_t first_cycles = 0;
         for (const Mode& mode : modes) {
           const RunResult r =
               workload == "anns"
                   ? RunAnns(data, *index, sizes, shards, replication, gather,
-                            mode)
+                            balance, mode)
                   : RunKvs(sizes, shards, replication, gather, mode);
           if (first_cycles == 0) {
             first_cycles = r.cycles;
@@ -318,6 +423,7 @@ int main(int argc, char** argv) {
           if (mode.name == "serial") {
             scaling_at[wg + "." + std::to_string(shards)] = scaling;
             vs_flat_at[wg + "." + std::to_string(shards)] = vs_flat;
+            tput_at[wg + "." + std::to_string(shards)] = tput;
           }
           t.AddRow({workload, gather_name, std::to_string(shards), mode.name,
                     TablePrinter::FmtCount(r.cycles),
@@ -388,6 +494,59 @@ int main(int argc, char** argv) {
       std::cout << "[fan-in] kvs x8 " << kvs_best_name << " = " << kvs_best
                 << "x flat (>= " << kvs_want << "x required)\n";
     }
+  }
+
+  // E27: the full scatter-side stack — multicast request bundles, balanced
+  // list placement, pipelined interior merges — must push ANNS past what
+  // any response-side topology alone reaches. scaling_at compares to the
+  // scatter row's own 1-shard baseline, which matches flat's (a 1-member
+  // tree degenerates to the point-to-point path).
+  if (std::find(gathers.begin(), gathers.end(), "scatter") != gathers.end()) {
+    // Smoke's corpus is tiny: per-slice service (~60 cycles) drowns under
+    // the 200-cycle per-hop wire latency the scatter tree adds, so the
+    // smoke bar only guards against outright breakage.
+    const double want = smoke ? 1.8 : 6.0;
+    const double got = scaling_at["anns.scatter.8"];
+    if (got < want) {
+      std::cerr << "FAIL: ANNS scatter-tree at 8 shards scaled only " << got
+                << "x (want >= " << want << "x vs single-port flat)\n";
+      ok = false;
+    } else {
+      std::cout << "[scatter] anns x8 scatter-tree = " << got << "x (>= "
+                << want << "x required)\n";
+    }
+  }
+
+  // The picker must never lose badly to hand-tuning: at every measured
+  // (workload, shard count), auto's throughput is within 5% of the best
+  // static row. Only meaningful when every static row ran.
+  if (gathers.size() == kGatherNames.size()) {
+    for (const std::string& workload :
+         {std::string("anns"), std::string("kvs")}) {
+      for (uint32_t shards : shard_counts) {
+        const std::string suffix = "." + std::to_string(shards);
+        double best = 0;
+        std::string best_name;
+        for (const std::string& g : kGatherNames) {
+          if (g == "auto") continue;
+          const auto it = tput_at.find(workload + "." + g + suffix);
+          if (it != tput_at.end() && it->second > best) {
+            best = it->second;
+            best_name = g;
+          }
+        }
+        const double auto_tput = tput_at[workload + ".auto" + suffix];
+        if (auto_tput < 0.95 * best) {
+          std::cerr << "FAIL: --gather=auto on " << workload << " x" << shards
+                    << " reached " << auto_tput << " req/s vs best static ("
+                    << best_name << ") " << best
+                    << " — picker more than 5% off\n";
+          ok = false;
+        }
+      }
+    }
+    std::cout << "[auto] picker within 5% of the best static topology at "
+                 "every (workload, shard count)\n";
   }
   return ok ? 0 : 1;
 }

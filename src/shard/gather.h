@@ -33,6 +33,23 @@ const char* GatherTopologyName(GatherTopology topology);
 /// returns false on anything else.
 bool ParseGatherTopology(const std::string& text, GatherTopology* out);
 
+/// How request slices travel from the coordinator to the shards.
+enum class ScatterMode : uint8_t {
+  /// One point-to-point kOffloadReq per slice through the shard's
+  /// coordinator port — the historical request path, whose egress
+  /// serializes every slice (and re-sends the shared portion of the
+  /// request once per shard).
+  kUnicast = 0,
+  /// Request slices ride the same per-port k-ary tree the gather uses, as
+  /// subtree bundles: the coordinator ships one bundle per group root
+  /// carrying the request's shared bytes once plus every member's distinct
+  /// bytes; interior shards peel off their own slice and forward one
+  /// smaller bundle per child. Multicast on the wire: shared bytes cross
+  /// the coordinator egress exactly once per group instead of once per
+  /// shard, and a dead interior node degrades exactly its subtree.
+  kTree = 1,
+};
+
 /// Gather-path shape of one ShardCluster. Also owns the cluster's node
 /// numbering, because the coordinator's port count determines it.
 struct GatherConfig {
@@ -55,6 +72,17 @@ struct GatherConfig {
   /// kSwitch: cycles the switch's per-port combiner spends folding in one
   /// response.
   uint64_t switch_combine_cycles = 8;
+  /// Request-path routing (independent of the response topology; any
+  /// combination is legal except scatter trees with replication).
+  ScatterMode scatter = ScatterMode::kUnicast;
+  /// scatter == kTree: cycles an interior shard's NIC spends peeling one
+  /// child bundle out of an arriving bundle before forwarding it.
+  uint64_t scatter_forward_cycles = 4;
+  /// kTree responses: fold each child contribution into the partial merge
+  /// the cycle it arrives (the merge engine overlaps the gather window)
+  /// instead of folding all children serially after the last one lands.
+  /// Off by default to preserve the historical tree-gather cycle counts.
+  bool pipelined_merge = false;
 };
 
 /// The routing half of hierarchical gather: which fabric node each shard's
@@ -83,6 +111,25 @@ class GatherPlan {
     uint32_t parent = kToCoordinator;  ///< Shard id, or kToCoordinator.
     uint32_t port = 0;  ///< Destination port when parent == kToCoordinator.
     uint32_t expected_children = 0;  ///< Contributions to fold in.
+    /// Child shards in tree order (scatter == kTree: the bundles this node
+    /// peels off and forwards).
+    std::vector<uint32_t> down;
+    /// This shard's own request slice, on the wire (shared + distinct).
+    uint64_t slice_bytes = 0;
+    /// Bundle bytes for this node's whole subtree: the request's shared
+    /// bytes once, plus every subtree member's distinct bytes.
+    uint64_t subtree_bytes = 0;
+    /// Coordinator tag of this shard's slice, so a scatter-tree recipient
+    /// can address its flat-gather response without a per-slice request
+    /// packet having carried the tag to it.
+    uint64_t tag = 0;
+  };
+
+  /// Everything Arm needs to know about one slice of a request.
+  struct SliceInfo {
+    uint32_t shard = 0;
+    uint64_t request_bytes = 0;  ///< Wire bytes incl. the shared portion.
+    uint64_t tag = 0;
   };
 
   /// `replicas` is the per-shard replication factor R: every shard gets R
@@ -113,9 +160,17 @@ class GatherPlan {
     return shard % config_.coordinator_ports;
   }
 
-  /// kTree only: builds the request's gather tree over `shards` (sorted,
-  /// unique). Must run before the first slice ships.
+  /// Tree gather and/or tree scatter: builds the request's per-port trees
+  /// over `shards` (sorted, unique). Must run before the first slice ships.
   void Arm(uint64_t request_id, const std::vector<uint32_t>& shards);
+  /// Full form: per-slice wire sizes and tags let the routes double as the
+  /// scatter plan. `shared_bytes` is the portion of every slice that is
+  /// identical across shards (e.g. the query vector): a subtree bundle
+  /// carries it once, plus each member's distinct remainder. Slices must be
+  /// sorted by shard and each slice's request_bytes must be
+  /// >= shared_bytes.
+  void Arm(uint64_t request_id, const std::vector<SliceInfo>& slices,
+           uint64_t shared_bytes);
   /// Drops a finalized request's route; stale lookups return nullptr and
   /// the holder discards its orphaned merge state.
   void Release(uint64_t request_id);

@@ -14,6 +14,10 @@ namespace {
 // slice's original scatter shard. Ordinary flat-gather requests carry
 // addr = 0, so the flag cannot collide.
 constexpr uint64_t kForwardFlag = 1ull << 63;
+// Scatter-tree bundle marker (Packet::addr): bit 62 set. Migration
+// forwarding (kForwardFlag) requires unicast scatter and bundles require
+// tree scatter, so the two flags never meet on one packet.
+constexpr uint64_t kScatterFlag = 1ull << 62;
 }  // namespace
 
 const char* SubOutcomeName(SubOutcome outcome) {
@@ -118,6 +122,8 @@ void ShardCoordinator::Enqueue(uint64_t request_id,
   WakeUp();
   FPGADP_CHECK(active_.find(request_id) == active_.end());
   FPGADP_CHECK(!subs.empty());
+  const bool scatter_tree =
+      plan_->config().scatter == ScatterMode::kTree;
   Active a;
   a.subs.reserve(subs.size());
   for (const SubRequest& sr : subs) {
@@ -129,20 +135,25 @@ void ShardCoordinator::Enqueue(uint64_t request_id,
     sub.est_cycles = EstimateFor(sr);
     pending_cost_[sr.shard] += sub.est_cycles;
     tag_map_[sub.tag] = {request_id, a.subs.size()};
-    shard_queue_[sr.shard].push_back({request_id, a.subs.size()});
-    ++total_queued_;
-    queue_hwm_[sr.shard] =
-        std::max(queue_hwm_[sr.shard], shard_queue_[sr.shard].size());
+    req_bytes_total_ += sub.bytes;
+    ++req_slices_;
     a.subs.push_back(sub);
   }
-  // Arm the response path before the first slice can ship.
-  if (plan_->topology() == GatherTopology::kTree) {
-    std::vector<uint32_t> shards;
-    shards.reserve(a.subs.size());
-    for (const Sub& sub : a.subs) shards.push_back(sub.shard);
-    std::sort(shards.begin(), shards.end());
-    plan_->Arm(request_id, shards);
-  } else if (agg_switch_ != nullptr) {
+  // Arm the response / scatter routes before the first slice can ship.
+  if (plan_->topology() == GatherTopology::kTree || scatter_tree) {
+    std::vector<GatherPlan::SliceInfo> slices;
+    slices.reserve(a.subs.size());
+    for (const Sub& sub : a.subs) {
+      slices.push_back({sub.shard, sub.bytes, sub.tag});
+    }
+    std::sort(slices.begin(), slices.end(),
+              [](const GatherPlan::SliceInfo& x,
+                 const GatherPlan::SliceInfo& y) { return x.shard < y.shard; });
+    const uint64_t shared =
+        scatter_tree ? workload_->ScatterSharedBytes(request_id) : 0;
+    plan_->Arm(request_id, slices, shared);
+  }
+  if (agg_switch_ != nullptr) {
     std::vector<uint64_t> masks(plan_->ports(), 0);
     for (const Sub& sub : a.subs) {
       masks[plan_->PortOf(sub.shard)] |= 1ull << sub.shard;
@@ -152,6 +163,21 @@ void ShardCoordinator::Enqueue(uint64_t request_id,
         agg_switch_->Arm(request_id, plan_->PortNode(port), masks[port]);
       }
     }
+  }
+  // Queue slices for shipping: every slice under unicast scatter; only
+  // each port-group's root under tree scatter — descendants ride the
+  // root's bundle and never occupy a window slot of their own.
+  for (size_t i = 0; i < a.subs.size(); ++i) {
+    Sub& sub = a.subs[i];
+    if (scatter_tree) {
+      const GatherPlan::Role* role = plan_->RoleOf(request_id, sub.shard);
+      sub.windowed = role->parent == GatherPlan::kToCoordinator;
+      if (!sub.windowed) continue;
+    }
+    shard_queue_[sub.shard].push_back({request_id, i});
+    ++total_queued_;
+    queue_hwm_[sub.shard] =
+        std::max(queue_hwm_[sub.shard], shard_queue_[sub.shard].size());
   }
   active_.emplace(request_id, std::move(a));
 }
@@ -265,6 +291,9 @@ void ShardCoordinator::StartMigration(const MigrationPlan& plan,
                                       sim::Cycle now) {
   FPGADP_CHECK(elastic_ != nullptr);
   FPGADP_CHECK(plan_->topology() == GatherTopology::kFlat);
+  // Migration forwarding re-routes individual slices by shard; a subtree
+  // bundle has no single re-route target.
+  FPGADP_CHECK(plan_->config().scatter == ScatterMode::kUnicast);
   FPGADP_CHECK(plan.source < num_shards_ && plan.target < num_shards_);
   FPGADP_CHECK(plan.source != plan.target);
   FPGADP_CHECK(plan.state_bytes > 0 && plan.chunk_bytes > 0);
@@ -331,7 +360,7 @@ void ShardCoordinator::ResolveSub(uint64_t request_id, size_t sub_index,
   sub.outcome = outcome;
   ++a.resolved;
   tag_map_.erase(sub.tag);
-  if (sub.sent) --in_flight_[sub.shard];
+  if (sub.sent && sub.windowed) --in_flight_[sub.shard];
   pending_cost_[sub.shard] -= std::min(pending_cost_[sub.shard],
                                        sub.est_cycles);
   if (a.resolved == a.subs.size()) Finalize(request_id, a, cycle);
@@ -396,13 +425,39 @@ void ShardCoordinator::Finalize(uint64_t request_id, Active& a,
       ++it;
     }
   }
-  // Tear down the response path: interior shards drop orphaned merge state
-  // on their next lookup, and the switch frees any held partial group.
-  if (plan_->topology() == GatherTopology::kTree) plan_->Release(request_id);
+  // Tear down the routes: interior shards drop orphaned merge state (and
+  // scatter bundles) on their next lookup, and the switch frees any held
+  // partial group.
+  if (plan_->topology() == GatherTopology::kTree ||
+      plan_->config().scatter == ScatterMode::kTree) {
+    plan_->Release(request_id);
+  }
   if (agg_switch_ != nullptr) agg_switch_->Disarm(request_id);
 }
 
+void ShardCoordinator::MarkSubtreeSent(Active& a, uint64_t request_id,
+                                       const GatherPlan::Role& root_role,
+                                       sim::Cycle cycle) {
+  std::vector<uint32_t> stack(root_role.down.begin(), root_role.down.end());
+  while (!stack.empty()) {
+    const uint32_t shard = stack.back();
+    stack.pop_back();
+    const GatherPlan::Role* role = plan_->RoleOf(request_id, shard);
+    if (role != nullptr) {
+      stack.insert(stack.end(), role->down.begin(), role->down.end());
+    }
+    for (Sub& sub : a.subs) {
+      if (sub.shard == shard && !sub.sent) {
+        sub.sent = true;
+        sub.sent_at = cycle;
+      }
+    }
+  }
+}
+
 bool ShardCoordinator::PumpQueues(sim::Cycle cycle) {
+  const bool scatter_tree =
+      plan_->config().scatter == ScatterMode::kTree;
   bool progressed = false;
   for (uint32_t s = 0; s < num_shards_; ++s) {
     auto& q = shard_queue_[s];
@@ -425,7 +480,17 @@ bool ShardCoordinator::PumpQueues(sim::Cycle cycle) {
       p.kind = net::OpKind::kOffloadReq;
       p.tag = sub.tag;
       p.user = request_id;
-      p.bytes = sub.bytes;
+      if (scatter_tree) {
+        // One bundle for the whole port group: the subtree's bytes behind
+        // this root, shared portion counted once. Descendants ship with it.
+        const GatherPlan::Role* role = plan_->RoleOf(request_id, s);
+        FPGADP_CHECK(role != nullptr);
+        p.addr = kScatterFlag;
+        p.bytes = role->subtree_bytes;
+        MarkSubtreeSent(it->second, request_id, *role, cycle);
+      } else {
+        p.bytes = sub.bytes;
+      }
       endpoints_[plan_->PortOf(s)]->PostPacket(p);
       sub.sent = true;
       sub.sent_at = cycle;
@@ -541,6 +606,8 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
       }
       const bool busy = (p.user2 & 1) != 0;
       if (!busy) {
+        resp_bytes_total_ += p.bytes;
+        ++resp_count_;
         const auto ait = active_.find(it->second.first);
         if (ait != active_.end()) {
           const Sub& sub = ait->second.subs[it->second.second];
@@ -564,7 +631,7 @@ void ShardCoordinator::Tick(sim::Cycle cycle) {
       sub.outcome = SubOutcome::kTimedOut;
       ++a.resolved;
       tag_map_.erase(sub.tag);
-      if (sub.sent) --in_flight_[sub.shard];
+      if (sub.sent && sub.windowed) --in_flight_[sub.shard];
       pending_cost_[sub.shard] -= std::min(pending_cost_[sub.shard],
                                            sub.est_cycles);
       // An unsent slice still sits in its shard queue; PumpQueues drops it.
@@ -789,9 +856,14 @@ void ShardServer::EmitMerge(uint64_t request_id, MergeState& m,
                               : workload_->MergedBytes(request_id, m.done_mask,
                                                        m.concat_bytes);
   // The merge engine pays per child folded in; its own partial is already
-  // in the pipeline, so a leaf forwards with no extra delay.
+  // in the pipeline, so a leaf forwards with no extra delay. Pipelined
+  // merging charged each child on arrival, so only the unfinished tail of
+  // the last fold delays the emit; the serial model folds all children
+  // after the subtree completes.
   const sim::Cycle at =
-      cycle + plan_->config().merge_cycles_per_input * m.children_seen;
+      plan_->config().pipelined_merge
+          ? std::max(cycle, m.merge_ready_at)
+          : cycle + plan_->config().merge_cycles_per_input * m.children_seen;
   if (at <= cycle) {
     endpoint_->PostPacket(up);
   } else {
@@ -848,6 +920,13 @@ void ShardServer::Tick(sim::Cycle cycle) {
       m.rejected_mask |= p.user2;
       m.concat_bytes += p.bytes;
       ++m.children_seen;
+      if (plan_->config().pipelined_merge) {
+        // The merge engine folds this child in starting now (or as soon
+        // as it finishes the previous one), overlapping the wait for the
+        // rest of the subtree.
+        m.merge_ready_at = std::max(m.merge_ready_at, cycle) +
+                           plan_->config().merge_cycles_per_input;
+      }
       MaybeEmit(p.user, cycle);
       continue;
     }
@@ -879,6 +958,46 @@ void ShardServer::Tick(sim::Cycle cycle) {
       continue;
     }
     if (p.kind != net::OpKind::kOffloadReq) continue;
+    if ((p.addr & kScatterFlag) != 0) {
+      // A scatter-tree bundle: forward one smaller bundle per child
+      // subtree (the NIC peels them off at a per-hop cost, no pipeline
+      // occupancy), then fall through to admission with our own slice as
+      // if it had arrived point-to-point.
+      const GatherPlan::Role* role =
+          plan_ == nullptr ? nullptr : plan_->RoleOf(p.user, shard_id_);
+      if (role == nullptr) {
+        // The gather finalized (deadline expiry) and released the route;
+        // nothing in this subtree has anyone listening anymore.
+        ++stale_bundles_dropped_;
+        continue;
+      }
+      uint64_t hops = 0;
+      for (uint32_t child : role->down) {
+        const GatherPlan::Role* child_role = plan_->RoleOf(p.user, child);
+        net::Packet fwd;
+        fwd.dst = plan_->ShardNode(child);
+        fwd.kind = net::OpKind::kOffloadReq;
+        fwd.addr = kScatterFlag;
+        fwd.user = p.user;
+        fwd.tag = child_role->tag;
+        fwd.bytes = child_role->subtree_bytes;
+        const sim::Cycle at =
+            cycle + ++hops * plan_->config().scatter_forward_cycles;
+        if (at <= cycle) {
+          endpoint_->PostPacket(fwd);
+        } else {
+          emits_.push_back({at, fwd});
+        }
+        ++bundles_forwarded_;
+      }
+      // Our own slice: tag and wire size come from the role, and a
+      // flat/switch response must go to our coordinator port — exactly
+      // what src would be had the slice arrived point-to-point.
+      p.addr = 0;
+      p.tag = role->tag;
+      p.bytes = role->slice_bytes;
+      p.src = plan_->PortNode(plan_->PortOf(shard_id_));
+    }
     if (queue_.size() >= config_.max_queue) {
       ++rejected_;
       if (topo == GatherTopology::kTree) {
@@ -1057,6 +1176,12 @@ void ShardServer::ExportCustomMetrics(obs::MetricsRegistry& registry) const {
     registry.GetGauge(base + ".stale_merges_dropped")
         ->Set(static_cast<double>(stale_merges_dropped_));
   }
+  if (plan_ != nullptr && plan_->config().scatter == ScatterMode::kTree) {
+    registry.GetGauge(base + ".bundles_forwarded")
+        ->Set(static_cast<double>(bundles_forwarded_));
+    registry.GetGauge(base + ".stale_bundles_dropped")
+        ->Set(static_cast<double>(stale_bundles_dropped_));
+  }
   // Only an actually-elastic cluster grows the gauge set (same gate as the
   // coordinator): a plain R=1 cluster exports exactly the historical keys.
   if (elastic_ != nullptr &&
@@ -1156,6 +1281,12 @@ void ShardCluster::set_fault_injector(net::FaultInjector* injector) {
     // A lost child contribution would otherwise wedge its ancestors'
     // merges forever.
     FPGADP_CHECK(config_.gather.merge_timeout_cycles > 0);
+  }
+  if (injector != nullptr &&
+      config_.gather.scatter == ScatterMode::kTree) {
+    // A lost bundle silently strands its whole subtree's slices; only the
+    // gather deadline can resolve them.
+    FPGADP_CHECK(config_.coordinator.gather_deadline_cycles > 0);
   }
   fabric_.set_fault_injector(injector);
 }

@@ -138,6 +138,17 @@ class Workload {
     return concat_bytes;
   }
 
+  /// Bytes of the scattered request that are identical across every slice
+  /// (e.g. the query vector of an ANNS request, which each shard needs in
+  /// full). A scatter-tree bundle carries them once per subtree instead of
+  /// once per shard — the multicast saving. Must not exceed the
+  /// request_bytes of any slice. Runs inside module Tick()s:
+  /// functional-only, like Serve and Merge. Default: nothing is shared.
+  virtual uint64_t ScatterSharedBytes(uint64_t request_id) {
+    (void)request_id;
+    return 0;
+  }
+
   /// Live resharding: which shard currently owns the slice that was
   /// scattered to `shard` for `request_id`. A server about to serve a slice
   /// consults this; when the answer is another shard (the slice's key range
@@ -286,6 +297,17 @@ class ShardCoordinator : public sim::Module {
   uint64_t queued_cost(uint32_t shard) const { return pending_cost_[shard]; }
   /// Uncongested wire round-trip estimate (min observed rtt - service).
   uint64_t wire_estimate() const { return wire_est_; }
+  /// Mean request-slice wire bytes over everything enqueued so far, and
+  /// mean per-slice response payload over flat-gather responses observed
+  /// so far (0 before the first observation). The topology planner reads
+  /// these after a flat probe run to size its wire-cost terms.
+  uint64_t avg_request_bytes() const {
+    return req_slices_ == 0 ? 0 : req_bytes_total_ / req_slices_;
+  }
+  uint64_t avg_response_bytes() const {
+    return resp_count_ == 0 ? 0 : resp_bytes_total_ / resp_count_;
+  }
+  uint64_t responses_observed() const { return resp_count_; }
   /// Responses that arrived after their gather finalized (deadline races).
   uint64_t late_responses() const { return late_responses_; }
   /// Cycles spent with gathers outstanding and nothing arriving — the
@@ -321,6 +343,10 @@ class ShardCoordinator : public sim::Module {
     uint64_t est_cycles = 0;
     sim::Cycle sent_at = 0;  ///< Cycle the slice shipped (valid iff sent).
     bool sent = false;
+    /// Counted against in_flight_[shard] while sent and unresolved. Under
+    /// tree scatter only each port-group's root slice is windowed — its
+    /// descendants ride the root's bundle and never occupy the window.
+    bool windowed = true;
     SubOutcome outcome = SubOutcome::kPending;
   };
 
@@ -351,7 +377,8 @@ class ShardCoordinator : public sim::Module {
   /// The fabric node currently serving `shard` (its primary replica).
   uint32_t PrimaryNode(uint32_t shard) const;
   /// Shared Submit/TrySubmit tail: registers the request and queues every
-  /// slice (charging pending_cost_). Tick-safe; never calls the workload.
+  /// slice (charging pending_cost_). Tick-safe; never runs Scatter (under
+  /// tree scatter it consults the functional-only ScatterSharedBytes).
   void Enqueue(uint64_t request_id, const std::vector<SubRequest>& subs);
   /// The service estimate admission charges for one slice: the workload's
   /// own figure when present, else the shard's EWMA.
@@ -363,6 +390,11 @@ class ShardCoordinator : public sim::Module {
   /// Ships queued slices while windows have room; lazily drops entries
   /// whose request finalized (deadline expiry) in the meantime.
   bool PumpQueues(sim::Cycle cycle);
+  /// Tree scatter: a root bundle just shipped — stamp every descendant
+  /// slice of `root_role`'s subtree as sent at `cycle` (they ride the
+  /// bundle; none of them is windowed).
+  void MarkSubtreeSent(Active& a, uint64_t request_id,
+                       const GatherPlan::Role& root_role, sim::Cycle cycle);
   /// Resolves the slices a merged-form response's masks cover (tree and
   /// switch gather).
   void HandleMergedResponse(const net::Packet& p, sim::Cycle cycle);
@@ -401,6 +433,12 @@ class ShardCoordinator : public sim::Module {
   std::vector<uint64_t> pending_cost_;
   uint64_t wire_est_ = 0;
   bool wire_seen_ = false;
+
+  // Observed wire sizes, for the topology planner (see avg_*_bytes()).
+  uint64_t req_bytes_total_ = 0;
+  uint64_t req_slices_ = 0;
+  uint64_t resp_bytes_total_ = 0;
+  uint64_t resp_count_ = 0;
 
   // Elastic operations (all inert when elastic_ is null).
   ElasticState* elastic_ = nullptr;
@@ -471,6 +509,11 @@ class ShardServer : public sim::Module {
   uint64_t merges_forwarded() const { return merges_forwarded_; }
   uint64_t merge_timeouts() const { return merge_timeouts_; }
   uint64_t stale_merges_dropped() const { return stale_merges_dropped_; }
+  /// Tree scatter: child bundles this node peeled off and forwarded down
+  /// its subtree, and bundles dropped because their gather had already
+  /// finalized and released the route.
+  uint64_t bundles_forwarded() const { return bundles_forwarded_; }
+  uint64_t stale_bundles_dropped() const { return stale_bundles_dropped_; }
   uint32_t replica_index() const { return replica_index_; }
   /// Slices re-routed to their post-migration owner at serve time (the
   /// double-ownership window's forward path).
@@ -504,6 +547,9 @@ class ShardServer : public sim::Module {
     uint32_t children_seen = 0;
     bool own_resolved = false;
     sim::Cycle timeout_at = 0;  ///< 0 = no timeout armed.
+    /// pipelined_merge: cycle the merge engine finishes folding every
+    /// contribution accepted so far (each child charged on arrival).
+    sim::Cycle merge_ready_at = 0;
   };
   /// A merged packet waiting out its merge-cost delay before posting.
   struct PendingEmit {
@@ -551,6 +597,8 @@ class ShardServer : public sim::Module {
   uint64_t merges_forwarded_ = 0;
   uint64_t merge_timeouts_ = 0;
   uint64_t stale_merges_dropped_ = 0;
+  uint64_t bundles_forwarded_ = 0;
+  uint64_t stale_bundles_dropped_ = 0;
 
   // Elastic operations (all inert when elastic_ is null).
   sim::Cycle next_beacon_at_ = 0;  ///< 0 = beacons off.

@@ -26,6 +26,10 @@ AnnsTopKWorkload::AnnsTopKWorkload(const anns::IvfPqIndex* index,
   FPGADP_CHECK(config_.k > 0);
   FPGADP_CHECK(config_.nprobe > 0);
   FPGADP_CHECK(config_.scan_lanes > 0);
+  // Balanced placement ignores the ownership map, which live resharding
+  // (range scheme) depends on to re-route slices mid-flight.
+  FPGADP_CHECK(!(config_.balance_scatter &&
+                 partitioner_.scheme() == PartitionScheme::kRange));
 }
 
 uint64_t AnnsTopKWorkload::AddQuery(const float* query) {
@@ -46,8 +50,47 @@ std::vector<SubRequest> AnnsTopKWorkload::Scatter(uint64_t request_id) {
   const std::vector<uint32_t> probes =
       index_->SelectProbes(Query(request_id), config_.nprobe);
   std::map<uint32_t, std::vector<uint32_t>> by_shard;
-  for (uint32_t list : probes) {
-    by_shard[partitioner_.ShardOf(list)].push_back(list);
+  if (config_.balance_scatter) {
+    // Greedy LPT over the same per-list cost Serve charges: heaviest list
+    // first, each to the least-loaded shard. The ledger persists across
+    // requests, so a hot list probed every query rotates rather than
+    // pinning one shard.
+    struct ListCost {
+      uint64_t cost = 0;
+      uint32_t list = 0;
+    };
+    std::vector<ListCost> costs;
+    costs.reserve(probes.size());
+    for (uint32_t list : probes) {
+      const uint64_t codes = index_->list(list).ids.size();
+      costs.push_back(
+          {config_.lut_cycles_per_list +
+               (codes + config_.scan_lanes - 1) / config_.scan_lanes,
+           list});
+    }
+    std::sort(costs.begin(), costs.end(),
+              [](const ListCost& a, const ListCost& b) {
+                return a.cost > b.cost ||
+                       (a.cost == b.cost && a.list < b.list);
+              });
+    if (shard_load_.size() != partitioner_.num_shards()) {
+      shard_load_.assign(partitioner_.num_shards(), 0);
+    }
+    for (const ListCost& lc : costs) {
+      uint32_t best = 0;
+      for (uint32_t s = 1; s < shard_load_.size(); ++s) {
+        if (shard_load_[s] < shard_load_[best]) best = s;
+      }
+      by_shard[best].push_back(lc.list);
+      shard_load_[best] += lc.cost;
+    }
+    for (auto& [shard, lists] : by_shard) {
+      std::sort(lists.begin(), lists.end());
+    }
+  } else {
+    for (uint32_t list : probes) {
+      by_shard[partitioner_.ShardOf(list)].push_back(list);
+    }
   }
   std::vector<SubRequest> subs;
   subs.reserve(by_shard.size());
@@ -85,6 +128,11 @@ Service AnnsTopKWorkload::Serve(uint32_t shard, uint64_t request_id) {
   svc.response_bytes = partial.size() * sizeof(anns::Neighbor);
   partials_[{request_id, shard}] = std::move(partial);
   return svc;
+}
+
+uint64_t AnnsTopKWorkload::ScatterSharedBytes(uint64_t request_id) {
+  (void)request_id;
+  return index_->dim() * sizeof(float);
 }
 
 uint64_t AnnsTopKWorkload::MergedBytes(uint64_t request_id,

@@ -36,6 +36,16 @@ class AnnsTopKWorkload : public Workload {
     uint32_t scan_lanes = 8;
     /// Cycles to build one probed list's residual LUT.
     uint32_t lut_cycles_per_list = 32;
+    /// Assign probed lists to shards by modeled scan cost (greedy
+    /// longest-processing-time with cumulative per-shard load carried
+    /// across requests) instead of the partitioner's static list->shard
+    /// map. The paper's disaggregation argument: once lists live in
+    /// network-attached memory, any shard can scan any list, so placement
+    /// can chase load balance. Merged results are bit-identical either way
+    /// (top-k of the same candidate set); only per-shard occupancy moves.
+    /// Incompatible with range partitioning (live resharding re-routes by
+    /// the partitioner's ownership map, which balancing ignores).
+    bool balance_scatter = false;
   };
 
   AnnsTopKWorkload(const anns::IvfPqIndex* index, Partitioner partitioner,
@@ -55,6 +65,10 @@ class AnnsTopKWorkload : public Workload {
   /// gather shrinks ANNS bytes at every interior node.
   uint64_t MergedBytes(uint64_t request_id, uint64_t done_mask,
                        uint64_t concat_bytes) override;
+  /// Every slice carries the same query vector (dim floats); only the
+  /// probed list ids differ per shard. That vector is what a scatter-tree
+  /// bundle ships once per subtree instead of once per shard.
+  uint64_t ScatterSharedBytes(uint64_t request_id) override;
   /// Range-partitioned list ids support live resharding: a slice whose
   /// probed lists all moved reports the new owner; mixed or non-range
   /// slices stay put.
@@ -71,6 +85,9 @@ class AnnsTopKWorkload : public Workload {
   Partitioner partitioner_;
   Config config_;
   std::vector<float> queries_;  ///< Flat, dim floats per request.
+  /// balance_scatter: cumulative modeled scan cycles assigned to each
+  /// shard so far — the LPT ledger that later requests balance against.
+  std::vector<uint64_t> shard_load_;
   /// Probed list ids per (request, shard), fixed at Scatter.
   std::map<std::pair<uint64_t, uint32_t>, std::vector<uint32_t>> plan_;
   std::map<std::pair<uint64_t, uint32_t>, std::vector<anns::Neighbor>>

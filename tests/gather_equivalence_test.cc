@@ -106,6 +106,23 @@ std::vector<GatherVariant> GatherVariants() {
   sw4.coordinator_ports = 4;
   sw4.switch_combine_cycles = 16;
   v.push_back({"switch-4port", sw4});
+  // Scatter-side multicast: request slices ride the per-port tree as
+  // subtree bundles. Orthogonal to the response topology, so it is
+  // exercised against flat, switch, and tree gather (the last also with
+  // pipelined interior merges — the full tree-both-ways configuration).
+  GatherConfig scatter_flat = flat4;
+  scatter_flat.fanout = 2;
+  scatter_flat.scatter = ScatterMode::kTree;
+  v.push_back({"scatter-flat-4port", scatter_flat});
+  GatherConfig scatter_sw = sw2;
+  scatter_sw.fanout = 3;
+  scatter_sw.scatter = ScatterMode::kTree;
+  scatter_sw.scatter_forward_cycles = 7;  // off-default: timing must not leak
+  v.push_back({"scatter-switch-2port", scatter_sw});
+  GatherConfig scatter_tree = tree2;
+  scatter_tree.scatter = ScatterMode::kTree;
+  scatter_tree.pipelined_merge = true;
+  v.push_back({"scatter-tree-2port-f2-pm", scatter_tree});
   return v;
 }
 
@@ -529,6 +546,55 @@ TEST(GatherEquivalenceTest, TreeForwardsMergesAndSwitchCombines) {
   }
 }
 
+TEST(GatherEquivalenceTest, ScatterTreeForwardsBundles) {
+  // One port, 8 shards, fanout 2: the coordinator ships one bundle to root
+  // shard 0; interiors 0 -> {1, 2}, 1 -> {3, 4}, 2 -> {5, 6}, 3 -> {7} peel
+  // and forward — every non-root member arrives via exactly one bundle.
+  {
+    GatherConfig g;
+    g.topology = GatherTopology::kTree;
+    g.fanout = 2;
+    g.scatter = ScatterMode::kTree;
+    g.pipelined_merge = true;
+    TestWorkloadForGather wl(8, 100);
+    ShardCluster::Config cc;
+    cc.num_shards = 8;
+    cc.gather = g;
+    ShardCluster cluster(&wl, cc);
+    cluster.Submit(1);
+    ASSERT_TRUE(cluster.Run().ok());
+    uint64_t forwarded = 0, stale = 0;
+    for (uint32_t s = 0; s < 8; ++s) {
+      forwarded += cluster.server(s).bundles_forwarded();
+      stale += cluster.server(s).stale_bundles_dropped();
+    }
+    EXPECT_EQ(forwarded, 7u);
+    EXPECT_EQ(stale, 0u);
+    EXPECT_EQ(cluster.gather_plan().armed_requests(), 0u);  // released
+    ASSERT_EQ(wl.merged().count(1), 1u);
+  }
+  // Scatter trees are orthogonal to the response path: with flat gather on
+  // 4 ports the groups are pairs, so each group root forwards one bundle.
+  {
+    GatherConfig g;
+    g.coordinator_ports = 4;
+    g.fanout = 2;
+    g.scatter = ScatterMode::kTree;
+    TestWorkloadForGather wl(8, 100);
+    ShardCluster::Config cc;
+    cc.num_shards = 8;
+    cc.gather = g;
+    ShardCluster cluster(&wl, cc);
+    cluster.Submit(1);
+    ASSERT_TRUE(cluster.Run().ok());
+    uint64_t forwarded = 0;
+    for (uint32_t s = 0; s < 8; ++s) {
+      forwarded += cluster.server(s).bundles_forwarded();
+    }
+    EXPECT_EQ(forwarded, 4u);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Fault injection: a dead interior merge shard degrades exactly its subtree.
 
@@ -578,6 +644,58 @@ TEST(GatherFaultTest, DeadInteriorTreeShardDegradesSubtreeOnly) {
   }
   // The root forwarded a partial merge instead of wedging on child 1.
   EXPECT_GE(cluster.server(0).merge_timeouts(), 1u);
+  EXPECT_EQ(cluster.gather_plan().armed_requests(), 0u);
+  ASSERT_EQ(wl.merged().count(1), 1u);  // Merge still ran on the partials
+}
+
+TEST(GatherFaultTest, DeadInteriorScatterShardStrandsSubtreeOnly) {
+  // Same heap tree as above, but now the REQUEST path rides it too. Killing
+  // shard 1's ingress loses the bundle carrying subtree {1, 3, 4, 7}: none
+  // of those shards ever receives its slice, and because descendants are
+  // not individually windowed there is no per-slice retry — only the gather
+  // deadline resolves them, all as kTimedOut (shard 1 included: no
+  // point-to-point request ever exhausted retries against it).
+  TestWorkloadForGather wl(8, 100);
+  ShardCluster::Config cc;
+  cc.num_shards = 8;
+  cc.gather.topology = GatherTopology::kTree;
+  cc.gather.fanout = 2;
+  cc.gather.scatter = ScatterMode::kTree;
+  cc.gather.pipelined_merge = true;
+  cc.gather.merge_timeout_cycles = 3000;
+  cc.coordinator.gather_deadline_cycles = 20000;
+  ShardCluster cluster(&wl, cc);
+
+  net::FaultInjector::Config fc;
+  fc.flap_down_cycles = 1u << 30;
+  net::FaultInjector injector(fc);
+  injector.Schedule({0, net::FaultInjector::kAnyNode, /*dst=*/2,
+                     net::FaultKind::kLinkFlap});
+  cluster.set_fault_injector(&injector);
+
+  cluster.Submit(1);
+  ASSERT_TRUE(cluster.Run().ok());
+
+  PartialOutcome out;
+  ASSERT_TRUE(cluster.PollOutcome(&out));
+  EXPECT_TRUE(out.degraded());
+  EXPECT_EQ(out.status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(out.shards_done, 4u);
+  const std::set<uint32_t> stranded = {1, 3, 4, 7};  // shard 1's subtree
+  for (const auto& slice : out.slices) {
+    EXPECT_EQ(slice.outcome, stranded.count(slice.shard)
+                                 ? SubOutcome::kTimedOut
+                                 : SubOutcome::kDone)
+        << "shard " << slice.shard;
+  }
+  // The root forwarded shards 0/2/5/6 after its merge timeout, and only the
+  // live half of the tree ever forwarded bundles (0 -> {1, 2}, 2 -> {5, 6}).
+  EXPECT_GE(cluster.server(0).merge_timeouts(), 1u);
+  uint64_t forwarded = 0;
+  for (uint32_t s = 0; s < 8; ++s) {
+    forwarded += cluster.server(s).bundles_forwarded();
+  }
+  EXPECT_EQ(forwarded, 4u);
   EXPECT_EQ(cluster.gather_plan().armed_requests(), 0u);
   ASSERT_EQ(wl.merged().count(1), 1u);  // Merge still ran on the partials
 }

@@ -328,6 +328,7 @@ const std::vector<std::string> kScenarios = {
     "hash_join",   "hbm_scaling",    "accl_broadcast",
     "shard_anns",  "shard_anns_tree", "shard_kvs_switch",
     "shard_kvs_failover", "shard_anns_resharded",
+    "shard_anns_scatter_tree",
 };
 
 uint64_t RunScenario(const std::string& name, const RunOpts& opts) {
@@ -343,6 +344,17 @@ uint64_t RunScenario(const std::string& name, const RunOpts& opts) {
     shard::GatherConfig gather;
     gather.topology = shard::GatherTopology::kTree;
     gather.fanout = 2;
+    return ShardAnnsScenario(gather);
+  }
+  if (name == "shard_anns_scatter_tree") {
+    // Tree both ways: multicast request bundles ride the same per-port
+    // tree the pipelined partial merges climb — locks the scatter-bundle
+    // forwarding and pipelined-merge timing.
+    shard::GatherConfig gather;
+    gather.topology = shard::GatherTopology::kTree;
+    gather.fanout = 2;
+    gather.scatter = shard::ScatterMode::kTree;
+    gather.pipelined_merge = true;
     return ShardAnnsScenario(gather);
   }
   if (name == "shard_kvs_switch") return ShardKvsSwitchScenario();

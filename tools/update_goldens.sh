@@ -11,5 +11,12 @@ cmake --build build --target golden_cycles_test -j"$(nproc)" >/dev/null
 FPGADP_UPDATE_GOLDENS=1 ./build/tests/golden_cycles_test \
   --gtest_filter='GoldenCycles.MatchesBaseline'
 
-echo "updated tests/golden/cycles.json:"
+# The refreshed baselines must hold under BOTH engines before they are
+# worth committing: a golden that only the tick engine reproduces would
+# lock in an equivalence bug, not a timing model.
+./build/tests/golden_cycles_test --gtest_filter='GoldenCycles.MatchesBaseline'
+FPGADP_ENGINE=event ./build/tests/golden_cycles_test \
+  --gtest_filter='GoldenCycles.MatchesBaseline'
+
+echo "updated tests/golden/cycles.json (verified under tick + event engines):"
 cat tests/golden/cycles.json
